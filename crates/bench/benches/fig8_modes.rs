@@ -1,0 +1,39 @@
+//! Figure 8 micro-benchmark: full enumeration of TPC-H Q7 under the two
+//! printing modes (UG = `EnumMIS`, UP = `EnumMISHold`). Both must produce
+//! the same 4-digit result count; the bench tracks their total runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mintri_core::MinimalTriangulationsEnumerator;
+use mintri_sgr::PrintMode;
+use mintri_workloads::tpch_query;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let q7 = tpch_query(7);
+    let mut group = c.benchmark_group("fig8_printing_modes");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for (name, mode) in [
+        ("UG", PrintMode::UponGeneration),
+        ("UP", PrintMode::UponPop),
+    ] {
+        group.bench_function(format!("q7_full_{name}"), |b| {
+            b.iter(|| {
+                let count = MinimalTriangulationsEnumerator::with_config(
+                    black_box(&q7.graph),
+                    Box::new(mintri_triangulate::McsM),
+                    mode,
+                )
+                .count();
+                black_box(count)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

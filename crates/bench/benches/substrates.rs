@@ -1,0 +1,94 @@
+//! Substrate micro-benchmarks: the building blocks whose costs dominate the
+//! enumeration loop — minimal separator generation, the crossing test,
+//! chordality recognition, the triangulation algorithms, and chordal clique
+//! extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mintri_chordal::{is_chordal, maximal_cliques_chordal, CliqueForest};
+use mintri_separators::{crossing, MinimalSeparatorIter};
+use mintri_triangulate::{lb_triang, mcs_m, OrderingStrategy};
+use mintri_workloads::pgm::promedas;
+use mintri_workloads::random::{erdos_renyi, grid};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let grid10 = grid(10, 10);
+    let gnp = erdos_renyi(60, 0.3, 42);
+    let pro = promedas(24, 72, 4, 42);
+
+    let mut group = c.benchmark_group("substrates");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("minsep_first200_grid10", |b| {
+        b.iter(|| {
+            black_box(
+                MinimalSeparatorIter::new(black_box(&grid10))
+                    .take(200)
+                    .count(),
+            )
+        })
+    });
+
+    let seps: Vec<_> = MinimalSeparatorIter::new(&grid10).take(40).collect();
+    group.bench_function("crossing_40x40_grid10", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for s in &seps {
+                for t in &seps {
+                    if crossing(black_box(&grid10), s, t) {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    group.bench_function("mcs_m_gnp60", |b| {
+        b.iter(|| black_box(mcs_m(black_box(&gnp)).fill_count()))
+    });
+
+    group.bench_function("lb_triang_minfill_gnp60", |b| {
+        b.iter(|| black_box(lb_triang(black_box(&gnp), &OrderingStrategy::MinFill).fill_count()))
+    });
+
+    let tri = mcs_m(&pro);
+    group.bench_function("is_chordal_promedas_triangulated", |b| {
+        b.iter(|| black_box(is_chordal(black_box(&tri.graph))))
+    });
+
+    group.bench_function("maximal_cliques_chordal_promedas", |b| {
+        b.iter(|| black_box(maximal_cliques_chordal(black_box(&tri.graph)).len()))
+    });
+
+    group.bench_function("clique_forest_minseps_promedas", |b| {
+        b.iter(|| {
+            black_box(
+                CliqueForest::build(black_box(&tri.graph))
+                    .minimal_separators()
+                    .len(),
+            )
+        })
+    });
+
+    // clique-tree enumeration (Theorem 5.1's per-class machinery)
+    let chordal_grid = mcs_m(&grid(4, 4)).graph;
+    group.bench_function("spanning_forests_first50_grid4x4", |b| {
+        b.iter(|| {
+            black_box(
+                mintri_treedecomp::proper_decompositions_of_chordal(black_box(&chordal_grid))
+                    .take(50)
+                    .count(),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Section 6.2.3 micro-benchmark: TPC-H query enumeration. The paper
+//! reports all 22 queries finishing within 5 seconds; the bench tracks a
+//! fast chordal query, a small cyclic one, and the Q7 outlier (first 100
+//! results).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mintri_core::MinimalTriangulationsEnumerator;
+use mintri_workloads::tpch_query;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    for number in [3u8, 5, 9] {
+        let q = tpch_query(number);
+        group.bench_function(format!("q{number}_full"), |b| {
+            b.iter(|| black_box(MinimalTriangulationsEnumerator::new(black_box(&q.graph)).count()))
+        });
+    }
+    let q7 = tpch_query(7);
+    group.bench_function("q7_first100", |b| {
+        b.iter(|| {
+            black_box(
+                MinimalTriangulationsEnumerator::new(black_box(&q7.graph))
+                    .take(100)
+                    .count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

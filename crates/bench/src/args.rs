@@ -1,0 +1,82 @@
+//! A minimal `--key value` command-line parser for the harness binaries
+//! (keeping the workspace free of CLI dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`. Flags must be `--key value` pairs.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (for tests).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter.next().unwrap_or_else(|| {
+                    panic!("missing value for --{key}");
+                });
+                values.insert(key.to_string(), value);
+            } else {
+                panic!("unexpected positional argument {arg:?}; use --key value");
+            }
+        }
+        Args { values }
+    }
+
+    /// A `u64` argument with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} must be an integer"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// A `usize` argument with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get_u64(key, default as u64) as usize
+    }
+
+    /// A string argument with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = Args::from_iter(
+            ["--budget-ms", "500", "--family", "grids"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.get_u64("budget-ms", 0), 500);
+        assert_eq!(a.get_str("family", ""), "grids");
+        assert_eq!(a.get_usize("instances", 3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing value")]
+    fn rejects_dangling_flags() {
+        Args::from_iter(["--budget-ms".to_string()]);
+    }
+}

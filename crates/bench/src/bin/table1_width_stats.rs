@@ -1,0 +1,59 @@
+//! Table 1: width statistics of the generated triangulations per dataset
+//! family and triangulation backend — #trng, min-w, #≤w1 (%), %w↓ (max) —
+//! after a budgeted execution per graph (the paper used 30 minutes each).
+//!
+//! Prints a markdown table shaped like the paper's Table 1 (values are
+//! per-family averages, maxima in parentheses).
+//!
+//! Flags: `--budget-ms` (default 1000), `--instances` (default 3),
+//! `--seed`, `--algo`.
+
+use mintri_bench::{run_budgeted, AlgoChoice, Args};
+use mintri_core::QualityStats;
+use mintri_workloads::PgmFamily;
+
+fn main() {
+    let args = Args::parse();
+    let budget_ms = args.get_u64("budget-ms", 1000);
+    let instances = args.get_usize("instances", 3);
+    let seed = args.get_u64("seed", 42);
+    let algos = AlgoChoice::parse_list(&args.get_str("algo", "both"));
+
+    println!("| Dataset | #trng | min-w | #<=w1 (%) | %w_down (max) |");
+    println!("|---|---|---|---|---|");
+    for algo in algos {
+        println!("| **{}** | | | | |", algo.name());
+        for family in PgmFamily::ALL {
+            let stats: Vec<QualityStats> = family
+                .instances(instances, seed)
+                .iter()
+                .filter_map(|inst| run_budgeted(&inst.graph, algo, budget_ms).quality())
+                .collect();
+            if stats.is_empty() {
+                continue;
+            }
+            let k = stats.len() as f64;
+            let avg = |f: &dyn Fn(&QualityStats) -> f64| stats.iter().map(f).sum::<f64>() / k;
+            let trng = avg(&|s| s.num_results as f64);
+            let min_w = avg(&|s| s.min_width as f64);
+            let leq = avg(&|s| s.num_leq_first_width as f64);
+            let leq_pct = avg(&|s| 100.0 * s.num_leq_first_width as f64 / s.num_results as f64);
+            let w_down = avg(&|s| s.width_improvement_pct);
+            let w_down_max = stats
+                .iter()
+                .map(|s| s.width_improvement_pct)
+                .fold(0.0f64, f64::max);
+            println!(
+                "| {} ({}) | {:.1} | {:.1} | {:.1} ({:.1}%) | {:.1} ({:.1}) |",
+                family.name(),
+                stats.len(),
+                trng,
+                min_w,
+                leq,
+                leq_pct,
+                w_down,
+                w_down_max
+            );
+        }
+    }
+}

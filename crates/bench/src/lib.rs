@@ -1,0 +1,13 @@
+//! # mintri-bench — the experiment harness
+//!
+//! Shared plumbing for the binaries that regenerate every table and figure
+//! of the paper's Section 6 (see `src/bin/`) and for the Criterion
+//! micro-benchmarks (see `benches/`). EXPERIMENTS.md maps each binary to
+//! its table/figure and records paper-vs-measured outcomes.
+
+pub mod args;
+pub mod baseline;
+pub mod runs;
+
+pub use args::Args;
+pub use runs::{run_budgeted, AlgoChoice};

@@ -1,0 +1,297 @@
+//! Clique trees (junction trees) of chordal graphs, and the minimal
+//! separators they induce.
+//!
+//! By Bernstein–Goodman, the clique trees of a connected chordal graph are
+//! exactly the maximum-weight spanning trees of the *clique graph* — the
+//! graph over maximal cliques where an edge `{C_i, C_j}` has weight
+//! `|C_i ∩ C_j|`. The multiset of edge intersections of any clique tree is
+//! the same, and its distinct sets are exactly `MinSep(g)`
+//! (Kumar–Madhavan, Theorem 2.2 of the paper).
+
+use crate::cliques::maximal_cliques_of_chordal;
+use crate::peo::perfect_elimination_order;
+use mintri_graph::{Graph, NodeSet};
+
+/// A clique forest of a chordal graph: one clique tree per connected
+/// component.
+#[derive(Debug, Clone)]
+pub struct CliqueForest {
+    /// The maximal cliques (the future bags of a proper tree decomposition).
+    pub cliques: Vec<NodeSet>,
+    /// Forest edges `(i, j)` indexing into `cliques`, with `i < j`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Minimal union-find used by Kruskal; path halving + union by size.
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Unites the sets of `a` and `b`; returns `false` if already united.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+}
+
+impl CliqueForest {
+    /// Builds a clique forest of the chordal graph `g`.
+    ///
+    /// # Panics
+    /// Panics if `g` is not chordal.
+    pub fn build(g: &Graph) -> CliqueForest {
+        let peo =
+            perfect_elimination_order(g).expect("CliqueForest::build requires a chordal graph");
+        Self::build_with_peo(g, &peo)
+    }
+
+    /// Builds a clique forest given a known perfect elimination order.
+    pub fn build_with_peo(g: &Graph, peo: &[mintri_graph::Node]) -> CliqueForest {
+        let cliques = maximal_cliques_of_chordal(g, peo);
+        Self::from_cliques(cliques)
+    }
+
+    /// Builds a maximum-weight spanning forest over the given maximal
+    /// cliques (weights are pairwise intersection sizes; zero-weight pairs
+    /// are not connected).
+    pub fn from_cliques(cliques: Vec<NodeSet>) -> CliqueForest {
+        let k = cliques.len();
+        let mut weighted: Vec<(usize, usize, usize)> = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let w = cliques[i].intersection_len(&cliques[j]);
+                if w > 0 {
+                    weighted.push((w, i, j));
+                }
+            }
+        }
+        // Kruskal on descending weight; ties broken by (i, j) for determinism
+        weighted.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut uf = UnionFind::new(k);
+        let mut edges = Vec::with_capacity(k.saturating_sub(1));
+        for (_, i, j) in weighted {
+            if uf.union(i, j) {
+                edges.push((i, j));
+            }
+        }
+        edges.sort_unstable();
+        CliqueForest { cliques, edges }
+    }
+
+    /// The multiset of clique-tree edge intersections (`C_i ∩ C_j` per
+    /// forest edge). Invariant across all clique trees of the same graph.
+    pub fn edge_separators(&self) -> Vec<NodeSet> {
+        self.edges
+            .iter()
+            .map(|&(i, j)| self.cliques[i].intersection(&self.cliques[j]))
+            .collect()
+    }
+
+    /// The minimal separators of the underlying chordal graph: the
+    /// *distinct* clique-tree edge intersections. For a chordal graph there
+    /// are fewer than `|V|` of them (Rose).
+    ///
+    /// Note: the empty separator of a disconnected graph is *not* reported
+    /// (forest edges only join overlapping cliques); callers that care about
+    /// disconnected inputs decompose into components first.
+    pub fn minimal_separators(&self) -> Vec<NodeSet> {
+        let mut seps = self.edge_separators();
+        seps.sort();
+        seps.dedup();
+        seps
+    }
+
+    /// The width of the decomposition induced by this forest: largest clique
+    /// size minus one.
+    pub fn width(&self) -> usize {
+        self.cliques
+            .iter()
+            .map(NodeSet::len)
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
+    }
+
+    /// Checks the junction (running-intersection) property: for every graph
+    /// node, the cliques containing it form a connected subforest. This is a
+    /// validation helper for tests; `build` always satisfies it.
+    pub fn is_valid_junction_forest(&self, num_nodes: usize) -> bool {
+        let k = self.cliques.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for &(i, j) in &self.edges {
+            adj[i].push(j);
+            adj[j].push(i);
+        }
+        for v in 0..num_nodes as mintri_graph::Node {
+            let holders: Vec<usize> = (0..k).filter(|&i| self.cliques[i].contains(v)).collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            // BFS within holder cliques only
+            let holder_set: std::collections::HashSet<usize> = holders.iter().copied().collect();
+            let mut seen = std::collections::HashSet::new();
+            let mut stack = vec![holders[0]];
+            seen.insert(holders[0]);
+            while let Some(i) = stack.pop() {
+                for &j in &adj[i] {
+                    if holder_set.contains(&j) && seen.insert(j) {
+                        stack.push(j);
+                    }
+                }
+            }
+            if seen.len() != holders.len() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The minimal separators of a chordal graph (Theorem 2.2 interface).
+///
+/// # Panics
+/// Panics if `g` is not chordal.
+pub fn minimal_separators_of_chordal(g: &Graph) -> Vec<NodeSet> {
+    CliqueForest::build(g).minimal_separators()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mintri_graph::Graph;
+
+    #[test]
+    fn path_clique_tree() {
+        let g = Graph::path(4);
+        let f = CliqueForest::build(&g);
+        assert_eq!(f.cliques.len(), 3);
+        assert_eq!(f.edges.len(), 2);
+        assert!(f.is_valid_junction_forest(4));
+        let seps = f.minimal_separators();
+        let seps: Vec<Vec<u32>> = seps.iter().map(|s| s.to_vec()).collect();
+        assert_eq!(seps, vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn complete_graph_has_no_separators() {
+        let g = Graph::complete(5);
+        let f = CliqueForest::build(&g);
+        assert_eq!(f.cliques.len(), 1);
+        assert!(f.edges.is_empty());
+        assert!(f.minimal_separators().is_empty());
+        assert_eq!(f.width(), 4);
+    }
+
+    #[test]
+    fn triangulated_square() {
+        let mut g = Graph::cycle(4);
+        g.add_edge(0, 2);
+        let f = CliqueForest::build(&g);
+        assert_eq!(f.cliques.len(), 2);
+        assert_eq!(f.edges.len(), 1);
+        let seps = f.minimal_separators();
+        assert_eq!(seps.len(), 1);
+        assert_eq!(seps[0].to_vec(), vec![0, 2]);
+        assert_eq!(f.width(), 2);
+    }
+
+    #[test]
+    fn rose_bound_fewer_separators_than_nodes() {
+        // a chordal graph with several distinct separators
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (1, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (5, 6),
+            ],
+        );
+        assert!(crate::is_chordal(&g));
+        let seps = minimal_separators_of_chordal(&g);
+        assert!(seps.len() < g.num_nodes());
+        assert!(!seps.is_empty());
+    }
+
+    #[test]
+    fn disconnected_graph_forest() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let f = CliqueForest::build(&g);
+        assert_eq!(f.cliques.len(), 2);
+        assert!(f.edges.is_empty()); // two components, no shared nodes
+        assert!(f.is_valid_junction_forest(5));
+    }
+
+    #[test]
+    fn edge_separator_multiset_multiplicity() {
+        // star of triangles: triangles {0,1,2},{0,3,4},{0,5,6} share node 0
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (0, 3),
+                (3, 4),
+                (0, 4),
+                (0, 5),
+                (5, 6),
+                (0, 6),
+            ],
+        );
+        let f = CliqueForest::build(&g);
+        assert_eq!(f.cliques.len(), 3);
+        let multiset = f.edge_separators();
+        assert_eq!(multiset.len(), 2);
+        assert!(multiset.iter().all(|s| s.to_vec() == vec![0]));
+        assert_eq!(f.minimal_separators().len(), 1);
+    }
+
+    #[test]
+    fn junction_property_detects_violations() {
+        // Deliberately broken forest: two cliques sharing node 1 but not
+        // connected (and a third connected pair), on 4 nodes.
+        let cliques = vec![
+            NodeSet::from_iter(4, [0, 1]),
+            NodeSet::from_iter(4, [1, 2]),
+            NodeSet::from_iter(4, [2, 3]),
+        ];
+        let bad = CliqueForest {
+            cliques,
+            edges: vec![(1, 2)], // 0 and 1 share node 1 but are disconnected
+        };
+        assert!(!bad.is_valid_junction_forest(4));
+    }
+}

@@ -1,0 +1,117 @@
+//! Brute-force enumeration of all minimal triangulations — the oracle the
+//! incremental-polynomial-time enumerator is validated against on small
+//! graphs.
+
+use mintri_chordal::is_chordal;
+use mintri_graph::{Graph, Node};
+use mintri_triangulate::is_minimal_triangulation;
+
+/// Test oracles over small graphs.
+pub struct BruteForce;
+
+impl BruteForce {
+    /// All minimal triangulations of `g`, by exhaustive search over subsets
+    /// of the non-edges. Exponential in the number of missing edges
+    /// (capped at 20), so `|V| ≤ 7` in practice.
+    pub fn minimal_triangulations(g: &Graph) -> Vec<Graph> {
+        let n = g.num_nodes();
+        let mut missing: Vec<(Node, Node)> = Vec::new();
+        for u in 0..n as Node {
+            for v in (u + 1)..n as Node {
+                if !g.has_edge(u, v) {
+                    missing.push((u, v));
+                }
+            }
+        }
+        let k = missing.len();
+        assert!(k <= 20, "brute-force triangulation oracle is exponential");
+        let mut out = Vec::new();
+        for mask in 0u64..(1 << k) {
+            let mut h = g.clone();
+            for (i, &(u, v)) in missing.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    h.add_edge(u, v);
+                }
+            }
+            if is_chordal(&h) && is_minimal_triangulation(g, &h) {
+                out.push(h);
+            }
+        }
+        out.sort_by_key(|h| h.edges());
+        out
+    }
+
+    /// `|MinTri(g)|` by brute force.
+    pub fn count_minimal_triangulations(g: &Graph) -> usize {
+        Self::minimal_triangulations(g).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MinimalTriangulationsEnumerator;
+
+    #[test]
+    fn oracle_counts_on_known_graphs() {
+        assert_eq!(
+            BruteForce::count_minimal_triangulations(&Graph::cycle(4)),
+            2
+        );
+        assert_eq!(
+            BruteForce::count_minimal_triangulations(&Graph::cycle(5)),
+            5
+        );
+        assert_eq!(
+            BruteForce::count_minimal_triangulations(&Graph::cycle(6)),
+            14
+        );
+        assert_eq!(BruteForce::count_minimal_triangulations(&Graph::path(5)), 1);
+        assert_eq!(
+            BruteForce::count_minimal_triangulations(&Graph::complete(4)),
+            1
+        );
+    }
+
+    #[test]
+    fn enumerator_matches_oracle_exactly() {
+        let graphs = vec![
+            Graph::cycle(6),
+            Graph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]), // K_{2,3}
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]),
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5)]), // disconnected
+            Graph::from_edges(
+                7,
+                &[
+                    (0, 1),
+                    (1, 2),
+                    (2, 0),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 6),
+                    (6, 3),
+                ],
+            ),
+        ];
+        for g in graphs {
+            let mut fast: Vec<Vec<(Node, Node)>> = MinimalTriangulationsEnumerator::new(&g)
+                .map(|t| t.graph.edges())
+                .collect();
+            fast.sort();
+            let slow: Vec<Vec<(Node, Node)>> = BruteForce::minimal_triangulations(&g)
+                .iter()
+                .map(|h| h.edges())
+                .collect();
+            assert_eq!(fast, slow, "mismatch on {g:?}");
+        }
+    }
+
+    #[test]
+    fn k23_has_exactly_two_minimal_triangulations() {
+        // MinSep(K_{2,3}) = {{0,1}, {2,3,4}}, which cross: the maximal
+        // parallel sets are the singletons.
+        let g = Graph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]);
+        assert_eq!(BruteForce::count_minimal_triangulations(&g), 2);
+    }
+}

@@ -1,0 +1,232 @@
+//! The eager (materialized) separator graph: **polynomial delay** for
+//! graphs with polynomially many minimal separators.
+//!
+//! Section 7 of the paper observes that polynomial delay (not just
+//! incremental polynomial time) is achievable when `|MinSep(g)|` is
+//! polynomial in the input: materialize the separator graph upfront and run
+//! the classical known-node-set enumeration. [`EagerMsGraph`] does exactly
+//! that — it exhausts the Berry–Bordat–Cogis enumerator, precomputes the
+//! full crossing matrix as bit rows, and serves `EnumMIS` with `O(1)` edge
+//! oracles and an upfront node set. TPC-H-sized query graphs (≤ ~50
+//! separators) are the intended use case; on worst-case graphs the
+//! materialization itself is exponential, which is the whole reason the
+//! lazy [`crate::MsGraph`] exists.
+
+use crate::msgraph::SepId;
+use mintri_chordal::CliqueForest;
+use mintri_graph::{FxHashMap, Graph, NodeSet};
+use mintri_separators::{crossing, MinimalSeparatorIter};
+use mintri_sgr::Sgr;
+use mintri_triangulate::{minimal_triangulation, McsM, Triangulator};
+
+/// A fully materialized minimal separator graph.
+pub struct EagerMsGraph<'g> {
+    g: &'g Graph,
+    separators: Vec<NodeSet>,
+    index: FxHashMap<NodeSet, SepId>,
+    /// `crossing_rows[i]` is the bitset of separators crossing separator `i`
+    /// (capacity = number of separators).
+    crossing_rows: Vec<NodeSet>,
+    triangulator: Box<dyn Triangulator>,
+}
+
+impl<'g> EagerMsGraph<'g> {
+    /// Materializes the separator graph of `g` with the default (MCS-M)
+    /// expansion backend. Runs the full separator enumeration and the
+    /// quadratic crossing matrix — only sensible when `MinSep(g)` is small.
+    pub fn new(g: &'g Graph) -> Self {
+        Self::with_triangulator(g, Box::new(McsM))
+    }
+
+    /// Materializes with a custom triangulation backend.
+    pub fn with_triangulator(g: &'g Graph, triangulator: Box<dyn Triangulator>) -> Self {
+        let separators: Vec<NodeSet> = MinimalSeparatorIter::new(g).collect();
+        let s = separators.len();
+        let index: FxHashMap<NodeSet, SepId> = separators
+            .iter()
+            .enumerate()
+            .map(|(i, sep)| (sep.clone(), i as SepId))
+            .collect();
+        let mut crossing_rows = vec![NodeSet::new(s); s];
+        for i in 0..s {
+            for j in (i + 1)..s {
+                if crossing(g, &separators[i], &separators[j]) {
+                    crossing_rows[i].insert(j as SepId);
+                    crossing_rows[j].insert(i as SepId);
+                }
+            }
+        }
+        EagerMsGraph {
+            g,
+            separators,
+            index,
+            crossing_rows,
+            triangulator,
+        }
+    }
+
+    /// Number of minimal separators (`|V(G^ms)|`).
+    pub fn num_separators(&self) -> usize {
+        self.separators.len()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// `g[φ]` for an answer given as separator indices.
+    pub fn saturate_answer(&self, answer: &[SepId]) -> Graph {
+        let mut h = self.g.clone();
+        for &id in answer {
+            h.saturate(&self.separators[id as usize]);
+        }
+        h
+    }
+}
+
+impl Sgr for EagerMsGraph<'_> {
+    type Node = SepId;
+    type NodeCursor = usize;
+
+    fn start_nodes(&self) -> usize {
+        0
+    }
+
+    fn next_node(&self, cursor: &mut usize) -> Option<SepId> {
+        if *cursor < self.separators.len() {
+            let id = *cursor as SepId;
+            *cursor += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn edge(&self, &u: &SepId, &v: &SepId) -> bool {
+        u != v && self.crossing_rows[u as usize].contains(v)
+    }
+
+    fn extend(&self, base: &[SepId]) -> Vec<SepId> {
+        let gphi = self.saturate_answer(base);
+        let tri = minimal_triangulation(&gphi, self.triangulator.as_ref());
+        let forest = match &tri.peo {
+            Some(peo) => CliqueForest::build_with_peo(&tri.graph, peo),
+            None => CliqueForest::build(&tri.graph),
+        };
+        let mut ids: Vec<SepId> = forest
+            .minimal_separators()
+            .into_iter()
+            .map(|sep| {
+                *self
+                    .index
+                    .get(&sep)
+                    .expect("Extend produced a separator outside MinSep(g)")
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Iterator over all minimal triangulations with **polynomial delay**,
+/// assuming `|MinSep(g)|` is small enough to materialize (Section 7's
+/// special case). Produces exactly the same set as the lazy enumerator.
+pub struct EagerMinimalTriangulations<'g> {
+    inner: mintri_sgr::EnumMis<EagerMsGraph<'g>>,
+    g: &'g Graph,
+}
+
+impl<'g> EagerMinimalTriangulations<'g> {
+    /// Materializes the separator graph and starts the enumeration.
+    pub fn new(g: &'g Graph) -> Self {
+        let ms = EagerMsGraph::new(g);
+        EagerMinimalTriangulations {
+            inner: mintri_sgr::EnumMis::upon_generation(ms),
+            g,
+        }
+    }
+
+    /// Number of minimal separators that were materialized.
+    pub fn num_separators(&self) -> usize {
+        self.inner.sgr().num_separators()
+    }
+}
+
+impl Iterator for EagerMinimalTriangulations<'_> {
+    type Item = mintri_triangulate::Triangulation;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let answer = self.inner.next()?;
+        let h = self.inner.sgr().saturate_answer(&answer);
+        let fill = h.fill_edges_over(self.g);
+        Some(mintri_triangulate::Triangulation {
+            graph: h,
+            fill,
+            peo: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MinimalTriangulationsEnumerator;
+
+    #[test]
+    fn eager_matches_lazy_on_a_suite() {
+        let graphs = vec![
+            Graph::cycle(6),
+            Graph::cycle(4),
+            Graph::path(5),
+            Graph::complete(4),
+            Graph::from_edges(
+                7,
+                &[
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 0),
+                    (2, 4),
+                    (4, 5),
+                    (5, 6),
+                    (6, 2),
+                ],
+            ),
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5)]),
+        ];
+        for g in graphs {
+            let mut eager: Vec<_> = EagerMinimalTriangulations::new(&g)
+                .map(|t| t.graph.edges())
+                .collect();
+            eager.sort();
+            let mut lazy: Vec<_> = MinimalTriangulationsEnumerator::new(&g)
+                .map(|t| t.graph.edges())
+                .collect();
+            lazy.sort();
+            assert_eq!(eager, lazy, "mismatch on {g:?}");
+        }
+    }
+
+    #[test]
+    fn crossing_matrix_is_symmetric_and_irreflexive() {
+        let g = Graph::cycle(7);
+        let ms = EagerMsGraph::new(&g);
+        let s = ms.num_separators();
+        assert_eq!(s, 14); // C7: non-adjacent pairs
+        for i in 0..s as SepId {
+            assert!(!ms.edge(&i, &i));
+            for j in 0..s as SepId {
+                assert_eq!(ms.edge(&i, &j), ms.edge(&j, &i));
+            }
+        }
+    }
+
+    #[test]
+    fn separator_count_exposed() {
+        let g = Graph::cycle(5);
+        let e = EagerMinimalTriangulations::new(&g);
+        assert_eq!(e.num_separators(), 5);
+        assert_eq!(e.count(), 5);
+    }
+}

@@ -1,0 +1,45 @@
+//! # mintri-core — enumerating minimal triangulations and proper tree
+//! decompositions in incremental polynomial time
+//!
+//! The primary contribution of *"Efficiently Enumerating Minimal
+//! Triangulations"* (Carmeli, Kenig, Kimelfeld, Kröll — PODS 2017):
+//!
+//! * [`MsGraph`] — the minimal separator graph of a graph `g`, presented as
+//!   a succinct graph representation (nodes stream from the
+//!   Berry–Bordat–Cogis enumerator, edges are memoized crossing tests,
+//!   expansion is the `Extend` procedure over any black-box triangulator);
+//! * [`MinimalTriangulationsEnumerator`] — `EnumMIS` over `MSGraph`,
+//!   materializing each maximal set of pairwise-parallel minimal separators
+//!   into the corresponding minimal triangulation (Corollary 4.8);
+//! * [`ProperTreeDecompositions`] — the Section 5 reduction, emitting every
+//!   proper tree decomposition (or one per bag-equivalence class);
+//! * [`AnytimeSearch`] — budgeted, instrumented runs recording the delay and
+//!   quality measurements of the paper's experimental study;
+//! * [`BruteForce`] — exponential oracles used to validate all of the above
+//!   on small graphs.
+//!
+//! ## Disconnected inputs
+//!
+//! The empty set is a minimal separator of a disconnected graph, is parallel
+//! to everything, and saturates to nothing — so it belongs to every maximal
+//! parallel set and never changes the triangulation. The stack therefore
+//! works with the *nonempty* minimal separators throughout; the bijection of
+//! Theorem 4.1 survives (`φ ↔ φ ∪ {∅}`), and disconnected graphs enumerate
+//! as the product of their components' triangulations with no special
+//! casing (see the `disconnected_graphs_multiply` test).
+
+mod anytime;
+mod bruteforce;
+mod eager;
+mod enumerator;
+mod msgraph;
+mod proper;
+mod ranked;
+
+pub use anytime::{AnytimeOutcome, AnytimeSearch, EnumerationBudget, QualityStats, ResultRecord};
+pub use bruteforce::BruteForce;
+pub use eager::{EagerMinimalTriangulations, EagerMsGraph};
+pub use enumerator::MinimalTriangulationsEnumerator;
+pub use msgraph::{MsGraph, MsGraphStats, SepId};
+pub use proper::{ProperTreeDecompositions, TdEnumerationMode};
+pub use ranked::{best_fill, best_k_by, best_width};

@@ -1,0 +1,253 @@
+//! The minimal separator graph `MSGraph` as an SGR (Section 3.1.1), with
+//! the `Extend` procedure of Figure 3 as its tractable expansion
+//! (Section 4.3).
+//!
+//! Performance notes (the "optimized version" of the paper's Section 7):
+//! separators are *interned* into dense `u32` ids, so `EnumMIS` hashes
+//! answers as sorted integer vectors instead of sets of bitsets, and the
+//! crossing relation is memoized per (unordered) id pair — each `S ♮ T`
+//! test runs the `O(n + m)` component count at most once. Both
+//! optimizations can be disabled for the ablation benchmarks.
+
+use mintri_chordal::CliqueForest;
+use mintri_graph::{FxHashMap, Graph, NodeSet};
+use mintri_separators::{crossing, MinSepState};
+use mintri_sgr::Sgr;
+use mintri_triangulate::{minimal_triangulation, McsM, Triangulator};
+use std::cell::RefCell;
+
+/// Dense identifier of an interned minimal separator.
+pub type SepId = u32;
+
+/// Counters exposed for benchmarks and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MsGraphStats {
+    /// Crossing tests actually computed (cache misses when caching is on).
+    pub crossing_computed: usize,
+    /// Crossing tests answered from the memo table.
+    pub crossing_cached: usize,
+    /// `Extend` invocations.
+    pub extends: usize,
+    /// Distinct separators interned.
+    pub separators_interned: usize,
+}
+
+#[derive(Default)]
+struct Interner {
+    ids: FxHashMap<NodeSet, SepId>,
+    sets: Vec<NodeSet>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: NodeSet) -> SepId {
+        if let Some(&id) = self.ids.get(&s) {
+            return id;
+        }
+        let id = self.sets.len() as SepId;
+        self.ids.insert(s.clone(), id);
+        self.sets.push(s);
+        id
+    }
+}
+
+/// The SGR `(G^ms, A_V^ms, A_E^ms)`: nodes are the minimal separators of a
+/// fixed graph `g`, edges are crossing pairs, and the expansion runs any
+/// black-box [`Triangulator`] through the `Extend` procedure.
+///
+/// The maximal independent sets of this graph are the maximal sets of
+/// pairwise-parallel minimal separators — in bijection with `MinTri(g)`
+/// (Theorem 4.1 / Corollary 4.2).
+pub struct MsGraph<'g> {
+    g: &'g Graph,
+    triangulator: Box<dyn Triangulator>,
+    interner: RefCell<Interner>,
+    crossing_cache: Option<RefCell<FxHashMap<(SepId, SepId), bool>>>,
+    stats: RefCell<MsGraphStats>,
+}
+
+impl<'g> MsGraph<'g> {
+    /// MSGraph over `g` with the default (MCS-M) expansion backend.
+    pub fn new(g: &'g Graph) -> Self {
+        Self::with_triangulator(g, Box::new(McsM))
+    }
+
+    /// MSGraph with a custom triangulation backend — *any* off-the-shelf
+    /// triangulation algorithm works, which is the black-box property the
+    /// paper advertises.
+    pub fn with_triangulator(g: &'g Graph, triangulator: Box<dyn Triangulator>) -> Self {
+        MsGraph {
+            g,
+            triangulator,
+            interner: RefCell::new(Interner::default()),
+            crossing_cache: Some(RefCell::new(FxHashMap::default())),
+            stats: RefCell::new(MsGraphStats::default()),
+        }
+    }
+
+    /// Disables the crossing memo table (ablation switch).
+    pub fn without_crossing_cache(mut self) -> Self {
+        self.crossing_cache = None;
+        self
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> MsGraphStats {
+        let mut s = *self.stats.borrow();
+        s.separators_interned = self.interner.borrow().sets.len();
+        s
+    }
+
+    /// The separator behind an id (clones the bitset).
+    pub fn separator(&self, id: SepId) -> NodeSet {
+        self.interner.borrow().sets[id as usize].clone()
+    }
+
+    /// `g[φ]` for an answer `φ` given as interned ids: saturates every
+    /// separator. For a maximal answer this *is* the corresponding minimal
+    /// triangulation (Theorem 4.1 part 1).
+    pub fn saturate_answer(&self, answer: &[SepId]) -> Graph {
+        let interner = self.interner.borrow();
+        let mut h = self.g.clone();
+        for &id in answer {
+            h.saturate(&interner.sets[id as usize]);
+        }
+        h
+    }
+
+    fn crossing_uncached(&self, a: SepId, b: SepId) -> bool {
+        let interner = self.interner.borrow();
+        self.stats.borrow_mut().crossing_computed += 1;
+        crossing(
+            self.g,
+            &interner.sets[a as usize],
+            &interner.sets[b as usize],
+        )
+    }
+}
+
+impl Sgr for MsGraph<'_> {
+    type Node = SepId;
+    type NodeCursor = MinSepState;
+
+    fn start_nodes(&self) -> MinSepState {
+        MinSepState::new()
+    }
+
+    fn next_node(&self, cursor: &mut MinSepState) -> Option<SepId> {
+        cursor
+            .next(self.g)
+            .map(|s| self.interner.borrow_mut().intern(s))
+    }
+
+    fn edge(&self, &u: &SepId, &v: &SepId) -> bool {
+        if u == v {
+            return false;
+        }
+        let key = (u.min(v), u.max(v));
+        match &self.crossing_cache {
+            Some(cache) => {
+                if let Some(&hit) = cache.borrow().get(&key) {
+                    self.stats.borrow_mut().crossing_cached += 1;
+                    return hit;
+                }
+                let result = self.crossing_uncached(key.0, key.1);
+                cache.borrow_mut().insert(key, result);
+                result
+            }
+            None => self.crossing_uncached(key.0, key.1),
+        }
+    }
+
+    /// The `Extend` procedure (Figure 3): saturate `φ`, triangulate with the
+    /// black box (plus the sandwich step unless the backend guarantees
+    /// minimality), and read the maximal parallel set off the minimal
+    /// separators of the chordal result (Kumar–Madhavan extraction).
+    fn extend(&self, base: &[SepId]) -> Vec<SepId> {
+        self.stats.borrow_mut().extends += 1;
+        let gphi = self.saturate_answer(base);
+        let tri = minimal_triangulation(&gphi, self.triangulator.as_ref());
+        let forest = match &tri.peo {
+            Some(peo) => CliqueForest::build_with_peo(&tri.graph, peo),
+            None => CliqueForest::build(&tri.graph),
+        };
+        let mut interner = self.interner.borrow_mut();
+        let mut ids: Vec<SepId> = forest
+            .minimal_separators()
+            .into_iter()
+            .map(|s| interner.intern(s))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mintri_sgr::{EnumMis, PrintMode};
+
+    #[test]
+    fn interning_is_content_addressed() {
+        let g = Graph::cycle(5);
+        let ms = MsGraph::new(&g);
+        let a = ms
+            .interner
+            .borrow_mut()
+            .intern(NodeSet::from_iter(5, [0, 2]));
+        let b = ms
+            .interner
+            .borrow_mut()
+            .intern(NodeSet::from_iter(5, [0, 2]));
+        assert_eq!(a, b);
+        assert_eq!(ms.separator(a).to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn extend_of_empty_set_is_maximal_parallel_set() {
+        let g = Graph::cycle(6);
+        let ms = MsGraph::new(&g);
+        let m = ms.extend(&[]);
+        assert!(!m.is_empty());
+        // pairwise parallel
+        for (i, &a) in m.iter().enumerate() {
+            for &b in &m[i + 1..] {
+                assert!(!ms.edge(&a, &b), "extended set must be independent");
+            }
+        }
+        // the saturation is chordal (Theorem 4.1)
+        let h = ms.saturate_answer(&m);
+        assert!(mintri_chordal::is_chordal(&h));
+    }
+
+    #[test]
+    fn crossing_cache_counts() {
+        let g = Graph::cycle(6);
+        let ms = MsGraph::new(&g);
+        let a = ms
+            .interner
+            .borrow_mut()
+            .intern(NodeSet::from_iter(6, [0, 3]));
+        let b = ms
+            .interner
+            .borrow_mut()
+            .intern(NodeSet::from_iter(6, [1, 4]));
+        assert!(ms.edge(&a, &b));
+        assert!(ms.edge(&b, &a));
+        let s = ms.stats();
+        assert_eq!(s.crossing_computed, 1);
+        assert_eq!(s.crossing_cached, 1);
+    }
+
+    #[test]
+    fn enum_mis_over_msgraph_counts_c4() {
+        let g = Graph::cycle(4);
+        let ms = MsGraph::new(&g);
+        let answers: Vec<_> = EnumMis::new(&ms, PrintMode::UponGeneration).collect();
+        assert_eq!(answers.len(), 2, "C4 has two minimal triangulations");
+    }
+}

@@ -1,0 +1,197 @@
+//! Enumerating the proper tree decompositions (Section 5, Corollary 5.2):
+//! stream the minimal triangulations, and expand each one into its
+//! `≡b`-class of clique trees with polynomial delay.
+
+use crate::MinimalTriangulationsEnumerator;
+use mintri_chordal::CliqueForest;
+use mintri_graph::Graph;
+use mintri_sgr::PrintMode;
+use mintri_treedecomp::{proper_decompositions_of_chordal, TreeDecomposition};
+use mintri_triangulate::Triangulator;
+
+/// Which representative(s) of each `≡b`-equivalence class to emit.
+///
+/// The paper notes both variants carry the incremental-polynomial-time
+/// guarantee; which one is wanted depends on whether the application
+/// distinguishes decompositions with the same bags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TdEnumerationMode {
+    /// Every proper tree decomposition (all clique trees of every minimal
+    /// triangulation).
+    #[default]
+    AllDecompositions,
+    /// One proper tree decomposition per bag configuration (per minimal
+    /// triangulation).
+    OnePerClass,
+}
+
+/// Iterator over the proper tree decompositions of a graph, in incremental
+/// polynomial time.
+///
+/// ```
+/// use mintri_core::ProperTreeDecompositions;
+/// use mintri_graph::Graph;
+///
+/// let g = Graph::cycle(4);
+/// // each of the two minimal triangulations of C4 has one clique tree
+/// let all: Vec<_> = ProperTreeDecompositions::new(&g).collect();
+/// assert_eq!(all.len(), 2);
+/// assert!(all.iter().all(|d| d.is_proper(&g)));
+/// ```
+pub struct ProperTreeDecompositions<'g> {
+    triangulations: MinimalTriangulationsEnumerator<'g>,
+    mode: TdEnumerationMode,
+    current_class: Option<Box<dyn Iterator<Item = TreeDecomposition>>>,
+}
+
+impl<'g> ProperTreeDecompositions<'g> {
+    /// All proper tree decompositions, default backend.
+    pub fn new(g: &'g Graph) -> Self {
+        Self::with_config(
+            g,
+            Box::new(mintri_triangulate::McsM),
+            PrintMode::UponGeneration,
+            TdEnumerationMode::AllDecompositions,
+        )
+    }
+
+    /// One representative per `≡b`-class, default backend.
+    pub fn one_per_class(g: &'g Graph) -> Self {
+        Self::with_config(
+            g,
+            Box::new(mintri_triangulate::McsM),
+            PrintMode::UponGeneration,
+            TdEnumerationMode::OnePerClass,
+        )
+    }
+
+    /// Full configuration.
+    pub fn with_config(
+        g: &'g Graph,
+        triangulator: Box<dyn Triangulator>,
+        print_mode: PrintMode,
+        mode: TdEnumerationMode,
+    ) -> Self {
+        ProperTreeDecompositions {
+            triangulations: MinimalTriangulationsEnumerator::with_config(
+                g,
+                triangulator,
+                print_mode,
+            ),
+            mode,
+            current_class: None,
+        }
+    }
+}
+
+impl Iterator for ProperTreeDecompositions<'_> {
+    type Item = TreeDecomposition;
+
+    fn next(&mut self) -> Option<TreeDecomposition> {
+        loop {
+            if let Some(class) = &mut self.current_class {
+                if let Some(d) = class.next() {
+                    return Some(d);
+                }
+                self.current_class = None;
+            }
+            let tri = self.triangulations.next()?;
+            match self.mode {
+                TdEnumerationMode::OnePerClass => {
+                    let forest = CliqueForest::build(&tri.graph);
+                    return Some(TreeDecomposition {
+                        bags: forest.cliques,
+                        edges: forest.edges,
+                    });
+                }
+                TdEnumerationMode::AllDecompositions => {
+                    self.current_class =
+                        Some(Box::new(proper_decompositions_of_chordal(&tri.graph)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_emitted_decomposition_is_proper_and_valid() {
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 2),
+            ],
+        );
+        let all: Vec<_> = ProperTreeDecompositions::new(&g).collect();
+        assert!(!all.is_empty());
+        for d in &all {
+            assert!(d.validate(&g).is_ok());
+            assert!(d.is_proper(&g));
+        }
+        // distinct
+        let mut keyed: Vec<_> = all
+            .iter()
+            .map(|d| {
+                let mut bags: Vec<_> = d.bags.clone();
+                bags.sort();
+                (bags, {
+                    let mut e = d.edges.clone();
+                    e.sort_unstable();
+                    e
+                })
+            })
+            .collect();
+        let n = keyed.len();
+        keyed.sort();
+        keyed.dedup();
+        assert_eq!(keyed.len(), n, "no duplicates");
+    }
+
+    #[test]
+    fn one_per_class_counts_minimal_triangulations() {
+        let g = Graph::cycle(6);
+        let classes = ProperTreeDecompositions::one_per_class(&g).count();
+        assert_eq!(classes, 14); // Catalan(4)
+    }
+
+    #[test]
+    fn all_mode_counts_clique_trees_per_class() {
+        // chordal graph: star of 3 triangles sharing the apex -> one class,
+        // 3 clique trees
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (0, 3),
+                (3, 4),
+                (0, 4),
+                (0, 5),
+                (5, 6),
+                (0, 6),
+            ],
+        );
+        assert_eq!(ProperTreeDecompositions::new(&g).count(), 3);
+        assert_eq!(ProperTreeDecompositions::one_per_class(&g).count(), 1);
+    }
+
+    #[test]
+    fn tree_input_yields_its_own_decomposition() {
+        let g = Graph::path(5);
+        let all: Vec<_> = ProperTreeDecompositions::new(&g).collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].width(), 1);
+        assert_eq!(all[0].num_bags(), 4); // the 4 edges of P5
+    }
+}

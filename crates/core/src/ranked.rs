@@ -1,0 +1,138 @@
+//! Budgeted best-k selection over the triangulation stream — the paper's
+//! "let the application choose the best according to its internal measure"
+//! workflow (Section 1), packaged. (Exact *ranked* enumeration with
+//! delay guarantees is the follow-up work of Ravid et al. [38]; this module
+//! provides the anytime approximation the original paper's experiments
+//! perform.)
+
+use crate::{EnumerationBudget, MinimalTriangulationsEnumerator};
+use mintri_graph::Graph;
+use mintri_triangulate::Triangulation;
+use std::time::Instant;
+
+/// Runs the enumeration under `budget` and returns the `k` best
+/// triangulations according to `cost` (smaller is better), in ascending
+/// cost order. Ties keep the earlier-produced result first.
+///
+/// ```
+/// use mintri_core::{best_k_by, EnumerationBudget};
+/// use mintri_graph::Graph;
+///
+/// let g = Graph::cycle(7);
+/// let best = best_k_by(&g, 3, EnumerationBudget::unlimited(), |t| t.fill_count());
+/// assert_eq!(best.len(), 3);
+/// // every minimal triangulation of a cycle has fill n-3
+/// assert!(best.iter().all(|t| t.fill_count() == 4));
+/// ```
+pub fn best_k_by<C, F>(
+    g: &Graph,
+    k: usize,
+    budget: EnumerationBudget,
+    cost: F,
+) -> Vec<Triangulation>
+where
+    C: Ord,
+    F: Fn(&Triangulation) -> C,
+{
+    let started = Instant::now();
+    // (cost, production index) keeps ordering deterministic under ties
+    let mut kept: Vec<(C, usize, Triangulation)> = Vec::with_capacity(k + 1);
+    for (i, tri) in MinimalTriangulationsEnumerator::new(g).enumerate() {
+        if budget_exhausted(&budget, i, started) {
+            break;
+        }
+        let c = cost(&tri);
+        // only insert if it beats the current worst (or there is room)
+        if kept.len() < k || kept.last().is_some_and(|(wc, wi, _)| (&c, &i) < (wc, wi)) {
+            let pos = kept
+                .binary_search_by(|(ec, ei, _)| (ec, ei).cmp(&(&c, &i)))
+                .unwrap_or_else(|p| p);
+            kept.insert(pos, (c, i, tri));
+            kept.truncate(k);
+        }
+    }
+    kept.into_iter().map(|(_, _, t)| t).collect()
+}
+
+fn budget_exhausted(budget: &EnumerationBudget, produced: usize, started: Instant) -> bool {
+    if budget.max_results.is_some_and(|n| produced >= n) {
+        return true;
+    }
+    budget.time_limit.is_some_and(|t| started.elapsed() >= t)
+}
+
+/// The minimum-width triangulation found within `budget`.
+pub fn best_width(g: &Graph, budget: EnumerationBudget) -> Option<Triangulation> {
+    best_k_by(g, 1, budget, |t| t.width()).into_iter().next()
+}
+
+/// The minimum-fill triangulation found within `budget`.
+pub fn best_fill(g: &Graph, budget: EnumerationBudget) -> Option<Triangulation> {
+    best_k_by(g, 1, budget, |t| t.fill_count())
+        .into_iter()
+        .next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForce;
+
+    #[test]
+    fn best_fill_on_a_cycle_is_optimal() {
+        let g = Graph::cycle(8);
+        let best = best_fill(&g, EnumerationBudget::unlimited()).unwrap();
+        assert_eq!(best.fill_count(), 5);
+    }
+
+    #[test]
+    fn best_width_matches_exhaustive_minimum() {
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 2),
+                (1, 4),
+            ],
+        );
+        let exhaustive_min = BruteForce::minimal_triangulations(&g)
+            .iter()
+            .map(mintri_chordal::treewidth_of_chordal)
+            .min()
+            .unwrap();
+        let best = best_width(&g, EnumerationBudget::unlimited()).unwrap();
+        assert_eq!(best.width(), exhaustive_min);
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_bounded() {
+        let g = Graph::cycle(6);
+        let top = best_k_by(&g, 5, EnumerationBudget::unlimited(), |t| t.fill_count());
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].fill_count() <= w[1].fill_count());
+        }
+        // k larger than the answer count returns everything
+        let all = best_k_by(&g, 100, EnumerationBudget::unlimited(), |t| t.width());
+        assert_eq!(all.len(), 14);
+    }
+
+    #[test]
+    fn result_budget_limits_exploration() {
+        let g = Graph::cycle(9);
+        let top = best_k_by(&g, 2, EnumerationBudget::results(5), |t| t.fill_count());
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn zero_k_is_empty() {
+        let g = Graph::cycle(5);
+        assert!(best_k_by(&g, 0, EnumerationBudget::unlimited(), |t| t.width()).is_empty());
+    }
+}

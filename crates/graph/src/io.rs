@@ -1,0 +1,238 @@
+//! Reading and writing graphs: DIMACS `.col` and plain edge lists.
+//!
+//! The enumeration stack is most useful on *your* graphs; these parsers
+//! cover the two formats ubiquitous in the treewidth/coloring communities.
+
+use crate::{Graph, Node};
+use std::fmt;
+
+/// A parse failure, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a DIMACS `.col` graph: `c` comment lines, one `p edge <n> <m>`
+/// problem line, and `e <u> <v>` edge lines with **1-based** endpoints.
+/// Duplicate edges and self-loops are rejected.
+pub fn parse_dimacs(input: &str) -> Result<Graph, ParseError> {
+    let mut graph: Option<Graph> = None;
+    let mut declared_edges = 0usize;
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                if graph.is_some() {
+                    return Err(err(lineno, "duplicate problem line"));
+                }
+                let kind = parts.next().ok_or_else(|| err(lineno, "missing format"))?;
+                if kind != "edge" && kind != "col" {
+                    return Err(err(lineno, format!("unsupported format {kind:?}")));
+                }
+                let n: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad node count"))?;
+                declared_edges = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad edge count"))?;
+                graph = Some(Graph::new(n));
+            }
+            Some("e") => {
+                let g = graph
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "edge before problem line"))?;
+                let u: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad endpoint"))?;
+                let v: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad endpoint"))?;
+                if u == 0 || v == 0 || u > g.num_nodes() || v > g.num_nodes() {
+                    return Err(err(lineno, "endpoint out of range (DIMACS is 1-based)"));
+                }
+                if u == v {
+                    return Err(err(lineno, "self-loop"));
+                }
+                g.add_edge((u - 1) as Node, (v - 1) as Node);
+            }
+            Some(other) => return Err(err(lineno, format!("unknown directive {other:?}"))),
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    let g = graph.ok_or_else(|| err(0, "no problem line"))?;
+    if g.num_edges() != declared_edges {
+        // tolerated in the wild (duplicate e-lines), but worth flagging
+        // only when fewer edges than declared appeared
+        if g.num_edges() < declared_edges {
+            return Err(err(
+                0,
+                format!(
+                    "problem line declares {declared_edges} edges but {} were parsed",
+                    g.num_edges()
+                ),
+            ));
+        }
+    }
+    Ok(g)
+}
+
+/// Serializes to DIMACS `.col` (1-based endpoints).
+pub fn to_dimacs(g: &Graph) -> String {
+    let mut out = format!("p edge {} {}\n", g.num_nodes(), g.num_edges());
+    for (u, v) in g.edges() {
+        out.push_str(&format!("e {} {}\n", u + 1, v + 1));
+    }
+    out
+}
+
+/// Parses a plain edge list: `#` comments; an optional first data line `n
+/// <count>` fixing the node count; then `u v` pairs with **0-based**
+/// endpoints. Without an `n` line the node count is `max endpoint + 1`.
+pub fn parse_edge_list(input: &str) -> Result<Graph, ParseError> {
+    let mut edges: Vec<(Node, Node)> = Vec::new();
+    let mut fixed_n: Option<usize> = None;
+    let mut max_node = 0 as Node;
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("n ") {
+            if fixed_n.is_some() || !edges.is_empty() {
+                return Err(err(lineno, "n line must come first"));
+            }
+            fixed_n = Some(
+                rest.trim()
+                    .parse()
+                    .map_err(|_| err(lineno, "bad node count"))?,
+            );
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let u: Node = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(lineno, "bad endpoint"))?;
+        let v: Node = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(lineno, "bad endpoint"))?;
+        if parts.next().is_some() {
+            return Err(err(lineno, "expected exactly two endpoints"));
+        }
+        if u == v {
+            return Err(err(lineno, "self-loop"));
+        }
+        max_node = max_node.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = fixed_n.unwrap_or_else(|| {
+        if edges.is_empty() {
+            0
+        } else {
+            max_node as usize + 1
+        }
+    });
+    if max_node as usize >= n && !edges.is_empty() {
+        return Err(err(0, "endpoint exceeds declared node count"));
+    }
+    Ok(Graph::from_edges(n, &edges))
+}
+
+/// Serializes to the edge-list format (with an `n` line, 0-based).
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = format!("n {}\n", g.num_nodes());
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = Graph::cycle(5);
+        let text = to_dimacs(&g);
+        assert_eq!(parse_dimacs(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn dimacs_with_comments_and_blank_lines() {
+        let text = "c a triangle\n\np edge 3 3\ne 1 2\ne 2 3\ne 1 3\n";
+        let g = parse_dimacs(text).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn dimacs_rejects_malformed_input() {
+        assert!(parse_dimacs("e 1 2\n").is_err()); // edge before p
+        assert!(parse_dimacs("p edge 2 1\ne 1 3\n").is_err()); // out of range
+        assert!(parse_dimacs("p edge 2 1\ne 1 1\n").is_err()); // self loop
+        assert!(parse_dimacs("p edge 2 2\ne 1 2\n").is_err()); // fewer edges than declared
+        assert!(parse_dimacs("p matrix 2 1\n").is_err()); // unknown format
+        assert!(parse_dimacs("").is_err()); // no problem line
+        let e = parse_dimacs("p edge 2 1\nx 1 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = Graph::from_edges(6, &[(0, 5), (1, 2)]);
+        let text = to_edge_list(&g);
+        assert_eq!(parse_edge_list(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn edge_list_infers_node_count() {
+        let g = parse_edge_list("# comment\n0 1\n1 4\n").unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_malformed_input() {
+        assert!(parse_edge_list("0 0\n").is_err()); // self loop
+        assert!(parse_edge_list("n 2\n0 5\n").is_err()); // exceeds count
+        assert!(parse_edge_list("0 1 2\n").is_err()); // three endpoints
+        assert!(parse_edge_list("0 1\nn 5\n").is_err()); // n after edges
+        assert!(parse_edge_list("a b\n").is_err());
+    }
+
+    #[test]
+    fn empty_edge_list_is_the_empty_graph() {
+        assert_eq!(parse_edge_list("").unwrap().num_nodes(), 0);
+        assert_eq!(parse_edge_list("n 4\n").unwrap().num_nodes(), 4);
+    }
+}

@@ -1,0 +1,184 @@
+//! Model-based property tests: `NodeSet` against `BTreeSet<u32>`, `Graph`
+//! against a naive edge-set model, and the traversal primitives against
+//! reference implementations.
+
+use mintri_graph::traversal::{components_within, is_connected_within, separates};
+use mintri_graph::{Graph, Node, NodeSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const CAP: usize = 100;
+
+/// Operations on a set, driven by proptest.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Node),
+    Remove(Node),
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0..CAP as Node).prop_map(Op::Insert),
+        4 => (0..CAP as Node).prop_map(Op::Remove),
+        1 => Just(Op::Clear),
+    ]
+}
+
+fn set_pair() -> impl Strategy<Value = (NodeSet, BTreeSet<Node>)> {
+    proptest::collection::vec(0..CAP as Node, 0..40).prop_map(|nodes| {
+        let ns = NodeSet::from_iter(CAP, nodes.iter().copied());
+        let bt: BTreeSet<Node> = nodes.into_iter().collect();
+        (ns, bt)
+    })
+}
+
+proptest! {
+    #[test]
+    fn nodeset_follows_the_btreeset_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut ns = NodeSet::new(CAP);
+        let mut model: BTreeSet<Node> = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    prop_assert_eq!(ns.insert(v), model.insert(v));
+                }
+                Op::Remove(v) => {
+                    prop_assert_eq!(ns.remove(v), model.remove(&v));
+                }
+                Op::Clear => {
+                    ns.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(ns.len(), model.len());
+            prop_assert_eq!(ns.is_empty(), model.is_empty());
+            prop_assert_eq!(ns.to_vec(), model.iter().copied().collect::<Vec<_>>());
+            prop_assert_eq!(ns.first(), model.first().copied());
+        }
+    }
+
+    #[test]
+    fn set_algebra_matches_the_model((a, ma) in set_pair(), (b, mb) in set_pair()) {
+        let union: Vec<Node> = ma.union(&mb).copied().collect();
+        let inter: Vec<Node> = ma.intersection(&mb).copied().collect();
+        let diff: Vec<Node> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(a.union(&b).to_vec(), union);
+        prop_assert_eq!(a.intersection(&b).to_vec(), inter.clone());
+        prop_assert_eq!(a.difference(&b).to_vec(), diff);
+        prop_assert_eq!(a.intersection_len(&b), inter.len());
+        prop_assert_eq!(a.is_subset(&b), ma.is_subset(&mb));
+        prop_assert_eq!(a.is_superset(&b), ma.is_superset(&mb));
+        prop_assert_eq!(a.is_disjoint(&b), ma.is_disjoint(&mb));
+    }
+
+    #[test]
+    fn graph_edge_bookkeeping(edges in proptest::collection::vec((0..20u32, 0..20u32), 0..60)) {
+        let mut g = Graph::new(20);
+        let mut model: BTreeSet<(Node, Node)> = BTreeSet::new();
+        for (u, v) in edges {
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            prop_assert_eq!(g.add_edge(u, v), model.insert(key));
+            prop_assert_eq!(g.num_edges(), model.len());
+        }
+        prop_assert_eq!(g.edges(), model.iter().copied().collect::<Vec<_>>());
+        // degree = number of incident model edges
+        for v in 0..20u32 {
+            let deg = model.iter().filter(|&&(a, b)| a == v || b == v).count();
+            prop_assert_eq!(g.degree(v), deg);
+        }
+    }
+
+    #[test]
+    fn components_partition_the_allowed_set(
+        edges in proptest::collection::vec((0..12u32, 0..12u32), 0..30),
+        allowed_bits in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let mut g = Graph::new(12);
+        for (u, v) in edges {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        let allowed = NodeSet::from_iter(12, (0..12u32).filter(|&v| allowed_bits[v as usize]));
+        let comps = components_within(&g, &allowed);
+        // disjoint, nonempty, union = allowed
+        let mut union = NodeSet::new(12);
+        for c in &comps {
+            prop_assert!(!c.is_empty());
+            prop_assert!(c.is_subset(&allowed));
+            prop_assert!(union.is_disjoint(c));
+            union.union_with(c);
+            // each component is internally connected
+            prop_assert!(is_connected_within(&g, c));
+        }
+        prop_assert_eq!(union, allowed);
+        // no edges between different components
+        for (i, c1) in comps.iter().enumerate() {
+            for c2 in &comps[i + 1..] {
+                for u in c1.iter() {
+                    prop_assert!(g.neighbors(u).is_disjoint(c2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn separates_agrees_with_component_search(
+        edges in proptest::collection::vec((0..10u32, 0..10u32), 0..25),
+        sep_bits in proptest::collection::vec(any::<bool>(), 10),
+        u in 0..10u32,
+        v in 0..10u32,
+    ) {
+        prop_assume!(u != v);
+        let mut g = Graph::new(10);
+        for (a, b) in edges {
+            if a != b {
+                g.add_edge(a, b);
+            }
+        }
+        let sep = NodeSet::from_iter(10, (0..10u32).filter(|&x| sep_bits[x as usize]));
+        let expected = if sep.contains(u) || sep.contains(v) {
+            false
+        } else {
+            // BFS avoiding sep
+            let mut allowed = g.node_set();
+            allowed.difference_with(&sep);
+            let comps = components_within(&g, &allowed);
+            !comps.iter().any(|c| c.contains(u) && c.contains(v))
+        };
+        prop_assert_eq!(separates(&g, &sep, u, v), expected);
+    }
+
+    #[test]
+    fn saturate_then_is_clique((a, _) in set_pair(), edges in proptest::collection::vec((0..CAP as Node, 0..CAP as Node), 0..50)) {
+        let mut g = Graph::new(CAP);
+        for (u, v) in edges {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        let before = g.fill_cost(&a);
+        let added = g.saturate(&a);
+        prop_assert_eq!(before, added);
+        prop_assert!(g.is_clique(&a));
+        prop_assert_eq!(g.fill_cost(&a), 0);
+    }
+
+    #[test]
+    fn dimacs_roundtrip_is_identity(edges in proptest::collection::vec((0..15u32, 0..15u32), 0..40)) {
+        let mut g = Graph::new(15);
+        for (u, v) in edges {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        let text = mintri_graph::io::to_dimacs(&g);
+        prop_assert_eq!(mintri_graph::io::parse_dimacs(&text).unwrap(), g.clone());
+        let text2 = mintri_graph::io::to_edge_list(&g);
+        prop_assert_eq!(mintri_graph::io::parse_edge_list(&text2).unwrap(), g);
+    }
+}

@@ -1,0 +1,148 @@
+//! Brute-force oracles for cross-validating the separator machinery on
+//! small graphs. Exponential — test use only (kept in the library so that
+//! downstream crates' tests and property tests can share them).
+
+use mintri_graph::traversal::separates;
+use mintri_graph::{Graph, Node, NodeSet};
+
+/// All minimal separators of `g`, straight from the definition in
+/// Section 2.2: `S` is a minimal `(u,v)`-separator if it separates `u` from
+/// `v` and no strict subset does; `S` is a minimal separator if it is a
+/// minimal `(u,v)`-separator for some pair.
+///
+/// Exponential in `|V(g)|`; intended for graphs with at most ~12 nodes.
+pub fn all_minimal_separators_bruteforce(g: &Graph) -> Vec<NodeSet> {
+    let n = g.num_nodes();
+    assert!(n <= 20, "brute-force separator oracle is exponential");
+    let mut found: Vec<NodeSet> = Vec::new();
+    for u in 0..n as Node {
+        for v in (u + 1)..n as Node {
+            if g.has_edge(u, v) {
+                continue; // adjacent nodes cannot be separated
+            }
+            for mask in 0u64..(1 << n) {
+                if mask & (1 << u) != 0 || mask & (1 << v) != 0 {
+                    continue;
+                }
+                let s = NodeSet::from_iter(n, (0..n as Node).filter(|&i| mask & (1 << i) != 0));
+                if is_minimal_uv_separator(g, &s, u, v) {
+                    found.push(s);
+                }
+            }
+        }
+    }
+    found.sort();
+    found.dedup();
+    // the empty separator of disconnected graphs is excluded to match the
+    // convention of the fast enumerator
+    found.retain(|s| !s.is_empty());
+    found
+}
+
+/// `true` iff `s` separates `u` from `v` and no strict subset of `s` does.
+/// (Checking single-element removals suffices: separation is monotone under
+/// supersets avoiding `u, v`.)
+pub fn is_minimal_uv_separator(g: &Graph, s: &NodeSet, u: Node, v: Node) -> bool {
+    if !separates(g, s, u, v) {
+        return false;
+    }
+    for x in s.iter() {
+        let mut smaller = s.clone();
+        smaller.remove(x);
+        if separates(g, &smaller, u, v) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The crossing relation computed from first principles: `S ♮ T` iff some
+/// pair `u, v ∈ T` is separated by `S`.
+pub fn crossing_bruteforce(g: &Graph, s: &NodeSet, t: &NodeSet) -> bool {
+    let tv = t.to_vec();
+    for (i, &u) in tv.iter().enumerate() {
+        for &v in &tv[i + 1..] {
+            if separates(g, s, u, v) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{all_minimal_separators, crossing};
+    use mintri_graph::Graph;
+
+    #[test]
+    fn oracle_agrees_with_fast_enumerator_on_fixed_graphs() {
+        let graphs = vec![
+            Graph::path(6),
+            Graph::cycle(6),
+            Graph::complete(4),
+            Graph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]), // K_{2,3}
+            Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4)]),                 // disconnected
+            Graph::from_edges(
+                7,
+                &[
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 0),
+                    (2, 4),
+                    (4, 5),
+                    (5, 6),
+                    (6, 2),
+                ],
+            ),
+        ];
+        for g in graphs {
+            assert_eq!(
+                all_minimal_separators(&g),
+                all_minimal_separators_bruteforce(&g),
+                "mismatch on {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crossing_oracle_agrees_on_all_separator_pairs_of_c6() {
+        let g = Graph::cycle(6);
+        let seps = all_minimal_separators(&g);
+        for s in &seps {
+            for t in &seps {
+                assert_eq!(
+                    crossing(&g, s, t),
+                    crossing_bruteforce(&g, s, t),
+                    "mismatch for {s:?} vs {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_is_symmetric_on_separator_pairs() {
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 2),
+                (1, 4),
+            ],
+        );
+        let seps = all_minimal_separators(&g);
+        for s in &seps {
+            for t in &seps {
+                assert_eq!(crossing(&g, s, t), crossing(&g, t, s));
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Clique minimal separators and pair-restricted separator enumeration —
+//! the `ClqMinSep` toolbox of the paper's Section 4.1 (Theorem 4.4 is
+//! stated in terms of it) plus the classic `(u, v)`-restricted view.
+
+use crate::berry::MinimalSeparatorIter;
+use crate::crossing::is_minimal_separator;
+use mintri_graph::traversal::components_after_removing;
+use mintri_graph::{Graph, Node, NodeSet};
+
+/// The *clique* minimal separators of `g`: minimal separators that induce a
+/// clique (`ClqMinSep(g)`). By Dirac's theorem, `g` is chordal iff *every*
+/// minimal separator is one of these. Output is sorted and deduplicated;
+/// exponential output is possible on worst-case inputs, like the full
+/// enumeration.
+pub fn clique_minimal_separators(g: &Graph) -> Vec<NodeSet> {
+    let mut out: Vec<NodeSet> = MinimalSeparatorIter::new(g)
+        .filter(|s| g.is_clique(s))
+        .collect();
+    out.sort();
+    out
+}
+
+/// `true` iff `s` is a minimal separator of `g` that induces a clique.
+pub fn is_clique_minimal_separator(g: &Graph, s: &NodeSet) -> bool {
+    g.is_clique(s) && is_minimal_separator(g, s)
+}
+
+/// All minimal `(u, v)`-separators of `g`, for a fixed non-adjacent pair.
+///
+/// Uses the full-component characterization directly: `S` is a minimal
+/// `(u, v)`-separator iff `S = N(C_u)` where `C_u` is the component of
+/// `g \ S` containing `u`, and symmetrically for `v`. The enumeration
+/// therefore filters the global minimal-separator stream by the
+/// "separates `u` from `v` minimally" predicate; for the common case of
+/// few separators this is simple and exact.
+///
+/// # Panics
+/// Panics if `u` and `v` are adjacent or equal (no separator exists).
+pub fn minimal_uv_separators(g: &Graph, u: Node, v: Node) -> Vec<NodeSet> {
+    assert_ne!(u, v, "cannot separate a node from itself");
+    assert!(!g.has_edge(u, v), "adjacent nodes cannot be separated");
+    let mut out: Vec<NodeSet> = MinimalSeparatorIter::new(g)
+        .filter(|s| is_minimal_uv_separator_fast(g, s, u, v))
+        .collect();
+    out.sort();
+    out
+}
+
+/// `true` iff `s` (already known to be a minimal separator) is a minimal
+/// `(u, v)`-separator: both the component of `u` and the component of `v`
+/// in `g \ s` are *full* (their neighborhood is exactly `s`).
+fn is_minimal_uv_separator_fast(g: &Graph, s: &NodeSet, u: Node, v: Node) -> bool {
+    if s.contains(u) || s.contains(v) {
+        return false;
+    }
+    let comps = components_after_removing(g, s);
+    let cu = comps.iter().find(|c| c.contains(u));
+    let cv = comps.iter().find(|c| c.contains(v));
+    match (cu, cv) {
+        (Some(cu), Some(cv)) => {
+            !std::ptr::eq(cu, cv)
+                && g.neighborhood_of_set(cu) == *s
+                && g.neighborhood_of_set(cv) == *s
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mintri_graph::Graph;
+
+    #[test]
+    fn clique_separators_of_chordal_graphs_are_all_separators() {
+        // chordal: two triangles sharing an edge
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]);
+        let clique_seps = clique_minimal_separators(&g);
+        let all = crate::all_minimal_separators(&g);
+        assert_eq!(clique_seps, all);
+        assert_eq!(clique_seps.len(), 1);
+        assert_eq!(clique_seps[0].to_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn cycles_have_no_clique_separators() {
+        // every minimal separator of C_n (n >= 4) is a non-adjacent pair
+        for n in 4..8 {
+            assert!(clique_minimal_separators(&Graph::cycle(n)).is_empty());
+        }
+    }
+
+    #[test]
+    fn mixed_graph_separator_classification() {
+        // C4 with a pendant triangle on node 0: the pendant attachment is a
+        // clique separator, the C4 pairs are not
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (4, 5), (0, 5)]);
+        let clique_seps = clique_minimal_separators(&g);
+        assert_eq!(clique_seps.len(), 1);
+        assert_eq!(clique_seps[0].to_vec(), vec![0]);
+        assert!(is_clique_minimal_separator(&g, &clique_seps[0]));
+        let pair = NodeSet::from_iter(6, [1, 3]);
+        assert!(!is_clique_minimal_separator(&g, &pair) || g.is_clique(&pair));
+    }
+
+    #[test]
+    fn uv_separators_of_a_path() {
+        let g = Graph::path(5);
+        let seps = minimal_uv_separators(&g, 0, 4);
+        let vecs: Vec<Vec<Node>> = seps.iter().map(|s| s.to_vec()).collect();
+        assert_eq!(vecs, vec![vec![1], vec![2], vec![3]]);
+        // only the middle node separates 1 from 3
+        let seps13 = minimal_uv_separators(&g, 1, 3);
+        assert_eq!(seps13.len(), 1);
+        assert_eq!(seps13[0].to_vec(), vec![2]);
+    }
+
+    #[test]
+    fn uv_separators_of_a_cycle() {
+        let g = Graph::cycle(6);
+        // separating antipodal nodes 0 and 3: pairs {1or2, 4or5}
+        let seps = minimal_uv_separators(&g, 0, 3);
+        assert_eq!(seps.len(), 4);
+        for s in &seps {
+            assert_eq!(s.len(), 2);
+        }
+    }
+
+    #[test]
+    fn uv_separators_match_bruteforce_definition() {
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 2),
+            ],
+        );
+        for (u, v) in [(0u32, 2u32), (1, 3), (4, 6), (0, 5)] {
+            if g.has_edge(u, v) {
+                continue;
+            }
+            let fast = minimal_uv_separators(&g, u, v);
+            let slow: Vec<NodeSet> = {
+                let mut out = Vec::new();
+                let n = g.num_nodes();
+                for mask in 0u64..(1 << n) {
+                    let s = NodeSet::from_iter(n, (0..n as Node).filter(|&i| mask & (1 << i) != 0));
+                    if crate::bruteforce::is_minimal_uv_separator(&g, &s, u, v) && !s.is_empty() {
+                        out.push(s);
+                    }
+                }
+                out.sort();
+                out
+            };
+            assert_eq!(fast, slow, "pair ({u},{v})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent")]
+    fn uv_rejects_adjacent_pairs() {
+        minimal_uv_separators(&Graph::path(3), 0, 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Separator enumeration on structured graph families where the answer is
+//! known analytically or via the brute-force oracle.
+
+use mintri_graph::{Graph, Node, NodeSet};
+use mintri_separators::bruteforce::all_minimal_separators_bruteforce;
+use mintri_separators::{
+    all_minimal_separators, crossing, is_minimal_separator, MinimalSeparatorIter,
+};
+
+fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = (r * cols + c) as Node;
+            if c + 1 < cols {
+                g.add_edge(id, id + 1);
+            }
+            if r + 1 < rows {
+                g.add_edge(id, id + cols as Node);
+            }
+        }
+    }
+    g
+}
+
+#[test]
+fn grid_3x3_matches_brute_force() {
+    let g = grid(3, 3);
+    assert_eq!(
+        all_minimal_separators(&g),
+        all_minimal_separators_bruteforce(&g)
+    );
+}
+
+#[test]
+fn every_yielded_set_is_a_minimal_separator() {
+    let g = grid(3, 4);
+    let mut count = 0;
+    for s in MinimalSeparatorIter::new(&g) {
+        assert!(is_minimal_separator(&g, &s), "{s:?} is not minimal");
+        count += 1;
+    }
+    assert!(count > 10, "3x4 grids have many separators (got {count})");
+}
+
+#[test]
+fn complete_multipartite_star_cases() {
+    // K_{1,n}: only the center separates
+    let star = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+    let seps = all_minimal_separators(&star);
+    assert_eq!(seps.len(), 1);
+    assert_eq!(seps[0].to_vec(), vec![0]);
+}
+
+#[test]
+fn cycle_separator_count_is_non_adjacent_pairs() {
+    // C_n: every pair of non-adjacent vertices, i.e. n(n-3)/2 separators
+    for n in 4..10 {
+        let g = Graph::cycle(n);
+        assert_eq!(all_minimal_separators(&g).len(), n * (n - 3) / 2, "C{n}");
+    }
+}
+
+#[test]
+fn cycle_crossing_structure() {
+    // In C_n, {a, b} crosses {c, d} iff the chords ac/bd interleave around
+    // the cycle. Verify the count of crossing pairs on C5: the crossing
+    // graph of C5's separators is the Petersen-complement structure — each
+    // separator crosses exactly 2 others... verify via brute force instead.
+    let g = Graph::cycle(5);
+    let seps = all_minimal_separators(&g);
+    for s in &seps {
+        let crossing_count = seps.iter().filter(|t| crossing(&g, s, t)).count();
+        // {i, i+2} crosses {i+1, i+3} and {i+1, i+4}: exactly 2
+        assert_eq!(crossing_count, 2, "separator {s:?}");
+    }
+}
+
+#[test]
+fn nested_separators_are_parallel() {
+    // In a path, all separators are singletons and pairwise parallel
+    let g = Graph::path(8);
+    let seps = all_minimal_separators(&g);
+    assert_eq!(seps.len(), 6);
+    for s in &seps {
+        for t in &seps {
+            assert!(!crossing(&g, s, t));
+        }
+    }
+}
+
+#[test]
+fn separator_iterator_generated_counter_is_monotone() {
+    let g = grid(3, 3);
+    let mut it = MinimalSeparatorIter::new(&g);
+    let mut last = it.generated();
+    while it.next().is_some() {
+        let now = it.generated();
+        assert!(now >= last);
+        last = now;
+    }
+}
+
+#[test]
+fn dense_graph_with_one_separator() {
+    // two K4s sharing a triangle: unique minimal separator = the shared triangle
+    let g = Graph::from_edges(
+        5,
+        &[
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (0, 3),
+            (1, 3),
+            (2, 3),
+            (0, 4),
+            (1, 4),
+            (2, 4),
+        ],
+    );
+    let seps = all_minimal_separators(&g);
+    assert_eq!(seps.len(), 1);
+    assert_eq!(seps[0], NodeSet::from_iter(5, [0, 1, 2]));
+}

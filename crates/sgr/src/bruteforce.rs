@@ -1,0 +1,85 @@
+//! Brute-force maximal-independent-set enumeration — the oracle against
+//! which `EnumMIS` is validated on small explicit graphs.
+
+use mintri_graph::{Graph, Node, NodeSet};
+
+/// All maximal independent sets of `g`, by exhaustive subset search.
+/// Exponential; intended for `|V| ≤ ~16`.
+pub fn all_maximal_independent_sets(g: &Graph) -> Vec<Vec<Node>> {
+    let n = g.num_nodes();
+    assert!(n <= 20, "brute-force MIS oracle is exponential");
+    let mut out = Vec::new();
+    for mask in 0u64..(1 << n) {
+        let s = NodeSet::from_iter(n, (0..n as Node).filter(|&v| mask & (1 << v) != 0));
+        if is_maximal_independent(g, &s) {
+            out.push(s.to_vec());
+        }
+    }
+    out.sort();
+    out
+}
+
+/// `true` iff `s` is an independent set of `g` that cannot be grown.
+pub fn is_maximal_independent(g: &Graph, s: &NodeSet) -> bool {
+    // independence
+    for u in s.iter() {
+        if g.neighbors(u).intersects(s) {
+            return false;
+        }
+    }
+    // maximality: every outside node has a neighbor inside
+    for v in g.nodes() {
+        if !s.contains(v) && !g.neighbors(v).intersects(s) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EnumMis, ExplicitSgr, PrintMode};
+
+    #[test]
+    fn oracle_counts_on_known_graphs() {
+        assert_eq!(all_maximal_independent_sets(&Graph::cycle(5)).len(), 5);
+        assert_eq!(all_maximal_independent_sets(&Graph::complete(6)).len(), 6);
+        assert_eq!(all_maximal_independent_sets(&Graph::new(3)).len(), 1);
+        // MIS counts of paths follow the Padovan-like recurrence: P4 -> 3
+        assert_eq!(all_maximal_independent_sets(&Graph::path(4)).len(), 3);
+    }
+
+    #[test]
+    fn enum_mis_matches_oracle_on_a_suite() {
+        let graphs = vec![
+            Graph::cycle(4),
+            Graph::cycle(7),
+            Graph::path(6),
+            Graph::complete(5),
+            Graph::new(4),
+            Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4)]),
+            Graph::from_edges(
+                8,
+                &[
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 0),
+                    (4, 5),
+                    (5, 6),
+                    (6, 7),
+                    (7, 4),
+                    (0, 4),
+                    (2, 6),
+                ],
+            ),
+        ];
+        for g in graphs {
+            let sgr = ExplicitSgr::new(&g);
+            let mut fast: Vec<Vec<Node>> = EnumMis::new(&sgr, PrintMode::UponGeneration).collect();
+            fast.sort();
+            assert_eq!(fast, all_maximal_independent_sets(&g), "mismatch on {g:?}");
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! `EnumMIS` (Figure 1 of the paper): enumerating the maximal independent
+//! sets of a tractably accessible SGR with tractable expansion, in
+//! incremental polynomial time.
+//!
+//! The algorithm traverses the solution graph depth-first-ish: every
+//! produced answer `J` is later *extended in the direction of* every
+//! generated SGR node `v` (build `Jv = {v} ∪ {u ∈ J | ¬A_E(v, u)}`, expand
+//! with `Extend`). The twist relative to the classical Lawler / Cohen et
+//! al. scheme is that the node set `V` is *not* known upfront: new nodes
+//! are pulled from the `A_V` iterator only when the queue of unprocessed
+//! answers runs dry, and then all previously processed answers are
+//! revisited in the direction of the new node (lines 16–24).
+//!
+//! Both printing disciplines of Section 3.2.2 are available:
+//! [`PrintMode::UponGeneration`] (the `EnumMIS` of Figure 1, results appear
+//! as soon as created) and [`PrintMode::UponPop`] (`EnumMISHold`, results
+//! appear when extracted from the queue — the variant whose incremental
+//! polynomial time bound is proved directly, Lemma 3.3). Both emit exactly
+//! the same answer set (Lemma 3.2 + Theorem 3.4), which the tests verify.
+
+use crate::Sgr;
+use mintri_graph::FxHashSet;
+use std::collections::VecDeque;
+
+/// When answers become visible to the consumer; see module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrintMode {
+    /// Print as soon as an answer is generated (`EnumMIS`, lines 2/14/23).
+    #[default]
+    UponGeneration,
+    /// Print when an answer is popped from the queue (`EnumMISHold`).
+    UponPop,
+}
+
+/// Running counters, exposed for the benchmark harness and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnumMisStats {
+    /// Calls to the SGR `extend` operation.
+    pub extend_calls: usize,
+    /// Calls to the SGR `edge` oracle.
+    pub edge_queries: usize,
+    /// Nodes pulled from the SGR node iterator so far (`|V|`).
+    pub nodes_generated: usize,
+    /// Answers produced so far.
+    pub answers: usize,
+}
+
+/// Iterator over all maximal independent sets of an SGR.
+///
+/// Answers are sorted `Vec<S::Node>`s; each maximal independent set is
+/// yielded exactly once. Dropping the iterator abandons the enumeration —
+/// it is an *anytime* algorithm.
+///
+/// `EnumMis` owns its SGR; pass `&S` (the blanket `Sgr for &S` impl) to
+/// borrow one instead.
+pub struct EnumMis<S: Sgr> {
+    sgr: S,
+    mode: PrintMode,
+    cursor: S::NodeCursor,
+    node_iter_done: bool,
+    /// `V`: the SGR nodes generated so far.
+    nodes: Vec<S::Node>,
+    /// `Q`: answers generated but not yet processed.
+    queue: VecDeque<Vec<S::Node>>,
+    /// `P`: processed answers.
+    processed: Vec<Vec<S::Node>>,
+    /// Membership structure for `Q ∪ P` (answers ever created).
+    seen: FxHashSet<Vec<S::Node>>,
+    /// Answers awaiting emission to the consumer.
+    pending: VecDeque<Vec<S::Node>>,
+    started: bool,
+    stats: EnumMisStats,
+}
+
+impl<S: Sgr> EnumMis<S> {
+    /// Starts an enumeration in the given print mode.
+    pub fn new(sgr: S, mode: PrintMode) -> Self {
+        let cursor = sgr.start_nodes();
+        EnumMis {
+            sgr,
+            mode,
+            cursor,
+            node_iter_done: false,
+            nodes: Vec::new(),
+            queue: VecDeque::new(),
+            processed: Vec::new(),
+            seen: FxHashSet::default(),
+            pending: VecDeque::new(),
+            started: false,
+            stats: EnumMisStats::default(),
+        }
+    }
+
+    /// Starts an enumeration in the default (`UponGeneration`) mode.
+    pub fn upon_generation(sgr: S) -> Self {
+        Self::new(sgr, PrintMode::UponGeneration)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> EnumMisStats {
+        self.stats
+    }
+
+    /// The wrapped SGR.
+    pub fn sgr(&self) -> &S {
+        &self.sgr
+    }
+
+    /// Canonicalizes and registers a freshly created answer; queues it and —
+    /// in `UponGeneration` mode — emits it.
+    fn offer(&mut self, mut answer: Vec<S::Node>) {
+        answer.sort_unstable();
+        if self.seen.contains(&answer) {
+            return;
+        }
+        self.seen.insert(answer.clone());
+        if self.mode == PrintMode::UponGeneration {
+            self.pending.push_back(answer.clone());
+            self.stats.answers += 1;
+        }
+        self.queue.push_back(answer);
+    }
+
+    /// Extension of `j` in the direction of node `v` (lines 11–15 / 20–24):
+    /// `Jv = {v} ∪ {u ∈ J | ¬A_E(v, u)}`, expanded to a maximal independent
+    /// set.
+    fn extend_in_direction(&mut self, j_idx: usize, v_idx: usize) {
+        let v = self.nodes[v_idx].clone();
+        let j = &self.processed[j_idx];
+        if j.binary_search(&v).is_ok() {
+            // v ∈ J: Jv = J (an answer already seen) — skip the Extend call.
+            return;
+        }
+        let mut jv = Vec::with_capacity(j.len() + 1);
+        jv.push(v.clone());
+        for u in j {
+            self.stats.edge_queries += 1;
+            if !self.sgr.edge(&v, u) {
+                jv.push(u.clone());
+            }
+        }
+        self.stats.extend_calls += 1;
+        let k = self.sgr.extend(&jv);
+        debug_assert!(
+            jv.iter().all(|u| k.contains(u)),
+            "Extend must return a superset of its input"
+        );
+        self.offer(k);
+    }
+
+    /// Runs the algorithm until at least one answer is pending or the
+    /// enumeration is complete.
+    fn advance(&mut self) {
+        if !self.started {
+            self.started = true;
+            self.stats.extend_calls += 1;
+            let first = self.sgr.extend(&[]);
+            self.offer(first); // line 1–3
+        }
+        while self.pending.is_empty() {
+            if let Some(j) = self.queue.pop_front() {
+                // lines 8–15: process J in the direction of every known node
+                if self.mode == PrintMode::UponPop {
+                    self.pending.push_back(j.clone());
+                    self.stats.answers += 1;
+                }
+                self.processed.push(j);
+                let j_idx = self.processed.len() - 1;
+                for v_idx in 0..self.nodes.len() {
+                    self.extend_in_direction(j_idx, v_idx);
+                }
+            } else {
+                // lines 16–24: queue is dry — pull nodes until it refills
+                if self.node_iter_done {
+                    return;
+                }
+                match self.sgr.next_node(&mut self.cursor) {
+                    None => {
+                        self.node_iter_done = true;
+                        return;
+                    }
+                    Some(v) => {
+                        self.nodes.push(v);
+                        self.stats.nodes_generated += 1;
+                        let v_idx = self.nodes.len() - 1;
+                        for j_idx in 0..self.processed.len() {
+                            self.extend_in_direction(j_idx, v_idx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<S: Sgr> Iterator for EnumMis<S> {
+    type Item = Vec<S::Node>;
+
+    fn next(&mut self) -> Option<Vec<S::Node>> {
+        if self.pending.is_empty() {
+            self.advance();
+        }
+        self.pending.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExplicitSgr;
+    use mintri_graph::Graph;
+
+    fn run(g: &Graph, mode: PrintMode) -> Vec<Vec<u32>> {
+        let sgr = ExplicitSgr::new(g);
+        let mut out: Vec<Vec<u32>> = EnumMis::new(&sgr, mode).collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn c5_has_five_maximal_independent_sets() {
+        let g = Graph::cycle(5);
+        let out = run(&g, PrintMode::UponGeneration);
+        assert_eq!(out.len(), 5);
+        assert!(out.contains(&vec![0, 2]));
+        assert!(out.contains(&vec![1, 4]));
+    }
+
+    #[test]
+    fn both_modes_agree() {
+        for g in [
+            Graph::cycle(6),
+            Graph::path(7),
+            Graph::complete(4),
+            Graph::new(3),
+            Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4)]),
+        ] {
+            assert_eq!(
+                run(&g, PrintMode::UponGeneration),
+                run(&g, PrintMode::UponPop),
+                "modes disagree on {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_graph_yields_singletons() {
+        let g = Graph::complete(4);
+        let out = run(&g, PrintMode::UponGeneration);
+        assert_eq!(out, vec![vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn edgeless_graph_yields_everything_once() {
+        let g = Graph::new(4);
+        let out = run(&g, PrintMode::UponGeneration);
+        assert_eq!(out, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn empty_graph_yields_the_empty_set() {
+        // MaxInd of the empty graph is {∅}: one (empty) answer.
+        let g = Graph::new(0);
+        let out = run(&g, PrintMode::UponGeneration);
+        assert_eq!(out, vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn no_duplicates_on_dense_graphs() {
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (1, 4),
+            ],
+        );
+        let out = run(&g, PrintMode::UponGeneration);
+        let mut dedup = out.clone();
+        dedup.dedup();
+        assert_eq!(out, dedup);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = Graph::cycle(5);
+        let sgr = ExplicitSgr::new(&g);
+        let mut e = EnumMis::upon_generation(&sgr);
+        let _ = e.by_ref().count();
+        let s = e.stats();
+        assert_eq!(s.answers, 5);
+        assert_eq!(s.nodes_generated, 5);
+        assert!(s.extend_calls >= 5);
+    }
+
+    #[test]
+    fn anytime_prefix_is_valid() {
+        let g = Graph::cycle(7);
+        let sgr = ExplicitSgr::new(&g);
+        let prefix: Vec<_> = EnumMis::upon_generation(&sgr).take(3).collect();
+        assert_eq!(prefix.len(), 3);
+        let mut sorted = prefix.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+}

@@ -1,0 +1,89 @@
+//! An SGR over an ordinary in-memory graph. Nothing succinct about it —
+//! it exists so `EnumMIS` can be cross-validated against brute-force
+//! maximal-independent-set enumeration, and as the simplest example of the
+//! [`Sgr`] contract.
+
+use crate::Sgr;
+use mintri_graph::{Graph, Node};
+
+/// Wraps an explicit [`Graph`] as an SGR whose nodes are the graph's nodes.
+pub struct ExplicitSgr<'g> {
+    g: &'g Graph,
+}
+
+impl<'g> ExplicitSgr<'g> {
+    /// Wraps `g`.
+    pub fn new(g: &'g Graph) -> Self {
+        ExplicitSgr { g }
+    }
+}
+
+impl Sgr for ExplicitSgr<'_> {
+    type Node = Node;
+    type NodeCursor = Node;
+
+    fn start_nodes(&self) -> Node {
+        0
+    }
+
+    fn next_node(&self, cursor: &mut Node) -> Option<Node> {
+        if (*cursor as usize) < self.g.num_nodes() {
+            let v = *cursor;
+            *cursor += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn edge(&self, &u: &Node, &v: &Node) -> bool {
+        self.g.has_edge(u, v)
+    }
+
+    fn extend(&self, base: &[Node]) -> Vec<Node> {
+        let mut out: Vec<Node> = base.to_vec();
+        for v in self.g.nodes() {
+            if out.contains(&v) {
+                continue;
+            }
+            if out.iter().all(|&u| !self.g.has_edge(u, v)) {
+                out.push(v);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extend_returns_maximal_supersets() {
+        let g = Graph::cycle(6);
+        let sgr = ExplicitSgr::new(&g);
+        let m = sgr.extend(&[0]);
+        assert!(m.contains(&0));
+        // maximality: every node outside m has a neighbor inside
+        for v in g.nodes() {
+            if !m.contains(&v) {
+                assert!(m.iter().any(|&u| g.has_edge(u, v)));
+            }
+        }
+        // independence
+        for (i, &u) in m.iter().enumerate() {
+            for &v in &m[i + 1..] {
+                assert!(!g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_oracle_matches_graph() {
+        let g = Graph::path(4);
+        let sgr = ExplicitSgr::new(&g);
+        assert!(sgr.edge(&0, &1));
+        assert!(!sgr.edge(&0, &2));
+    }
+}

@@ -1,0 +1,125 @@
+//! # mintri-sgr — succinct graph representations and `EnumMIS`
+//!
+//! Section 3 of the paper: a *Succinct Graph Representation* (SGR) describes
+//! a possibly-exponential graph `G(x)` through two algorithms — a
+//! polynomial-delay node enumerator `A_V` and a polynomial-time edge oracle
+//! `A_E` (Definition 1). When the SGR additionally has a *tractable
+//! expansion* (Definition 2: independent sets have polynomial size, and an
+//! independent set can be grown by one node in polynomial time), the
+//! algorithm [`EnumMis`] (Figure 1) enumerates all maximal independent sets
+//! of `G(x)` in **incremental polynomial time** (Theorem 3.1).
+//!
+//! The crate also ships:
+//!
+//! * [`ExplicitSgr`] — wraps an ordinary in-memory graph as an SGR (used to
+//!   cross-validate `EnumMIS` against brute force);
+//! * [`SethSgr`] — the `k`-SAT gadget of Proposition 3.6 showing that
+//!   *polynomial delay* (rather than incremental polynomial time) is
+//!   impossible for SGR maximal-independent-set enumeration under SETH;
+//! * [`bruteforce::all_maximal_independent_sets`] — the test oracle.
+//!
+//! ```
+//! use mintri_graph::Graph;
+//! use mintri_sgr::{EnumMis, ExplicitSgr, PrintMode};
+//!
+//! // C5 has five maximal independent sets, all of size 2
+//! let g = Graph::cycle(5);
+//! let sgr = ExplicitSgr::new(&g);
+//! let answers: Vec<_> = EnumMis::new(&sgr, PrintMode::UponGeneration).collect();
+//! assert_eq!(answers.len(), 5);
+//! assert!(answers.iter().all(|a| a.len() == 2));
+//! ```
+
+mod enum_mis;
+mod explicit;
+mod seth;
+
+pub mod bruteforce;
+
+pub use enum_mis::{EnumMis, EnumMisStats, PrintMode};
+pub use explicit::ExplicitSgr;
+pub use seth::{CnfFormula, SethNode, SethSgr};
+
+use std::hash::Hash;
+
+/// A succinct graph representation (Definition 1) with tractable expansion
+/// (Definition 2).
+///
+/// Implementations promise that:
+///
+/// 1. [`Sgr::nodes`] enumerates every node of `G(x)` exactly once, with
+///    polynomial delay;
+/// 2. [`Sgr::edge`] decides adjacency in polynomial time;
+/// 3. every independent set of `G(x)` has size polynomial in `|x|`;
+/// 4. [`Sgr::extend`] grows an independent set into a maximal independent
+///    set containing it, in polynomial time.
+pub trait Sgr {
+    /// Nodes of the represented graph. Answers are sorted vectors of these.
+    type Node: Clone + Eq + Ord + Hash;
+
+    /// The resumable state of the node enumerator `A_V`. Keeping the cursor
+    /// external to the SGR lets `EnumMis` own both without self-reference.
+    type NodeCursor;
+
+    /// Starts the node enumerator `A_V`.
+    fn start_nodes(&self) -> Self::NodeCursor;
+
+    /// Advances `A_V`: produces the next node of `G(x)`, or `None` when all
+    /// nodes have been enumerated. Every node appears exactly once, with
+    /// polynomial delay.
+    fn next_node(&self, cursor: &mut Self::NodeCursor) -> Option<Self::Node>;
+
+    /// The edge oracle `A_E`: `true` iff `{u, v} ∈ E(G(x))`.
+    fn edge(&self, u: &Self::Node, v: &Self::Node) -> bool;
+
+    /// Extends the independent set `base` into a maximal independent set
+    /// containing it. `base` is guaranteed independent.
+    fn extend(&self, base: &[Self::Node]) -> Vec<Self::Node>;
+
+    /// Convenience: the nodes of `G(x)` as an iterator (collecting cursor
+    /// plumbing). Primarily for tests and small SGRs.
+    fn nodes(&self) -> SgrNodeIter<'_, Self>
+    where
+        Self: Sized,
+    {
+        SgrNodeIter {
+            sgr: self,
+            cursor: self.start_nodes(),
+        }
+    }
+}
+
+/// Iterator adapter over [`Sgr::start_nodes`] / [`Sgr::next_node`].
+pub struct SgrNodeIter<'a, S: Sgr> {
+    sgr: &'a S,
+    cursor: S::NodeCursor,
+}
+
+impl<S: Sgr> Iterator for SgrNodeIter<'_, S> {
+    type Item = S::Node;
+
+    fn next(&mut self) -> Option<S::Node> {
+        self.sgr.next_node(&mut self.cursor)
+    }
+}
+
+impl<S: Sgr> Sgr for &S {
+    type Node = S::Node;
+    type NodeCursor = S::NodeCursor;
+
+    fn start_nodes(&self) -> Self::NodeCursor {
+        (**self).start_nodes()
+    }
+
+    fn next_node(&self, cursor: &mut Self::NodeCursor) -> Option<Self::Node> {
+        (**self).next_node(cursor)
+    }
+
+    fn edge(&self, u: &Self::Node, v: &Self::Node) -> bool {
+        (**self).edge(u, v)
+    }
+
+    fn extend(&self, base: &[Self::Node]) -> Vec<Self::Node> {
+        (**self).extend(base)
+    }
+}

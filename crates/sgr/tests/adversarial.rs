@@ -1,0 +1,136 @@
+//! `EnumMIS` robustness: the answer set must not depend on the order in
+//! which `A_V` yields nodes, on the extend tie-breaking, or on when the
+//! consumer pauses.
+
+use mintri_graph::{Graph, Node};
+use mintri_sgr::bruteforce::all_maximal_independent_sets;
+use mintri_sgr::{EnumMis, ExplicitSgr, PrintMode, Sgr};
+
+/// An SGR over an explicit graph that yields nodes in *reverse* order and
+/// extends greedily from the top end — a deliberately different exploration
+/// bias than `ExplicitSgr`.
+struct ReversedSgr<'g> {
+    g: &'g Graph,
+}
+
+impl Sgr for ReversedSgr<'_> {
+    type Node = Node;
+    type NodeCursor = Node; // counts down from n
+
+    fn start_nodes(&self) -> Node {
+        self.g.num_nodes() as Node
+    }
+
+    fn next_node(&self, cursor: &mut Node) -> Option<Node> {
+        if *cursor == 0 {
+            None
+        } else {
+            *cursor -= 1;
+            Some(*cursor)
+        }
+    }
+
+    fn edge(&self, &u: &Node, &v: &Node) -> bool {
+        self.g.has_edge(u, v)
+    }
+
+    fn extend(&self, base: &[Node]) -> Vec<Node> {
+        let mut out: Vec<Node> = base.to_vec();
+        for v in (0..self.g.num_nodes() as Node).rev() {
+            if out.contains(&v) {
+                continue;
+            }
+            if out.iter().all(|&u| !self.g.has_edge(u, v)) {
+                out.push(v);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+fn suite() -> Vec<Graph> {
+    vec![
+        Graph::cycle(7),
+        Graph::path(8),
+        Graph::complete(5),
+        Graph::from_edges(
+            9,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 3),
+                (2, 5),
+                (6, 7),
+            ],
+        ),
+        Graph::new(5),
+    ]
+}
+
+#[test]
+fn node_order_does_not_change_the_answer_set() {
+    for g in suite() {
+        let forward = {
+            let sgr = ExplicitSgr::new(&g);
+            let mut v: Vec<Vec<Node>> = EnumMis::new(&sgr, PrintMode::UponGeneration).collect();
+            v.sort();
+            v
+        };
+        let backward = {
+            let sgr = ReversedSgr { g: &g };
+            let mut v: Vec<Vec<Node>> = EnumMis::new(&sgr, PrintMode::UponGeneration).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(forward, backward, "order sensitivity on {g:?}");
+        assert_eq!(forward, all_maximal_independent_sets(&g));
+    }
+}
+
+#[test]
+fn interleaved_consumption_is_equivalent_to_bulk() {
+    let g = Graph::cycle(9);
+    let sgr = ExplicitSgr::new(&g);
+    let bulk: Vec<Vec<Node>> = EnumMis::new(&sgr, PrintMode::UponGeneration).collect();
+
+    // consume one element at a time through a fresh iterator, dropping and
+    // resuming state is NOT supported — but pausing (not polling) is.
+    let sgr2 = ExplicitSgr::new(&g);
+    let mut it = EnumMis::new(&sgr2, PrintMode::UponGeneration);
+    let mut stepped = Vec::new();
+    while let Some(ans) = it.next() {
+        stepped.push(ans);
+        // interleave stats queries to ensure they don't disturb the run
+        let _ = it.stats();
+    }
+    assert_eq!(bulk, stepped);
+}
+
+#[test]
+fn upon_pop_holds_results_but_loses_none() {
+    for g in suite() {
+        let sgr = ExplicitSgr::new(&g);
+        let mut ug: Vec<Vec<Node>> = EnumMis::new(&sgr, PrintMode::UponGeneration).collect();
+        let sgr2 = ExplicitSgr::new(&g);
+        let mut up: Vec<Vec<Node>> = EnumMis::new(&sgr2, PrintMode::UponPop).collect();
+        ug.sort();
+        up.sort();
+        assert_eq!(ug, up);
+    }
+}
+
+#[test]
+fn blanket_ref_impl_works() {
+    // EnumMis can own the SGR or borrow it through the &S blanket impl
+    let g = Graph::cycle(5);
+    let sgr = ExplicitSgr::new(&g);
+    let borrowed_count = EnumMis::new(&sgr, PrintMode::UponGeneration).count();
+    let owned_count = EnumMis::new(sgr, PrintMode::UponGeneration).count();
+    assert_eq!(borrowed_count, 5);
+    assert_eq!(owned_count, 5);
+}

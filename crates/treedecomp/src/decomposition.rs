@@ -1,0 +1,372 @@
+//! Tree decompositions (Section 2.4), their validation and quality
+//! measures, and the properness test of Section 5.
+
+use crate::spanning::{MaxWeightSpanningForests, WeightedGraph};
+use mintri_chordal::{is_chordal, maximal_cliques_chordal};
+use mintri_graph::{Graph, NodeSet};
+use mintri_triangulate::is_minimal_triangulation;
+use std::fmt;
+
+/// A tree decomposition `(t, β)` of a graph, stored as the bags plus the
+/// tree (forest, for disconnected graphs) edges over bag indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeDecomposition {
+    /// The bags `β(v)`, one per tree node.
+    pub bags: Vec<NodeSet>,
+    /// Tree edges `(i, j)` with `i < j`, indexing into `bags`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Why a candidate decomposition is not a valid tree decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TdError {
+    /// The edge set contains a cycle or an out-of-range index.
+    NotAForest,
+    /// Some graph node appears in no bag.
+    NodeNotCovered(mintri_graph::Node),
+    /// Some graph edge is contained in no bag.
+    EdgeNotCovered(mintri_graph::Node, mintri_graph::Node),
+    /// Some node's bags do not form a connected subtree.
+    JunctionViolated(mintri_graph::Node),
+}
+
+impl fmt::Display for TdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TdError::NotAForest => write!(f, "bag graph is not a forest"),
+            TdError::NodeNotCovered(v) => write!(f, "node {v} is covered by no bag"),
+            TdError::EdgeNotCovered(u, v) => write!(f, "edge {{{u}, {v}}} is covered by no bag"),
+            TdError::JunctionViolated(v) => {
+                write!(f, "bags containing node {v} do not form a subtree")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TdError {}
+
+impl TreeDecomposition {
+    /// A one-bag decomposition containing every node (always valid; rarely
+    /// proper).
+    pub fn trivial(g: &Graph) -> TreeDecomposition {
+        TreeDecomposition {
+            bags: vec![g.node_set()],
+            edges: Vec::new(),
+        }
+    }
+
+    /// The *width*: size of the largest bag minus one.
+    pub fn width(&self) -> usize {
+        self.bags
+            .iter()
+            .map(NodeSet::len)
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
+    }
+
+    /// Number of bags.
+    pub fn num_bags(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// `saturate(g, d)`: `g` plus a clique on every bag (Section 2.4). For a
+    /// valid decomposition this is always a triangulation of `g`
+    /// (Proposition 5.5).
+    pub fn saturate(&self, g: &Graph) -> Graph {
+        let mut h = g.clone();
+        for bag in &self.bags {
+            h.saturate(bag);
+        }
+        h
+    }
+
+    /// The *fill* of the decomposition w.r.t. `g`: edges added by
+    /// [`TreeDecomposition::saturate`].
+    pub fn fill(&self, g: &Graph) -> usize {
+        self.saturate(g).num_edges() - g.num_edges()
+    }
+
+    /// Validates the three tree-decomposition properties of Section 2.4
+    /// against `g` (plus forest-ness of the edge set).
+    pub fn validate(&self, g: &Graph) -> Result<(), TdError> {
+        let k = self.bags.len();
+        // forest check via union-find
+        let mut parent: Vec<usize> = (0..k).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for &(i, j) in &self.edges {
+            if i >= k || j >= k {
+                return Err(TdError::NotAForest);
+            }
+            let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+            if ri == rj {
+                return Err(TdError::NotAForest);
+            }
+            parent[ri] = rj;
+        }
+        // nodes covered
+        for v in g.nodes() {
+            if !self.bags.iter().any(|b| b.contains(v)) {
+                return Err(TdError::NodeNotCovered(v));
+            }
+        }
+        // edges covered
+        for (u, v) in g.edges() {
+            if !self.bags.iter().any(|b| b.contains(u) && b.contains(v)) {
+                return Err(TdError::EdgeNotCovered(u, v));
+            }
+        }
+        // junction property: the bags containing v are connected in the forest
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for &(i, j) in &self.edges {
+            adj[i].push(j);
+            adj[j].push(i);
+        }
+        for v in g.nodes() {
+            let holders: Vec<usize> = (0..k).filter(|&i| self.bags[i].contains(v)).collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            let mut seen = vec![false; k];
+            seen[holders[0]] = true;
+            let mut stack = vec![holders[0]];
+            let mut reached = 1;
+            while let Some(i) = stack.pop() {
+                for &j in &adj[i] {
+                    if self.bags[j].contains(v) && !seen[j] {
+                        seen[j] = true;
+                        reached += 1;
+                        stack.push(j);
+                    }
+                }
+            }
+            if reached != holders.len() {
+                return Err(TdError::JunctionViolated(v));
+            }
+        }
+        Ok(())
+    }
+
+    /// The properness test of Section 5, via the bijection of Theorem 5.1:
+    /// `d` is a proper tree decomposition of `g` iff it is valid,
+    /// `h = saturate(g, d)` is a *minimal* triangulation of `g`, and the
+    /// bags are exactly the maximal cliques of `h` (each appearing once).
+    pub fn is_proper(&self, g: &Graph) -> bool {
+        if self.validate(g).is_err() {
+            return false;
+        }
+        let h = self.saturate(g);
+        if !is_chordal(&h) || !is_minimal_triangulation(g, &h) {
+            return false;
+        }
+        let mut bags = self.bags.clone();
+        bags.sort();
+        let has_duplicates = bags.windows(2).any(|w| w[0] == w[1]);
+        if has_duplicates {
+            return false;
+        }
+        let mut cliques = maximal_cliques_chordal(&h);
+        cliques.sort();
+        bags == cliques
+    }
+}
+
+/// Enumerates, with polynomial delay, the proper tree decompositions of a
+/// **chordal** graph `h` — i.e. the `≡b`-class `M(h)` of Theorem 5.1: all
+/// clique trees of `h`, as maximum-weight spanning trees of the clique
+/// graph.
+///
+/// # Panics
+/// Panics if `h` is not chordal.
+pub fn proper_decompositions_of_chordal(
+    h: &Graph,
+) -> impl Iterator<Item = TreeDecomposition> + 'static {
+    let cliques = maximal_cliques_chordal(h);
+    let k = cliques.len();
+    let mut edges = Vec::new();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let w = cliques[i].intersection_len(&cliques[j]) as i64;
+            if w > 0 {
+                edges.push((i, j, w));
+            }
+        }
+    }
+    let graph = WeightedGraph {
+        num_nodes: k,
+        edges: edges.clone(),
+    };
+    MaxWeightSpanningForests::new(graph).map(move |tree| TreeDecomposition {
+        bags: cliques.clone(),
+        edges: tree.iter().map(|&e| (edges[e].0, edges[e].1)).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_decomposition_is_valid() {
+        let g = Graph::cycle(5);
+        let d = TreeDecomposition::trivial(&g);
+        assert!(d.validate(&g).is_ok());
+        assert_eq!(d.width(), 4);
+        assert_eq!(d.fill(&g), 5);
+    }
+
+    #[test]
+    fn path_decomposition_of_a_path() {
+        let g = Graph::path(4);
+        let d = TreeDecomposition {
+            bags: vec![
+                NodeSet::from_iter(4, [0, 1]),
+                NodeSet::from_iter(4, [1, 2]),
+                NodeSet::from_iter(4, [2, 3]),
+            ],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        assert!(d.validate(&g).is_ok());
+        assert_eq!(d.width(), 1);
+        assert_eq!(d.fill(&g), 0);
+        assert!(d.is_proper(&g));
+    }
+
+    #[test]
+    fn validation_catches_each_violation() {
+        let g = Graph::path(3);
+        // node 2 missing
+        let d1 = TreeDecomposition {
+            bags: vec![NodeSet::from_iter(3, [0, 1])],
+            edges: vec![],
+        };
+        assert_eq!(d1.validate(&g), Err(TdError::NodeNotCovered(2)));
+        // edge 1-2 split across bags
+        let d2 = TreeDecomposition {
+            bags: vec![NodeSet::from_iter(3, [0, 1]), NodeSet::from_iter(3, [2])],
+            edges: vec![(0, 1)],
+        };
+        assert_eq!(d2.validate(&g), Err(TdError::EdgeNotCovered(1, 2)));
+        // junction violation: node 0 in bags 0 and 2 but not 1
+        let d3 = TreeDecomposition {
+            bags: vec![
+                NodeSet::from_iter(3, [0, 1]),
+                NodeSet::from_iter(3, [1, 2]),
+                NodeSet::from_iter(3, [0, 2]),
+            ],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        assert_eq!(d3.validate(&g), Err(TdError::JunctionViolated(0)));
+        // cycle in the bag graph
+        let d4 = TreeDecomposition {
+            bags: vec![
+                NodeSet::from_iter(3, [0, 1]),
+                NodeSet::from_iter(3, [1, 2]),
+                NodeSet::from_iter(3, [1]),
+            ],
+            edges: vec![(0, 1), (1, 2), (0, 2)],
+        };
+        assert_eq!(d4.validate(&g), Err(TdError::NotAForest));
+    }
+
+    #[test]
+    fn figure_4_properness_examples() {
+        // The paper's Figure 4: g is the "kite" on {1,2,3,4} -> here 0-indexed:
+        // edges 0-1, 1-2, 1-3, 2-3 (1 is the apex; {1,2,3} a triangle).
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 3)]);
+        // d1: bags {1,2,3} and {0,1} — proper
+        let d1 = TreeDecomposition {
+            bags: vec![
+                NodeSet::from_iter(4, [1, 2, 3]),
+                NodeSet::from_iter(4, [0, 1]),
+            ],
+            edges: vec![(0, 1)],
+        };
+        assert!(d1.validate(&g).is_ok());
+        assert!(d1.is_proper(&g));
+        // d2: one bag {0,1,2,3} — improper (subsumed by d1)
+        let d2 = TreeDecomposition::trivial(&g);
+        assert!(!d2.is_proper(&g));
+        // d3: d1 plus a redundant bag {2,3} — improper
+        let d3 = TreeDecomposition {
+            bags: vec![
+                NodeSet::from_iter(4, [1, 2, 3]),
+                NodeSet::from_iter(4, [0, 1]),
+                NodeSet::from_iter(4, [2, 3]),
+            ],
+            edges: vec![(0, 1), (0, 2)],
+        };
+        assert!(d3.validate(&g).is_ok());
+        assert!(!d3.is_proper(&g));
+    }
+
+    #[test]
+    fn saturation_produces_triangulations() {
+        let g = Graph::cycle(6);
+        let d = TreeDecomposition::trivial(&g);
+        let h = d.saturate(&g);
+        assert!(is_chordal(&h)); // complete graph
+        assert!(h.is_supergraph_of(&g));
+    }
+
+    #[test]
+    fn duplicate_bags_are_never_proper() {
+        let g = Graph::path(2);
+        let d = TreeDecomposition {
+            bags: vec![NodeSet::from_iter(2, [0, 1]), NodeSet::from_iter(2, [0, 1])],
+            edges: vec![(0, 1)],
+        };
+        assert!(d.validate(&g).is_ok());
+        assert!(!d.is_proper(&g));
+    }
+
+    #[test]
+    fn class_enumeration_for_a_path_is_unique() {
+        let h = Graph::path(4);
+        let ds: Vec<_> = proper_decompositions_of_chordal(&h).collect();
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].is_proper(&h));
+    }
+
+    #[test]
+    fn class_enumeration_counts_clique_trees() {
+        // three triangles sharing the apex 0: clique graph is K3 with equal
+        // weights -> 3 clique trees
+        let h = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (0, 3),
+                (3, 4),
+                (0, 4),
+                (0, 5),
+                (5, 6),
+                (0, 6),
+            ],
+        );
+        assert!(is_chordal(&h));
+        let ds: Vec<_> = proper_decompositions_of_chordal(&h).collect();
+        assert_eq!(ds.len(), 3);
+        for d in &ds {
+            assert!(d.validate(&h).is_ok());
+            assert!(d.is_proper(&h));
+        }
+    }
+
+    #[test]
+    fn class_enumeration_on_disconnected_chordal_graph() {
+        let h = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let ds: Vec<_> = proper_decompositions_of_chordal(&h).collect();
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].validate(&h).is_ok());
+        assert_eq!(ds[0].num_bags(), 2);
+    }
+}

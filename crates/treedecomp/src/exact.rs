@@ -1,0 +1,150 @@
+//! Exact treewidth for small graphs, by dynamic programming over vertex
+//! subsets (Bodlaender et al.'s formulation of the elimination-order DP).
+//!
+//! The treewidth of `g` equals the minimum over elimination orders of the
+//! maximum back-degree, where eliminating `v` connects it to every
+//! remaining vertex reachable through already-eliminated ones. The DP
+//! memoizes on the *set of remaining vertices*: `tw(S) = min_{v ∈ S}
+//! max(q(v, S), tw(S \ {v}))` with `q(v, S)` the number of vertices of
+//! `S \ {v}` reachable from `v` via eliminated vertices. `O(2^n · n ·
+//! (n + m))` — an oracle for validating the enumeration stack (the minimum
+//! width over all minimal triangulations *is* the treewidth), not a
+//! production solver.
+
+use mintri_graph::traversal::component_of;
+use mintri_graph::{FxHashMap, Graph, Node, NodeSet};
+
+/// Computes the exact treewidth of `g`. Panics above 20 nodes (the DP is
+/// exponential by design).
+pub fn exact_treewidth(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    assert!(
+        n <= 20,
+        "exact treewidth DP is exponential; use the enumerator for large graphs"
+    );
+    if n == 0 {
+        return 0;
+    }
+    let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+    let mut memo: FxHashMap<u32, usize> = FxHashMap::default();
+    tw_rec(g, full, &mut memo)
+}
+
+/// Back-degree of `v` when the vertices outside `remaining` are already
+/// eliminated: neighbors of `v` in `remaining`, plus vertices of
+/// `remaining` reachable from `v` through eliminated vertices.
+fn back_degree(g: &Graph, v: Node, remaining: u32) -> usize {
+    let n = g.num_nodes();
+    let rem_set = NodeSet::from_iter(n, (0..n as Node).filter(|&u| remaining & (1 << u) != 0));
+    // allowed region for the reachability search: v plus eliminated vertices
+    let mut allowed = g.node_set();
+    allowed.difference_with(&rem_set);
+    allowed.insert(v);
+    let reach = component_of(g, v, &allowed);
+    // boundary: remaining vertices adjacent to the reachable region
+    let mut boundary = g.neighborhood_of_set(&reach);
+    boundary.intersect_with(&rem_set);
+    boundary.remove(v);
+    boundary.len()
+}
+
+fn tw_rec(g: &Graph, remaining: u32, memo: &mut FxHashMap<u32, usize>) -> usize {
+    if remaining == 0 {
+        return 0;
+    }
+    if let Some(&tw) = memo.get(&remaining) {
+        return tw;
+    }
+    let n = g.num_nodes();
+    let mut best = usize::MAX;
+    for v in 0..n as Node {
+        if remaining & (1 << v) == 0 {
+            continue;
+        }
+        let q = back_degree(g, v, remaining);
+        if q >= best {
+            continue; // cannot improve
+        }
+        let rest = tw_rec(g, remaining & !(1 << v), memo);
+        best = best.min(q.max(rest));
+    }
+    memo.insert(remaining, best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_treewidths() {
+        assert_eq!(exact_treewidth(&Graph::new(0)), 0);
+        assert_eq!(exact_treewidth(&Graph::new(5)), 0);
+        assert_eq!(exact_treewidth(&Graph::path(7)), 1);
+        assert_eq!(exact_treewidth(&Graph::cycle(8)), 2);
+        assert_eq!(exact_treewidth(&Graph::complete(6)), 5);
+    }
+
+    #[test]
+    fn grid_treewidths() {
+        // k×k grid has treewidth k
+        let grid = |rows: usize, cols: usize| {
+            let mut g = Graph::new(rows * cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let id = (r * cols + c) as Node;
+                    if c + 1 < cols {
+                        g.add_edge(id, id + 1);
+                    }
+                    if r + 1 < rows {
+                        g.add_edge(id, id + cols as Node);
+                    }
+                }
+            }
+            g
+        };
+        assert_eq!(exact_treewidth(&grid(2, 2)), 2);
+        assert_eq!(exact_treewidth(&grid(3, 3)), 3);
+        assert_eq!(exact_treewidth(&grid(3, 4)), 3);
+        assert_eq!(exact_treewidth(&grid(4, 4)), 4);
+    }
+
+    #[test]
+    fn complete_bipartite() {
+        // tw(K_{m,n}) = min(m, n) for m, n >= 1... K_{2,3}: 2
+        let g = Graph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]);
+        assert_eq!(exact_treewidth(&g), 2);
+    }
+
+    #[test]
+    fn chordal_graph_treewidth_matches_clique_number() {
+        let mut g = Graph::cycle(6);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        g.add_edge(0, 4);
+        assert!(mintri_chordal::is_chordal(&g));
+        assert_eq!(
+            exact_treewidth(&g),
+            mintri_chordal::treewidth_of_chordal(&g)
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_takes_the_max() {
+        // K4 + P3
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (4, 5),
+                (5, 6),
+            ],
+        );
+        assert_eq!(exact_treewidth(&g), 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! # mintri-treedecomp — tree decompositions and properness
+//!
+//! Section 5 of the paper: tree decompositions, the *proper* subclass
+//! (those not strictly subsumed by another decomposition), and the
+//! machinery behind Theorem 5.1 —
+//!
+//! * a proper tree decomposition of a chordal graph has exactly the maximal
+//!   cliques as bags (Lemma 5.6);
+//! * the decompositions within one `≡b`-class are the clique trees of the
+//!   triangulation, i.e. the **maximum-weight spanning trees** of the clique
+//!   graph (Jordan/Bernstein–Goodman), enumerable with polynomial delay
+//!   ([`spanning::MaxWeightSpanningForests`]).
+//!
+//! ```
+//! use mintri_graph::{Graph, NodeSet};
+//! use mintri_treedecomp::TreeDecomposition;
+//!
+//! let g = Graph::path(4);
+//! let d = TreeDecomposition {
+//!     bags: vec![
+//!         NodeSet::from_iter(4, [0, 1]),
+//!         NodeSet::from_iter(4, [1, 2]),
+//!         NodeSet::from_iter(4, [2, 3]),
+//!     ],
+//!     edges: vec![(0, 1), (1, 2)],
+//! };
+//! assert!(d.validate(&g).is_ok());
+//! assert!(d.is_proper(&g)); // a path cannot be decomposed any better
+//! assert_eq!(d.width(), 1);
+//! assert_eq!(d.max_adhesion(), 1);
+//! ```
+
+mod decomposition;
+mod exact;
+mod measures;
+pub mod spanning;
+
+pub use decomposition::{proper_decompositions_of_chordal, TdError, TreeDecomposition};
+pub use exact::exact_treewidth;

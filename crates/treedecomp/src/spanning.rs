@@ -1,0 +1,308 @@
+//! Enumerating all maximum-weight spanning forests of an edge-weighted
+//! graph, with polynomial delay.
+//!
+//! Theorem 5.1 reduces the enumeration of the proper tree decompositions in
+//! one `≡b`-class to the enumeration of the maximum-weight spanning trees
+//! of the clique graph (the paper cites Yamada–Kataoka–Watanabe \[43\]). We
+//! use the classic Lawler-style partition scheme: find one optimal forest
+//! `T`, report it, and split the remaining solution space by "contains
+//! `e_1 … e_{i-1}` but not `e_i`" over the free edges of `T`; each
+//! subproblem is solved by a constrained Kruskal run. Every optimal forest
+//! is produced exactly once, with `O(|T| · m α(m))` work between outputs.
+
+use std::collections::VecDeque;
+
+/// An undirected edge-weighted graph for spanning-forest enumeration.
+#[derive(Debug, Clone)]
+pub struct WeightedGraph {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Edges `(u, v, weight)`.
+    pub edges: Vec<(usize, usize, i64)>,
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+}
+
+/// A subproblem of the partition scheme: forests that contain all of
+/// `included` and none of `excluded` (bitmask-free index sets).
+struct Subproblem {
+    included: Vec<usize>,
+    excluded: Vec<usize>,
+}
+
+/// Iterator over all maximum-weight spanning forests, each reported as a
+/// sorted `Vec` of edge indices into [`WeightedGraph::edges`].
+pub struct MaxWeightSpanningForests {
+    graph: WeightedGraph,
+    /// Edge indices sorted by descending weight (Kruskal order).
+    order: Vec<usize>,
+    /// Weight and size of an unconstrained optimum.
+    best_weight: i64,
+    forest_size: usize,
+    /// Pending subproblems (DFS).
+    stack: Vec<Subproblem>,
+    /// Buffered answers.
+    pending: VecDeque<Vec<usize>>,
+}
+
+impl MaxWeightSpanningForests {
+    /// Starts the enumeration.
+    pub fn new(graph: WeightedGraph) -> Self {
+        let mut order: Vec<usize> = (0..graph.edges.len()).collect();
+        // descending weight; index order breaks ties for determinism
+        order.sort_by(|&a, &b| graph.edges[b].2.cmp(&graph.edges[a].2).then(a.cmp(&b)));
+        let mut it = MaxWeightSpanningForests {
+            graph,
+            order,
+            best_weight: 0,
+            forest_size: 0,
+            stack: Vec::new(),
+            pending: VecDeque::new(),
+        };
+        if let Some(t) = it.constrained_optimum(&[], &[]) {
+            it.best_weight = t.iter().map(|&e| it.graph.edges[e].2).sum();
+            it.forest_size = t.len();
+            it.emit(t, Vec::new(), Vec::new());
+        }
+        it
+    }
+
+    /// Kruskal under constraints. Returns an optimal forest containing all
+    /// `included` (assumed acyclic) and avoiding `excluded`, or `None` if
+    /// `included` is cyclic.
+    fn constrained_optimum(&self, included: &[usize], excluded: &[usize]) -> Option<Vec<usize>> {
+        let mut uf = UnionFind::new(self.graph.num_nodes);
+        let mut forest = Vec::with_capacity(self.forest_size.max(included.len()));
+        for &e in included {
+            let (u, v, _) = self.graph.edges[e];
+            if !uf.union(u, v) {
+                return None;
+            }
+            forest.push(e);
+        }
+        for &e in &self.order {
+            if included.contains(&e) || excluded.contains(&e) {
+                continue;
+            }
+            let (u, v, _) = self.graph.edges[e];
+            if uf.union(u, v) {
+                forest.push(e);
+            }
+        }
+        forest.sort_unstable();
+        Some(forest)
+    }
+
+    /// Reports `t` and pushes the child subproblems that partition the rest
+    /// of the solutions under `(included, excluded)`.
+    fn emit(&mut self, t: Vec<usize>, included: Vec<usize>, excluded: Vec<usize>) {
+        let free: Vec<usize> = t
+            .iter()
+            .copied()
+            .filter(|e| !included.contains(e))
+            .collect();
+        // children are pushed in reverse so that they pop in order
+        for i in (0..free.len()).rev() {
+            let mut inc = included.clone();
+            inc.extend_from_slice(&free[..i]);
+            let mut exc = excluded.clone();
+            exc.push(free[i]);
+            self.stack.push(Subproblem {
+                included: inc,
+                excluded: exc,
+            });
+        }
+        self.pending.push_back(t);
+    }
+}
+
+impl Iterator for MaxWeightSpanningForests {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        while self.pending.is_empty() {
+            let sub = self.stack.pop()?;
+            if let Some(t) = self.constrained_optimum(&sub.included, &sub.excluded) {
+                let weight: i64 = t.iter().map(|&e| self.graph.edges[e].2).sum();
+                if t.len() == self.forest_size && weight == self.best_weight {
+                    self.emit(t, sub.included, sub.excluded);
+                }
+            }
+        }
+        self.pending.pop_front()
+    }
+}
+
+/// Convenience: all maximum-weight spanning forests, materialized and
+/// sorted.
+pub fn all_max_weight_spanning_forests(graph: WeightedGraph) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = MaxWeightSpanningForests::new(graph).collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force oracle: all subsets of edges of forest size, acyclic,
+    /// spanning, of maximum weight.
+    fn oracle(g: &WeightedGraph) -> Vec<Vec<usize>> {
+        let m = g.edges.len();
+        assert!(m <= 20);
+        let mut best: Vec<Vec<usize>> = Vec::new();
+        let mut best_key: Option<(usize, i64)> = None;
+        for mask in 0u64..(1 << m) {
+            let sel: Vec<usize> = (0..m).filter(|&e| mask & (1 << e) != 0).collect();
+            let mut uf = UnionFind::new(g.num_nodes);
+            if !sel.iter().all(|&e| uf.union(g.edges[e].0, g.edges[e].1)) {
+                continue; // cyclic
+            }
+            let w: i64 = sel.iter().map(|&e| g.edges[e].2).sum();
+            let key = (sel.len(), w);
+            match best_key {
+                None => {
+                    best_key = Some(key);
+                    best = vec![sel];
+                }
+                Some(k) => {
+                    // maximize size first (spanning), then weight
+                    use std::cmp::Ordering::*;
+                    match (key.0.cmp(&k.0), key.1.cmp(&k.1)) {
+                        (Greater, _) => {
+                            best_key = Some(key);
+                            best = vec![sel];
+                        }
+                        (Equal, Greater) => {
+                            best_key = Some(key);
+                            best = vec![sel];
+                        }
+                        (Equal, Equal) => best.push(sel),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        best.sort();
+        best
+    }
+
+    fn k_n_uniform(n: usize) -> WeightedGraph {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v, 1));
+            }
+        }
+        WeightedGraph {
+            num_nodes: n,
+            edges,
+        }
+    }
+
+    #[test]
+    fn cayley_counts_on_uniform_complete_graphs() {
+        // n^(n-2) spanning trees of K_n with equal weights
+        assert_eq!(all_max_weight_spanning_forests(k_n_uniform(3)).len(), 3);
+        assert_eq!(all_max_weight_spanning_forests(k_n_uniform(4)).len(), 16);
+        assert_eq!(all_max_weight_spanning_forests(k_n_uniform(5)).len(), 125);
+    }
+
+    #[test]
+    fn unique_mst_when_weights_are_distinct() {
+        let g = WeightedGraph {
+            num_nodes: 4,
+            edges: vec![(0, 1, 10), (1, 2, 9), (2, 3, 8), (3, 0, 7), (0, 2, 6)],
+        };
+        let all = all_max_weight_spanning_forests(g);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_oracle_on_mixed_weights() {
+        let g = WeightedGraph {
+            num_nodes: 5,
+            edges: vec![
+                (0, 1, 2),
+                (1, 2, 2),
+                (2, 3, 1),
+                (3, 4, 2),
+                (4, 0, 2),
+                (0, 2, 2),
+                (1, 3, 1),
+            ],
+        };
+        assert_eq!(all_max_weight_spanning_forests(g.clone()), oracle(&g));
+    }
+
+    #[test]
+    fn forests_of_disconnected_graphs() {
+        let g = WeightedGraph {
+            num_nodes: 5,
+            edges: vec![(0, 1, 1), (1, 2, 1), (0, 2, 1), (3, 4, 1)],
+        };
+        let all = all_max_weight_spanning_forests(g.clone());
+        // 3 trees on the triangle × 1 on the edge
+        assert_eq!(all.len(), 3);
+        assert_eq!(all, oracle(&g));
+    }
+
+    #[test]
+    fn edgeless_graph_has_one_empty_forest() {
+        let g = WeightedGraph {
+            num_nodes: 3,
+            edges: vec![],
+        };
+        assert_eq!(
+            all_max_weight_spanning_forests(g),
+            vec![Vec::<usize>::new()]
+        );
+    }
+
+    #[test]
+    fn no_duplicates_on_multigraph_like_ties() {
+        let g = WeightedGraph {
+            num_nodes: 4,
+            edges: vec![(0, 1, 1), (0, 1, 1), (1, 2, 1), (2, 3, 1)],
+        };
+        let all = all_max_weight_spanning_forests(g.clone());
+        assert_eq!(all.len(), 2); // either parallel edge
+        assert_eq!(all, oracle(&g));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the maximum-weight spanning forest enumerator — the
+//! engine behind Theorem 5.1's per-class polynomial delay.
+
+use mintri_treedecomp::spanning::{
+    all_max_weight_spanning_forests, MaxWeightSpanningForests, WeightedGraph,
+};
+use proptest::prelude::*;
+
+/// A random weighted graph with up to 6 nodes and 9 edges, small weights
+/// (to force plenty of ties — the interesting case).
+fn weighted_graph() -> impl Strategy<Value = WeightedGraph> {
+    (2usize..=6).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 1i64..=3), 0..=9).prop_map(move |raw| {
+            let edges = raw
+                .into_iter()
+                .filter(|&(u, v, _)| u != v)
+                .collect::<Vec<_>>();
+            WeightedGraph {
+                num_nodes: n,
+                edges,
+            }
+        })
+    })
+}
+
+/// Reference: exhaustive search over all edge subsets.
+fn oracle(g: &WeightedGraph) -> Vec<Vec<usize>> {
+    struct Uf(Vec<usize>);
+    impl Uf {
+        fn find(&mut self, mut x: usize) -> usize {
+            while self.0[x] != x {
+                self.0[x] = self.0[self.0[x]];
+                x = self.0[x];
+            }
+            x
+        }
+        fn union(&mut self, a: usize, b: usize) -> bool {
+            let (ra, rb) = (self.find(a), self.find(b));
+            if ra == rb {
+                return false;
+            }
+            self.0[ra] = rb;
+            true
+        }
+    }
+    let m = g.edges.len();
+    let mut best: Vec<Vec<usize>> = Vec::new();
+    let mut best_key = (0usize, i64::MIN);
+    for mask in 0u64..(1 << m) {
+        let sel: Vec<usize> = (0..m).filter(|&e| mask & (1 << e) != 0).collect();
+        let mut uf = Uf((0..g.num_nodes).collect());
+        if !sel
+            .iter()
+            .all(|&e| uf.union(g.edges[e].0, g.edges[e].1))
+        {
+            continue;
+        }
+        let w: i64 = sel.iter().map(|&e| g.edges[e].2).sum();
+        let key = (sel.len(), w);
+        if key > best_key {
+            best_key = key;
+            best = vec![sel];
+        } else if key == best_key {
+            best.push(sel);
+        }
+    }
+    best.sort();
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn enumeration_matches_exhaustive_search(g in weighted_graph()) {
+        prop_assert_eq!(all_max_weight_spanning_forests(g.clone()), oracle(&g));
+    }
+
+    #[test]
+    fn no_duplicates_and_all_valid(g in weighted_graph()) {
+        let all: Vec<Vec<usize>> = MaxWeightSpanningForests::new(g.clone()).collect();
+        let mut sorted = all.clone();
+        sorted.sort();
+        let n = sorted.len();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), n, "duplicate forest emitted");
+        // all reported forests have the same size and weight
+        if let Some(first) = all.first() {
+            let size = first.len();
+            let weight: i64 = first.iter().map(|&e| g.edges[e].2).sum();
+            for f in &all {
+                prop_assert_eq!(f.len(), size);
+                prop_assert_eq!(f.iter().map(|&e| g.edges[e].2).sum::<i64>(), weight);
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_prefix_is_consistent(g in weighted_graph()) {
+        let all: Vec<Vec<usize>> = MaxWeightSpanningForests::new(g.clone()).collect();
+        let prefix: Vec<Vec<usize>> = MaxWeightSpanningForests::new(g).take(3).collect();
+        prop_assert_eq!(&all[..prefix.len().min(all.len())], &prefix[..]);
+    }
+}

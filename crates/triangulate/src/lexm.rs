@@ -1,0 +1,215 @@
+//! LEX M (Rose–Tarjan–Lueker): the classic lexicographic-search minimal
+//! triangulation algorithm that MCS-M simplifies.
+//!
+//! LEX M assigns each vertex a lexicographic label (a sequence of the
+//! weights of its numbered "reachable" neighbors). At each step the
+//! unnumbered vertex with the lexicographically largest label is numbered,
+//! and every unnumbered vertex `u` reachable from it through strictly
+//! lower-labeled unnumbered vertices gets the new number appended to its
+//! label — plus a fill edge if not adjacent. Like MCS-M, the output is a
+//! minimal triangulation and the numbering is a minimal elimination order.
+//!
+//! The implementation follows the standard `O(n·m)` formulation with
+//! float-free label compression: labels are renumbered to small integers
+//! after every step.
+
+use crate::types::{Triangulation, Triangulator};
+use mintri_graph::{Graph, Node, NodeSet};
+
+/// The LEX M minimal triangulation algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LexM;
+
+impl Triangulator for LexM {
+    fn triangulate(&self, g: &Graph) -> Triangulation {
+        lex_m(g)
+    }
+
+    fn guarantees_minimal(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "LEX_M"
+    }
+}
+
+/// Runs LEX M on `g`. Returns a minimal triangulation with its perfect
+/// elimination order.
+pub fn lex_m(g: &Graph) -> Triangulation {
+    let n = g.num_nodes();
+    // labels as small integers; larger = lexicographically larger
+    let mut label = vec![0u32; n];
+    let mut numbered = NodeSet::new(n);
+    let mut visit_order: Vec<Node> = Vec::with_capacity(n);
+    let mut fill: Vec<(Node, Node)> = Vec::new();
+
+    let mut reach: Vec<Vec<Node>> = vec![Vec::new(); 2 * n + 2];
+    let mut marked = NodeSet::new(n);
+
+    for _ in 0..n {
+        let v = (0..n as Node)
+            .filter(|&u| !numbered.contains(u))
+            .max_by(|&a, &b| label[a as usize].cmp(&label[b as usize]).then(b.cmp(&a)))
+            .expect("an unnumbered vertex exists");
+
+        // find all unnumbered u with a path to v through unnumbered vertices
+        // of label strictly smaller than label(u)
+        marked.clear();
+        marked.insert(v);
+        let mut qualified: Vec<Node> = Vec::new();
+        for bucket in reach.iter_mut() {
+            bucket.clear();
+        }
+        for u in g.neighbors(v).iter() {
+            if !numbered.contains(u) {
+                marked.insert(u);
+                qualified.push(u);
+                reach[label[u as usize] as usize].push(u);
+            }
+        }
+        for j in 0..reach.len() {
+            while let Some(y) = reach[j].pop() {
+                for z in g.neighbors(y).iter() {
+                    if numbered.contains(z) || marked.contains(z) {
+                        continue;
+                    }
+                    marked.insert(z);
+                    if label[z as usize] as usize > j {
+                        qualified.push(z);
+                        reach[label[z as usize] as usize].push(z);
+                    } else {
+                        reach[j].push(z);
+                    }
+                }
+            }
+        }
+
+        // append the new number to every qualified label: bump by 1 "half
+        // step" and recompress all labels to even integers so that there is
+        // always room between consecutive labels
+        for &u in &qualified {
+            label[u as usize] = label[u as usize] * 2 + 1;
+            if !g.has_edge(u, v) {
+                fill.push((u.min(v), u.max(v)));
+            }
+        }
+        for (u, l) in label.iter_mut().enumerate() {
+            if !qualified.contains(&(u as Node)) {
+                *l *= 2;
+            }
+        }
+        compress_labels(&mut label);
+
+        numbered.insert(v);
+        visit_order.push(v);
+    }
+
+    let mut h = g.clone();
+    for &(u, v) in &fill {
+        h.add_edge(u, v);
+    }
+    visit_order.reverse();
+    Triangulation {
+        graph: h,
+        fill,
+        peo: Some(visit_order),
+    }
+}
+
+/// Renumbers labels to `0..k` preserving order, so buckets stay small.
+fn compress_labels(label: &mut [u32]) {
+    let mut sorted: Vec<u32> = label.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    for l in label.iter_mut() {
+        *l = sorted.binary_search(l).expect("own value present") as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_minimal_triangulation;
+    use mintri_chordal::{is_chordal, is_perfect_elimination_order};
+
+    #[test]
+    fn chordal_input_gets_no_fill() {
+        for g in [Graph::path(6), Graph::complete(5), Graph::cycle(3)] {
+            let t = lex_m(&g);
+            assert_eq!(t.fill_count(), 0);
+        }
+    }
+
+    #[test]
+    fn cycle_fill_is_n_minus_3() {
+        for n in 4..10 {
+            let g = Graph::cycle(n);
+            let t = lex_m(&g);
+            assert!(is_chordal(&t.graph));
+            assert_eq!(t.fill_count(), n - 3, "C{n}");
+        }
+    }
+
+    #[test]
+    fn result_is_minimal() {
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+                (6, 2),
+            ],
+        );
+        let t = lex_m(&g);
+        assert!(is_minimal_triangulation(&g, &t.graph));
+        assert!(is_perfect_elimination_order(
+            &t.graph,
+            t.peo.as_ref().unwrap()
+        ));
+    }
+
+    #[test]
+    fn label_compression_preserves_order() {
+        let mut labels = vec![10, 4, 4, 22, 0];
+        compress_labels(&mut labels);
+        assert_eq!(labels, vec![2, 1, 1, 3, 0]);
+    }
+
+    #[test]
+    fn disconnected_input() {
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+            ],
+        );
+        let t = lex_m(&g);
+        assert!(is_chordal(&t.graph));
+        assert_eq!(t.fill_count(), 2);
+    }
+
+    #[test]
+    fn agrees_with_mcs_m_on_fill_size_for_cycles() {
+        // both are minimal; on cycles every minimal triangulation has the
+        // same fill count
+        for n in 4..9 {
+            let g = Graph::cycle(n);
+            assert_eq!(lex_m(&g).fill_count(), crate::mcs_m(&g).fill_count());
+        }
+    }
+}

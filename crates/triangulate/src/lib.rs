@@ -1,0 +1,97 @@
+//! # mintri-triangulate — single-result triangulation algorithms
+//!
+//! The "off-the-shelf" triangulation procedures the paper plugs into its
+//! `Extend` step (Figure 3, Section 6.1.2), all implemented from scratch:
+//!
+//! * [`McsM`] — Maximum Cardinality Search for Minimal triangulation;
+//! * [`LbTriang`] — minimal triangulation from an arbitrary (possibly
+//!   dynamic, e.g. min-fill) ordering;
+//! * [`LexM`] — the classic Rose–Tarjan–Lueker lexicographic search;
+//! * [`EliminationOrder`] — classic non-minimal elimination fill-in;
+//! * [`CompleteFill`] — the naive fill-everything baseline;
+//! * [`minimal_triangulation_sandwich`] — turns any triangulation into a
+//!   minimal one (`MinTriSandwich`);
+//! * [`is_minimal_triangulation`] — the Rose–Tarjan–Lueker minimality test.
+//!
+//! Every algorithm works on arbitrary (even disconnected) graphs.
+//!
+//! ```
+//! use mintri_graph::Graph;
+//! use mintri_triangulate::{mcs_m, is_minimal_triangulation, minimal_triangulation, CompleteFill};
+//!
+//! let g = Graph::cycle(6);
+//! // MCS-M produces a minimal triangulation directly (n - 3 chords)
+//! let tri = mcs_m(&g);
+//! assert_eq!(tri.fill_count(), 3);
+//! assert!(is_minimal_triangulation(&g, &tri.graph));
+//!
+//! // a non-minimal backend gets the sandwich treatment automatically
+//! let tri2 = minimal_triangulation(&g, &CompleteFill);
+//! assert!(is_minimal_triangulation(&g, &tri2.graph));
+//! ```
+
+mod elimination;
+mod lbtriang;
+mod lexm;
+mod mcsm;
+mod sandwich;
+mod types;
+
+pub use elimination::{eliminate, EliminationOrder};
+pub use lbtriang::{lb_triang, LbTriang, OrderingStrategy};
+pub use lexm::{lex_m, LexM};
+pub use mcsm::{mcs_m, McsM};
+pub use sandwich::{is_minimal_triangulation, minimal_triangulation_sandwich};
+pub use types::{CompleteFill, Triangulation, Triangulator};
+
+use mintri_graph::Graph;
+
+/// Produces a **minimal** triangulation of `g` using `t`, adding the
+/// sandwich step when `t` does not guarantee minimality — exactly lines 1–2
+/// of the paper's `Extend` (Figure 3).
+pub fn minimal_triangulation(g: &Graph, t: &dyn Triangulator) -> Triangulation {
+    let raw = t.triangulate(g);
+    if t.guarantees_minimal() {
+        raw
+    } else {
+        minimal_triangulation_sandwich(g, &raw.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_triangulation_is_minimal_for_all_backends() {
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+                (6, 2),
+            ],
+        );
+        let backends: Vec<Box<dyn Triangulator>> = vec![
+            Box::new(McsM),
+            Box::new(LbTriang::min_fill()),
+            Box::new(EliminationOrder::min_degree()),
+            Box::new(CompleteFill),
+        ];
+        for b in &backends {
+            let t = minimal_triangulation(&g, b.as_ref());
+            assert!(
+                is_minimal_triangulation(&g, &t.graph),
+                "{} must deliver a minimal triangulation",
+                b.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! MCS-M: Maximum Cardinality Search for Minimal Triangulation
+//! (Berry, Blair, Heggernes — reference [4] of the paper).
+//!
+//! MCS-M extends Maximum Cardinality Search: vertices are numbered from `n`
+//! down to `1`, always choosing an unnumbered vertex of maximum weight. When
+//! `v` is numbered, every unnumbered `u` that is adjacent to `v` *or*
+//! reachable from `v` through unnumbered vertices of weight strictly smaller
+//! than `w(u)` gets its weight incremented and — if `{u,v}` is not an edge —
+//! a fill edge. The original graph plus the fill edges is a minimal
+//! triangulation, and the numbering (reversed) is a perfect elimination
+//! order of it.
+
+use crate::types::{Triangulation, Triangulator};
+use mintri_graph::{Graph, Node, NodeSet};
+
+/// The MCS-M minimal triangulation algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct McsM;
+
+impl Triangulator for McsM {
+    fn triangulate(&self, g: &Graph) -> Triangulation {
+        mcs_m(g)
+    }
+
+    fn guarantees_minimal(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "MCS_M"
+    }
+}
+
+/// Runs MCS-M on `g`, returning a minimal triangulation together with its
+/// perfect elimination order. `O(n·m)` overall.
+pub fn mcs_m(g: &Graph) -> Triangulation {
+    let n = g.num_nodes();
+    let mut weight = vec![0usize; n];
+    let mut numbered = NodeSet::new(n);
+    let mut visit_order = Vec::with_capacity(n);
+    let mut fill: Vec<(Node, Node)> = Vec::new();
+
+    // scratch buffers reused across iterations (workhorse collections)
+    let mut reach: Vec<Vec<Node>> = vec![Vec::new(); n + 1];
+    let mut marked = NodeSet::new(n);
+
+    for _ in 0..n {
+        // choose the unnumbered vertex of maximum weight (smallest id breaks
+        // ties, for determinism)
+        let v = (0..n as Node)
+            .filter(|&u| !numbered.contains(u))
+            .max_by(|&a, &b| weight[a as usize].cmp(&weight[b as usize]).then(b.cmp(&a)))
+            .expect("an unnumbered vertex exists");
+
+        // Bucketed search computing, for every unnumbered u, the minimum over
+        // all v-u paths (through unnumbered vertices) of the maximum
+        // intermediate weight. u qualifies iff that minimum is < w(u); direct
+        // neighbors always qualify.
+        marked.clear();
+        marked.insert(v);
+        let mut qualified: Vec<Node> = Vec::new();
+        for u in g.neighbors(v).iter() {
+            if !numbered.contains(u) {
+                marked.insert(u);
+                qualified.push(u);
+                reach[weight[u as usize]].push(u);
+            }
+        }
+        for j in 0..n {
+            while let Some(y) = reach[j].pop() {
+                for z in g.neighbors(y).iter() {
+                    if numbered.contains(z) || marked.contains(z) {
+                        continue;
+                    }
+                    marked.insert(z);
+                    if weight[z as usize] > j {
+                        qualified.push(z);
+                        reach[weight[z as usize]].push(z);
+                    } else {
+                        reach[j].push(z);
+                    }
+                }
+            }
+        }
+
+        for &u in &qualified {
+            weight[u as usize] += 1;
+            if !g.has_edge(u, v) {
+                fill.push((u.min(v), u.max(v)));
+            }
+        }
+        numbered.insert(v);
+        visit_order.push(v);
+    }
+
+    let mut h = g.clone();
+    for &(u, v) in &fill {
+        h.add_edge(u, v);
+    }
+    visit_order.reverse();
+    Triangulation {
+        graph: h,
+        fill,
+        peo: Some(visit_order),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mintri_chordal::{is_chordal, is_perfect_elimination_order};
+
+    #[test]
+    fn chordal_input_gets_no_fill() {
+        for g in [Graph::path(6), Graph::complete(5), Graph::cycle(3)] {
+            let t = mcs_m(&g);
+            assert_eq!(
+                t.fill_count(),
+                0,
+                "chordal graphs are their own minimal triangulation"
+            );
+            assert_eq!(t.graph, g);
+            assert!(is_perfect_elimination_order(&g, t.peo.as_ref().unwrap()));
+        }
+    }
+
+    #[test]
+    fn cycle_fill_is_n_minus_3() {
+        for n in 4..10 {
+            let g = Graph::cycle(n);
+            let t = mcs_m(&g);
+            assert!(is_chordal(&t.graph), "C{n} triangulation must be chordal");
+            assert_eq!(
+                t.fill_count(),
+                n - 3,
+                "minimal triangulations of C{n} add n-3 chords"
+            );
+            assert_eq!(t.width(), 2);
+        }
+    }
+
+    #[test]
+    fn result_is_minimal_by_fill_edge_removal() {
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 2),
+                (1, 4),
+            ],
+        );
+        let t = mcs_m(&g);
+        assert!(is_chordal(&t.graph));
+        assert!(crate::is_minimal_triangulation(&g, &t.graph));
+    }
+
+    #[test]
+    fn peo_is_valid_for_the_triangulation() {
+        let g = Graph::cycle(8);
+        let t = mcs_m(&g);
+        assert!(is_perfect_elimination_order(
+            &t.graph,
+            t.peo.as_ref().unwrap()
+        ));
+    }
+
+    #[test]
+    fn disconnected_input() {
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+            ],
+        );
+        let t = mcs_m(&g);
+        assert!(is_chordal(&t.graph));
+        assert_eq!(t.fill_count(), 2); // one chord per C4
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        assert_eq!(mcs_m(&Graph::new(0)).fill_count(), 0);
+        assert_eq!(mcs_m(&Graph::new(5)).fill_count(), 0);
+    }
+}

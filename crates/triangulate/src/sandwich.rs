@@ -1,0 +1,130 @@
+//! The minimal triangulation sandwich (`MinTriSandwich` of Figure 3):
+//! given a graph `g` and *any* triangulation `h` of it, extract a minimal
+//! triangulation `h'` with `E(g) ⊆ E(h') ⊆ E(h)` — Heggernes [23] calls
+//! this the *minimal triangulation sandwich problem*.
+//!
+//! We use the Rose–Tarjan–Lueker characterization: a triangulation is
+//! minimal iff removing any single fill edge breaks chordality. The
+//! minimalizer therefore repeatedly deletes fill edges whose removal keeps
+//! the graph chordal, until none qualifies; the fixpoint is a minimal
+//! triangulation. `O(f² · (n + m))` for `f` fill edges — polynomial, as
+//! required by `Extend`.
+
+use crate::types::Triangulation;
+use mintri_chordal::is_chordal;
+use mintri_graph::Graph;
+
+/// Shrinks the triangulation `h` of `g` to a minimal one (in place on a
+/// clone). `h` must be a chordal supergraph of `g`.
+pub fn minimal_triangulation_sandwich(g: &Graph, h: &Graph) -> Triangulation {
+    assert!(
+        h.is_supergraph_of(g),
+        "sandwich requires a supergraph of the base graph"
+    );
+    debug_assert!(is_chordal(h), "sandwich requires a chordal upper bound");
+
+    let mut current = h.clone();
+    loop {
+        let mut removed_any = false;
+        for (u, v) in current.fill_edges_over(g) {
+            current.remove_edge(u, v);
+            if is_chordal(&current) {
+                removed_any = true;
+            } else {
+                current.add_edge(u, v);
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+
+    let fill = current.fill_edges_over(g);
+    Triangulation {
+        graph: current,
+        fill,
+        peo: None,
+    }
+}
+
+/// `true` iff `h` is a *minimal* triangulation of `g`: a chordal supergraph
+/// such that removing any fill edge destroys chordality
+/// (the Rose–Tarjan–Lueker characterization of Section 2.3's definition).
+pub fn is_minimal_triangulation(g: &Graph, h: &Graph) -> bool {
+    if !h.is_supergraph_of(g) || !is_chordal(h) {
+        return false;
+    }
+    let mut scratch = h.clone();
+    for (u, v) in h.fill_edges_over(g) {
+        scratch.remove_edge(u, v);
+        let still_chordal = is_chordal(&scratch);
+        scratch.add_edge(u, v);
+        if still_chordal {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CompleteFill, Triangulator};
+
+    #[test]
+    fn sandwich_from_complete_fill_is_minimal() {
+        for g in [
+            Graph::cycle(6),
+            Graph::path(5),
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]),
+        ] {
+            let t = CompleteFill.triangulate(&g);
+            let m = minimal_triangulation_sandwich(&g, &t.graph);
+            assert!(is_minimal_triangulation(&g, &m.graph), "failed on {g:?}");
+        }
+    }
+
+    #[test]
+    fn sandwich_of_already_minimal_is_identity() {
+        let g = Graph::cycle(5);
+        let t = crate::mcs_m(&g);
+        let m = minimal_triangulation_sandwich(&g, &t.graph);
+        assert_eq!(m.graph, t.graph);
+    }
+
+    #[test]
+    fn sandwich_on_chordal_graph_removes_all_fill() {
+        let g = Graph::path(6);
+        let t = CompleteFill.triangulate(&g);
+        let m = minimal_triangulation_sandwich(&g, &t.graph);
+        assert_eq!(m.graph, g);
+        assert_eq!(m.fill_count(), 0);
+    }
+
+    #[test]
+    fn minimality_test_rejects_non_minimal() {
+        let g = Graph::cycle(4);
+        let mut h = g.clone();
+        h.add_edge(0, 2);
+        h.add_edge(1, 3); // both diagonals: chordal but not minimal
+        assert!(is_chordal(&h));
+        assert!(!is_minimal_triangulation(&g, &h));
+        h.remove_edge(1, 3);
+        assert!(is_minimal_triangulation(&g, &h));
+    }
+
+    #[test]
+    fn minimality_test_rejects_non_chordal_and_non_supergraphs() {
+        let g = Graph::cycle(4);
+        assert!(!is_minimal_triangulation(&g, &g)); // not chordal
+        let other = Graph::path(4);
+        assert!(!is_minimal_triangulation(&g, &other)); // not a supergraph
+    }
+
+    #[test]
+    #[should_panic(expected = "supergraph")]
+    fn sandwich_rejects_non_supergraph() {
+        let g = Graph::cycle(4);
+        minimal_triangulation_sandwich(&g, &Graph::path(4));
+    }
+}

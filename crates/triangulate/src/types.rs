@@ -1,0 +1,89 @@
+//! The triangulation result type and the pluggable `Triangulate` black box
+//! of the paper's `Extend` procedure (Figure 3).
+
+use mintri_graph::{Graph, Node};
+
+/// The result of triangulating a graph `g`: a chordal supergraph plus the
+/// fill edges that were added (`E(h) \ E(g)`, Section 2.3).
+#[derive(Debug, Clone)]
+pub struct Triangulation {
+    /// The chordal supergraph `h`.
+    pub graph: Graph,
+    /// The added edges, each with `u < v`, in no particular order.
+    pub fill: Vec<(Node, Node)>,
+    /// A perfect elimination order of `graph` if the algorithm produced one
+    /// as a by-product (index 0 is eliminated first).
+    pub peo: Option<Vec<Node>>,
+}
+
+impl Triangulation {
+    /// The *fill* quality measure: number of added edges.
+    pub fn fill_count(&self) -> usize {
+        self.fill.len()
+    }
+
+    /// The *width* quality measure: size of the largest clique of the
+    /// triangulation, minus one (equals the width of the induced proper
+    /// tree decomposition).
+    pub fn width(&self) -> usize {
+        mintri_chordal::treewidth_of_chordal(&self.graph)
+    }
+}
+
+/// A black-box triangulation procedure, the `Triangulate` parameter of
+/// `Extend` (Figure 3). Implementations need not produce *minimal*
+/// triangulations; the enumeration stack runs the minimal-triangulation
+/// sandwich afterwards unless [`Triangulator::guarantees_minimal`] is true
+/// (the paper skips the sandwich for MCS-M and LB-Triang, Section 6.1.2).
+pub trait Triangulator {
+    /// Produces a triangulation of `g`.
+    fn triangulate(&self, g: &Graph) -> Triangulation;
+
+    /// `true` iff every result is guaranteed to be a *minimal*
+    /// triangulation, making the sandwich step unnecessary.
+    fn guarantees_minimal(&self) -> bool {
+        false
+    }
+
+    /// Short human-readable name (used by the benchmark harness).
+    fn name(&self) -> &'static str;
+}
+
+/// The trivial baseline: add every missing edge. Never minimal (except on
+/// complete graphs); exists to exercise the sandwich path and as the
+/// "naive implementation" the paper mentions for `Triangulate`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompleteFill;
+
+impl Triangulator for CompleteFill {
+    fn triangulate(&self, g: &Graph) -> Triangulation {
+        let n = g.num_nodes();
+        let h = Graph::complete(n);
+        let fill = h.fill_edges_over(g);
+        Triangulation {
+            graph: h,
+            fill,
+            peo: Some((0..n as Node).collect()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "COMPLETE_FILL"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_fill_fills_everything() {
+        let g = Graph::cycle(5);
+        let t = CompleteFill.triangulate(&g);
+        assert_eq!(t.graph.num_edges(), 10);
+        assert_eq!(t.fill_count(), 5);
+        assert_eq!(t.width(), 4);
+        assert!(mintri_chordal::is_chordal(&t.graph));
+        assert!(!CompleteFill.guarantees_minimal());
+    }
+}

@@ -1,0 +1,118 @@
+//! Hypergraphs (relational atoms over named variables) and their primal
+//! (Gaifman) graphs — how the TPC-H join queries of Section 6.1.3 become
+//! graphs to triangulate.
+
+use mintri_graph::{Graph, Node};
+use std::collections::BTreeMap;
+
+/// A named hypergraph: each atom is a relation name plus its variables.
+#[derive(Debug, Clone, Default)]
+pub struct Hypergraph {
+    /// `(relation, variables)` pairs.
+    pub atoms: Vec<(String, Vec<String>)>,
+}
+
+impl Hypergraph {
+    /// Builds from `(relation, vars)` literals.
+    pub fn new(atoms: &[(&str, &[&str])]) -> Self {
+        Hypergraph {
+            atoms: atoms
+                .iter()
+                .map(|(r, vs)| (r.to_string(), vs.iter().map(|v| v.to_string()).collect()))
+                .collect(),
+        }
+    }
+
+    /// All distinct variables, in first-appearance order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut seen = BTreeMap::new();
+        let mut order = Vec::new();
+        for (_, vs) in &self.atoms {
+            for v in vs {
+                if seen.insert(v.clone(), ()).is_none() {
+                    order.push(v.clone());
+                }
+            }
+        }
+        order
+    }
+
+    /// The primal (Gaifman) graph: one node per variable, an edge between
+    /// every two variables sharing an atom. Returns the graph and the node
+    /// index of each variable.
+    pub fn primal_graph(&self) -> (Graph, BTreeMap<String, Node>) {
+        let vars = self.variables();
+        let index: BTreeMap<String, Node> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as Node))
+            .collect();
+        let mut g = Graph::new(vars.len());
+        for (_, vs) in &self.atoms {
+            for (i, a) in vs.iter().enumerate() {
+                for b in &vs[i + 1..] {
+                    let (u, v) = (index[a], index[b]);
+                    if u != v {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+        }
+        (g, index)
+    }
+
+    /// The largest atom arity (distinct variables per atom).
+    pub fn max_arity(&self) -> usize {
+        self.atoms
+            .iter()
+            .map(|(_, vs)| {
+                let mut d = vs.clone();
+                d.sort();
+                d.dedup();
+                d.len()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_query() {
+        // R(a,b), S(b,c), T(c,a): the classic triangle join
+        let h = Hypergraph::new(&[("R", &["a", "b"]), ("S", &["b", "c"]), ("T", &["c", "a"])]);
+        let (g, idx) = h.primal_graph();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(idx["a"], idx["b"]));
+    }
+
+    #[test]
+    fn atoms_become_cliques() {
+        let h = Hypergraph::new(&[("R", &["a", "b", "c", "d"])]);
+        let (g, _) = h.primal_graph();
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(h.max_arity(), 4);
+    }
+
+    #[test]
+    fn shared_variables_are_single_nodes() {
+        let h = Hypergraph::new(&[("R", &["x", "y"]), ("S", &["y", "z"])]);
+        let (g, _) = h.primal_graph();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(h.variables(), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn repeated_variables_in_an_atom() {
+        let h = Hypergraph::new(&[("R", &["x", "x", "y"])]);
+        let (g, _) = h.primal_graph();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(h.max_arity(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! # mintri-workloads — the paper's evaluation workloads
+//!
+//! Seeded generators for every dataset family of Section 6.1.3:
+//!
+//! * [`pgm`] — synthetic stand-ins for the UAI probabilistic-inference
+//!   benchmarks (Promedas, object detection, segmentation, pedigree, CSP);
+//! * [`random`] — Erdős–Rényi `G(n, p)` graphs and grids;
+//! * [`tpch`] — the 22 TPC-H queries as join hypergraphs with their primal
+//!   graphs;
+//! * [`registry`] — named instance suites sized like the paper's tables;
+//! * [`uai`] — a parser for real UAI-competition network files.
+//!
+//! All generators are deterministic in their seed.
+//!
+//! ```
+//! use mintri_workloads::{tpch_query, random::grid, pgm::promedas};
+//!
+//! // TPC-H Q7, the paper's headline query: a 12-variable cyclic join
+//! let q7 = tpch_query(7);
+//! assert_eq!(q7.graph.num_nodes(), 12);
+//! assert!(!mintri_chordal::is_chordal(&q7.graph));
+//!
+//! // the paper's 10×10 grid benchmark: 100 nodes, 180 edges
+//! let g = grid(10, 10);
+//! assert_eq!((g.num_nodes(), g.num_edges()), (100, 180));
+//!
+//! // a seeded medical-diagnosis-style network
+//! let net = promedas(24, 72, 4, 7);
+//! assert_eq!(net.num_nodes(), 96);
+//! ```
+
+pub mod hypergraph;
+pub mod pgm;
+pub mod random;
+pub mod registry;
+pub mod tpch;
+pub mod uai;
+
+pub use hypergraph::Hypergraph;
+pub use registry::{random_suite, DatasetInstance, PgmFamily};
+pub use tpch::{all_queries, tpch_query, TpchQuery};
+pub use uai::parse_uai;

@@ -1,0 +1,107 @@
+//! Random and regular synthetic graphs: Erdős–Rényi `G(n, p)` and grids
+//! (Section 6.1.3's "Random" and "Grids" datasets).
+
+use mintri_graph::{Graph, Node};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An Erdős–Rényi `G(n, p)` graph: every pair is an edge independently with
+/// probability `p`. Deterministic in `seed`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n as Node {
+        for v in (u + 1)..n as Node {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// An `rows × cols` grid graph (4-neighborhood), the structure of the UAI
+/// grid networks. Node `(r, c)` has index `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as Node;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// A grid with `holes` random edges removed (still connected retries are
+/// *not* attempted; the enumeration stack handles disconnection), used to
+/// vary the 8 grid instances of the dataset.
+pub fn grid_with_holes(rows: usize, cols: usize, holes: usize, seed: u64) -> Graph {
+    let mut g = grid(rows, cols);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = g.edges();
+    for _ in 0..holes.min(edges.len()) {
+        let i = rng.gen_range(0..edges.len());
+        let (u, v) = edges.swap_remove(i);
+        g.remove_edge(u, v);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_is_deterministic_in_seed() {
+        let a = erdos_renyi(30, 0.3, 7);
+        let b = erdos_renyi(30, 0.3, 7);
+        let c = erdos_renyi(30, 0.3, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn er_edge_counts_are_plausible() {
+        let n = 100;
+        let g = erdos_renyi(n, 0.5, 1);
+        let total = n * (n - 1) / 2;
+        let m = g.num_edges();
+        // 0.5 ± generous slack
+        assert!(m > total / 3 && m < 2 * total / 3, "m = {m} of {total}");
+        assert_eq!(erdos_renyi(50, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(10, 10);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 180); // 2 * 10 * 9, matching the paper's N=10 grids
+        let g20 = grid(20, 20);
+        assert_eq!(g20.num_nodes(), 400);
+        assert_eq!(g20.num_edges(), 760);
+        assert!(mintri_graph::traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn grid_neighborhood_structure() {
+        let g = grid(3, 4);
+        // corner has 2 neighbors, center has 4
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4); // (1,1)
+    }
+
+    #[test]
+    fn holes_remove_edges() {
+        let g = grid_with_holes(10, 10, 10, 3);
+        assert_eq!(g.num_edges(), 170);
+        assert_eq!(g.num_nodes(), 100);
+    }
+}

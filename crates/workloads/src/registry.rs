@@ -1,0 +1,175 @@
+//! The dataset registry: named instance suites matching the evaluation
+//! section, consumed by the benchmark harness.
+
+use crate::{pgm, random};
+use mintri_graph::Graph;
+
+/// A named benchmark graph.
+#[derive(Debug, Clone)]
+pub struct DatasetInstance {
+    /// Instance name, e.g. `promedas_03`.
+    pub name: String,
+    /// The graph to triangulate.
+    pub graph: Graph,
+}
+
+/// The six probabilistic-graphical-model dataset families of Section 6.1.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PgmFamily {
+    /// Medical-diagnosis noisy-or networks (26–1039 nodes in the paper).
+    Promedas,
+    /// Part-based object-detection MRFs (60 nodes, 135–180 edges).
+    ObjectDetection,
+    /// Image-segmentation networks (226–235 nodes, 617–647 edges).
+    Segmentation,
+    /// N×N grids (N ∈ {10, 20}).
+    Grids,
+    /// Genetic-linkage pedigrees (385 nodes, 930 edges).
+    Pedigree,
+    /// Constraint-satisfaction networks (67–100 nodes, 226–619 edges).
+    Csp,
+}
+
+impl PgmFamily {
+    /// All six families, in the paper's table order.
+    pub const ALL: [PgmFamily; 6] = [
+        PgmFamily::Promedas,
+        PgmFamily::ObjectDetection,
+        PgmFamily::Segmentation,
+        PgmFamily::Grids,
+        PgmFamily::Pedigree,
+        PgmFamily::Csp,
+    ];
+
+    /// The family name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PgmFamily::Promedas => "Promedas",
+            PgmFamily::ObjectDetection => "Obj. Detection",
+            PgmFamily::Segmentation => "Segmentation",
+            PgmFamily::Grids => "Grids",
+            PgmFamily::Pedigree => "Pedigree",
+            PgmFamily::Csp => "CSP",
+        }
+    }
+
+    /// Number of instances the paper evaluated for this family.
+    pub fn paper_instance_count(self) -> usize {
+        match self {
+            PgmFamily::Promedas => 28,
+            PgmFamily::ObjectDetection => 79,
+            PgmFamily::Segmentation => 5,
+            PgmFamily::Grids => 8,
+            PgmFamily::Pedigree => 3,
+            PgmFamily::Csp => 2,
+        }
+    }
+
+    /// Generates `count` seeded instances of this family, spanning the
+    /// family's published size range.
+    pub fn instances(self, count: usize, seed: u64) -> Vec<DatasetInstance> {
+        (0..count)
+            .map(|i| {
+                let s = seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9);
+                let graph = match self {
+                    PgmFamily::Promedas => {
+                        // sweep sizes across the 26–1039 node range
+                        let scale = 1 + i % 6;
+                        pgm::promedas(8 * scale, 24 * scale, 4, s)
+                    }
+                    PgmFamily::ObjectDetection => pgm::object_detection(s),
+                    PgmFamily::Segmentation => pgm::segmentation(s),
+                    PgmFamily::Grids => {
+                        if i % 2 == 0 {
+                            random::grid_with_holes(10, 10, i / 2, s)
+                        } else {
+                            random::grid_with_holes(20, 20, i / 2, s)
+                        }
+                    }
+                    PgmFamily::Pedigree => pgm::pedigree(s),
+                    PgmFamily::Csp => {
+                        let n = 67 + (i * 11) % 34; // 67..100
+                        let m = 226 + (i * 131) % 394; // 226..619
+                        pgm::csp(n, m, s)
+                    }
+                };
+                DatasetInstance {
+                    name: format!("{}_{:02}", self.name().replace([' ', '.'], ""), i),
+                    graph,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The random-graph sweep of Section 6.2.2: `n` from 30 to `max_n` in steps
+/// of `step`, for `p ∈ {0.3, 0.5, 0.7}` — the paper's 54 graphs use
+/// `max_n = 200`.
+pub fn random_suite(max_n: usize, step: usize, seed: u64) -> Vec<(f64, DatasetInstance)> {
+    let mut out = Vec::new();
+    for &p in &[0.3, 0.5, 0.7] {
+        let mut n = 30;
+        while n <= max_n {
+            let s = seed ^ ((n as u64) << 8) ^ ((p * 10.0) as u64);
+            out.push((
+                p,
+                DatasetInstance {
+                    name: format!("gnp_n{n}_p{p}"),
+                    graph: random::erdos_renyi(n, p, s),
+                },
+            ));
+            n += step;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_generates_requested_count() {
+        for fam in PgmFamily::ALL {
+            let instances = fam.instances(4, 42);
+            assert_eq!(instances.len(), 4);
+            for inst in &instances {
+                assert!(inst.graph.num_nodes() > 0, "{}", inst.name);
+                assert!(inst.graph.num_edges() > 0, "{}", inst.name);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = PgmFamily::Promedas.instances(3, 7);
+        let b = PgmFamily::Promedas.instances(3, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.graph, y.graph);
+        }
+    }
+
+    #[test]
+    fn random_suite_covers_the_sweep() {
+        let suite = random_suite(200, 10, 1);
+        assert_eq!(suite.len(), 3 * 18); // 30,40,...,200 per p
+        assert!(suite.iter().any(|(p, _)| *p == 0.7));
+    }
+
+    #[test]
+    fn paper_instance_counts_total_125() {
+        let total: usize = PgmFamily::ALL
+            .iter()
+            .map(|f| f.paper_instance_count())
+            .sum();
+        assert_eq!(total, 125);
+    }
+
+    #[test]
+    fn grid_instances_alternate_sizes() {
+        let grids = PgmFamily::Grids.instances(4, 0);
+        assert_eq!(grids[0].graph.num_nodes(), 100);
+        assert_eq!(grids[1].graph.num_nodes(), 400);
+        assert_eq!(grids[2].graph.num_nodes(), 100);
+    }
+}

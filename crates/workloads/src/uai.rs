@@ -1,0 +1,120 @@
+//! Parser for the UAI inference-competition model format — so that the
+//! *actual* benchmark networks of Section 6.1.3 (Promedas, grids, pedigree,
+//! …) can be loaded when their files are available, complementing the
+//! synthetic stand-ins of [`crate::pgm`].
+//!
+//! The format (MARKOV/BAYES variant): a preamble token, the variable count,
+//! the variable cardinalities, the factor count, then one scope per factor
+//! (`arity v1 v2 …`). Function tables follow the scopes but are irrelevant
+//! for triangulation, so parsing stops after the scopes. The *primal graph*
+//! connects every pair of variables sharing a factor scope; for BAYES
+//! networks this is exactly the moral graph.
+
+use mintri_graph::{Graph, Node};
+
+/// Parses the preamble + scopes of a `.uai` file into the primal graph.
+/// Accepts both `MARKOV` and `BAYES` preambles.
+pub fn parse_uai(input: &str) -> Result<Graph, String> {
+    let mut tokens = input.split_whitespace();
+    let mut next = |what: &str| -> Result<&str, String> {
+        tokens
+            .next()
+            .ok_or_else(|| format!("unexpected end of input, expected {what}"))
+    };
+
+    let kind = next("preamble")?;
+    if kind != "MARKOV" && kind != "BAYES" {
+        return Err(format!("unsupported network type {kind:?}"));
+    }
+    let n: usize = next("variable count")?
+        .parse()
+        .map_err(|_| "bad variable count".to_string())?;
+    for i in 0..n {
+        let card: usize = next("cardinality")?
+            .parse()
+            .map_err(|_| format!("bad cardinality for variable {i}"))?;
+        if card == 0 {
+            return Err(format!("variable {i} has cardinality 0"));
+        }
+    }
+    let factors: usize = next("factor count")?
+        .parse()
+        .map_err(|_| "bad factor count".to_string())?;
+
+    let mut g = Graph::new(n);
+    for f in 0..factors {
+        let arity: usize = next("factor arity")?
+            .parse()
+            .map_err(|_| format!("bad arity for factor {f}"))?;
+        let mut scope: Vec<Node> = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let v: usize = next("scope variable")?
+                .parse()
+                .map_err(|_| format!("bad scope entry in factor {f}"))?;
+            if v >= n {
+                return Err(format!("factor {f} references variable {v} >= {n}"));
+            }
+            scope.push(v as Node);
+        }
+        for (i, &u) in scope.iter().enumerate() {
+            for &v in &scope[i + 1..] {
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2×2 grid MRF in UAI MARKOV format: 4 binary variables, 4 pairwise
+    /// factors (function tables omitted — the parser stops at the scopes).
+    const GRID_2X2: &str = "MARKOV
+4
+2 2 2 2
+4
+2 0 1
+2 1 3
+2 2 3
+2 0 2
+";
+
+    #[test]
+    fn parses_a_grid_mrf() {
+        let g = parse_uai(GRID_2X2).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 3));
+        assert!(!mintri_chordal::is_chordal(&g)); // it's a C4
+    }
+
+    #[test]
+    fn bayes_scopes_form_cliques() {
+        // a noisy-or style family: child 3 with parents 0, 1, 2 — the scope
+        // clique is exactly moralization
+        let text = "BAYES\n4\n2 2 2 2\n1\n4 0 1 2 3\n";
+        let g = parse_uai(text).unwrap();
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.is_clique(&mintri_graph::NodeSet::from_iter(4, [0, 1, 2, 3])));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_uai("FACTOR 3").is_err());
+        assert!(parse_uai("MARKOV 2 2 2 1 2 0 5").is_err()); // var out of range
+        assert!(parse_uai("MARKOV 2 2").is_err()); // truncated
+        assert!(parse_uai("MARKOV 1 0 0").is_err()); // zero cardinality
+    }
+
+    #[test]
+    fn trailing_function_tables_are_ignored() {
+        let text = format!("{GRID_2X2}\n4 1.0 0.5 0.5 1.0\n");
+        assert!(parse_uai(&text).is_ok());
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the workload generators: structural invariants that
+//! every generated instance must satisfy regardless of seed.
+
+use mintri_graph::NodeSet;
+use mintri_workloads::hypergraph::Hypergraph;
+use mintri_workloads::{pgm, random};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn erdos_renyi_respects_bounds(n in 1usize..40, seed in any::<u64>()) {
+        let g = random::erdos_renyi(n, 0.4, seed);
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert!(g.num_edges() <= n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn grids_are_connected_and_bipartite_sized(r in 2usize..8, c in 2usize..8) {
+        let g = random::grid(r, c);
+        prop_assert_eq!(g.num_nodes(), r * c);
+        prop_assert_eq!(g.num_edges(), r * (c - 1) + c * (r - 1));
+        prop_assert!(mintri_graph::traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn promedas_findings_have_parents(d in 2usize..10, f in 1usize..30, seed in any::<u64>()) {
+        let g = pgm::promedas(d, f, 3, seed);
+        prop_assert_eq!(g.num_nodes(), d + f);
+        // every finding node has at least one disease neighbor
+        for finding in d..(d + f) {
+            let nbrs = g.neighbors(finding as u32);
+            let diseases = NodeSet::from_iter(d + f, 0..d as u32);
+            prop_assert!(nbrs.intersects(&diseases), "finding {finding} is orphaned");
+        }
+    }
+
+    #[test]
+    fn pedigree_children_have_two_parents(seed in any::<u64>()) {
+        let founders = 5;
+        let g = pgm::pedigree_network(founders, 20, seed);
+        for child in founders..g.num_nodes() {
+            // at least 2 neighbors among strictly earlier individuals
+            let earlier = NodeSet::from_iter(g.num_nodes(), 0..child as u32);
+            prop_assert!(g.neighbors(child as u32).intersection_len(&earlier) >= 2);
+        }
+    }
+
+    #[test]
+    fn csp_meets_exact_edge_budget(n in 10usize..40, seed in any::<u64>()) {
+        let m = n; // sparse enough to always fit
+        let g = pgm::csp(n, m, seed);
+        prop_assert_eq!(g.num_edges(), m);
+    }
+
+    #[test]
+    fn primal_graphs_saturate_atoms(vars in 2usize..6, atoms in 1usize..4) {
+        // build a hypergraph over variables v0..v_{vars-1} with `atoms`
+        // rotating scopes; every atom must induce a clique
+        let names: Vec<String> = (0..vars).map(|i| format!("v{i}")).collect();
+        let scopes: Vec<(String, Vec<String>)> = (0..atoms)
+            .map(|a| {
+                let scope: Vec<String> =
+                    (0..=a.min(vars - 1)).map(|i| names[(a + i) % vars].clone()).collect();
+                (format!("R{a}"), scope)
+            })
+            .collect();
+        let h = Hypergraph {
+            atoms: scopes,
+        };
+        let (g, idx) = h.primal_graph();
+        for (_, scope) in &h.atoms {
+            let set = NodeSet::from_iter(
+                g.num_nodes(),
+                scope.iter().map(|v| idx[v]),
+            );
+            prop_assert!(g.is_clique(&set));
+        }
+    }
+}

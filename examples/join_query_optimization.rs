@@ -1,0 +1,68 @@
+//! Join query optimization: pick the best tree decomposition of a TPC-H
+//! query under an application-specific cost function.
+//!
+//! This is the paper's motivating use case (Section 1): rather than trusting
+//! one heuristic decomposition, enumerate many proper tree decompositions
+//! and let the application choose by its own measure — width for worst-case
+//! joins, or adhesion sizes for caching (Kalinsky et al.'s observation that
+//! isomorphic minimum-width decompositions can differ by orders of
+//! magnitude in join performance).
+//!
+//! Run with: `cargo run --release --example join_query_optimization`
+
+use mintri::prelude::*;
+use mintri::workloads::tpch_query;
+
+/// A caching-oriented cost: the sum of squared adhesion (bag-intersection)
+/// sizes, preferring decompositions with small parent-child interfaces.
+fn adhesion_cost(d: &TreeDecomposition) -> usize {
+    d.edges
+        .iter()
+        .map(|&(i, j)| {
+            let a = d.bags[i].intersection_len(&d.bags[j]);
+            a * a
+        })
+        .sum()
+}
+
+fn main() {
+    let q = tpch_query(7); // Volume Shipping: 1000+ minimal triangulations
+    let g = &q.graph;
+    println!(
+        "TPC-H Q7 primal graph: {} variables, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    // Enumerate one decomposition per bag configuration, keeping the best
+    // under three different objectives.
+    let mut first: Option<(usize, usize, usize)> = None;
+    let mut best_width = usize::MAX;
+    let mut best_fill = usize::MAX;
+    let mut best_adhesion = usize::MAX;
+    let mut count = 0usize;
+
+    for d in ProperTreeDecompositions::one_per_class(g) {
+        let width = d.width();
+        let fill = d.fill(g);
+        let adhesion = adhesion_cost(&d);
+        if first.is_none() {
+            first = Some((width, fill, adhesion));
+        }
+        best_width = best_width.min(width);
+        best_fill = best_fill.min(fill);
+        best_adhesion = best_adhesion.min(adhesion);
+        count += 1;
+    }
+
+    let (w1, f1, a1) = first.expect("Q7 has decompositions");
+    println!("\n{count} bag configurations enumerated");
+    println!("measure      first   best");
+    println!("width        {w1:5}  {best_width:5}");
+    println!("fill         {f1:5}  {best_fill:5}");
+    println!("adhesion²    {a1:5}  {best_adhesion:5}");
+    println!(
+        "\nThe first row is what the plain MCS-M heuristic returns; the best\n\
+         column is what enumeration finds — the application picks its measure."
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: enumerate the minimal triangulations and proper tree
+//! decompositions of a small graph.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mintri::prelude::*;
+
+fn main() {
+    // A 6-cycle: the simplest graph with an interesting triangulation space.
+    let g = Graph::cycle(6);
+    println!(
+        "graph: C6 with {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    // 1. Enumerate ALL minimal triangulations (Catalan(4) = 14 of them).
+    println!("\nminimal triangulations:");
+    for (i, tri) in MinimalTriangulationsEnumerator::new(&g).enumerate() {
+        println!("  #{i:2}: width {}, fill {:?}", tri.width(), tri.fill);
+        assert!(is_chordal(&tri.graph));
+        assert!(is_minimal_triangulation(&g, &tri.graph));
+    }
+
+    // 2. Enumerate the proper tree decompositions.
+    let decompositions: Vec<TreeDecomposition> = ProperTreeDecompositions::new(&g).collect();
+    println!(
+        "\n{} proper tree decompositions; the first:",
+        decompositions.len()
+    );
+    let d = &decompositions[0];
+    for (i, bag) in d.bags.iter().enumerate() {
+        println!("  bag {i}: {:?}", bag.to_vec());
+    }
+    println!("  tree edges: {:?}", d.edges);
+    println!("  width: {}, valid: {}", d.width(), d.validate(&g).is_ok());
+
+    // 3. The enumeration is lazy — an anytime "give me something better"
+    //    loop needs no upfront bound:
+    let best = MinimalTriangulationsEnumerator::new(&g)
+        .take(5)
+        .min_by_key(|t| t.fill_count())
+        .expect("C6 has triangulations");
+    println!(
+        "\nbest fill among the first 5 results: {}",
+        best.fill_count()
+    );
+}

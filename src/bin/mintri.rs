@@ -1,0 +1,182 @@
+//! The `mintri` command-line tool: enumerate minimal triangulations and
+//! proper tree decompositions of graphs from files.
+//!
+//! ```text
+//! mintri stats        --input g.col [--format dimacs|edges|uai]
+//! mintri triangulate  --input g.col [--algo mcsm|lbtriang|lexm|mindegree]
+//! mintri enumerate    --input g.col [--limit K] [--budget-ms T] [--algo ...]
+//! mintri decompose    --input g.col [--limit K] [--one-per-class true]
+//! ```
+//!
+//! Graphs: DIMACS `.col` (default), 0-based edge lists, or UAI network
+//! files. Output goes to stdout; diagnostics to stderr.
+
+use mintri::core::{AnytimeSearch, EnumerationBudget, ProperTreeDecompositions};
+use mintri::graph::io::{parse_dimacs, parse_edge_list};
+use mintri::prelude::*;
+use mintri::separators::MinimalSeparatorIter;
+use mintri::triangulate::{minimal_triangulation, EliminationOrder, LexM};
+use mintri::workloads::parse_uai;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("usage: mintri <stats|triangulate|enumerate|decompose> --input FILE [flags]");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&command, &flags) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_flags(args: impl Iterator<Item = String>) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut iter = args.peekable();
+    while let Some(arg) = iter.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {arg:?}"))?;
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("missing value for --{key}"))?;
+        flags.insert(key.to_string(), value);
+    }
+    Ok(flags)
+}
+
+fn load_graph(flags: &HashMap<String, String>) -> Result<Graph, String> {
+    let path = flags
+        .get("input")
+        .ok_or_else(|| "--input FILE is required".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let format = flags.get("format").map(String::as_str).unwrap_or_else(|| {
+        if path.ends_with(".uai") {
+            "uai"
+        } else if path.ends_with(".edges") || path.ends_with(".txt") {
+            "edges"
+        } else {
+            "dimacs"
+        }
+    });
+    match format {
+        "dimacs" => parse_dimacs(&text).map_err(|e| e.to_string()),
+        "edges" => parse_edge_list(&text).map_err(|e| e.to_string()),
+        "uai" => parse_uai(&text),
+        other => Err(format!("unknown --format {other:?}")),
+    }
+}
+
+fn pick_triangulator(flags: &HashMap<String, String>) -> Result<Box<dyn Triangulator>, String> {
+    Ok(
+        match flags.get("algo").map(String::as_str).unwrap_or("mcsm") {
+            "mcsm" => Box::new(McsM),
+            "lbtriang" => Box::new(LbTriang::min_fill()),
+            "lexm" => Box::new(LexM),
+            "mindegree" => Box::new(EliminationOrder::min_degree()),
+            other => return Err(format!("unknown --algo {other:?}")),
+        },
+    )
+}
+
+fn run(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let limit: usize = flags
+        .get("limit")
+        .map(|s| s.parse().map_err(|_| "--limit must be an integer"))
+        .transpose()?
+        .unwrap_or(usize::MAX);
+    let budget_ms: Option<u64> = flags
+        .get("budget-ms")
+        .map(|s| s.parse().map_err(|_| "--budget-ms must be an integer"))
+        .transpose()?;
+
+    match command {
+        "stats" => {
+            println!("nodes: {}", g.num_nodes());
+            println!("edges: {}", g.num_edges());
+            println!("chordal: {}", is_chordal(&g));
+            let cap = 10_000;
+            let seps: Vec<_> = MinimalSeparatorIter::new(&g).take(cap).collect();
+            let more = if seps.len() == cap { "+" } else { "" };
+            println!("minimal separators: {}{}", seps.len(), more);
+            if is_chordal(&g) {
+                println!("treewidth: {}", treewidth_of_chordal(&g));
+            } else {
+                let t = minimal_triangulation(&g, &McsM);
+                println!("mcs-m width (treewidth upper bound): {}", t.width());
+                println!("mcs-m fill: {}", t.fill_count());
+            }
+        }
+        "triangulate" => {
+            let t = pick_triangulator(flags)?;
+            let tri = minimal_triangulation(&g, t.as_ref());
+            println!("c minimal triangulation by {}", t.name());
+            println!("c width {} fill {}", tri.width(), tri.fill_count());
+            for (u, v) in tri.fill {
+                println!("f {} {}", u + 1, v + 1);
+            }
+        }
+        "enumerate" => {
+            let t = pick_triangulator(flags)?;
+            let budget = EnumerationBudget {
+                max_results: (limit != usize::MAX).then_some(limit),
+                time_limit: budget_ms.map(Duration::from_millis),
+            };
+            let outcome = AnytimeSearch::new(&g).triangulator(t).budget(budget).run();
+            println!("index,elapsed_us,width,fill");
+            for r in &outcome.records {
+                println!("{},{},{},{}", r.index, r.at.as_micros(), r.width, r.fill);
+            }
+            eprintln!(
+                "{} minimal triangulations{} in {:.1} ms",
+                outcome.records.len(),
+                if outcome.completed { " (complete)" } else { "" },
+                outcome.elapsed.as_secs_f64() * 1e3
+            );
+        }
+        "decompose" => {
+            let one_per_class = flags
+                .get("one-per-class")
+                .map(|s| s == "true" || s == "1")
+                .unwrap_or(false);
+            let iter: Box<dyn Iterator<Item = TreeDecomposition>> = if one_per_class {
+                Box::new(ProperTreeDecompositions::one_per_class(&g))
+            } else {
+                Box::new(ProperTreeDecompositions::new(&g))
+            };
+            let mut count = 0usize;
+            for (i, d) in iter.take(limit).enumerate() {
+                println!("d {} width {} bags {}", i, d.width(), d.num_bags());
+                for bag in &d.bags {
+                    let items: Vec<String> = bag.iter().map(|v| (v + 1).to_string()).collect();
+                    println!("b {}", items.join(" "));
+                }
+                for (a, b) in &d.edges {
+                    println!("t {} {}", a, b);
+                }
+                count += 1;
+            }
+            eprintln!("{count} proper tree decompositions printed");
+        }
+        other => {
+            return Err(format!(
+                "unknown command {other:?} (use stats, triangulate, enumerate or decompose)"
+            ))
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! # mintri — enumerating minimal triangulations and proper tree decompositions
+//!
+//! A Rust implementation of the PODS 2017 paper *"Efficiently Enumerating
+//! Minimal Triangulations"* (Carmeli, Kenig, Kimelfeld, Kröll). The facade
+//! crate re-exports the whole stack; most users only need [`prelude`].
+//!
+//! ```
+//! use mintri::prelude::*;
+//!
+//! // The 4-cycle has exactly two minimal triangulations (the two diagonals).
+//! let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+//! let results: Vec<_> = MinimalTriangulationsEnumerator::new(&g).collect();
+//! assert_eq!(results.len(), 2);
+//! ```
+
+pub use mintri_chordal as chordal;
+pub use mintri_core as core;
+pub use mintri_graph as graph;
+pub use mintri_separators as separators;
+pub use mintri_sgr as sgr;
+pub use mintri_treedecomp as treedecomp;
+pub use mintri_triangulate as triangulate;
+pub use mintri_workloads as workloads;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use mintri_chordal::{is_chordal, maximal_cliques, treewidth_of_chordal, CliqueForest};
+    pub use mintri_core::{
+        best_fill, best_k_by, best_width, AnytimeSearch, BruteForce, EagerMinimalTriangulations,
+        EnumerationBudget, MinimalTriangulationsEnumerator, ProperTreeDecompositions,
+        TdEnumerationMode,
+    };
+    pub use mintri_graph::{Graph, Node, NodeSet};
+    pub use mintri_separators::{crossing, MinimalSeparatorIter};
+    pub use mintri_sgr::{EnumMis, PrintMode, Sgr};
+    pub use mintri_treedecomp::{exact_treewidth, TreeDecomposition};
+    pub use mintri_triangulate::{
+        is_minimal_triangulation, EliminationOrder, LbTriang, LexM, McsM, Triangulation,
+        Triangulator,
+    };
+}

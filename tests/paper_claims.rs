@@ -1,0 +1,294 @@
+//! Tests pinned to specific theorems and claims of the paper — each test
+//! names the statement it exercises.
+
+use mintri::core::MinimalTriangulationsEnumerator;
+use mintri::prelude::*;
+use mintri::separators::all_minimal_separators;
+use mintri::workloads::random::erdos_renyi;
+
+/// Theorem 2.1 (Dirac): a graph is chordal iff every minimal separator is a
+/// clique.
+#[test]
+fn dirac_characterization() {
+    for seed in 0..20 {
+        let g = erdos_renyi(9, 0.35, seed);
+        let seps = all_minimal_separators(&g);
+        let all_cliques = seps.iter().all(|s| g.is_clique(s));
+        assert_eq!(
+            is_chordal(&g),
+            all_cliques,
+            "Dirac fails on seed {seed}: {g:?}"
+        );
+    }
+}
+
+/// Theorem 2.2 / Rose: a chordal graph has fewer minimal separators than
+/// nodes, and they are computable from the clique tree.
+#[test]
+fn rose_bound_and_kumar_madhavan_extraction() {
+    for seed in 0..20 {
+        let g = erdos_renyi(10, 0.3, seed);
+        let tri = McsM.triangulate(&g); // chordal by construction
+        let h = &tri.graph;
+        let from_tree = {
+            let mut s = mintri::chordal::minimal_separators_of_chordal(h);
+            s.sort();
+            s
+        };
+        assert!(from_tree.len() < h.num_nodes().max(1), "Rose bound");
+        assert_eq!(from_tree, all_minimal_separators(h), "Kumar–Madhavan");
+    }
+}
+
+/// Section 2.2: the crossing relation is symmetric on minimal separators
+/// (Parra–Scheffler / Kloks–Kratsch–Spinrad).
+#[test]
+fn crossing_symmetry() {
+    for seed in 0..10 {
+        let g = erdos_renyi(8, 0.3, seed);
+        let seps = all_minimal_separators(&g);
+        for s in &seps {
+            for t in &seps {
+                assert_eq!(crossing(&g, s, t), crossing(&g, t, s));
+            }
+        }
+    }
+}
+
+/// Theorem 4.1 (Parra–Scheffler): for every minimal triangulation `h` of
+/// `g`, `MinSep(h)` is a maximal set of pairwise-parallel minimal
+/// separators of `g`, and saturating it recovers `h`.
+#[test]
+fn parra_scheffler_bijection() {
+    let g = Graph::cycle(6);
+    let all_seps = all_minimal_separators(&g);
+    for tri in MinimalTriangulationsEnumerator::new(&g) {
+        let h = &tri.graph;
+        let h_seps = all_minimal_separators(h);
+        // every separator of h is a minimal separator of g...
+        for s in &h_seps {
+            assert!(
+                all_seps.contains(s),
+                "{s:?} is not a minimal separator of g"
+            );
+        }
+        // ...pairwise parallel in g...
+        for s in &h_seps {
+            for t in &h_seps {
+                assert!(!crossing(&g, s, t));
+            }
+        }
+        // ...maximal: every other separator of g crosses some member...
+        for s in &all_seps {
+            if !h_seps.contains(s) {
+                assert!(
+                    h_seps.iter().any(|t| crossing(&g, s, t)),
+                    "{s:?} could extend the set"
+                );
+            }
+        }
+        // ...and g[MinSep(h)] = h.
+        let mut resat = g.clone();
+        for s in &h_seps {
+            resat.saturate(s);
+        }
+        assert_eq!(&resat, h);
+    }
+}
+
+/// Corollary 4.3: independent sets of the separator graph have fewer than
+/// `|V(g)|` members.
+#[test]
+fn independent_sets_are_small() {
+    let g = Graph::cycle(9);
+    for tri in MinimalTriangulationsEnumerator::new(&g) {
+        let h_seps = all_minimal_separators(&tri.graph);
+        assert!(h_seps.len() < g.num_nodes());
+    }
+}
+
+/// Proposition 5.3: every clique of `g` is contained in some bag of every
+/// tree decomposition of `g`.
+#[test]
+fn cliques_are_covered_by_bags() {
+    let g = erdos_renyi(8, 0.5, 3);
+    let cliques = maximal_cliques(&g);
+    for d in mintri::core::ProperTreeDecompositions::new(&g).take(20) {
+        for c in &cliques {
+            assert!(
+                d.bags.iter().any(|b| c.is_subset(b)),
+                "clique {c:?} not covered"
+            );
+        }
+    }
+}
+
+/// Proposition 5.4: the bags of a proper tree decomposition form an
+/// antichain under inclusion.
+#[test]
+fn proper_bags_are_an_antichain() {
+    let g = erdos_renyi(9, 0.35, 5);
+    for d in mintri::core::ProperTreeDecompositions::new(&g).take(30) {
+        for (i, a) in d.bags.iter().enumerate() {
+            for (j, b) in d.bags.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_subset(b), "bag {a:?} ⊆ bag {b:?}");
+                }
+            }
+        }
+    }
+}
+
+/// Lemma 5.6: a proper tree decomposition of a *chordal* graph has exactly
+/// the maximal cliques as bags.
+#[test]
+fn proper_decompositions_of_chordal_graphs_use_maximal_cliques() {
+    let g = {
+        let mut g = Graph::cycle(7);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        g.add_edge(0, 4);
+        g.add_edge(0, 5);
+        g
+    };
+    assert!(is_chordal(&g));
+    let mut cliques = maximal_cliques(&g);
+    cliques.sort();
+    for d in mintri::core::ProperTreeDecompositions::new(&g) {
+        let mut bags = d.bags.clone();
+        bags.sort();
+        assert_eq!(bags, cliques);
+    }
+}
+
+/// Theorem 5.1 / Lemma 5.7: the map triangulation → bag configuration is a
+/// bijection: distinct triangulations have distinct bag sets, and
+/// `saturate(g, d)` recovers the triangulation.
+#[test]
+fn bijection_between_triangulations_and_bag_configurations() {
+    let g = Graph::cycle(6);
+    let mut seen_bag_sets = Vec::new();
+    for tri in MinimalTriangulationsEnumerator::new(&g) {
+        let forest = CliqueForest::build(&tri.graph);
+        let d = TreeDecomposition {
+            bags: forest.cliques,
+            edges: forest.edges,
+        };
+        let mut bags = d.bags.clone();
+        bags.sort();
+        assert!(
+            !seen_bag_sets.contains(&bags),
+            "two triangulations share a bag configuration"
+        );
+        assert_eq!(d.saturate(&g), tri.graph, "M is invertible by saturation");
+        seen_bag_sets.push(bags);
+    }
+    assert_eq!(seen_bag_sets.len(), 14);
+}
+
+/// Section 2.3: a chordal graph is the unique minimal triangulation of
+/// itself.
+#[test]
+fn chordal_graphs_are_their_own_unique_triangulation() {
+    for seed in 0..10 {
+        let g = McsM.triangulate(&erdos_renyi(9, 0.3, seed)).graph;
+        let all: Vec<_> = MinimalTriangulationsEnumerator::new(&g).collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].graph, g);
+    }
+}
+
+/// Gavril: chordal graphs have at most `n` maximal cliques — so proper tree
+/// decompositions have at most `n` bags (used for the polynomial-delay
+/// clique-tree enumeration of Theorem 5.1).
+#[test]
+fn gavril_bag_count_bound() {
+    for seed in 0..10 {
+        let g = erdos_renyi(10, 0.4, seed);
+        for d in mintri::core::ProperTreeDecompositions::one_per_class(&g).take(10) {
+            assert!(d.num_bags() <= g.num_nodes());
+        }
+    }
+}
+
+/// The treewidth is attained by some minimal triangulation — so exhaustive
+/// enumeration must reach the exact treewidth (the paper's premise that
+/// enumerating can only improve on a heuristic's width).
+#[test]
+fn enumeration_reaches_the_exact_treewidth() {
+    use mintri::treedecomp::exact_treewidth;
+    for seed in 0..8 {
+        let g = erdos_renyi(8, 0.4, seed);
+        let tw = exact_treewidth(&g);
+        let min_width = MinimalTriangulationsEnumerator::new(&g)
+            .map(|t| t.width())
+            .min()
+            .expect("at least one triangulation");
+        assert_eq!(min_width, tw, "seed {seed}");
+        // ...and no triangulation can beat the treewidth
+        for t in MinimalTriangulationsEnumerator::new(&g) {
+            assert!(t.width() >= tw);
+        }
+    }
+}
+
+/// Theorem 4.4 (Heggernes): for any set `φ` of pairwise-parallel minimal
+/// separators of `g`, (1) `φ ⊆ ClqMinSep(g[φ])`, (2) `ClqMinSep(g) ⊆
+/// MinSep(g[φ])`, and (3) every minimal triangulation of `g[φ]` is a
+/// minimal triangulation of `g` — the correctness backbone of `Extend`.
+#[test]
+fn heggernes_saturation_theorem() {
+    use mintri::separators::{clique_minimal_separators, is_clique_minimal_separator};
+    for seed in 0..10 {
+        let g = erdos_renyi(8, 0.35, seed);
+        let seps = all_minimal_separators(&g);
+        // pick a greedy pairwise-parallel subset φ
+        let mut phi: Vec<_> = Vec::new();
+        for s in &seps {
+            if phi.iter().all(|t| !crossing(&g, s, t)) {
+                phi.push(s.clone());
+            }
+        }
+        let mut gphi = g.clone();
+        for s in &phi {
+            gphi.saturate(s);
+        }
+        // (1) φ consists of clique minimal separators of g[φ]
+        for s in &phi {
+            assert!(
+                is_clique_minimal_separator(&gphi, s),
+                "seed {seed}: {s:?} not a clique minimal separator of g[φ]"
+            );
+        }
+        // (2) every clique minimal separator of g is a minimal separator of g[φ]
+        let gphi_seps = all_minimal_separators(&gphi);
+        for s in clique_minimal_separators(&g) {
+            assert!(
+                gphi_seps.contains(&s),
+                "seed {seed}: {s:?} lost by saturation"
+            );
+        }
+        // (3) a minimal triangulation of g[φ] is a minimal triangulation of g
+        let h = McsM.triangulate(&gphi).graph;
+        assert!(is_minimal_triangulation(&g, &h), "seed {seed}");
+    }
+}
+
+/// The eager (materialized, polynomial-delay) engine of the Section 7
+/// remark agrees with the lazy engine on random inputs.
+#[test]
+fn eager_engine_agrees_with_lazy_engine() {
+    use mintri::core::EagerMinimalTriangulations;
+    for seed in 0..8 {
+        let g = erdos_renyi(8, 0.35, seed);
+        let mut eager: Vec<_> = EagerMinimalTriangulations::new(&g)
+            .map(|t| t.graph.edges())
+            .collect();
+        eager.sort();
+        let mut lazy: Vec<_> = MinimalTriangulationsEnumerator::new(&g)
+            .map(|t| t.graph.edges())
+            .collect();
+        lazy.sort();
+        assert_eq!(eager, lazy, "seed {seed}");
+    }
+}

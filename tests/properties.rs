@@ -1,0 +1,187 @@
+//! Property-based tests (proptest) over random small graphs: the fast
+//! algorithms must agree with brute-force oracles and preserve their
+//! invariants on *every* input, not just the hand-picked ones.
+
+use mintri::core::{BruteForce, MinimalTriangulationsEnumerator, ProperTreeDecompositions};
+use mintri::prelude::*;
+use mintri::separators::all_minimal_separators;
+use mintri::separators::bruteforce::{all_minimal_separators_bruteforce, crossing_bruteforce};
+use mintri::sgr::bruteforce::all_maximal_independent_sets;
+use mintri::sgr::ExplicitSgr;
+use mintri::triangulate::{
+    eliminate, lb_triang, mcs_m, minimal_triangulation_sandwich, CompleteFill, OrderingStrategy,
+};
+use proptest::prelude::*;
+
+/// A random graph on `3..=max_n` nodes with independent edge bits.
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3usize..=max_n).prop_flat_map(|n| {
+        let m = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), m).prop_map(move |bits| {
+            let mut g = Graph::new(n);
+            let mut k = 0;
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if bits[k] {
+                        g.add_edge(u, v);
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The incremental-polynomial-time enumerator produces exactly the
+    /// brute-force set of minimal triangulations.
+    #[test]
+    fn enumerator_matches_brute_force(g in graph_strategy(6)) {
+        let mut fast: Vec<_> = MinimalTriangulationsEnumerator::new(&g)
+            .map(|t| t.graph.edges())
+            .collect();
+        fast.sort();
+        let slow: Vec<_> = BruteForce::minimal_triangulations(&g)
+            .iter()
+            .map(|h| h.edges())
+            .collect();
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Berry–Bordat–Cogis agrees with the definitional brute force.
+    #[test]
+    fn separator_enumeration_matches_brute_force(g in graph_strategy(7)) {
+        prop_assert_eq!(
+            all_minimal_separators(&g),
+            all_minimal_separators_bruteforce(&g)
+        );
+    }
+
+    /// The component-counting crossing test agrees with the definitional
+    /// one, and is symmetric.
+    #[test]
+    fn crossing_test_is_correct_and_symmetric(g in graph_strategy(7)) {
+        let seps = all_minimal_separators(&g);
+        for s in &seps {
+            for t in &seps {
+                prop_assert_eq!(crossing(&g, s, t), crossing_bruteforce(&g, s, t));
+                prop_assert_eq!(crossing(&g, s, t), crossing(&g, t, s));
+            }
+        }
+    }
+
+    /// MCS-M always produces a minimal triangulation whose reported PEO is
+    /// a perfect elimination order of it.
+    #[test]
+    fn mcs_m_is_minimal(g in graph_strategy(8)) {
+        let t = mcs_m(&g);
+        prop_assert!(is_chordal(&t.graph));
+        prop_assert!(is_minimal_triangulation(&g, &t.graph));
+        prop_assert!(mintri::chordal::is_perfect_elimination_order(
+            &t.graph,
+            t.peo.as_ref().unwrap()
+        ));
+    }
+
+    /// LB-Triang produces a minimal triangulation for every strategy.
+    #[test]
+    fn lb_triang_is_minimal(g in graph_strategy(7), which in 0usize..3) {
+        let strat = match which {
+            0 => OrderingStrategy::MinFill,
+            1 => OrderingStrategy::MinDegree,
+            _ => OrderingStrategy::Natural,
+        };
+        let t = lb_triang(&g, &strat);
+        prop_assert!(is_chordal(&t.graph));
+        prop_assert!(is_minimal_triangulation(&g, &t.graph));
+    }
+
+    /// Elimination fill-in always triangulates (possibly non-minimally),
+    /// and the sandwich step always minimalizes it.
+    #[test]
+    fn sandwich_minimalizes_any_triangulation(g in graph_strategy(7)) {
+        let raw = eliminate(&g, &OrderingStrategy::Natural);
+        prop_assert!(is_chordal(&raw.graph));
+        let m = minimal_triangulation_sandwich(&g, &raw.graph);
+        prop_assert!(is_minimal_triangulation(&g, &m.graph));
+        let naive = CompleteFill.triangulate(&g);
+        let m2 = minimal_triangulation_sandwich(&g, &naive.graph);
+        prop_assert!(is_minimal_triangulation(&g, &m2.graph));
+    }
+
+    /// `EnumMIS` over an explicit SGR equals brute-force maximal
+    /// independent set enumeration.
+    #[test]
+    fn enum_mis_matches_brute_force(g in graph_strategy(8)) {
+        let sgr = ExplicitSgr::new(&g);
+        let mut fast: Vec<Vec<Node>> = EnumMis::new(&sgr, PrintMode::UponGeneration).collect();
+        fast.sort();
+        prop_assert_eq!(fast, all_maximal_independent_sets(&g));
+    }
+
+    /// MCS and Lex-BFS agree on chordality.
+    #[test]
+    fn chordality_deciders_agree(g in graph_strategy(8)) {
+        let via_mcs = is_chordal(&g);
+        let via_lexbfs = mintri::chordal::is_perfect_elimination_order(
+            &g,
+            &mintri::chordal::lexbfs_order(&g),
+        );
+        prop_assert_eq!(via_mcs, via_lexbfs);
+    }
+
+    /// Chordal maximal-clique extraction agrees with Bron–Kerbosch.
+    #[test]
+    fn chordal_cliques_match_bron_kerbosch(g in graph_strategy(8)) {
+        let h = mcs_m(&g).graph; // make it chordal
+        let mut fast = mintri::chordal::maximal_cliques_chordal(&h);
+        fast.sort();
+        prop_assert_eq!(fast, maximal_cliques(&h));
+    }
+
+    /// Every emitted proper tree decomposition is valid and proper, with
+    /// distinct (bags, edges) pairs.
+    #[test]
+    fn proper_decompositions_are_valid_and_distinct(g in graph_strategy(6)) {
+        let mut seen = Vec::new();
+        for d in ProperTreeDecompositions::new(&g).take(60) {
+            prop_assert!(d.validate(&g).is_ok());
+            prop_assert!(d.is_proper(&g));
+            let mut key_bags = d.bags.clone();
+            key_bags.sort();
+            let mut key_edges = d.edges.clone();
+            key_edges.sort_unstable();
+            let key = (key_bags, key_edges);
+            prop_assert!(!seen.contains(&key));
+            seen.push(key);
+        }
+    }
+
+    /// The minimal separators of every minimal triangulation of `g` are
+    /// minimal separators of `g` (one half of Theorem 4.1, on random
+    /// inputs).
+    #[test]
+    fn triangulation_separators_come_from_the_input(g in graph_strategy(6)) {
+        let g_seps = all_minimal_separators(&g);
+        for tri in MinimalTriangulationsEnumerator::new(&g) {
+            for s in all_minimal_separators(&tri.graph) {
+                prop_assert!(g_seps.contains(&s));
+            }
+        }
+    }
+
+    /// The clique forest of a chordal graph satisfies the junction
+    /// property and covers the graph.
+    #[test]
+    fn clique_forests_are_junction_forests(g in graph_strategy(8)) {
+        let h = mcs_m(&g).graph;
+        let f = CliqueForest::build(&h);
+        prop_assert!(f.is_valid_junction_forest(h.num_nodes()));
+        // decomposition induced by the forest is a valid TD of h
+        let d = TreeDecomposition { bags: f.cliques, edges: f.edges };
+        prop_assert!(d.validate(&h).is_ok());
+    }
+}
