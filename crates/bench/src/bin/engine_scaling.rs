@@ -1,0 +1,101 @@
+//! Thread-scaling baseline for the parallel engine: sequential delay vs.
+//! `ParallelEnumerator` at 1/2/4/8 threads over the Figure-7 random
+//! workloads, plus the session layer's warm-replay speedup. Emits
+//! `BENCH_engine.json` so future PRs have a perf trajectory to compare
+//! against.
+//!
+//! Flags: `--out FILE` (default `BENCH_engine.json`), `--results K`
+//! (triangulations measured per configuration, default 1500),
+//! `--max-n N` (largest random-graph size, default 50).
+//!
+//! The JSON records the host's CPU count: on a single-core box the
+//! multi-thread rows measure coordination overhead, not scaling — compare
+//! `speedup_vs_sequential` only when `cpus` is honest about parallelism.
+
+use mintri_bench::Args;
+use mintri_core::MinimalTriangulationsEnumerator;
+use mintri_engine::{Engine, ParallelEnumerator};
+use mintri_workloads::random_suite;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Wall-clock seconds to stream the first `k` triangulations.
+fn time_stream<I: Iterator>(stream: I, k: usize) -> (usize, f64) {
+    let started = Instant::now();
+    let produced = stream.take(k).count();
+    (produced, started.elapsed().as_secs_f64())
+}
+
+fn main() -> std::io::Result<()> {
+    let args = Args::parse();
+    let out_path = args.get_str("out", "BENCH_engine.json");
+    let k = args.get_usize("results", 1500);
+    let max_n = args.get_usize("max-n", 50);
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"engine_scaling\",");
+    let _ = writeln!(json, "  \"cpus\": {cpus},");
+    let _ = writeln!(json, "  \"results_per_run\": {k},");
+    let _ = writeln!(json, "  \"workloads\": [");
+
+    let suite: Vec<_> = random_suite(max_n, 20, 42)
+        .into_iter()
+        .filter(|(p, _)| *p < 0.6) // densest family is too slow for a baseline
+        .collect();
+    let mut first_workload = true;
+    for (p, inst) in &suite {
+        if !first_workload {
+            json.push_str(",\n");
+        }
+        first_workload = false;
+        eprintln!("workload {} …", inst.name);
+
+        let (seq_n, seq_s) = time_stream(MinimalTriangulationsEnumerator::new(&inst.graph), k);
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", inst.name);
+        let _ = writeln!(json, "      \"p\": {p},");
+        let _ = writeln!(json, "      \"nodes\": {},", inst.graph.num_nodes());
+        let _ = writeln!(json, "      \"edges\": {},", inst.graph.num_edges());
+        let _ = writeln!(json, "      \"results\": {seq_n},");
+        let _ = writeln!(
+            json,
+            "      \"sequential\": {{\"seconds\": {seq_s:.6}, \"avg_delay_us\": {:.3}}},",
+            1e6 * seq_s / seq_n.max(1) as f64
+        );
+        let _ = writeln!(json, "      \"parallel\": [");
+        for (i, threads) in [1usize, 2, 4, 8].into_iter().enumerate() {
+            let (par_n, par_s) = time_stream(ParallelEnumerator::new(&inst.graph, threads), k);
+            assert_eq!(par_n, seq_n, "parallel run must produce the same count");
+            let _ = writeln!(
+                json,
+                "        {{\"threads\": {threads}, \"seconds\": {par_s:.6}, \
+                 \"avg_delay_us\": {:.3}, \"speedup_vs_sequential\": {:.3}}}{}",
+                1e6 * par_s / par_n.max(1) as f64,
+                seq_s / par_s,
+                if i < 3 { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = write!(json, "    }}");
+    }
+    json.push_str("\n  ],\n");
+
+    // The serving story, measured on a graph whose enumeration *completes*
+    // (replay requires a finished run): warm-session replay vs cold query.
+    let small = mintri_workloads::random::erdos_renyi(18, 0.3, 42);
+    let engine = Engine::new();
+    let (replay_n, cold_s) = time_stream(engine.enumerate(&small), usize::MAX);
+    let (_, warm_s) = time_stream(engine.enumerate(&small), usize::MAX);
+    let _ = writeln!(
+        json,
+        "  \"session_replay\": {{\"graph\": \"gnp_n18_p0.3\", \"results\": {replay_n}, \
+         \"cold_seconds\": {cold_s:.6}, \"warm_seconds\": {warm_s:.6}, \"speedup\": {:.1}}}",
+        cold_s / warm_s.max(1e-9)
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json)?;
+    eprintln!("wrote {out_path}");
+    Ok(())
+}

@@ -6,8 +6,38 @@
 use crate::MinimalTriangulationsEnumerator;
 use mintri_graph::Graph;
 use mintri_sgr::PrintMode;
-use mintri_triangulate::Triangulator;
+use mintri_triangulate::{Triangulation, Triangulator};
 use std::time::{Duration, Instant};
+
+/// How [`AnytimeSearch::run`] produces its triangulation stream.
+///
+/// The default drives the in-process sequential enumerator. `Streamed`
+/// delegates to an externally supplied stream factory — this is the hook
+/// the `mintri-engine` crate uses to plug its **parallel** enumeration in
+/// (`mintri_engine::parallel_strategy(threads)`), keeping the budgeting
+/// and quality-recording machinery here identical across strategies.
+pub enum SearchStrategy {
+    /// The classic single-threaded `EnumMIS` iterator.
+    Sequential,
+    /// A custom stream built from the search's graph, triangulator and
+    /// print mode (e.g. the engine's work-stealing parallel enumerator).
+    Streamed(StreamFactory),
+}
+
+/// Factory for [`SearchStrategy::Streamed`]: builds the triangulation
+/// stream an anytime run will consume.
+pub type StreamFactory = Box<
+    dyn FnOnce(&Graph, Box<dyn Triangulator>, PrintMode) -> Box<dyn Iterator<Item = Triangulation>>,
+>;
+
+impl std::fmt::Debug for SearchStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchStrategy::Sequential => f.write_str("Sequential"),
+            SearchStrategy::Streamed(_) => f.write_str("Streamed(..)"),
+        }
+    }
+}
 
 /// Stopping condition for an anytime run. Whichever limit trips first ends
 /// the run; with neither set, the run continues to completion.
@@ -186,16 +216,19 @@ pub struct AnytimeSearch<'g> {
     triangulator: Box<dyn Triangulator>,
     mode: PrintMode,
     budget: EnumerationBudget,
+    strategy: SearchStrategy,
 }
 
 impl<'g> AnytimeSearch<'g> {
-    /// Defaults: MCS-M, upon-generation printing, unlimited budget.
+    /// Defaults: MCS-M, upon-generation printing, unlimited budget,
+    /// sequential strategy.
     pub fn new(g: &'g Graph) -> Self {
         AnytimeSearch {
             g,
             triangulator: Box::new(mintri_triangulate::McsM),
             mode: PrintMode::UponGeneration,
             budget: EnumerationBudget::unlimited(),
+            strategy: SearchStrategy::Sequential,
         }
     }
 
@@ -217,19 +250,50 @@ impl<'g> AnytimeSearch<'g> {
         self
     }
 
+    /// Sets the enumeration strategy (sequential by default; see
+    /// [`SearchStrategy`] for the parallel hook).
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Runs the enumeration, recording one [`ResultRecord`] per
     /// triangulation.
     pub fn run(self) -> AnytimeOutcome {
+        let AnytimeSearch {
+            g,
+            triangulator,
+            mode,
+            budget,
+            strategy,
+        } = self;
+        match strategy {
+            SearchStrategy::Sequential => Self::record(
+                budget,
+                MinimalTriangulationsEnumerator::with_config(g, triangulator, mode),
+            ),
+            SearchStrategy::Streamed(factory) => {
+                Self::record(budget, factory(g, triangulator, mode))
+            }
+        }
+    }
+
+    /// Applies the budget to an arbitrary triangulation stream, recording
+    /// one [`ResultRecord`] per item — the measurement loop shared by all
+    /// strategies.
+    pub fn record(
+        budget: EnumerationBudget,
+        stream: impl IntoIterator<Item = Triangulation>,
+    ) -> AnytimeOutcome {
         let started = Instant::now();
         let mut records = Vec::new();
-        let mut enumerator =
-            MinimalTriangulationsEnumerator::with_config(self.g, self.triangulator, self.mode);
+        let mut stream = stream.into_iter();
         let mut completed = false;
         loop {
-            if self.budget.exhausted(records.len(), started) {
+            if budget.exhausted(records.len(), started) {
                 break;
             }
-            match enumerator.next() {
+            match stream.next() {
                 None => {
                     completed = true;
                     break;

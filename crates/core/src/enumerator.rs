@@ -24,7 +24,6 @@ use mintri_triangulate::{Triangulation, Triangulator};
 /// assert_eq!(MinimalTriangulationsEnumerator::new(&g).count(), 5);
 /// ```
 pub struct MinimalTriangulationsEnumerator<'g> {
-    g: &'g Graph,
     inner: EnumMis<MsGraph<'g>>,
 }
 
@@ -43,7 +42,6 @@ impl<'g> MinimalTriangulationsEnumerator<'g> {
     pub fn with_config(g: &'g Graph, triangulator: Box<dyn Triangulator>, mode: PrintMode) -> Self {
         let ms = MsGraph::with_triangulator(g, triangulator);
         MinimalTriangulationsEnumerator {
-            g,
             inner: EnumMis::new(ms, mode),
         }
     }
@@ -52,7 +50,6 @@ impl<'g> MinimalTriangulationsEnumerator<'g> {
     /// hooks live there).
     pub fn from_msgraph(ms: MsGraph<'g>, mode: PrintMode) -> Self {
         MinimalTriangulationsEnumerator {
-            g: ms.graph(),
             inner: EnumMis::new(ms, mode),
         }
     }
@@ -67,19 +64,15 @@ impl<'g> MinimalTriangulationsEnumerator<'g> {
         self.inner.sgr().stats()
     }
 
-    /// The input graph.
-    pub fn graph(&self) -> &'g Graph {
-        self.g
+    /// The input graph. The reference is tied to the enumerator (not the
+    /// original `'g` borrow) because the underlying [`MsGraph`] may *own*
+    /// its graph via `MsGraph::shared`.
+    pub fn graph(&self) -> &Graph {
+        self.inner.sgr().graph()
     }
 
     fn materialize(&self, answer: &[SepId]) -> Triangulation {
-        let h = self.inner.sgr().saturate_answer(answer);
-        let fill = h.fill_edges_over(self.g);
-        Triangulation {
-            graph: h,
-            fill,
-            peo: None,
-        }
+        self.inner.sgr().materialize(answer)
     }
 }
 

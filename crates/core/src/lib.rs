@@ -32,14 +32,18 @@ mod anytime;
 mod bruteforce;
 mod eager;
 mod enumerator;
+pub mod memo;
 mod msgraph;
 mod proper;
 mod ranked;
 
-pub use anytime::{AnytimeOutcome, AnytimeSearch, EnumerationBudget, QualityStats, ResultRecord};
+pub use anytime::{
+    AnytimeOutcome, AnytimeSearch, EnumerationBudget, QualityStats, ResultRecord, SearchStrategy,
+    StreamFactory,
+};
 pub use bruteforce::BruteForce;
 pub use eager::{EagerMinimalTriangulations, EagerMsGraph};
 pub use enumerator::MinimalTriangulationsEnumerator;
 pub use msgraph::{MsGraph, MsGraphStats, SepId};
 pub use proper::{ProperTreeDecompositions, TdEnumerationMode};
-pub use ranked::{best_fill, best_k_by, best_width};
+pub use ranked::{best_fill, best_k_by, best_k_of_stream, best_width};

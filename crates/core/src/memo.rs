@@ -1,0 +1,215 @@
+//! Sharded, lock-striped concurrent memo tables behind [`crate::MsGraph`].
+//!
+//! The enumeration stack memoizes two things per input graph: the
+//! *separator interner* (content-addressed `NodeSet` → dense [`SepId`])
+//! and the *crossing relation* (unordered `SepId` pair → `bool`). Both
+//! used to live in `RefCell<FxHashMap>`s, which pinned `MsGraph` to one
+//! thread; they are now striped over `N` mutex-guarded shards selected by
+//! key hash, so concurrent `EnumMIS` workers — and concurrent *queries*
+//! sharing one warm [`crate::MsGraph`] through the engine's session layer
+//! — hit different stripes and compute each separator and each crossing
+//! test at most once per graph.
+//!
+//! Interned ids stay **dense and insertion-ordered** (`0, 1, 2, …`): the
+//! id → set direction is an append-only vector under a read-write lock,
+//! taken for writing only on a genuinely new separator. Under a
+//! single-threaded caller the assignment order — and therefore the whole
+//! enumeration order — is identical to the historical `RefCell`
+//! implementation.
+
+use mintri_graph::{FxHashMap, FxHasher, NodeSet};
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, RwLock};
+
+/// Dense identifier of an interned minimal separator.
+pub type SepId = u32;
+
+/// Number of lock stripes. A power of two so shard selection is a mask;
+/// 16 stripes keep contention negligible for any thread count this
+/// workspace targets while costing ~1 KiB of locks per graph.
+const SHARDS: usize = 16;
+
+/// Selects one of `stripes` lock stripes for `key` (`stripes` must be a
+/// power of two). The low hash bits feed the hash-map bucket index inside
+/// a stripe, so the stripe comes from the *high* bits to keep the two
+/// selections independent. Shared with the engine's concurrent seen-set.
+pub fn stripe_of<K: Hash>(key: &K, stripes: usize) -> usize {
+    debug_assert!(stripes.is_power_of_two());
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    (h.finish() >> 57) as usize & (stripes - 1)
+}
+
+fn shard_of<K: Hash>(key: &K) -> usize {
+    stripe_of(key, SHARDS)
+}
+
+/// Content-addressed interner from [`NodeSet`] separators to dense
+/// [`SepId`]s, safe for concurrent use from many threads.
+pub struct ShardedInterner {
+    /// content → id, striped by content hash.
+    shards: [Mutex<FxHashMap<NodeSet, SepId>>; SHARDS],
+    /// id → content, append-only; write-locked only when a new separator
+    /// is first seen.
+    sets: RwLock<Vec<NodeSet>>,
+}
+
+impl Default for ShardedInterner {
+    fn default() -> Self {
+        ShardedInterner {
+            shards: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
+            sets: RwLock::new(Vec::new()),
+        }
+    }
+}
+
+impl ShardedInterner {
+    /// Interns `s`, returning its dense id; equal sets always map to the
+    /// same id, no matter which thread got there first.
+    pub fn intern(&self, s: NodeSet) -> SepId {
+        let mut shard = self.shards[shard_of(&s)].lock().unwrap();
+        if let Some(&id) = shard.get(&s) {
+            return id;
+        }
+        // Lock order is always shard → sets, so this cannot deadlock; the
+        // shard lock is what makes the id assignment for `s` unique.
+        let mut sets = self.sets.write().unwrap();
+        let id = sets.len() as SepId;
+        sets.push(s.clone());
+        drop(sets);
+        shard.insert(s, id);
+        id
+    }
+
+    /// Number of distinct separators interned so far.
+    pub fn len(&self) -> usize {
+        self.sets.read().unwrap().len()
+    }
+
+    /// `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clones the separator behind `id`.
+    pub fn get(&self, id: SepId) -> NodeSet {
+        self.sets.read().unwrap()[id as usize].clone()
+    }
+
+    /// Runs `f` over the full id → set table without cloning (ids index
+    /// the slice).
+    pub fn with_all<R>(&self, f: impl FnOnce(&[NodeSet]) -> R) -> R {
+        f(&self.sets.read().unwrap())
+    }
+
+    /// Runs `f` over the pair of separators behind `(a, b)`.
+    pub fn with_pair<R>(&self, a: SepId, b: SepId, f: impl FnOnce(&NodeSet, &NodeSet) -> R) -> R {
+        let sets = self.sets.read().unwrap();
+        f(&sets[a as usize], &sets[b as usize])
+    }
+}
+
+/// Concurrent memo table for a symmetric boolean relation over interned
+/// ids (the crossing relation `S ♮ T`), striped by pair hash.
+pub struct ShardedPairMemo {
+    shards: [Mutex<FxHashMap<(SepId, SepId), bool>>; SHARDS],
+}
+
+impl Default for ShardedPairMemo {
+    fn default() -> Self {
+        ShardedPairMemo {
+            shards: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
+        }
+    }
+}
+
+impl ShardedPairMemo {
+    /// Cached answer for the (unordered, pre-canonicalized) pair, if any.
+    pub fn get(&self, key: (SepId, SepId)) -> Option<bool> {
+        self.shards[shard_of(&key)]
+            .lock()
+            .unwrap()
+            .get(&key)
+            .copied()
+    }
+
+    /// Records an answer. Two threads racing on the same key write the
+    /// same value (the relation is a pure function of the graph), so
+    /// last-write-wins is correct.
+    pub fn insert(&self, key: (SepId, SepId), value: bool) {
+        self.shards[shard_of(&key)]
+            .lock()
+            .unwrap()
+            .insert(key, value);
+    }
+
+    /// Total number of memoized pairs (test/diagnostic use).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// `true` when no pair has been memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn interner_ids_are_dense_and_content_addressed() {
+        let interner = ShardedInterner::default();
+        let a = interner.intern(NodeSet::from_iter(8, [0, 2]));
+        let b = interner.intern(NodeSet::from_iter(8, [1, 3]));
+        let a2 = interner.intern(NodeSet::from_iter(8, [0, 2]));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!({ a.max(b) } as usize + 1, interner.len());
+        assert_eq!(interner.get(a).to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn interner_is_race_free_across_threads() {
+        let interner = Arc::new(ShardedInterner::default());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let interner = Arc::clone(&interner);
+                std::thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for i in 0..200u32 {
+                        // every thread interns the same 200 sets, rotated
+                        let i = (i + t * 25) % 200;
+                        ids.push((i, interner.intern(NodeSet::from_iter(256, [i, i + 1]))));
+                    }
+                    ids
+                })
+            })
+            .collect();
+        let all: Vec<_> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        assert_eq!(interner.len(), 200, "each distinct set interned once");
+        for (i, id) in all {
+            assert_eq!(
+                interner.get(id).to_vec(),
+                vec![i, i + 1],
+                "id must resolve to the set that produced it"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_memo_roundtrips() {
+        let memo = ShardedPairMemo::default();
+        assert_eq!(memo.get((1, 2)), None);
+        memo.insert((1, 2), true);
+        memo.insert((3, 4), false);
+        assert_eq!(memo.get((1, 2)), Some(true));
+        assert_eq!(memo.get((3, 4)), Some(false));
+        assert_eq!(memo.len(), 2);
+    }
+}

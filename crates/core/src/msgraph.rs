@@ -8,16 +8,24 @@
 //! crossing relation is memoized per (unordered) id pair — each `S ♮ T`
 //! test runs the `O(n + m)` component count at most once. Both
 //! optimizations can be disabled for the ablation benchmarks.
+//!
+//! Both memo tables are sharded concurrent structures (see
+//! [`crate::memo`]), which makes `MsGraph: Send + Sync`: the parallel
+//! engine fans `EnumMIS` out over a thread pool against a *single* shared
+//! `MsGraph`, so every interned separator and every memoized crossing test
+//! is computed once and reused across threads — and, through the session
+//! layer, across repeated queries on the same graph.
 
+use crate::memo::{ShardedInterner, ShardedPairMemo};
 use mintri_chordal::CliqueForest;
-use mintri_graph::{FxHashMap, Graph, NodeSet};
+use mintri_graph::Graph;
 use mintri_separators::{crossing, MinSepState};
 use mintri_sgr::Sgr;
-use mintri_triangulate::{minimal_triangulation, McsM, Triangulator};
-use std::cell::RefCell;
+use mintri_triangulate::{minimal_triangulation, McsM, Triangulation, Triangulator};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-/// Dense identifier of an interned minimal separator.
-pub type SepId = u32;
+pub use crate::memo::SepId;
 
 /// Counters exposed for benchmarks and tests.
 #[derive(Debug, Clone, Copy, Default)]
@@ -32,21 +40,28 @@ pub struct MsGraphStats {
     pub separators_interned: usize,
 }
 
+/// Relaxed atomic counters behind [`MsGraphStats`] — diagnostics only, so
+/// cross-counter consistency under concurrency is not required.
 #[derive(Default)]
-struct Interner {
-    ids: FxHashMap<NodeSet, SepId>,
-    sets: Vec<NodeSet>,
+struct AtomicStats {
+    crossing_computed: AtomicUsize,
+    crossing_cached: AtomicUsize,
+    extends: AtomicUsize,
 }
 
-impl Interner {
-    fn intern(&mut self, s: NodeSet) -> SepId {
-        if let Some(&id) = self.ids.get(&s) {
-            return id;
+/// How an [`MsGraph`] holds its input graph: borrowed for the classic
+/// iterator API, reference-counted for `'static` engine sessions.
+enum GraphHandle<'g> {
+    Borrowed(&'g Graph),
+    Shared(Arc<Graph>),
+}
+
+impl GraphHandle<'_> {
+    fn get(&self) -> &Graph {
+        match self {
+            GraphHandle::Borrowed(g) => g,
+            GraphHandle::Shared(g) => g,
         }
-        let id = self.sets.len() as SepId;
-        self.ids.insert(s.clone(), id);
-        self.sets.push(s);
-        id
     }
 }
 
@@ -57,12 +72,16 @@ impl Interner {
 /// The maximal independent sets of this graph are the maximal sets of
 /// pairwise-parallel minimal separators — in bijection with `MinTri(g)`
 /// (Theorem 4.1 / Corollary 4.2).
+///
+/// `MsGraph` is `Send + Sync`: all interior state is sharded concurrent
+/// memo tables, so one instance can serve many worker threads (or many
+/// sequential queries) at once, sharing its separator/crossing caches.
 pub struct MsGraph<'g> {
-    g: &'g Graph,
+    g: GraphHandle<'g>,
     triangulator: Box<dyn Triangulator>,
-    interner: RefCell<Interner>,
-    crossing_cache: Option<RefCell<FxHashMap<(SepId, SepId), bool>>>,
-    stats: RefCell<MsGraphStats>,
+    interner: ShardedInterner,
+    crossing_cache: Option<ShardedPairMemo>,
+    stats: AtomicStats,
 }
 
 impl<'g> MsGraph<'g> {
@@ -75,12 +94,16 @@ impl<'g> MsGraph<'g> {
     /// triangulation algorithm works, which is the black-box property the
     /// paper advertises.
     pub fn with_triangulator(g: &'g Graph, triangulator: Box<dyn Triangulator>) -> Self {
+        Self::build(GraphHandle::Borrowed(g), triangulator)
+    }
+
+    fn build(g: GraphHandle<'g>, triangulator: Box<dyn Triangulator>) -> Self {
         MsGraph {
             g,
             triangulator,
-            interner: RefCell::new(Interner::default()),
-            crossing_cache: Some(RefCell::new(FxHashMap::default())),
-            stats: RefCell::new(MsGraphStats::default()),
+            interner: ShardedInterner::default(),
+            crossing_cache: Some(ShardedPairMemo::default()),
+            stats: AtomicStats::default(),
         }
     }
 
@@ -91,42 +114,76 @@ impl<'g> MsGraph<'g> {
     }
 
     /// The underlying graph.
-    pub fn graph(&self) -> &'g Graph {
-        self.g
+    pub fn graph(&self) -> &Graph {
+        self.g.get()
     }
 
     /// Current counters.
     pub fn stats(&self) -> MsGraphStats {
-        let mut s = *self.stats.borrow();
-        s.separators_interned = self.interner.borrow().sets.len();
-        s
+        MsGraphStats {
+            crossing_computed: self.stats.crossing_computed.load(Ordering::Relaxed),
+            crossing_cached: self.stats.crossing_cached.load(Ordering::Relaxed),
+            extends: self.stats.extends.load(Ordering::Relaxed),
+            separators_interned: self.interner.len(),
+        }
+    }
+
+    /// Interns a separator (content-addressed: equal sets share an id).
+    pub fn intern(&self, s: mintri_graph::NodeSet) -> SepId {
+        self.interner.intern(s)
     }
 
     /// The separator behind an id (clones the bitset).
-    pub fn separator(&self, id: SepId) -> NodeSet {
-        self.interner.borrow().sets[id as usize].clone()
+    pub fn separator(&self, id: SepId) -> mintri_graph::NodeSet {
+        self.interner.get(id)
     }
 
     /// `g[φ]` for an answer `φ` given as interned ids: saturates every
     /// separator. For a maximal answer this *is* the corresponding minimal
     /// triangulation (Theorem 4.1 part 1).
     pub fn saturate_answer(&self, answer: &[SepId]) -> Graph {
-        let interner = self.interner.borrow();
-        let mut h = self.g.clone();
-        for &id in answer {
-            h.saturate(&interner.sets[id as usize]);
+        // Clone the bitsets under a brief read lock and saturate outside
+        // it: std's RwLock is writer-preferring, so holding the read
+        // guard across the O(|φ|·n) saturation would stall every other
+        // reader behind any queued intern() write.
+        let sets: Vec<_> = self
+            .interner
+            .with_all(|sets| answer.iter().map(|&id| sets[id as usize].clone()).collect());
+        let mut h = self.g.get().clone();
+        for s in &sets {
+            h.saturate(s);
         }
         h
     }
 
+    /// Materializes an answer into a full [`Triangulation`] (saturation
+    /// plus fill-edge bookkeeping) — shared by the sequential enumerator
+    /// and the parallel engine.
+    pub fn materialize(&self, answer: &[SepId]) -> Triangulation {
+        let h = self.saturate_answer(answer);
+        let fill = h.fill_edges_over(self.g.get());
+        Triangulation {
+            graph: h,
+            fill,
+            peo: None,
+        }
+    }
+
     fn crossing_uncached(&self, a: SepId, b: SepId) -> bool {
-        let interner = self.interner.borrow();
-        self.stats.borrow_mut().crossing_computed += 1;
-        crossing(
-            self.g,
-            &interner.sets[a as usize],
-            &interner.sets[b as usize],
-        )
+        self.stats.crossing_computed.fetch_add(1, Ordering::Relaxed);
+        // Clone the two bitsets under a brief read lock and run the
+        // O(n + m) component count outside it (see saturate_answer).
+        let (s, t) = self.interner.with_pair(a, b, |s, t| (s.clone(), t.clone()));
+        crossing(self.g.get(), &s, &t)
+    }
+}
+
+/// `MsGraph<'static>` built over a shared graph — the form the engine's
+/// session layer caches and shares across queries and threads.
+impl MsGraph<'static> {
+    /// MSGraph owning (a reference count on) its graph.
+    pub fn shared(g: Arc<Graph>, triangulator: Box<dyn Triangulator>) -> Self {
+        Self::build(GraphHandle::Shared(g), triangulator)
     }
 }
 
@@ -139,9 +196,7 @@ impl Sgr for MsGraph<'_> {
     }
 
     fn next_node(&self, cursor: &mut MinSepState) -> Option<SepId> {
-        cursor
-            .next(self.g)
-            .map(|s| self.interner.borrow_mut().intern(s))
+        cursor.next(self.g.get()).map(|s| self.interner.intern(s))
     }
 
     fn edge(&self, &u: &SepId, &v: &SepId) -> bool {
@@ -151,12 +206,12 @@ impl Sgr for MsGraph<'_> {
         let key = (u.min(v), u.max(v));
         match &self.crossing_cache {
             Some(cache) => {
-                if let Some(&hit) = cache.borrow().get(&key) {
-                    self.stats.borrow_mut().crossing_cached += 1;
+                if let Some(hit) = cache.get(key) {
+                    self.stats.crossing_cached.fetch_add(1, Ordering::Relaxed);
                     return hit;
                 }
                 let result = self.crossing_uncached(key.0, key.1);
-                cache.borrow_mut().insert(key, result);
+                cache.insert(key, result);
                 result
             }
             None => self.crossing_uncached(key.0, key.1),
@@ -168,18 +223,17 @@ impl Sgr for MsGraph<'_> {
     /// minimality), and read the maximal parallel set off the minimal
     /// separators of the chordal result (Kumar–Madhavan extraction).
     fn extend(&self, base: &[SepId]) -> Vec<SepId> {
-        self.stats.borrow_mut().extends += 1;
+        self.stats.extends.fetch_add(1, Ordering::Relaxed);
         let gphi = self.saturate_answer(base);
         let tri = minimal_triangulation(&gphi, self.triangulator.as_ref());
         let forest = match &tri.peo {
             Some(peo) => CliqueForest::build_with_peo(&tri.graph, peo),
             None => CliqueForest::build(&tri.graph),
         };
-        let mut interner = self.interner.borrow_mut();
         let mut ids: Vec<SepId> = forest
             .minimal_separators()
             .into_iter()
-            .map(|s| interner.intern(s))
+            .map(|s| self.interner.intern(s))
             .collect();
         ids.sort_unstable();
         ids
@@ -189,20 +243,21 @@ impl Sgr for MsGraph<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mintri_graph::NodeSet;
     use mintri_sgr::{EnumMis, PrintMode};
+
+    #[test]
+    fn msgraph_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MsGraph<'static>>();
+    }
 
     #[test]
     fn interning_is_content_addressed() {
         let g = Graph::cycle(5);
         let ms = MsGraph::new(&g);
-        let a = ms
-            .interner
-            .borrow_mut()
-            .intern(NodeSet::from_iter(5, [0, 2]));
-        let b = ms
-            .interner
-            .borrow_mut()
-            .intern(NodeSet::from_iter(5, [0, 2]));
+        let a = ms.intern(NodeSet::from_iter(5, [0, 2]));
+        let b = ms.intern(NodeSet::from_iter(5, [0, 2]));
         assert_eq!(a, b);
         assert_eq!(ms.separator(a).to_vec(), vec![0, 2]);
     }
@@ -228,14 +283,8 @@ mod tests {
     fn crossing_cache_counts() {
         let g = Graph::cycle(6);
         let ms = MsGraph::new(&g);
-        let a = ms
-            .interner
-            .borrow_mut()
-            .intern(NodeSet::from_iter(6, [0, 3]));
-        let b = ms
-            .interner
-            .borrow_mut()
-            .intern(NodeSet::from_iter(6, [1, 4]));
+        let a = ms.intern(NodeSet::from_iter(6, [0, 3]));
+        let b = ms.intern(NodeSet::from_iter(6, [1, 4]));
         assert!(ms.edge(&a, &b));
         assert!(ms.edge(&b, &a));
         let s = ms.stats();
@@ -249,5 +298,44 @@ mod tests {
         let ms = MsGraph::new(&g);
         let answers: Vec<_> = EnumMis::new(&ms, PrintMode::UponGeneration).collect();
         assert_eq!(answers.len(), 2, "C4 has two minimal triangulations");
+    }
+
+    #[test]
+    fn shared_msgraph_answers_match_borrowed() {
+        let g = Graph::cycle(6);
+        let borrowed = MsGraph::new(&g);
+        let shared = MsGraph::shared(Arc::new(g.clone()), Box::new(McsM));
+        let collect = |ms: &MsGraph<'_>| -> Vec<Vec<SepId>> {
+            EnumMis::new(ms, PrintMode::UponGeneration).collect()
+        };
+        assert_eq!(collect(&borrowed), collect(&shared));
+    }
+
+    #[test]
+    fn concurrent_edge_queries_agree_with_sequential() {
+        let g = Graph::cycle(8);
+        let ms = MsGraph::new(&g);
+        let ids: Vec<SepId> = ms.nodes().collect();
+        let expected: Vec<bool> = ids
+            .iter()
+            .flat_map(|a| ids.iter().map(move |b| (a, b)))
+            .map(|(a, b)| ms.edge(a, b))
+            .collect();
+        // fresh MsGraph, queried from 4 threads at once
+        let fresh = MsGraph::new(&g);
+        let fresh_ids: Vec<SepId> = fresh.nodes().collect();
+        assert_eq!(ids, fresh_ids);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let got: Vec<bool> = fresh_ids
+                        .iter()
+                        .flat_map(|a| fresh_ids.iter().map(move |b| (a, b)))
+                        .map(|(a, b)| fresh.edge(a, b))
+                        .collect();
+                    assert_eq!(got, expected);
+                });
+            }
+        });
     }
 }

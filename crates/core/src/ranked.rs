@@ -34,10 +34,27 @@ where
     C: Ord,
     F: Fn(&Triangulation) -> C,
 {
+    best_k_of_stream(MinimalTriangulationsEnumerator::new(g), k, budget, cost)
+}
+
+/// The selection loop behind [`best_k_by`], applicable to *any*
+/// triangulation stream (the engine's parallel/cached streams reuse it):
+/// keep the `k` best under `cost` within `budget`, ascending, ties
+/// keeping the earlier-produced result first.
+pub fn best_k_of_stream<C, F>(
+    stream: impl IntoIterator<Item = Triangulation>,
+    k: usize,
+    budget: EnumerationBudget,
+    cost: F,
+) -> Vec<Triangulation>
+where
+    C: Ord,
+    F: Fn(&Triangulation) -> C,
+{
     let started = Instant::now();
     // (cost, production index) keeps ordering deterministic under ties
     let mut kept: Vec<(C, usize, Triangulation)> = Vec::with_capacity(k + 1);
-    for (i, tri) in MinimalTriangulationsEnumerator::new(g).enumerate() {
+    for (i, tri) in stream.into_iter().enumerate() {
         if budget_exhausted(&budget, i, started) {
             break;
         }

@@ -1,0 +1,184 @@
+//! # mintri-engine — the parallel, cache-sharing enumeration engine
+//!
+//! The crates below this one implement the PODS 2017 algorithm as
+//! single-threaded iterators. This crate is the *serving* layer: it runs
+//! the same `EnumMIS` frontier over a work-stealing thread pool and keeps
+//! per-graph state warm across queries. Three pieces stack up:
+//!
+//! 1. **Sharded memo tables** (in `mintri-core`): `MsGraph`'s separator
+//!    interner and crossing-test memo are lock-striped concurrent
+//!    structures, so one graph's expensive primitives are computed once
+//!    and shared by every thread and every query that touches the graph.
+//! 2. **[`ParallelEnumerator`]** (`parallel` feature, on by default):
+//!    fans the `EnumMIS` extension frontier — the independent
+//!    `(answer, separator)` pairs — out over worker threads, deduplicates
+//!    answers through a sharded seen-set, and streams triangulations
+//!    over a bounded channel. Two delivery modes:
+//!    [`Delivery::Unordered`] (fastest; set-equal to sequential) and
+//!    [`Delivery::Deterministic`] (bit-identical to the sequential
+//!    enumerator's output order — use it in tests and golden files).
+//! 3. **[`Engine`]**: sessions keyed by graph fingerprint. Repeated
+//!    `enumerate` / `best_k_by` / `decompose` calls against the same
+//!    graph reuse the warm memo, and once any enumeration completes the
+//!    answer list itself is cached and replayed without an `Extend` call.
+//!
+//! ## When to use which API
+//!
+//! * One-shot, one thread, borrowed graph → keep using
+//!   `mintri_core::MinimalTriangulationsEnumerator`; it is allocation-
+//!   lean and needs no thread pool.
+//! * One-shot but large / slow graph → [`ParallelEnumerator::new`] with
+//!   the thread count of your machine.
+//! * A service answering repeated or batched queries → hold one
+//!   [`Engine`] for the process and go through it; warm sessions and
+//!   answer replay are where the big wins live.
+//! * Budgeted searches that should use all cores →
+//!   [`parallel_strategy`] plugged into `mintri_core::AnytimeSearch`.
+//!
+//! ```
+//! use mintri_engine::Engine;
+//! use mintri_graph::Graph;
+//!
+//! // served: the second call replays the cached answers
+//! let g = Graph::cycle(6);
+//! let engine = Engine::new();
+//! assert_eq!(engine.enumerate(&g).count(), 14);
+//! assert!(engine.enumerate(&g).is_replay());
+//! ```
+//!
+//! (Direct parallel streaming lives in [`ParallelEnumerator`]'s docs; it
+//! needs the `parallel` feature.)
+
+mod session;
+
+#[cfg(feature = "parallel")]
+mod parallel;
+#[cfg(feature = "parallel")]
+mod pool;
+
+pub use session::{Engine, EngineEnumeration, GraphSession};
+
+#[cfg(feature = "parallel")]
+pub use parallel::ParallelEnumerator;
+#[cfg(feature = "parallel")]
+pub use pool::WorkPool;
+
+/// When and in what order a parallel enumeration's results reach the
+/// consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Delivery {
+    /// Stream each answer the moment any worker produces it. Fastest;
+    /// the answer *set* equals the sequential enumerator's, the order is
+    /// a race.
+    #[default]
+    Unordered,
+    /// Replay the sequential schedule with batch-parallel `Extend`
+    /// calls: output order is identical to
+    /// `mintri_core::MinimalTriangulationsEnumerator`. Use for tests,
+    /// golden files and distributed work splitting.
+    Deterministic,
+}
+
+/// Configuration shared by [`Engine`] and [`ParallelEnumerator`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means "ask [`std::thread::available_parallelism`]".
+    pub threads: usize,
+    /// Result ordering contract.
+    pub delivery: Delivery,
+    /// Bound of the result channel in `Unordered` mode (backpressure for
+    /// slow consumers).
+    pub channel_capacity: usize,
+    /// Maximum warm [`GraphSession`]s an [`Engine`] keeps; beyond this
+    /// the least recently used session (memo tables + cached answers) is
+    /// dropped. Minimum 1.
+    pub max_sessions: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            delivery: Delivery::Unordered,
+            channel_capacity: 256,
+            max_sessions: 64,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The effective worker count (resolves `threads == 0`).
+    pub fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// A [`mintri_core::SearchStrategy`] that runs `AnytimeSearch` over the
+/// parallel enumerator — `AnytimeSearch::new(&g).strategy(parallel_strategy(8))`.
+///
+/// `Unordered` delivery: budgeted searches want throughput, and the
+/// recorded quality statistics are order-insensitive aggregates. Pass a
+/// full [`EngineConfig`] via [`parallel_strategy_with`] to override.
+#[cfg(feature = "parallel")]
+pub fn parallel_strategy(threads: usize) -> mintri_core::SearchStrategy {
+    parallel_strategy_with(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    })
+}
+
+/// [`parallel_strategy`] with an explicit configuration. The search's
+/// [`mintri_sgr::PrintMode`] is forwarded: `Deterministic` delivery
+/// honors it exactly like the sequential enumerator; `Unordered`
+/// delivery has no meaningful print discipline and ignores it.
+#[cfg(feature = "parallel")]
+pub fn parallel_strategy_with(config: EngineConfig) -> mintri_core::SearchStrategy {
+    mintri_core::SearchStrategy::Streamed(Box::new(move |g, triangulator, mode| {
+        Box::new(ParallelEnumerator::with_config_and_mode(
+            g,
+            triangulator,
+            &config,
+            mode,
+        ))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_resolves_threads() {
+        assert!(EngineConfig::default().resolved_threads() >= 1);
+        assert_eq!(
+            EngineConfig {
+                threads: 3,
+                ..EngineConfig::default()
+            }
+            .resolved_threads(),
+            3
+        );
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn anytime_parallel_strategy_runs_under_budget() {
+        use mintri_core::{AnytimeSearch, EnumerationBudget};
+        use mintri_graph::Graph;
+
+        let g = Graph::cycle(7);
+        let outcome = AnytimeSearch::new(&g)
+            .strategy(parallel_strategy(2))
+            .budget(EnumerationBudget::results(10))
+            .run();
+        assert_eq!(outcome.records.len(), 10);
+        let full = AnytimeSearch::new(&g).strategy(parallel_strategy(2)).run();
+        assert!(full.completed);
+        assert_eq!(full.records.len(), 42);
+    }
+}

@@ -1,0 +1,765 @@
+//! The parallel `EnumMIS` frontier.
+//!
+//! `EnumMIS` (Figure 1 of the paper) is embarrassingly parallel at the
+//! frontier: every queued answer `J` must be extended *in the direction
+//! of* every generated SGR node `v`, and each `(J, v)` pair is an
+//! independent unit of work against a shared, internally synchronized
+//! [`MsGraph`]. The engine materializes exactly that pair set:
+//!
+//! * **Unordered delivery** — dedicated worker threads own work-stealing
+//!   deques of `(answer, node)` tasks. A finished task's new answer is
+//!   admitted through a sharded seen-set, paired with every known node
+//!   under a registry lock (so each pair is created exactly once), and
+//!   streamed to the consumer over a bounded channel. Idle workers pull
+//!   fresh separators from the (mutex-guarded) Berry–Bordat–Cogis cursor.
+//!   Fastest; answer *order* varies run to run, the answer *set* never.
+//! * **Deterministic delivery** — a lock-step driver replays the exact
+//!   sequential schedule, but fans each "extend `J` toward every node"
+//!   step out over a [`WorkPool`] batch and admits results in canonical
+//!   direction order. Because `Extend` and the edge oracle are pure
+//!   functions of the input graph, the emitted stream is *identical* to
+//!   [`mintri_core::MinimalTriangulationsEnumerator`]'s — the mode tests
+//!   and golden files rely on.
+//!
+//! Termination (Unordered): an `active` counter tracks queued-or-running
+//! tasks. When it hits zero and the separator cursor is exhausted, the
+//! closure is complete — exactly the condition under which the sequential
+//! loop's queue runs dry with no nodes left to pull.
+
+use crate::pool::WorkPool;
+use crate::{Delivery, EngineConfig};
+use mintri_core::{MsGraph, MsGraphStats, SepId};
+use mintri_graph::{FxHashSet, Graph};
+use mintri_separators::MinSepState;
+use mintri_sgr::{PrintMode, Sgr};
+use mintri_triangulate::{McsM, Triangulation, Triangulator};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Stripes of the concurrent seen-set (answer deduplication).
+const SEEN_SHARDS: usize = 16;
+
+/// A unit of frontier work: extend `answers[0]` in the direction of
+/// `nodes[1]`. `BOOTSTRAP` is the initial `Extend(∅)` call.
+type Task = (u32, u32);
+const BOOTSTRAP: Task = (u32::MAX, u32::MAX);
+
+/// Streaming iterator over all minimal triangulations of a graph,
+/// computed by a pool of work-stealing threads sharing one memoized
+/// [`MsGraph`].
+///
+/// Yields each minimal triangulation exactly once. Dropping the iterator
+/// aborts the enumeration and joins the workers. See [`Delivery`] for the
+/// ordering contract of the two modes.
+///
+/// ```
+/// use mintri_engine::ParallelEnumerator;
+/// use mintri_graph::Graph;
+///
+/// let g = Graph::cycle(6);
+/// // C6 has Catalan(4) = 14 minimal triangulations
+/// assert_eq!(ParallelEnumerator::new(&g, 4).count(), 14);
+/// ```
+pub struct ParallelEnumerator {
+    ms: Arc<MsGraph<'static>>,
+    inner: Inner,
+}
+
+enum Inner {
+    Unordered(UnorderedStream),
+    Deterministic(Box<DeterministicDriver>),
+}
+
+impl ParallelEnumerator {
+    /// Unordered enumeration of `g` over `threads` workers with the
+    /// default (MCS-M) backend. Clones the graph once.
+    pub fn new(g: &Graph, threads: usize) -> Self {
+        Self::with_config(
+            g,
+            Box::new(McsM),
+            &EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// Full configuration over a borrowed graph (cloned once), with the
+    /// default (`UponGeneration`) print discipline.
+    pub fn with_config(
+        g: &Graph,
+        triangulator: Box<dyn Triangulator>,
+        config: &EngineConfig,
+    ) -> Self {
+        Self::with_config_and_mode(g, triangulator, config, PrintMode::UponGeneration)
+    }
+
+    /// [`ParallelEnumerator::with_config`] plus an explicit print mode.
+    /// `Deterministic` delivery honors it exactly like the sequential
+    /// enumerator (`UponPop` = `EnumMISHold` order); `Unordered` delivery
+    /// ignores it — emission there is discovery order by construction.
+    pub fn with_config_and_mode(
+        g: &Graph,
+        triangulator: Box<dyn Triangulator>,
+        config: &EngineConfig,
+        mode: PrintMode,
+    ) -> Self {
+        Self::from_msgraph_with_mode(
+            Arc::new(MsGraph::shared(Arc::new(g.clone()), triangulator)),
+            config,
+            mode,
+        )
+    }
+
+    /// Runs over an existing (possibly already warm) shared [`MsGraph`] —
+    /// the entry point the session layer uses so repeated queries reuse
+    /// interned separators and memoized crossing tests.
+    pub fn from_msgraph(ms: Arc<MsGraph<'static>>, config: &EngineConfig) -> Self {
+        Self::from_msgraph_with_mode(ms, config, PrintMode::UponGeneration)
+    }
+
+    /// [`ParallelEnumerator::from_msgraph`] plus an explicit print mode
+    /// (see [`ParallelEnumerator::with_config_and_mode`]).
+    pub fn from_msgraph_with_mode(
+        ms: Arc<MsGraph<'static>>,
+        config: &EngineConfig,
+        mode: PrintMode,
+    ) -> Self {
+        let inner =
+            match config.delivery {
+                Delivery::Unordered => {
+                    Inner::Unordered(UnorderedStream::launch(Arc::clone(&ms), config))
+                }
+                Delivery::Deterministic => Inner::Deterministic(Box::new(
+                    DeterministicDriver::new(Arc::clone(&ms), config, mode),
+                )),
+            };
+        ParallelEnumerator { ms, inner }
+    }
+
+    /// The shared `MSGraph` driving this run.
+    pub fn msgraph(&self) -> &Arc<MsGraph<'static>> {
+        &self.ms
+    }
+
+    /// Memo-table counters of the underlying `MSGraph`.
+    pub fn msgraph_stats(&self) -> MsGraphStats {
+        self.ms.stats()
+    }
+
+    /// `true` once the stream ended because the enumeration genuinely
+    /// finished (rather than the consumer stopping early).
+    pub fn is_complete(&self) -> bool {
+        match &self.inner {
+            Inner::Unordered(s) => s.complete,
+            Inner::Deterministic(d) => d.complete,
+        }
+    }
+
+    /// Next answer as interned separator ids plus its materialized
+    /// triangulation (the session layer records the ids for replay).
+    pub fn next_pair(&mut self) -> Option<(Vec<SepId>, Triangulation)> {
+        match &mut self.inner {
+            Inner::Unordered(s) => s.next_pair(),
+            Inner::Deterministic(d) => {
+                let answer = d.next_answer()?;
+                let tri = self.ms.materialize(&answer);
+                Some((answer, tri))
+            }
+        }
+    }
+}
+
+impl Iterator for ParallelEnumerator {
+    type Item = Triangulation;
+
+    fn next(&mut self) -> Option<Triangulation> {
+        self.next_pair().map(|(_, tri)| tri)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unordered mode
+// ---------------------------------------------------------------------------
+
+/// Answers admitted so far plus the generated SGR nodes. Guarded by one
+/// `RwLock`: reads are per-task and cheap, writes happen once per *new*
+/// answer or node and atomically create that item's `(answer, node)`
+/// pairs — the lock is what guarantees each pair exists exactly once.
+#[derive(Default)]
+struct Registry {
+    answers: Vec<Arc<Vec<SepId>>>,
+    nodes: Vec<SepId>,
+}
+
+struct UnorderedShared {
+    ms: Arc<MsGraph<'static>>,
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    next_queue: AtomicUsize,
+    seen: Vec<Mutex<FxHashSet<Vec<SepId>>>>,
+    registry: RwLock<Registry>,
+    /// The sequential separator source (`A_V`); `None` once exhausted.
+    cursor: Mutex<Option<MinSepState>>,
+    node_iter_done: AtomicBool,
+    /// Tasks queued or running. 0 + exhausted cursor ⇒ enumeration done.
+    active: AtomicUsize,
+    /// Consumer went away (or an internal abort): wind down early.
+    stop: AtomicBool,
+    /// Set exactly once, when the full closure has been enumerated.
+    finished: AtomicBool,
+    gate: Mutex<()>,
+    signal: Condvar,
+}
+
+impl UnorderedShared {
+    fn grab_task(&self, own: usize) -> Option<Task> {
+        if let Some(t) = self.queues[own].lock().unwrap().pop_front() {
+            return Some(t);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            if let Some(t) = self.queues[(own + off) % n].lock().unwrap().pop_back() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Queues `tasks`, having already added them to `active`.
+    fn push_tasks(&self, tasks: Vec<Task>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let n = self.queues.len();
+        for t in tasks {
+            let i = self.next_queue.fetch_add(1, Ordering::Relaxed) % n;
+            self.queues[i].lock().unwrap().push_back(t);
+        }
+        drop(self.gate.lock().unwrap());
+        self.signal.notify_all();
+    }
+
+    /// Deduplicates, registers and streams a freshly extended answer,
+    /// fanning out its `(answer, node)` tasks.
+    fn offer(&self, mut answer: Vec<SepId>, tx: &SyncSender<(Vec<SepId>, Triangulation)>) {
+        // Canonicalize like `EnumMis::offer` does: dedup and the
+        // binary_search in run_task need sorted ids, and relying on
+        // `extend`'s current sorted-output habit would couple the two
+        // crates through an unchecked postcondition.
+        answer.sort_unstable();
+        let shard = mintri_core::memo::stripe_of(&answer, SEEN_SHARDS);
+        if !self.seen[shard].lock().unwrap().insert(answer.clone()) {
+            return;
+        }
+        let tasks: Vec<Task> = {
+            let mut reg = self.registry.write().unwrap();
+            let a_idx = reg.answers.len() as u32;
+            reg.answers.push(Arc::new(answer.clone()));
+            (0..reg.nodes.len() as u32).map(|v| (a_idx, v)).collect()
+        };
+        self.active.fetch_add(tasks.len(), Ordering::SeqCst);
+        self.push_tasks(tasks);
+        if !self.stop.load(Ordering::SeqCst) {
+            let tri = self.ms.materialize(&answer);
+            if tx.send((answer, tri)).is_err() {
+                // Receiver vanished without the usual drain-on-drop;
+                // abort the run.
+                self.stop.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn run_task(&self, task: Task, tx: &SyncSender<(Vec<SepId>, Triangulation)>) {
+        // Task accounting must run even when stopping — and even if a
+        // user-supplied Triangulator panics mid-Extend — or `active`
+        // sticks above zero and the consumer hangs in recv() forever.
+        let _token = TaskToken(self);
+        if self.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if task == BOOTSTRAP {
+            let first = self.ms.extend(&[]);
+            self.offer(first, tx);
+        } else {
+            let (j, v) = {
+                let reg = self.registry.read().unwrap();
+                (
+                    Arc::clone(&reg.answers[task.0 as usize]),
+                    reg.nodes[task.1 as usize],
+                )
+            };
+            // v ∈ J ⇒ Jv = J, already seen: skip the Extend call.
+            if j.binary_search(&v).is_err() {
+                let mut jv = Vec::with_capacity(j.len() + 1);
+                jv.push(v);
+                for &u in j.iter() {
+                    if !self.ms.edge(&v, &u) {
+                        jv.push(u);
+                    }
+                }
+                let k = self.ms.extend(&jv);
+                self.offer(k, tx);
+            }
+        }
+    }
+
+    /// Pulls one separator from the cursor and pairs it with every known
+    /// answer. Returns `false` when the cursor is exhausted (or being
+    /// exhausted by someone else) and the caller should idle.
+    fn try_pull_node(&self) -> bool {
+        if self.node_iter_done.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut cur = self.cursor.lock().unwrap();
+        let Some(state) = cur.as_mut() else {
+            return false;
+        };
+        match self.ms.next_node(state) {
+            None => {
+                *cur = None;
+                self.node_iter_done.store(true, Ordering::SeqCst);
+                drop(cur);
+                if self.active.load(Ordering::SeqCst) == 0 {
+                    self.finished.store(true, Ordering::SeqCst);
+                    drop(self.gate.lock().unwrap());
+                    self.signal.notify_all();
+                }
+                true
+            }
+            Some(v) => {
+                let tasks: Vec<Task> = {
+                    let mut reg = self.registry.write().unwrap();
+                    let v_idx = reg.nodes.len() as u32;
+                    reg.nodes.push(v);
+                    (0..reg.answers.len() as u32).map(|a| (a, v_idx)).collect()
+                };
+                // `active` must grow *before* the cursor lock is released:
+                // a racing worker that exhausts the cursor right after us
+                // checks `active` to declare completion, and must see
+                // these tasks or they would be orphaned (lost answers).
+                self.active.fetch_add(tasks.len(), Ordering::SeqCst);
+                drop(cur);
+                self.push_tasks(tasks);
+                true
+            }
+        }
+    }
+}
+
+/// Panic-safe task accounting: decrements `active` on drop and performs
+/// the completion check. If the task unwound (a panicking user
+/// triangulator), the run is marked aborted so the stream never claims
+/// completeness over a partial answer set.
+struct TaskToken<'a>(&'a UnorderedShared);
+
+impl Drop for TaskToken<'_> {
+    fn drop(&mut self) {
+        let shared = self.0;
+        if std::thread::panicking() {
+            shared.stop.store(true, Ordering::SeqCst);
+        }
+        if shared.active.fetch_sub(1, Ordering::SeqCst) == 1 {
+            if shared.node_iter_done.load(Ordering::SeqCst) {
+                shared.finished.store(true, Ordering::SeqCst);
+            }
+            // Wake idlers: either to observe completion or to pull the
+            // next separator now that the frontier has drained.
+            drop(shared.gate.lock());
+            shared.signal.notify_all();
+        }
+    }
+}
+
+fn unordered_worker(
+    shared: &UnorderedShared,
+    own: usize,
+    tx: SyncSender<(Vec<SepId>, Triangulation)>,
+) {
+    // Idle wait starts snappy and backs off exponentially, resetting on
+    // any work. A pure predicate wait is not possible here: the idle
+    // re-check includes `try_pull_node`, whose `push_tasks` re-locks the
+    // gate — so the timeout stays as the lost-wakeup net, and backoff
+    // keeps long-idle workers (slow consumer, drained frontier) from
+    // polling at kHz rates.
+    const IDLE_MIN: Duration = Duration::from_micros(500);
+    const IDLE_MAX: Duration = Duration::from_millis(50);
+    let mut idle_wait = IDLE_MIN;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || shared.finished.load(Ordering::SeqCst) {
+            return; // dropping tx; the channel closes with the last worker
+        }
+        if let Some(task) = shared.grab_task(own) {
+            shared.run_task(task, &tx);
+            idle_wait = IDLE_MIN;
+            continue;
+        }
+        if shared.try_pull_node() {
+            idle_wait = IDLE_MIN;
+            continue;
+        }
+        // No tasks, no nodes to pull: wait for frontier activity.
+        let guard = shared.gate.lock().unwrap();
+        let (_guard, timed_out) = shared
+            .signal
+            .wait_timeout(guard, idle_wait)
+            .map(|(g, t)| (g, t.timed_out()))
+            .unwrap();
+        if timed_out {
+            idle_wait = (idle_wait * 2).min(IDLE_MAX);
+        } else {
+            idle_wait = IDLE_MIN;
+        }
+    }
+}
+
+struct UnorderedStream {
+    shared: Arc<UnorderedShared>,
+    rx: Receiver<(Vec<SepId>, Triangulation)>,
+    handles: Vec<JoinHandle<()>>,
+    complete: bool,
+}
+
+impl UnorderedStream {
+    fn launch(ms: Arc<MsGraph<'static>>, config: &EngineConfig) -> Self {
+        let threads = config.resolved_threads();
+        let (tx, rx) = std::sync::mpsc::sync_channel(config.channel_capacity.max(1));
+        let shared = Arc::new(UnorderedShared {
+            ms: Arc::clone(&ms),
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next_queue: AtomicUsize::new(0),
+            seen: (0..SEEN_SHARDS)
+                .map(|_| Mutex::new(FxHashSet::default()))
+                .collect(),
+            registry: RwLock::new(Registry::default()),
+            cursor: Mutex::new(Some(ms.start_nodes())),
+            node_iter_done: AtomicBool::new(false),
+            active: AtomicUsize::new(1), // the bootstrap task
+            stop: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            gate: Mutex::new(()),
+            signal: Condvar::new(),
+        });
+        shared.queues[0].lock().unwrap().push_back(BOOTSTRAP);
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("mintri-enum-{i}"))
+                    .spawn(move || unordered_worker(&shared, i, tx))
+                    .expect("spawning enumeration worker")
+            })
+            .collect();
+        drop(tx); // workers hold the only senders
+        UnorderedStream {
+            shared,
+            rx,
+            handles,
+            complete: false,
+        }
+    }
+
+    fn next_pair(&mut self) -> Option<(Vec<SepId>, Triangulation)> {
+        match self.rx.recv() {
+            Ok(pair) => Some(pair),
+            Err(_) => {
+                // All workers exited; completion vs abort is recorded in
+                // the flags.
+                self.complete = self.shared.finished.load(Ordering::SeqCst)
+                    && !self.shared.stop.load(Ordering::SeqCst);
+                None
+            }
+        }
+    }
+}
+
+impl Drop for UnorderedStream {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        drop(self.shared.gate.lock().unwrap());
+        self.shared.signal.notify_all();
+        // Keep receiving until every sender is gone: a one-shot
+        // non-blocking drain would race with workers re-blocking on the
+        // bounded channel, leaving them parked in send() while join()
+        // waits forever. recv() both unblocks them and detects the final
+        // disconnect.
+        while self.rx.recv().is_ok() {}
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic mode
+// ---------------------------------------------------------------------------
+
+/// Lock-step frontier: replays the sequential `EnumMIS` schedule, batch-
+/// parallelizing each step's independent `Extend` calls on a [`WorkPool`]
+/// and admitting results in canonical order. Pull-driven — no channel, no
+/// resident enumeration threads; work happens inside `next_answer`.
+struct DeterministicDriver {
+    ms: Arc<MsGraph<'static>>,
+    pool: WorkPool,
+    mode: PrintMode,
+    cursor: Option<MinSepState>,
+    nodes: Vec<SepId>,
+    queue: VecDeque<Arc<Vec<SepId>>>,
+    processed: Vec<Arc<Vec<SepId>>>,
+    seen: FxHashSet<Vec<SepId>>,
+    pending: VecDeque<Vec<SepId>>,
+    started: bool,
+    complete: bool,
+}
+
+impl DeterministicDriver {
+    fn new(ms: Arc<MsGraph<'static>>, config: &EngineConfig, mode: PrintMode) -> Self {
+        let cursor = Some(ms.start_nodes());
+        DeterministicDriver {
+            ms,
+            pool: WorkPool::new(config.resolved_threads()),
+            mode,
+            cursor,
+            nodes: Vec::new(),
+            queue: VecDeque::new(),
+            processed: Vec::new(),
+            seen: FxHashSet::default(),
+            pending: VecDeque::new(),
+            started: false,
+            complete: false,
+        }
+    }
+
+    /// Registers a fresh answer; emits it now (`UponGeneration`) or when
+    /// popped from the queue (`UponPop`) — same discipline split as the
+    /// sequential `EnumMis`.
+    fn offer(&mut self, mut answer: Vec<SepId>) {
+        answer.sort_unstable(); // canonicalize exactly like EnumMis::offer
+        if self.seen.insert(answer.clone()) {
+            if self.mode == PrintMode::UponGeneration {
+                self.pending.push_back(answer.clone());
+            }
+            self.queue.push_back(Arc::new(answer));
+        }
+    }
+
+    /// Extends `j` toward each node of `directions`, in parallel; the
+    /// result vector is in `directions` order, `None` where `v ∈ J` made
+    /// the extension a no-op.
+    fn batch_extend(&self, pairs: Vec<(Arc<Vec<SepId>>, SepId)>) -> Vec<Option<Vec<SepId>>> {
+        let jobs: Vec<Box<dyn FnOnce() -> Option<Vec<SepId>> + Send>> = pairs
+            .into_iter()
+            .map(|(j, v)| {
+                let ms = Arc::clone(&self.ms);
+                Box::new(move || {
+                    if j.binary_search(&v).is_ok() {
+                        return None;
+                    }
+                    let mut jv = Vec::with_capacity(j.len() + 1);
+                    jv.push(v);
+                    for &u in j.iter() {
+                        if !ms.edge(&v, &u) {
+                            jv.push(u);
+                        }
+                    }
+                    Some(ms.extend(&jv))
+                }) as Box<dyn FnOnce() -> Option<Vec<SepId>> + Send>
+            })
+            .collect();
+        self.pool.run_batch(jobs)
+    }
+
+    /// The sequential `advance` loop with its two inner loops batched.
+    fn advance(&mut self) {
+        if !self.started {
+            self.started = true;
+            let first = self.ms.extend(&[]);
+            self.offer(first);
+        }
+        while self.pending.is_empty() {
+            if let Some(j) = self.queue.pop_front() {
+                if self.mode == PrintMode::UponPop {
+                    self.pending.push_back((*j).clone());
+                }
+                self.processed.push(Arc::clone(&j));
+                let pairs = self
+                    .nodes
+                    .iter()
+                    .map(|&v| (Arc::clone(&j), v))
+                    .collect::<Vec<_>>();
+                for k in self.batch_extend(pairs).into_iter().flatten() {
+                    self.offer(k);
+                }
+            } else {
+                let Some(state) = self.cursor.as_mut() else {
+                    self.complete = true;
+                    return;
+                };
+                match self.ms.next_node(state) {
+                    None => {
+                        self.cursor = None;
+                        self.complete = true;
+                        return;
+                    }
+                    Some(v) => {
+                        self.nodes.push(v);
+                        let pairs = self
+                            .processed
+                            .iter()
+                            .map(|j| (Arc::clone(j), v))
+                            .collect::<Vec<_>>();
+                        for k in self.batch_extend(pairs).into_iter().flatten() {
+                            self.offer(k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn next_answer(&mut self) -> Option<Vec<SepId>> {
+        if self.pending.is_empty() && !self.complete {
+            self.advance();
+        }
+        self.pending.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mintri_core::MinimalTriangulationsEnumerator;
+
+    fn edges_of(stream: impl Iterator<Item = Triangulation>) -> Vec<Vec<(u32, u32)>> {
+        stream.map(|t| t.graph.edges()).collect()
+    }
+
+    #[test]
+    fn deterministic_mode_matches_sequential_order_exactly() {
+        for g in [
+            Graph::cycle(7),
+            Graph::path(6),
+            Graph::complete(4),
+            Graph::from_edges(
+                7,
+                &[
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 0),
+                    (2, 4),
+                    (4, 5),
+                    (5, 6),
+                    (6, 2),
+                ],
+            ),
+        ] {
+            let sequential = edges_of(MinimalTriangulationsEnumerator::new(&g));
+            let parallel = edges_of(ParallelEnumerator::with_config(
+                &g,
+                Box::new(McsM),
+                &EngineConfig {
+                    threads: 4,
+                    delivery: Delivery::Deterministic,
+                    ..EngineConfig::default()
+                },
+            ));
+            assert_eq!(sequential, parallel, "order must match on {g:?}");
+        }
+    }
+
+    #[test]
+    fn unordered_mode_yields_the_same_set() {
+        let g = Graph::cycle(8);
+        let mut sequential = edges_of(MinimalTriangulationsEnumerator::new(&g));
+        sequential.sort();
+        for threads in [1, 2, 4] {
+            let mut parallel = edges_of(ParallelEnumerator::new(&g, threads));
+            parallel.sort();
+            assert_eq!(sequential, parallel, "set must match at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn unordered_mode_reports_completion() {
+        let g = Graph::cycle(6);
+        let mut e = ParallelEnumerator::new(&g, 2);
+        let mut n = 0;
+        while e.next_pair().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 14);
+        assert!(e.is_complete());
+    }
+
+    #[test]
+    fn early_drop_joins_workers_cleanly() {
+        let g = Graph::cycle(9);
+        let mut e = ParallelEnumerator::new(&g, 4);
+        let _first = e.next().expect("at least one triangulation");
+        drop(e); // must not hang
+    }
+
+    #[test]
+    fn early_drop_with_tiny_channel_and_many_workers_does_not_deadlock() {
+        // Regression: a one-shot drain in Drop raced with workers
+        // re-blocking on the full bounded channel, deadlocking join().
+        let g = Graph::cycle(10);
+        for _ in 0..10 {
+            let mut e = ParallelEnumerator::with_config(
+                &g,
+                Box::new(McsM),
+                &EngineConfig {
+                    threads: 8,
+                    channel_capacity: 1,
+                    ..EngineConfig::default()
+                },
+            );
+            let _first = e.next().expect("at least one triangulation");
+            drop(e);
+        }
+    }
+
+    #[test]
+    fn deterministic_mode_honors_upon_pop() {
+        let g = Graph::cycle(7);
+        let sequential = edges_of(MinimalTriangulationsEnumerator::with_config(
+            &g,
+            Box::new(McsM),
+            PrintMode::UponPop,
+        ));
+        let parallel = edges_of(ParallelEnumerator::with_config_and_mode(
+            &g,
+            Box::new(McsM),
+            &EngineConfig {
+                threads: 3,
+                delivery: Delivery::Deterministic,
+                ..EngineConfig::default()
+            },
+            PrintMode::UponPop,
+        ));
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn results_are_not_duplicated_under_contention() {
+        let g = Graph::cycle(8);
+        for _ in 0..5 {
+            let all: Vec<_> = ParallelEnumerator::new(&g, 8)
+                .map(|t| {
+                    let mut e = t.graph.edges();
+                    e.sort();
+                    e
+                })
+                .collect();
+            let mut dedup = all.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(all.len(), dedup.len(), "duplicate answer emitted");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! A small work-stealing thread pool on `std` primitives.
+//!
+//! crates.io is unreachable in this build environment, so instead of
+//! `rayon` the engine ships its own pool: one FIFO deque per worker,
+//! round-robin submission, and idle workers stealing from the *back* of
+//! their siblings' deques. Jobs are `FnOnce` boxes and may themselves
+//! submit further jobs — the enumeration frontier grows this way.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    /// One deque per worker; workers pop their own front, steal others'
+    /// back.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Round-robin cursor for external submissions.
+    next_queue: AtomicUsize,
+    /// Signals "a job was queued" to sleeping workers.
+    gate: Mutex<()>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl PoolShared {
+    fn grab_job(&self, own: usize) -> Option<Job> {
+        if let Some(job) = self.queues[own].lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            if let Some(job) = self.queues[(own + off) % n].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// A fixed-size work-stealing pool; dropping it joins all workers
+/// (pending never-started jobs are discarded).
+pub struct WorkPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkPool {
+    /// A pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next_queue: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mintri-engine-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawning engine worker")
+            })
+            .collect();
+        WorkPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Queues a job for execution.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let i = self.shared.next_queue.fetch_add(1, Ordering::Relaxed) % self.handles.len();
+        self.shared.queues[i]
+            .lock()
+            .unwrap()
+            .push_back(Box::new(job));
+        // The lock round-trip orders the push before any worker's re-check.
+        drop(self.shared.gate.lock().unwrap());
+        self.shared.available.notify_all();
+    }
+
+    /// Runs every job and returns their results in input order, blocking
+    /// the caller until the whole batch is done. The calling thread only
+    /// waits (it is typically the lock-step driver, not a pool worker).
+    pub fn run_batch<T: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        /// Decrements the latch on drop — panic-safe: a panicking job
+        /// must still release the waiting driver, or the batch hangs.
+        struct LatchGuard(Arc<(Mutex<usize>, Condvar)>);
+        impl Drop for LatchGuard {
+            fn drop(&mut self) {
+                let (count, done) = &*self.0;
+                if let Ok(mut remaining) = count.lock() {
+                    *remaining -= 1;
+                }
+                done.notify_all();
+            }
+        }
+
+        let results: Arc<Mutex<Vec<Option<T>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let latch = Arc::new((Mutex::new(n), Condvar::new()));
+        for (i, job) in jobs.into_iter().enumerate() {
+            let results = Arc::clone(&results);
+            let latch = Arc::clone(&latch);
+            self.submit(move || {
+                let _guard = LatchGuard(latch);
+                let out = job();
+                results.lock().unwrap()[i] = Some(out);
+            });
+        }
+        let (count, done) = &*latch;
+        let mut remaining = count.lock().unwrap();
+        while *remaining > 0 {
+            remaining = done.wait(remaining).unwrap();
+        }
+        drop(remaining);
+        // Workers may still hold Arc clones for a moment after the final
+        // notify; every slot is filled, so take the vector out by value.
+        // A `None` slot means that job panicked on its worker — propagate
+        // the failure to the driver instead of hanging or lying.
+        let taken = std::mem::take(&mut *results.lock().unwrap());
+        taken
+            .into_iter()
+            .map(|r| r.expect("a batch job panicked on a pool worker"))
+            .collect()
+    }
+}
+
+impl Drop for WorkPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        drop(self.shared.gate.lock().unwrap());
+        self.shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, own: usize) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(job) = shared.grab_job(own) {
+            job();
+            continue;
+        }
+        // Nothing anywhere: re-check under the gate, then sleep until a
+        // submit or shutdown nudges us. `submit` pushes the job *before*
+        // its gate round-trip + notify, so a job pushed concurrently with
+        // this check is either seen here or wakes the wait — no lost
+        // wakeups, no polling while the pool sits idle.
+        let mut guard = shared.gate.lock().unwrap();
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Some(job) = shared.grab_job(own) {
+                drop(guard);
+                job();
+                break;
+            }
+            guard = shared.available.wait(guard).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_preserves_input_order() {
+        let pool = WorkPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = pool.run_batch(jobs);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_can_submit_jobs() {
+        let pool = Arc::new(WorkPool::new(2));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let latch = Arc::new((Mutex::new(8usize), Condvar::new()));
+        for _ in 0..4 {
+            let pool2 = Arc::clone(&pool);
+            let counter = Arc::clone(&counter);
+            let latch = Arc::clone(&latch);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let counter2 = Arc::clone(&counter);
+                let latch2 = Arc::clone(&latch);
+                pool2.submit(move || {
+                    counter2.fetch_add(1, Ordering::SeqCst);
+                    *latch2.0.lock().unwrap() -= 1;
+                    latch2.1.notify_all();
+                });
+                *latch.0.lock().unwrap() -= 1;
+                latch.1.notify_all();
+            });
+        }
+        let (count, done) = &*latch;
+        let mut remaining = count.lock().unwrap();
+        while *remaining > 0 {
+            remaining = done.wait(remaining).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    use std::time::Duration;
+
+    #[test]
+    fn drop_joins_cleanly_with_queued_work() {
+        let pool = WorkPool::new(2);
+        for _ in 0..100 {
+            pool.submit(|| std::thread::sleep(Duration::from_micros(10)));
+        }
+        drop(pool); // must not hang or panic
+    }
+}

@@ -1,0 +1,547 @@
+//! The serving layer: one [`Engine`] caches warm per-graph state across
+//! queries.
+//!
+//! A [`GraphSession`] holds the shared, internally synchronized
+//! [`MsGraph`] for one input graph (keyed by a structural fingerprint) —
+//! so its interned separators and memoized crossing tests survive across
+//! `enumerate` / `best_k_by` / `decompose` calls — plus, once any
+//! enumeration has run to completion, the full answer list, which later
+//! queries replay without touching `Extend` at all. This is the "repeated
+//! traffic" story: the first query over a graph pays for the enumeration,
+//! every later one is a cache replay (or at worst a warm-memo rerun).
+
+use crate::EngineConfig;
+use mintri_core::{EnumerationBudget, MsGraph, MsGraphStats, SepId, TdEnumerationMode};
+use mintri_graph::{FxHashMap, FxHasher, Graph};
+use mintri_sgr::{EnumMis, PrintMode, Sgr};
+use mintri_treedecomp::{proper_decompositions_of_chordal, TreeDecomposition};
+use mintri_triangulate::{McsM, Triangulation};
+use std::hash::Hasher;
+use std::sync::{Arc, Mutex};
+
+/// Structural fingerprint of a graph: node count plus the canonical edge
+/// list, hashed. Sessions verify true equality on lookup, so a collision
+/// costs a comparison, never a wrong answer.
+fn fingerprint(g: &Graph) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(g.num_nodes());
+    for (u, v) in g.edges() {
+        h.write_u32(u);
+        h.write_u32(v);
+    }
+    h.finish()
+}
+
+/// Warm state for one graph: the shared memoized `MSGraph` and, once an
+/// enumeration has completed, the full answer list in emission order.
+pub struct GraphSession {
+    graph: Arc<Graph>,
+    ms: Arc<MsGraph<'static>>,
+    answers: Mutex<Option<Arc<Vec<Vec<SepId>>>>>,
+}
+
+impl GraphSession {
+    fn new(g: &Graph) -> Self {
+        let graph = Arc::new(g.clone());
+        GraphSession {
+            ms: Arc::new(MsGraph::shared(Arc::clone(&graph), Box::new(McsM))),
+            graph,
+            answers: Mutex::new(None),
+        }
+    }
+
+    /// The session's graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The shared memoized `MSGraph` (interner + crossing memo).
+    pub fn msgraph(&self) -> &Arc<MsGraph<'static>> {
+        &self.ms
+    }
+
+    /// Memo counters — watch `crossing_computed` stay flat across repeat
+    /// queries to see the warm cache at work.
+    pub fn stats(&self) -> MsGraphStats {
+        self.ms.stats()
+    }
+
+    /// The cached complete answer list, if any enumeration has finished.
+    pub fn cached_answers(&self) -> Option<Arc<Vec<Vec<SepId>>>> {
+        self.answers.lock().unwrap().clone()
+    }
+
+    fn store_answers(&self, answers: Vec<Vec<SepId>>) {
+        let mut slot = self.answers.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(Arc::new(answers));
+        }
+    }
+}
+
+/// Borrow-free sequential `EnumMIS` over a shared `MsGraph` (the
+/// fallback / single-thread path of [`Engine::enumerate`]).
+struct ArcMs(Arc<MsGraph<'static>>);
+
+impl Sgr for ArcMs {
+    type Node = SepId;
+    type NodeCursor = <MsGraph<'static> as Sgr>::NodeCursor;
+
+    fn start_nodes(&self) -> Self::NodeCursor {
+        self.0.start_nodes()
+    }
+    fn next_node(&self, cursor: &mut Self::NodeCursor) -> Option<SepId> {
+        self.0.next_node(cursor)
+    }
+    fn edge(&self, u: &SepId, v: &SepId) -> bool {
+        self.0.edge(u, v)
+    }
+    fn extend(&self, base: &[SepId]) -> Vec<SepId> {
+        self.0.extend(base)
+    }
+}
+
+enum Source {
+    /// Replaying a previously completed enumeration — no `Extend` calls.
+    Cached {
+        answers: Arc<Vec<Vec<SepId>>>,
+        next: usize,
+    },
+    /// Live parallel run on the engine's thread pool.
+    #[cfg(feature = "parallel")]
+    Live(crate::ParallelEnumerator),
+    /// Live sequential run (one thread, or the `parallel` feature is
+    /// disabled) — still against the warm shared memo.
+    Sequential(EnumMis<ArcMs>),
+}
+
+/// Streaming iterator returned by [`Engine::enumerate`]. On natural
+/// exhaustion of a live run it deposits the complete answer list back
+/// into the session for future replays.
+pub struct EngineEnumeration {
+    session: Arc<GraphSession>,
+    source: Source,
+    recorded: Option<Vec<Vec<SepId>>>,
+}
+
+impl EngineEnumeration {
+    fn next_pair(&mut self) -> Option<(Vec<SepId>, Triangulation)> {
+        match &mut self.source {
+            Source::Cached { answers, next } => {
+                let answer = answers.get(*next)?.clone();
+                *next += 1;
+                let tri = self.session.ms.materialize(&answer);
+                Some((answer, tri))
+            }
+            #[cfg(feature = "parallel")]
+            Source::Live(par) => match par.next_pair() {
+                Some(pair) => {
+                    if let Some(rec) = &mut self.recorded {
+                        rec.push(pair.0.clone());
+                    }
+                    Some(pair)
+                }
+                None => {
+                    if par.is_complete() {
+                        if let Some(rec) = self.recorded.take() {
+                            self.session.store_answers(rec);
+                        }
+                    }
+                    None
+                }
+            },
+            Source::Sequential(seq) => match seq.next() {
+                Some(answer) => {
+                    if let Some(rec) = &mut self.recorded {
+                        rec.push(answer.clone());
+                    }
+                    let tri = self.session.ms.materialize(&answer);
+                    Some((answer, tri))
+                }
+                None => {
+                    // A sequential stream only ends when complete.
+                    if let Some(rec) = self.recorded.take() {
+                        self.session.store_answers(rec);
+                    }
+                    None
+                }
+            },
+        }
+    }
+
+    /// `true` when this stream replays a cached enumeration.
+    pub fn is_replay(&self) -> bool {
+        matches!(self.source, Source::Cached { .. })
+    }
+}
+
+impl Iterator for EngineEnumeration {
+    type Item = Triangulation;
+
+    fn next(&mut self) -> Option<Triangulation> {
+        self.next_pair().map(|(_, tri)| tri)
+    }
+}
+
+/// The cache-sharing enumeration engine: a session store over
+/// [`GraphSession`]s plus the query API. Cheap to share behind an `Arc`;
+/// all methods take `&self`.
+///
+/// ```
+/// use mintri_engine::Engine;
+/// use mintri_graph::Graph;
+///
+/// let engine = Engine::new();
+/// let g = Graph::cycle(6);
+/// assert_eq!(engine.enumerate(&g).count(), 14); // computes
+/// assert_eq!(engine.enumerate(&g).count(), 14); // replays the cache
+/// assert_eq!(engine.sessions_cached(), 1);
+/// ```
+pub struct Engine {
+    config: EngineConfig,
+    sessions: Mutex<SessionStore>,
+}
+
+/// The session cache: fingerprint → colliding sessions (collisions are
+/// astronomically rare but must coexist, not evict each other), with a
+/// recency stamp per session for LRU eviction under `max_sessions`.
+#[derive(Default)]
+struct SessionStore {
+    by_key: FxHashMap<u64, Vec<(u64, Arc<GraphSession>)>>,
+    clock: u64,
+    live: usize,
+}
+
+impl SessionStore {
+    /// Looks `g` up, refreshing its recency stamp; `None` on miss.
+    fn get(&mut self, key: u64, g: &Graph) -> Option<Arc<GraphSession>> {
+        self.clock += 1;
+        let clock = self.clock;
+        let entries = self.by_key.get_mut(&key)?;
+        for (stamp, session) in entries.iter_mut() {
+            // Fingerprints are 64-bit but not a proof; verify.
+            if session.graph.as_ref() == g {
+                *stamp = clock;
+                return Some(Arc::clone(session));
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, key: u64, session: Arc<GraphSession>, cap: usize) {
+        self.clock += 1;
+        let clock = self.clock;
+        self.by_key.entry(key).or_default().push((clock, session));
+        self.live += 1;
+        while self.live > cap.max(1) {
+            self.evict_lru();
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let Some((&victim_key, _)) = self
+            .by_key
+            .iter()
+            .min_by_key(|(_, entries)| entries.iter().map(|(stamp, _)| *stamp).min())
+        else {
+            return;
+        };
+        let entries = self.by_key.get_mut(&victim_key).unwrap();
+        let oldest = entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (stamp, _))| *stamp)
+            .map(|(i, _)| i)
+            .unwrap();
+        entries.remove(oldest);
+        if entries.is_empty() {
+            self.by_key.remove(&victim_key);
+        }
+        self.live -= 1;
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Engine with the default configuration (auto thread count,
+    /// unordered delivery).
+    pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// Engine with an explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Engine {
+            config,
+            sessions: Mutex::new(SessionStore::default()),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of graphs with live warm sessions.
+    pub fn sessions_cached(&self) -> usize {
+        self.sessions.lock().unwrap().live
+    }
+
+    /// The (existing or fresh) warm session for `g`. Touching a session
+    /// refreshes it in the LRU order; when the store exceeds
+    /// [`EngineConfig::max_sessions`], the least recently used session is
+    /// dropped (its memory — memo tables and answer cache — with it).
+    pub fn session(&self, g: &Graph) -> Arc<GraphSession> {
+        let key = fingerprint(g);
+        let mut sessions = self.sessions.lock().unwrap();
+        if let Some(existing) = sessions.get(key, g) {
+            return existing;
+        }
+        let session = Arc::new(GraphSession::new(g));
+        sessions.insert(key, Arc::clone(&session), self.config.max_sessions);
+        session
+    }
+
+    /// Drops the warm session for `g`, if any (frees its memo tables and
+    /// cached answers; a later query rebuilds from scratch).
+    pub fn evict(&self, g: &Graph) {
+        let key = fingerprint(g);
+        let mut sessions = self.sessions.lock().unwrap();
+        let store = &mut *sessions;
+        if let Some(entries) = store.by_key.get_mut(&key) {
+            let before = entries.len();
+            entries.retain(|(_, s)| s.graph.as_ref() != g);
+            store.live -= before - entries.len();
+            if entries.is_empty() {
+                store.by_key.remove(&key);
+            }
+        }
+    }
+
+    /// Drops every warm session.
+    pub fn clear_sessions(&self) {
+        let mut sessions = self.sessions.lock().unwrap();
+        sessions.by_key.clear();
+        sessions.live = 0;
+    }
+
+    /// Streams the minimal triangulations of `g`: replayed from cache
+    /// when a previous enumeration completed, otherwise computed live
+    /// (in parallel when configured and compiled in) against the warm
+    /// session memo.
+    pub fn enumerate(&self, g: &Graph) -> EngineEnumeration {
+        let session = self.session(g);
+        if let Some(answers) = session.cached_answers() {
+            return EngineEnumeration {
+                session,
+                source: Source::Cached { answers, next: 0 },
+                recorded: None,
+            };
+        }
+        let source = self.live_source(&session);
+        EngineEnumeration {
+            session,
+            source,
+            recorded: Some(Vec::new()),
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    fn live_source(&self, session: &Arc<GraphSession>) -> Source {
+        if self.config.resolved_threads() > 1 {
+            Source::Live(crate::ParallelEnumerator::from_msgraph(
+                Arc::clone(&session.ms),
+                &self.config,
+            ))
+        } else {
+            Source::Sequential(EnumMis::new(
+                ArcMs(Arc::clone(&session.ms)),
+                PrintMode::UponGeneration,
+            ))
+        }
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn live_source(&self, session: &Arc<GraphSession>) -> Source {
+        Source::Sequential(EnumMis::new(
+            ArcMs(Arc::clone(&session.ms)),
+            PrintMode::UponGeneration,
+        ))
+    }
+
+    /// The `k` best triangulations of `g` under `cost` (smaller is
+    /// better) within `budget`, in ascending cost order; ties keep the
+    /// earlier-produced result. The engine-level twin of
+    /// [`mintri_core::best_k_by`], sharing the warm session.
+    pub fn best_k_by<C, F>(
+        &self,
+        g: &Graph,
+        k: usize,
+        budget: EnumerationBudget,
+        cost: F,
+    ) -> Vec<Triangulation>
+    where
+        C: Ord,
+        F: Fn(&Triangulation) -> C,
+    {
+        mintri_core::best_k_of_stream(self.enumerate(g), k, budget, cost)
+    }
+
+    /// Streams proper tree decompositions of `g`, expanding each minimal
+    /// triangulation from the (cached or live) enumeration.
+    pub fn decompose(
+        &self,
+        g: &Graph,
+        mode: TdEnumerationMode,
+    ) -> impl Iterator<Item = TreeDecomposition> {
+        let stream = self.enumerate(g);
+        stream.flat_map(move |tri| -> Box<dyn Iterator<Item = TreeDecomposition>> {
+            match mode {
+                TdEnumerationMode::OnePerClass => {
+                    let forest = mintri_chordal::CliqueForest::build(&tri.graph);
+                    Box::new(std::iter::once(TreeDecomposition {
+                        bags: forest.cliques,
+                        edges: forest.edges,
+                    }))
+                }
+                TdEnumerationMode::AllDecompositions => {
+                    Box::new(proper_decompositions_of_chordal(&tri.graph))
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mintri_core::{MinimalTriangulationsEnumerator, ProperTreeDecompositions};
+
+    #[test]
+    fn repeat_enumeration_replays_from_cache() {
+        let engine = Engine::new();
+        let g = Graph::cycle(7);
+        let first: Vec<_> = engine.enumerate(&g).map(|t| t.graph.edges()).collect();
+        assert_eq!(first.len(), 42);
+        let session = engine.session(&g);
+        let extends_after_first = session.stats().extends;
+        let replay = engine.enumerate(&g);
+        assert!(replay.is_replay());
+        let second: Vec<_> = replay.map(|t| t.graph.edges()).collect();
+        assert_eq!(first, second, "replay preserves emission order");
+        assert_eq!(
+            session.stats().extends,
+            extends_after_first,
+            "replay must not invoke Extend"
+        );
+        assert_eq!(engine.sessions_cached(), 1);
+    }
+
+    #[test]
+    fn incomplete_runs_do_not_poison_the_cache() {
+        let engine = Engine::new();
+        let g = Graph::cycle(9);
+        let mut stream = engine.enumerate(&g);
+        let _ = stream.next();
+        drop(stream); // abandoned early: no cached answer list
+        assert!(engine.session(&g).cached_answers().is_none());
+        // a full run afterwards still works and caches
+        let n = engine.enumerate(&g).count();
+        assert_eq!(n, MinimalTriangulationsEnumerator::new(&g).count());
+        assert!(engine.session(&g).cached_answers().is_some());
+    }
+
+    #[test]
+    fn session_store_evicts_least_recently_used() {
+        let engine = Engine::with_config(EngineConfig {
+            threads: 1,
+            max_sessions: 2,
+            ..EngineConfig::default()
+        });
+        let (a, b, c) = (Graph::cycle(4), Graph::cycle(5), Graph::cycle(6));
+        let sa = engine.session(&a);
+        let _sb = engine.session(&b);
+        let sa2 = engine.session(&a); // touch a: b becomes the LRU
+        assert!(Arc::ptr_eq(&sa, &sa2));
+        let _sc = engine.session(&c); // evicts b
+        assert_eq!(engine.sessions_cached(), 2);
+        assert!(Arc::ptr_eq(&sa, &engine.session(&a)), "a stayed warm");
+        // b was evicted: a fresh session comes back for it
+        let _ = engine.session(&b);
+        assert_eq!(engine.sessions_cached(), 2);
+    }
+
+    #[test]
+    fn explicit_eviction_frees_sessions() {
+        let engine = Engine::new();
+        let g = Graph::cycle(5);
+        let s1 = engine.session(&g);
+        engine.evict(&g);
+        assert_eq!(engine.sessions_cached(), 0);
+        assert!(!Arc::ptr_eq(&s1, &engine.session(&g)));
+        engine.clear_sessions();
+        assert_eq!(engine.sessions_cached(), 0);
+    }
+
+    #[test]
+    fn sessions_are_fingerprint_keyed() {
+        let engine = Engine::new();
+        let a = Graph::cycle(5);
+        let b = Graph::path(5);
+        let _ = engine.enumerate(&a).count();
+        let _ = engine.enumerate(&b).count();
+        assert_eq!(engine.sessions_cached(), 2);
+        let s1 = engine.session(&a);
+        let s2 = engine.session(&Graph::cycle(5));
+        assert!(Arc::ptr_eq(&s1, &s2), "equal graphs share a session");
+    }
+
+    #[test]
+    fn best_k_matches_core_ranked() {
+        let engine = Engine::new();
+        let g = Graph::cycle(7);
+        let best = engine.best_k_by(&g, 3, EnumerationBudget::unlimited(), |t| t.fill_count());
+        assert_eq!(best.len(), 3);
+        assert!(best.iter().all(|t| t.fill_count() == 4));
+    }
+
+    #[test]
+    fn decompose_matches_sequential_pipeline() {
+        let engine = Engine::with_config(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let g = Graph::cycle(6);
+        let mut via_engine: Vec<_> = engine
+            .decompose(&g, TdEnumerationMode::AllDecompositions)
+            .map(|d| (d.num_bags(), d.width()))
+            .collect();
+        let mut via_core: Vec<_> = ProperTreeDecompositions::new(&g)
+            .map(|d| (d.num_bags(), d.width()))
+            .collect();
+        via_engine.sort();
+        via_core.sort();
+        assert_eq!(via_engine, via_core);
+    }
+
+    #[test]
+    fn warm_sessions_share_crossing_work_across_queries() {
+        let engine = Engine::with_config(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let g = Graph::cycle(8);
+        // Different query kinds against one session: enumeration first...
+        let _ = engine.enumerate(&g).count();
+        let computed_once = engine.session(&g).stats().crossing_computed;
+        assert!(computed_once > 0);
+        // ...then best-k, which replays and computes nothing new.
+        let _ = engine.best_k_by(&g, 2, EnumerationBudget::unlimited(), |t| t.width());
+        assert_eq!(engine.session(&g).stats().crossing_computed, computed_once);
+    }
+}

@@ -49,10 +49,7 @@ fn oracle(g: &WeightedGraph) -> Vec<Vec<usize>> {
     for mask in 0u64..(1 << m) {
         let sel: Vec<usize> = (0..m).filter(|&e| mask & (1 << e) != 0).collect();
         let mut uf = Uf((0..g.num_nodes).collect());
-        if !sel
-            .iter()
-            .all(|&e| uf.union(g.edges[e].0, g.edges[e].1))
-        {
+        if !sel.iter().all(|&e| uf.union(g.edges[e].0, g.edges[e].1)) {
             continue;
         }
         let w: i64 = sel.iter().map(|&e| g.edges[e].2).sum();

@@ -35,7 +35,11 @@ impl Triangulation {
 /// triangulations; the enumeration stack runs the minimal-triangulation
 /// sandwich afterwards unless [`Triangulator::guarantees_minimal`] is true
 /// (the paper skips the sandwich for MCS-M and LB-Triang, Section 6.1.2).
-pub trait Triangulator {
+///
+/// `Send + Sync` is required because the parallel engine invokes one
+/// boxed triangulator from many worker threads at once; keep
+/// implementations stateless or use atomics/locks for instrumentation.
+pub trait Triangulator: Send + Sync {
     /// Produces a triangulation of `g`.
     fn triangulate(&self, g: &Graph) -> Triangulation;
 

@@ -1,0 +1,169 @@
+//! Offline stand-in for the subset of the `criterion` crate this
+//! workspace's benchmarks use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal harness with the same API shape: [`Criterion`],
+//! benchmark groups, [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's statistical
+//! analysis it runs a fixed warm-up plus a time-boxed measurement loop and
+//! prints mean time per iteration — enough to compare runs by eye and to
+//! keep `cargo bench` working end to end.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported with criterion's signature.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration timer handed to `bench_function` closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly inside the measurement loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: a few unmeasured calls.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let started = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if started.elapsed() >= self.measure_for {
+                break;
+            }
+        }
+        self.elapsed = started.elapsed();
+        self.iters_done = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c Criterion,
+    name: String,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measure_for: self.measurement_time,
+        };
+        f(&mut b);
+        let per_iter = if b.iters_done == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iters_done as u32
+        };
+        println!(
+            "{}/{}: {:>12.3} µs/iter ({} iters)",
+            self.name,
+            id,
+            per_iter.as_secs_f64() * 1e6,
+            b.iters_done
+        );
+        self
+    }
+
+    /// Shrinks or grows this group's measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is a fixed 3 iterations.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-boxed instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (prints nothing; criterion renders summaries here).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Short window: these benches exist for relative comparisons.
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            measurement_time,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert!(calls > 3, "warm-up plus at least one measured iteration");
+    }
+}

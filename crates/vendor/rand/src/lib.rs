@@ -1,0 +1,177 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny slice of `rand` it needs: a seedable deterministic
+//! generator ([`rngs::StdRng`]) plus [`Rng::gen_range`] / [`Rng::gen_bool`].
+//! The generator is xoshiro256++ seeded through SplitMix64 — statistically
+//! solid for workload generation, deterministic in the seed on every
+//! platform, and **not** bit-compatible with upstream `rand` (the golden
+//! values in `tests/determinism.rs` pin *this* implementation's streams).
+
+pub mod rngs {
+    /// Deterministic xoshiro256++ generator, the stand-in for `rand`'s
+    /// `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_u64_seed(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding routine.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Seeding, matching the signature of `rand::SeedableRng` for the
+/// constructors the workspace calls.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng::from_u64_seed(seed)
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample.
+pub trait SampleUniform: Copy {
+    fn from_u64(value: u64) -> Self;
+    fn to_u64(self) -> u64;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn from_u64(value: u64) -> Self {
+                value as $t
+            }
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A half-open or inclusive integer range, as accepted by
+/// [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Low bound and number of representable values (must be > 0).
+    fn bounds(&self) -> (T, u64);
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn bounds(&self) -> (T, u64) {
+        let span = self.end.to_u64().wrapping_sub(self.start.to_u64());
+        assert!(span > 0, "cannot sample from empty range");
+        (self.start, span)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn bounds(&self) -> (T, u64) {
+        let span = self
+            .end()
+            .to_u64()
+            .wrapping_sub(self.start().to_u64())
+            .wrapping_add(1);
+        assert!(span > 0, "cannot sample from empty range");
+        (*self.start(), span)
+    }
+}
+
+/// The subset of `rand::Rng` the workload generators call.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range (`0..n` or `a..=b`).
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (low, span) = range.bounds();
+        // Modulo bias is < 2^-32 for the small spans used here; two's
+        // complement wrapping makes the offset correct for signed types.
+        T::from_u64(low.to_u64().wrapping_add(self.next_u64() % span))
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 uniform mantissa bits, the standard u64 → f64 conversion.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        rngs::StdRng::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let z: u32 = rng.gen_range(0..1u32);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+        assert!(!StdRng::seed_from_u64(2).gen_bool(0.0));
+        assert!(StdRng::seed_from_u64(2).gen_bool(1.0));
+    }
+}

@@ -14,14 +14,17 @@ use mintri::sgr::PrintMode;
 use mintri::triangulate::{minimal_triangulation_sandwich, CompleteFill};
 
 /// A custom backend: complete-fill followed by the sandwich minimalizer,
-/// with a shared call counter to show it really is being invoked.
+/// with a shared call counter to show it really is being invoked. The
+/// counter is atomic because [`Triangulator`] requires `Send + Sync` (the
+/// parallel engine calls backends from many threads).
 struct CountingNaive {
-    calls: std::rc::Rc<std::cell::Cell<usize>>,
+    calls: std::sync::Arc<std::sync::atomic::AtomicUsize>,
 }
 
 impl Triangulator for CountingNaive {
     fn triangulate(&self, g: &Graph) -> Triangulation {
-        self.calls.set(self.calls.get() + 1);
+        self.calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         // produce a (grossly non-minimal) triangulation; the enumeration
         // stack will sandwich it down because guarantees_minimal() is false
         CompleteFill.triangulate(g)
@@ -54,7 +57,7 @@ fn main() {
     reference.sort();
 
     // Custom backend run.
-    let calls = std::rc::Rc::new(std::cell::Cell::new(0));
+    let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let backend = CountingNaive {
         calls: calls.clone(),
     };
@@ -74,7 +77,10 @@ fn main() {
          custom backend",
         reference.len()
     );
-    println!("custom Triangulate() was invoked {} times", calls.get());
+    println!(
+        "custom Triangulate() was invoked {} times",
+        calls.load(std::sync::atomic::Ordering::Relaxed)
+    );
 
     // The sandwich step is also available directly:
     let naive = CompleteFill.triangulate(&g);

@@ -5,13 +5,21 @@
 //! mintri stats        --input g.col [--format dimacs|edges|uai]
 //! mintri triangulate  --input g.col [--algo mcsm|lbtriang|lexm|mindegree]
 //! mintri enumerate    --input g.col [--limit K] [--budget-ms T] [--algo ...]
+//!                     [--threads N] [--delivery unordered|deterministic]
 //! mintri decompose    --input g.col [--limit K] [--one-per-class true]
 //! ```
+//!
+//! `--threads N` (N > 1, or 0 for "all cores") runs the enumeration on
+//! the `mintri-engine` work-stealing pool; `--delivery deterministic`
+//! makes the parallel output order match the single-threaded one.
 //!
 //! Graphs: DIMACS `.col` (default), 0-based edge lists, or UAI network
 //! files. Output goes to stdout; diagnostics to stderr.
 
-use mintri::core::{AnytimeSearch, EnumerationBudget, ProperTreeDecompositions};
+use mintri::core::{AnytimeSearch, EnumerationBudget, ProperTreeDecompositions, SearchStrategy};
+use mintri::engine::Delivery;
+#[cfg(feature = "parallel")]
+use mintri::engine::{parallel_strategy_with, EngineConfig};
 use mintri::graph::io::{parse_dimacs, parse_edge_list};
 use mintri::prelude::*;
 use mintri::separators::MinimalSeparatorIter;
@@ -92,6 +100,40 @@ fn pick_triangulator(flags: &HashMap<String, String>) -> Result<Box<dyn Triangul
     )
 }
 
+/// `--threads` / `--delivery` → a sequential or engine-backed strategy.
+fn pick_strategy(flags: &HashMap<String, String>) -> Result<SearchStrategy, String> {
+    let threads: Option<usize> = flags
+        .get("threads")
+        .map(|s| s.parse().map_err(|_| "--threads must be an integer"))
+        .transpose()?;
+    let delivery = match flags.get("delivery").map(String::as_str) {
+        None | Some("unordered") => Delivery::Unordered,
+        Some("deterministic") => Delivery::Deterministic,
+        Some(other) => {
+            return Err(format!(
+                "unknown --delivery {other:?} (use unordered or deterministic)"
+            ))
+        }
+    };
+    match threads {
+        // `--threads 1` and no flag both mean the classic iterator.
+        None | Some(1) => {
+            let _ = delivery;
+            Ok(SearchStrategy::Sequential)
+        }
+        #[cfg(feature = "parallel")]
+        Some(n) => Ok(parallel_strategy_with(EngineConfig {
+            threads: n,
+            delivery,
+            ..EngineConfig::default()
+        })),
+        #[cfg(not(feature = "parallel"))]
+        Some(_) => {
+            Err("--threads needs the `parallel` feature; rebuild with default features".to_string())
+        }
+    }
+}
+
 fn run(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     let g = load_graph(flags)?;
     let limit: usize = flags
@@ -136,7 +178,12 @@ fn run(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
                 max_results: (limit != usize::MAX).then_some(limit),
                 time_limit: budget_ms.map(Duration::from_millis),
             };
-            let outcome = AnytimeSearch::new(&g).triangulator(t).budget(budget).run();
+            let strategy = pick_strategy(flags)?;
+            let outcome = AnytimeSearch::new(&g)
+                .triangulator(t)
+                .budget(budget)
+                .strategy(strategy)
+                .run();
             println!("index,elapsed_us,width,fill");
             for r in &outcome.records {
                 println!("{},{},{},{}", r.index, r.at.as_micros(), r.width, r.fill);

@@ -12,9 +12,34 @@
 //! let results: Vec<_> = MinimalTriangulationsEnumerator::new(&g).collect();
 //! assert_eq!(results.len(), 2);
 //! ```
+//!
+//! ## Choosing an enumeration API
+//!
+//! Two front doors cover every workload:
+//!
+//! * **The iterator stack** ([`core`]) — single-threaded, borrow-based,
+//!   zero setup: [`prelude::MinimalTriangulationsEnumerator`] streams
+//!   `MinTri(g)` in incremental polynomial time;
+//!   [`prelude::ProperTreeDecompositions`] does the same for proper tree
+//!   decompositions; [`prelude::AnytimeSearch`] adds budgets and quality
+//!   recording. Reach for these in scripts, tests and one-shot calls.
+//! * **The engine** ([`engine`]) — the serving layer. An
+//!   [`prelude::Engine`] keeps a warm session per graph (sharded
+//!   separator-interner and crossing memos shared across threads *and*
+//!   across queries, completed answer lists replayed for free), and
+//!   [`prelude::ParallelEnumerator`] fans the `EnumMIS` frontier over a
+//!   work-stealing thread pool with a choice of
+//!   [`prelude::Delivery::Unordered`] (fastest) or
+//!   [`prelude::Delivery::Deterministic`] (bit-identical to the
+//!   sequential order). Reach for these in services and on big inputs.
+//!
+//! The two agree exactly: the engine's `Deterministic` mode reproduces
+//! the iterator stack's output stream, and `Unordered` reproduces the
+//! answer set (`tests/engine_parallel.rs` holds both contracts).
 
 pub use mintri_chordal as chordal;
 pub use mintri_core as core;
+pub use mintri_engine as engine;
 pub use mintri_graph as graph;
 pub use mintri_separators as separators;
 pub use mintri_sgr as sgr;
@@ -28,8 +53,11 @@ pub mod prelude {
     pub use mintri_core::{
         best_fill, best_k_by, best_width, AnytimeSearch, BruteForce, EagerMinimalTriangulations,
         EnumerationBudget, MinimalTriangulationsEnumerator, ProperTreeDecompositions,
-        TdEnumerationMode,
+        SearchStrategy, TdEnumerationMode,
     };
+    #[cfg(feature = "parallel")]
+    pub use mintri_engine::{parallel_strategy, parallel_strategy_with, ParallelEnumerator};
+    pub use mintri_engine::{Delivery, Engine, EngineConfig, EngineEnumeration, GraphSession};
     pub use mintri_graph::{Graph, Node, NodeSet};
     pub use mintri_separators::{crossing, MinimalSeparatorIter};
     pub use mintri_sgr::{EnumMis, PrintMode, Sgr};

@@ -51,11 +51,12 @@ fn separator_stream_is_reproducible() {
 #[test]
 fn workload_generators_are_seed_stable_snapshots() {
     // golden values: if these change, seeded reproducibility broke and
-    // every number in EXPERIMENTS.md silently shifts
+    // every number in EXPERIMENTS.md silently shifts. Pinned against the
+    // vendored xoshiro256++ `rand` stand-in (crates/vendor/rand).
     let g = promedas(24, 72, 4, 7);
-    assert_eq!((g.num_nodes(), g.num_edges()), (96, 320));
+    assert_eq!((g.num_nodes(), g.num_edges()), (96, 295));
     let r = erdos_renyi(30, 0.3, 42);
-    assert_eq!(r.num_edges(), 133);
+    assert_eq!(r.num_edges(), 121);
     let q7 = mintri::workloads::tpch_query(7);
     assert_eq!(
         MinimalTriangulationsEnumerator::new(&q7.graph).count(),
