@@ -9,8 +9,11 @@
 //! `--max-n N` (largest random-graph size, default 50).
 //!
 //! The JSON records the host's CPU count: on a single-core box the
-//! multi-thread rows measure coordination overhead, not scaling — compare
-//! `speedup_vs_sequential` only when `cpus` is honest about parallelism.
+//! multi-thread rows measure coordination overhead, not scaling — so the
+//! top-level `"speedup_observable"` field is stamped `false` whenever
+//! `cpus == 1`, and readers (humans and future PRs comparing perf
+//! trajectories) must ignore `speedup_vs_sequential` in that case rather
+//! than mistake ≈1× coordination-overhead numbers for a scaling result.
 
 use mintri_bench::Args;
 use mintri_core::MinimalTriangulationsEnumerator;
@@ -33,9 +36,18 @@ fn main() -> std::io::Result<()> {
     let max_n = args.get_usize("max-n", 50);
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
+    let speedup_observable = cpus > 1;
+    if !speedup_observable {
+        eprintln!(
+            "warning: only 1 CPU visible — parallel rows measure coordination \
+             overhead, not scaling; stamping \"speedup_observable\": false"
+        );
+    }
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"engine_scaling\",");
     let _ = writeln!(json, "  \"cpus\": {cpus},");
+    let _ = writeln!(json, "  \"speedup_observable\": {speedup_observable},");
     let _ = writeln!(json, "  \"results_per_run\": {k},");
     let _ = writeln!(json, "  \"workloads\": [");
 

@@ -55,6 +55,8 @@ mod session;
 mod parallel;
 #[cfg(feature = "parallel")]
 mod pool;
+#[cfg(feature = "parallel")]
+mod sched;
 
 pub use session::{Engine, EngineEnumeration, GraphSession};
 
@@ -62,6 +64,8 @@ pub use session::{Engine, EngineEnumeration, GraphSession};
 pub use parallel::ParallelEnumerator;
 #[cfg(feature = "parallel")]
 pub use pool::WorkPool;
+#[cfg(feature = "parallel")]
+pub use sched::{Backoff, Idle, Scheduler};
 
 /// When and in what order a parallel enumeration's results reach the
 /// consumer.

@@ -6,20 +6,23 @@
 //! independent unit of work against a shared, internally synchronized
 //! [`MsGraph`]. The engine materializes exactly that pair set:
 //!
-//! * **Unordered delivery** — dedicated worker threads own work-stealing
-//!   deques of `(answer, node)` tasks. A finished task's new answer is
-//!   admitted through a sharded seen-set, paired with every known node
-//!   under a registry lock (so each pair is created exactly once), and
-//!   streamed to the consumer over a bounded channel. Idle workers pull
-//!   fresh separators from the (mutex-guarded) Berry–Bordat–Cogis cursor.
-//!   Fastest; answer *order* varies run to run, the answer *set* never.
-//! * **Deterministic delivery** — a lock-step driver replays the exact
-//!   sequential schedule, but fans each "extend `J` toward every node"
-//!   step out over a [`WorkPool`] batch and admits results in canonical
-//!   direction order. Because `Extend` and the edge oracle are pure
-//!   functions of the input graph, the emitted stream is *identical* to
-//!   [`mintri_core::MinimalTriangulationsEnumerator`]'s — the mode tests
-//!   and golden files rely on.
+//! * **Unordered delivery** — dedicated worker threads drive the shared
+//!   striped-deque [`Scheduler`] over `(answer, node)` tasks. A finished
+//!   task's new answer is admitted through a sharded seen-set, paired
+//!   with every known node under a registry lock (so each pair is
+//!   created exactly once), and streamed to the consumer over a bounded
+//!   channel. Idle workers pull fresh separators from the (mutex-guarded)
+//!   Berry–Bordat–Cogis cursor. Fastest; answer *order* varies run to
+//!   run, the answer *set* never.
+//! * **Deterministic delivery** — drives the *same*
+//!   [`Frontier`](mintri_sgr::Frontier) state machine as the sequential
+//!   iterator, fanning each drained batch of independent `Extend` calls
+//!   over a [`WorkPool`] and absorbing the results in batch order.
+//!   Because the schedule lives in one place and `Extend`/the edge
+//!   oracle are pure functions of the input graph, the emitted stream is
+//!   *identical* to [`mintri_core::MinimalTriangulationsEnumerator`]'s —
+//!   the mode tests and golden files rely on this, and
+//!   [`ParallelEnumerator::enum_stats`] exposes counter-level parity.
 //!
 //! Termination (Unordered): an `active` counter tracks queued-or-running
 //! tasks. When it hits zero and the separator cursor is exhausted, the
@@ -27,16 +30,16 @@
 //! loop's queue runs dry with no nodes left to pull.
 
 use crate::pool::WorkPool;
+use crate::sched::{Backoff, Idle, Scheduler};
 use crate::{Delivery, EngineConfig};
 use mintri_core::{MsGraph, MsGraphStats, SepId};
 use mintri_graph::{FxHashSet, Graph};
 use mintri_separators::MinSepState;
-use mintri_sgr::{PrintMode, Sgr};
+use mintri_sgr::{EnumMisStats, ExtendPair, Frontier, PrintMode, Sgr};
 use mintri_triangulate::{McsM, Triangulation, Triangulator};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -151,12 +154,23 @@ impl ParallelEnumerator {
         self.ms.stats()
     }
 
+    /// `EnumMIS`-level counters of this run, for `Deterministic` delivery
+    /// (which replays the sequential schedule and therefore matches the
+    /// sequential iterator's counters exactly). `None` in `Unordered`
+    /// mode, whose relaxed schedule has no sequential counterpart.
+    pub fn enum_stats(&self) -> Option<EnumMisStats> {
+        match &self.inner {
+            Inner::Unordered(_) => None,
+            Inner::Deterministic(d) => Some(d.frontier.stats()),
+        }
+    }
+
     /// `true` once the stream ended because the enumeration genuinely
     /// finished (rather than the consumer stopping early).
     pub fn is_complete(&self) -> bool {
         match &self.inner {
             Inner::Unordered(s) => s.complete,
-            Inner::Deterministic(d) => d.complete,
+            Inner::Deterministic(d) => d.frontier.is_complete(),
         }
     }
 
@@ -198,8 +212,7 @@ struct Registry {
 
 struct UnorderedShared {
     ms: Arc<MsGraph<'static>>,
-    queues: Vec<Mutex<VecDeque<Task>>>,
-    next_queue: AtomicUsize,
+    sched: Scheduler<Task>,
     seen: Vec<Mutex<FxHashSet<Vec<SepId>>>>,
     registry: RwLock<Registry>,
     /// The sequential separator source (`A_V`); `None` once exhausted.
@@ -211,42 +224,18 @@ struct UnorderedShared {
     stop: AtomicBool,
     /// Set exactly once, when the full closure has been enumerated.
     finished: AtomicBool,
-    gate: Mutex<()>,
-    signal: Condvar,
 }
 
 impl UnorderedShared {
-    fn grab_task(&self, own: usize) -> Option<Task> {
-        if let Some(t) = self.queues[own].lock().unwrap().pop_front() {
-            return Some(t);
-        }
-        let n = self.queues.len();
-        for off in 1..n {
-            if let Some(t) = self.queues[(own + off) % n].lock().unwrap().pop_back() {
-                return Some(t);
-            }
-        }
-        None
-    }
-
-    /// Queues `tasks`, having already added them to `active`.
-    fn push_tasks(&self, tasks: Vec<Task>) {
-        if tasks.is_empty() {
-            return;
-        }
-        let n = self.queues.len();
-        for t in tasks {
-            let i = self.next_queue.fetch_add(1, Ordering::Relaxed) % n;
-            self.queues[i].lock().unwrap().push_back(t);
-        }
-        drop(self.gate.lock().unwrap());
-        self.signal.notify_all();
+    fn abort(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.sched.request_shutdown();
     }
 
     /// Deduplicates, registers and streams a freshly extended answer,
     /// fanning out its `(answer, node)` tasks.
     fn offer(&self, mut answer: Vec<SepId>, tx: &SyncSender<(Vec<SepId>, Triangulation)>) {
-        // Canonicalize like `EnumMis::offer` does: dedup and the
+        // Canonicalize like the frontier's offer does: dedup and the
         // binary_search in run_task need sorted ids, and relying on
         // `extend`'s current sorted-output habit would couple the two
         // crates through an unchecked postcondition.
@@ -262,13 +251,13 @@ impl UnorderedShared {
             (0..reg.nodes.len() as u32).map(|v| (a_idx, v)).collect()
         };
         self.active.fetch_add(tasks.len(), Ordering::SeqCst);
-        self.push_tasks(tasks);
+        self.sched.push_batch(tasks);
         if !self.stop.load(Ordering::SeqCst) {
             let tri = self.ms.materialize(&answer);
             if tx.send((answer, tri)).is_err() {
                 // Receiver vanished without the usual drain-on-drop;
                 // abort the run.
-                self.stop.store(true, Ordering::SeqCst);
+                self.abort();
             }
         }
     }
@@ -292,16 +281,13 @@ impl UnorderedShared {
                     reg.nodes[task.1 as usize],
                 )
             };
-            // v ∈ J ⇒ Jv = J, already seen: skip the Extend call.
-            if j.binary_search(&v).is_err() {
-                let mut jv = Vec::with_capacity(j.len() + 1);
-                jv.push(v);
-                for &u in j.iter() {
-                    if !self.ms.edge(&v, &u) {
-                        jv.push(u);
-                    }
-                }
-                let k = self.ms.extend(&jv);
+            // Same evaluation the sequential frontier runs inline —
+            // `None` when `v ∈ J` made the extension a no-op.
+            let pair = ExtendPair {
+                answer: j,
+                direction: Some(v),
+            };
+            if let Some(k) = pair.evaluate(&self.ms) {
                 self.offer(k, tx);
             }
         }
@@ -325,8 +311,7 @@ impl UnorderedShared {
                 drop(cur);
                 if self.active.load(Ordering::SeqCst) == 0 {
                     self.finished.store(true, Ordering::SeqCst);
-                    drop(self.gate.lock().unwrap());
-                    self.signal.notify_all();
+                    self.sched.request_shutdown();
                 }
                 true
             }
@@ -343,7 +328,7 @@ impl UnorderedShared {
                 // these tasks or they would be orphaned (lost answers).
                 self.active.fetch_add(tasks.len(), Ordering::SeqCst);
                 drop(cur);
-                self.push_tasks(tasks);
+                self.sched.push_batch(tasks);
                 true
             }
         }
@@ -360,16 +345,17 @@ impl Drop for TaskToken<'_> {
     fn drop(&mut self) {
         let shared = self.0;
         if std::thread::panicking() {
-            shared.stop.store(true, Ordering::SeqCst);
+            shared.abort();
         }
         if shared.active.fetch_sub(1, Ordering::SeqCst) == 1 {
             if shared.node_iter_done.load(Ordering::SeqCst) {
                 shared.finished.store(true, Ordering::SeqCst);
+                shared.sched.request_shutdown();
+            } else {
+                // Wake idlers to pull the next separator now that the
+                // frontier has drained.
+                shared.sched.wake_all();
             }
-            // Wake idlers: either to observe completion or to pull the
-            // next separator now that the frontier has drained.
-            drop(shared.gate.lock());
-            shared.signal.notify_all();
         }
     }
 }
@@ -379,41 +365,28 @@ fn unordered_worker(
     own: usize,
     tx: SyncSender<(Vec<SepId>, Triangulation)>,
 ) {
-    // Idle wait starts snappy and backs off exponentially, resetting on
-    // any work. A pure predicate wait is not possible here: the idle
-    // re-check includes `try_pull_node`, whose `push_tasks` re-locks the
-    // gate — so the timeout stays as the lost-wakeup net, and backoff
-    // keeps long-idle workers (slow consumer, drained frontier) from
-    // polling at kHz rates.
-    const IDLE_MIN: Duration = Duration::from_micros(500);
-    const IDLE_MAX: Duration = Duration::from_millis(50);
-    let mut idle_wait = IDLE_MIN;
-    loop {
-        if shared.stop.load(Ordering::SeqCst) || shared.finished.load(Ordering::SeqCst) {
-            return; // dropping tx; the channel closes with the last worker
-        }
-        if let Some(task) = shared.grab_task(own) {
-            shared.run_task(task, &tx);
-            idle_wait = IDLE_MIN;
-            continue;
-        }
-        if shared.try_pull_node() {
-            idle_wait = IDLE_MIN;
-            continue;
-        }
-        // No tasks, no nodes to pull: wait for frontier activity.
-        let guard = shared.gate.lock().unwrap();
-        let (_guard, timed_out) = shared
-            .signal
-            .wait_timeout(guard, idle_wait)
-            .map(|(g, t)| (g, t.timed_out()))
-            .unwrap();
-        if timed_out {
-            idle_wait = (idle_wait * 2).min(IDLE_MAX);
-        } else {
-            idle_wait = IDLE_MIN;
-        }
-    }
+    // The backoff timeout is the lost-wakeup net: the idle callback's
+    // `try_pull_node` creates work through `push_batch` (which re-locks
+    // the scheduler gate), so it cannot run inside the parked re-check —
+    // see the sched module docs.
+    const BACKOFF: Backoff = Backoff {
+        min: Duration::from_micros(500),
+        max: Duration::from_millis(50),
+    };
+    shared.sched.worker_loop(
+        own,
+        Some(BACKOFF),
+        |task| shared.run_task(task, &tx),
+        || {
+            if shared.stop.load(Ordering::SeqCst) || shared.finished.load(Ordering::SeqCst) {
+                Idle::Exit // dropping tx; the channel closes with the last worker
+            } else if shared.try_pull_node() {
+                Idle::Rescan
+            } else {
+                Idle::Park
+            }
+        },
+    );
 }
 
 struct UnorderedStream {
@@ -429,8 +402,7 @@ impl UnorderedStream {
         let (tx, rx) = std::sync::mpsc::sync_channel(config.channel_capacity.max(1));
         let shared = Arc::new(UnorderedShared {
             ms: Arc::clone(&ms),
-            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
-            next_queue: AtomicUsize::new(0),
+            sched: Scheduler::new(threads),
             seen: (0..SEEN_SHARDS)
                 .map(|_| Mutex::new(FxHashSet::default()))
                 .collect(),
@@ -440,10 +412,8 @@ impl UnorderedStream {
             active: AtomicUsize::new(1), // the bootstrap task
             stop: AtomicBool::new(false),
             finished: AtomicBool::new(false),
-            gate: Mutex::new(()),
-            signal: Condvar::new(),
         });
-        shared.queues[0].lock().unwrap().push_back(BOOTSTRAP);
+        shared.sched.push(BOOTSTRAP);
         let handles = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -479,9 +449,7 @@ impl UnorderedStream {
 
 impl Drop for UnorderedStream {
     fn drop(&mut self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        drop(self.shared.gate.lock().unwrap());
-        self.shared.signal.notify_all();
+        self.shared.abort();
         // Keep receiving until every sender is gone: a one-shot
         // non-blocking drain would race with workers re-blocking on the
         // bounded channel, leaving them parked in send() while join()
@@ -498,134 +466,52 @@ impl Drop for UnorderedStream {
 // Deterministic mode
 // ---------------------------------------------------------------------------
 
-/// Lock-step frontier: replays the sequential `EnumMIS` schedule, batch-
-/// parallelizing each step's independent `Extend` calls on a [`WorkPool`]
-/// and admitting results in canonical order. Pull-driven — no channel, no
-/// resident enumeration threads; work happens inside `next_answer`.
+/// Lock-step driver over the *shared* [`Frontier`] state machine: drain
+/// the schedule's next batch of independent `Extend` calls, fan it over a
+/// [`WorkPool`], absorb the results in batch order. There is no mirrored
+/// queue/processed/seen state here — the frontier is the single source of
+/// truth for the paper's schedule, which is what makes the emitted stream
+/// identical to the sequential enumerator's in both print modes.
+/// Pull-driven — no channel, no resident enumeration threads; work
+/// happens inside `next_answer`.
 struct DeterministicDriver {
-    ms: Arc<MsGraph<'static>>,
+    frontier: Frontier<Arc<MsGraph<'static>>>,
     pool: WorkPool,
-    mode: PrintMode,
-    cursor: Option<MinSepState>,
-    nodes: Vec<SepId>,
-    queue: VecDeque<Arc<Vec<SepId>>>,
-    processed: Vec<Arc<Vec<SepId>>>,
-    seen: FxHashSet<Vec<SepId>>,
-    pending: VecDeque<Vec<SepId>>,
-    started: bool,
-    complete: bool,
 }
 
 impl DeterministicDriver {
     fn new(ms: Arc<MsGraph<'static>>, config: &EngineConfig, mode: PrintMode) -> Self {
-        let cursor = Some(ms.start_nodes());
         DeterministicDriver {
-            ms,
+            frontier: Frontier::new(ms, mode),
             pool: WorkPool::new(config.resolved_threads()),
-            mode,
-            cursor,
-            nodes: Vec::new(),
-            queue: VecDeque::new(),
-            processed: Vec::new(),
-            seen: FxHashSet::default(),
-            pending: VecDeque::new(),
-            started: false,
-            complete: false,
         }
     }
 
-    /// Registers a fresh answer; emits it now (`UponGeneration`) or when
-    /// popped from the queue (`UponPop`) — same discipline split as the
-    /// sequential `EnumMis`.
-    fn offer(&mut self, mut answer: Vec<SepId>) {
-        answer.sort_unstable(); // canonicalize exactly like EnumMis::offer
-        if self.seen.insert(answer.clone()) {
-            if self.mode == PrintMode::UponGeneration {
-                self.pending.push_back(answer.clone());
-            }
-            self.queue.push_back(Arc::new(answer));
+    /// Evaluates one drained batch, on the pool when it is worth the
+    /// boxing (the batch's pairs are independent pure calls).
+    fn evaluate_batch(&self, batch: Vec<ExtendPair<SepId>>) -> Vec<Option<Vec<SepId>>> {
+        if batch.len() < 2 {
+            let ms = self.frontier.sgr();
+            return batch.iter().map(|pair| pair.evaluate(ms)).collect();
         }
-    }
-
-    /// Extends `j` toward each node of `directions`, in parallel; the
-    /// result vector is in `directions` order, `None` where `v ∈ J` made
-    /// the extension a no-op.
-    fn batch_extend(&self, pairs: Vec<(Arc<Vec<SepId>>, SepId)>) -> Vec<Option<Vec<SepId>>> {
-        let jobs: Vec<Box<dyn FnOnce() -> Option<Vec<SepId>> + Send>> = pairs
+        let jobs: Vec<Box<dyn FnOnce() -> Option<Vec<SepId>> + Send>> = batch
             .into_iter()
-            .map(|(j, v)| {
-                let ms = Arc::clone(&self.ms);
-                Box::new(move || {
-                    if j.binary_search(&v).is_ok() {
-                        return None;
-                    }
-                    let mut jv = Vec::with_capacity(j.len() + 1);
-                    jv.push(v);
-                    for &u in j.iter() {
-                        if !ms.edge(&v, &u) {
-                            jv.push(u);
-                        }
-                    }
-                    Some(ms.extend(&jv))
-                }) as Box<dyn FnOnce() -> Option<Vec<SepId>> + Send>
+            .map(|pair| {
+                let ms = Arc::clone(self.frontier.sgr());
+                Box::new(move || pair.evaluate(&ms))
+                    as Box<dyn FnOnce() -> Option<Vec<SepId>> + Send>
             })
             .collect();
         self.pool.run_batch(jobs)
     }
 
-    /// The sequential `advance` loop with its two inner loops batched.
-    fn advance(&mut self) {
-        if !self.started {
-            self.started = true;
-            let first = self.ms.extend(&[]);
-            self.offer(first);
-        }
-        while self.pending.is_empty() {
-            if let Some(j) = self.queue.pop_front() {
-                if self.mode == PrintMode::UponPop {
-                    self.pending.push_back((*j).clone());
-                }
-                self.processed.push(Arc::clone(&j));
-                let pairs = self
-                    .nodes
-                    .iter()
-                    .map(|&v| (Arc::clone(&j), v))
-                    .collect::<Vec<_>>();
-                for k in self.batch_extend(pairs).into_iter().flatten() {
-                    self.offer(k);
-                }
-            } else {
-                let Some(state) = self.cursor.as_mut() else {
-                    self.complete = true;
-                    return;
-                };
-                match self.ms.next_node(state) {
-                    None => {
-                        self.cursor = None;
-                        self.complete = true;
-                        return;
-                    }
-                    Some(v) => {
-                        self.nodes.push(v);
-                        let pairs = self
-                            .processed
-                            .iter()
-                            .map(|j| (Arc::clone(j), v))
-                            .collect::<Vec<_>>();
-                        for k in self.batch_extend(pairs).into_iter().flatten() {
-                            self.offer(k);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
     fn next_answer(&mut self) -> Option<Vec<SepId>> {
-        if self.pending.is_empty() && !self.complete {
-            self.advance();
+        while !self.frontier.has_emissions() && !self.frontier.is_complete() {
+            let batch = self.frontier.drain_pending();
+            let results = self.evaluate_batch(batch);
+            self.frontier.absorb(results);
         }
-        self.pending.pop_front()
+        self.frontier.pop_emission()
     }
 }
 
@@ -761,5 +647,24 @@ mod tests {
             dedup.dedup();
             assert_eq!(all.len(), dedup.len(), "duplicate answer emitted");
         }
+    }
+
+    #[test]
+    fn deterministic_stats_match_the_sequential_iterator() {
+        let g = Graph::cycle(7);
+        let mut seq = MinimalTriangulationsEnumerator::new(&g);
+        let n_seq = seq.by_ref().count();
+        let mut par = ParallelEnumerator::with_config(
+            &g,
+            Box::new(McsM),
+            &EngineConfig {
+                threads: 4,
+                delivery: Delivery::Deterministic,
+                ..EngineConfig::default()
+            },
+        );
+        let n_par = par.by_ref().count();
+        assert_eq!(n_seq, n_par);
+        assert_eq!(seq.enum_stats(), par.enum_stats().unwrap());
     }
 }

@@ -1,73 +1,45 @@
 //! A small work-stealing thread pool on `std` primitives.
 //!
 //! crates.io is unreachable in this build environment, so instead of
-//! `rayon` the engine ships its own pool: one FIFO deque per worker,
-//! round-robin submission, and idle workers stealing from the *back* of
-//! their siblings' deques. Jobs are `FnOnce` boxes and may themselves
-//! submit further jobs — the enumeration frontier grows this way.
+//! `rayon` the engine ships its own pool: resident workers driving the
+//! shared striped-deque [`Scheduler`](crate::sched::Scheduler) (one FIFO
+//! deque per worker, round-robin submission, idle workers stealing from
+//! the *back* of their siblings' deques). Jobs are `FnOnce` boxes and may
+//! themselves submit further jobs. The pool adds only batch semantics on
+//! top: [`WorkPool::run_batch`] blocks the caller until a whole batch is
+//! done and returns the results in input order — the shape the lock-step
+//! deterministic driver needs.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sched::{Idle, Scheduler};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-struct PoolShared {
-    /// One deque per worker; workers pop their own front, steal others'
-    /// back.
-    queues: Vec<Mutex<VecDeque<Job>>>,
-    /// Round-robin cursor for external submissions.
-    next_queue: AtomicUsize,
-    /// Signals "a job was queued" to sleeping workers.
-    gate: Mutex<()>,
-    available: Condvar,
-    shutdown: AtomicBool,
-}
-
-impl PoolShared {
-    fn grab_job(&self, own: usize) -> Option<Job> {
-        if let Some(job) = self.queues[own].lock().unwrap().pop_front() {
-            return Some(job);
-        }
-        let n = self.queues.len();
-        for off in 1..n {
-            if let Some(job) = self.queues[(own + off) % n].lock().unwrap().pop_back() {
-                return Some(job);
-            }
-        }
-        None
-    }
-}
-
 /// A fixed-size work-stealing pool; dropping it joins all workers
 /// (pending never-started jobs are discarded).
 pub struct WorkPool {
-    shared: Arc<PoolShared>,
+    sched: Arc<Scheduler<Job>>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl WorkPool {
     /// A pool with `threads` workers (at least one).
     pub fn new(threads: usize) -> Self {
-        let threads = threads.max(1);
-        let shared = Arc::new(PoolShared {
-            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
-            next_queue: AtomicUsize::new(0),
-            gate: Mutex::new(()),
-            available: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-        });
-        let handles = (0..threads)
+        let sched = Arc::new(Scheduler::new(threads.max(1)));
+        let handles = (0..sched.stripes())
             .map(|i| {
-                let shared = Arc::clone(&shared);
+                let sched = Arc::clone(&sched);
                 std::thread::Builder::new()
                     .name(format!("mintri-engine-{i}"))
-                    .spawn(move || worker_loop(&shared, i))
+                    // Pure condvar park (no backoff): every job arrives
+                    // through the scheduler's push, so the under-gate
+                    // re-check covers all wake-up sources.
+                    .spawn(move || sched.worker_loop(i, None, |job: Job| job(), || Idle::Park))
                     .expect("spawning engine worker")
             })
             .collect();
-        WorkPool { shared, handles }
+        WorkPool { sched, handles }
     }
 
     /// Number of worker threads.
@@ -77,14 +49,7 @@ impl WorkPool {
 
     /// Queues a job for execution.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        let i = self.shared.next_queue.fetch_add(1, Ordering::Relaxed) % self.handles.len();
-        self.shared.queues[i]
-            .lock()
-            .unwrap()
-            .push_back(Box::new(job));
-        // The lock round-trip orders the push before any worker's re-check.
-        drop(self.shared.gate.lock().unwrap());
-        self.shared.available.notify_all();
+        self.sched.push(Box::new(job));
     }
 
     /// Runs every job and returns their results in input order, blocking
@@ -114,15 +79,22 @@ impl WorkPool {
         let results: Arc<Mutex<Vec<Option<T>>>> =
             Arc::new(Mutex::new((0..n).map(|_| None).collect()));
         let latch = Arc::new((Mutex::new(n), Condvar::new()));
-        for (i, job) in jobs.into_iter().enumerate() {
-            let results = Arc::clone(&results);
-            let latch = Arc::clone(&latch);
-            self.submit(move || {
-                let _guard = LatchGuard(latch);
-                let out = job();
-                results.lock().unwrap()[i] = Some(out);
-            });
-        }
+        // One push_batch (single wake) rather than n submits: run_batch is
+        // the deterministic driver's per-step hot path.
+        let wrapped: Vec<Job> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let results = Arc::clone(&results);
+                let latch = Arc::clone(&latch);
+                Box::new(move || {
+                    let _guard = LatchGuard(latch);
+                    let out = job();
+                    results.lock().unwrap()[i] = Some(out);
+                }) as Job
+            })
+            .collect();
+        self.sched.push_batch(wrapped);
         let (count, done) = &*latch;
         let mut remaining = count.lock().unwrap();
         while *remaining > 0 {
@@ -143,40 +115,9 @@ impl WorkPool {
 
 impl Drop for WorkPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        drop(self.shared.gate.lock().unwrap());
-        self.shared.available.notify_all();
+        self.sched.request_shutdown();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
-        }
-    }
-}
-
-fn worker_loop(shared: &PoolShared, own: usize) {
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        if let Some(job) = shared.grab_job(own) {
-            job();
-            continue;
-        }
-        // Nothing anywhere: re-check under the gate, then sleep until a
-        // submit or shutdown nudges us. `submit` pushes the job *before*
-        // its gate round-trip + notify, so a job pushed concurrently with
-        // this check is either seen here or wakes the wait — no lost
-        // wakeups, no polling while the pool sits idle.
-        let mut guard = shared.gate.lock().unwrap();
-        loop {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-            if let Some(job) = shared.grab_job(own) {
-                drop(guard);
-                job();
-                break;
-            }
-            guard = shared.available.wait(guard).unwrap();
         }
     }
 }
@@ -184,6 +125,7 @@ fn worker_loop(shared: &PoolShared, own: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn batch_preserves_input_order() {

@@ -13,7 +13,7 @@
 use crate::EngineConfig;
 use mintri_core::{EnumerationBudget, MsGraph, MsGraphStats, SepId, TdEnumerationMode};
 use mintri_graph::{FxHashMap, FxHasher, Graph};
-use mintri_sgr::{EnumMis, PrintMode, Sgr};
+use mintri_sgr::{EnumMis, PrintMode};
 use mintri_treedecomp::{proper_decompositions_of_chordal, TreeDecomposition};
 use mintri_triangulate::{McsM, Triangulation};
 use std::hash::Hasher;
@@ -79,28 +79,6 @@ impl GraphSession {
     }
 }
 
-/// Borrow-free sequential `EnumMIS` over a shared `MsGraph` (the
-/// fallback / single-thread path of [`Engine::enumerate`]).
-struct ArcMs(Arc<MsGraph<'static>>);
-
-impl Sgr for ArcMs {
-    type Node = SepId;
-    type NodeCursor = <MsGraph<'static> as Sgr>::NodeCursor;
-
-    fn start_nodes(&self) -> Self::NodeCursor {
-        self.0.start_nodes()
-    }
-    fn next_node(&self, cursor: &mut Self::NodeCursor) -> Option<SepId> {
-        self.0.next_node(cursor)
-    }
-    fn edge(&self, u: &SepId, v: &SepId) -> bool {
-        self.0.edge(u, v)
-    }
-    fn extend(&self, base: &[SepId]) -> Vec<SepId> {
-        self.0.extend(base)
-    }
-}
-
 enum Source {
     /// Replaying a previously completed enumeration — no `Extend` calls.
     Cached {
@@ -111,8 +89,11 @@ enum Source {
     #[cfg(feature = "parallel")]
     Live(crate::ParallelEnumerator),
     /// Live sequential run (one thread, or the `parallel` feature is
-    /// disabled) — still against the warm shared memo.
-    Sequential(EnumMis<ArcMs>),
+    /// disabled) — still against the warm shared memo. `Arc<MsGraph>` is
+    /// itself an SGR, so the plain sequential iterator runs over the
+    /// session's shared graph with no wrapper. Boxed: the frontier's
+    /// bookkeeping dwarfs the other variants.
+    Sequential(Box<EnumMis<Arc<MsGraph<'static>>>>),
 }
 
 /// Streaming iterator returned by [`Engine::enumerate`]. On natural
@@ -359,19 +340,19 @@ impl Engine {
                 &self.config,
             ))
         } else {
-            Source::Sequential(EnumMis::new(
-                ArcMs(Arc::clone(&session.ms)),
+            Source::Sequential(Box::new(EnumMis::new(
+                Arc::clone(&session.ms),
                 PrintMode::UponGeneration,
-            ))
+            )))
         }
     }
 
     #[cfg(not(feature = "parallel"))]
     fn live_source(&self, session: &Arc<GraphSession>) -> Source {
-        Source::Sequential(EnumMis::new(
-            ArcMs(Arc::clone(&session.ms)),
+        Source::Sequential(Box::new(EnumMis::new(
+            Arc::clone(&session.ms),
             PrintMode::UponGeneration,
-        ))
+        )))
     }
 
     /// The `k` best triangulations of `g` under `cost` (smaller is

@@ -17,33 +17,15 @@
 //! appear when extracted from the queue — the variant whose incremental
 //! polynomial time bound is proved directly, Lemma 3.3). Both emit exactly
 //! the same answer set (Lemma 3.2 + Theorem 3.4), which the tests verify.
+//!
+//! The schedule itself — queue/processed/seen bookkeeping, node-pulling,
+//! the print-mode split — lives in [`Frontier`]; this iterator is the
+//! sequential driver that evaluates each drained batch inline. Parallel
+//! drivers (the engine crate) share the same `Frontier` and differ only
+//! in where the `Extend` calls run.
 
-use crate::Sgr;
-use mintri_graph::FxHashSet;
-use std::collections::VecDeque;
-
-/// When answers become visible to the consumer; see module docs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum PrintMode {
-    /// Print as soon as an answer is generated (`EnumMIS`, lines 2/14/23).
-    #[default]
-    UponGeneration,
-    /// Print when an answer is popped from the queue (`EnumMISHold`).
-    UponPop,
-}
-
-/// Running counters, exposed for the benchmark harness and tests.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct EnumMisStats {
-    /// Calls to the SGR `extend` operation.
-    pub extend_calls: usize,
-    /// Calls to the SGR `edge` oracle.
-    pub edge_queries: usize,
-    /// Nodes pulled from the SGR node iterator so far (`|V|`).
-    pub nodes_generated: usize,
-    /// Answers produced so far.
-    pub answers: usize,
-}
+use crate::frontier::Frontier;
+use crate::{EnumMisStats, PrintMode, Sgr};
 
 /// Iterator over all maximal independent sets of an SGR.
 ///
@@ -54,40 +36,14 @@ pub struct EnumMisStats {
 /// `EnumMis` owns its SGR; pass `&S` (the blanket `Sgr for &S` impl) to
 /// borrow one instead.
 pub struct EnumMis<S: Sgr> {
-    sgr: S,
-    mode: PrintMode,
-    cursor: S::NodeCursor,
-    node_iter_done: bool,
-    /// `V`: the SGR nodes generated so far.
-    nodes: Vec<S::Node>,
-    /// `Q`: answers generated but not yet processed.
-    queue: VecDeque<Vec<S::Node>>,
-    /// `P`: processed answers.
-    processed: Vec<Vec<S::Node>>,
-    /// Membership structure for `Q ∪ P` (answers ever created).
-    seen: FxHashSet<Vec<S::Node>>,
-    /// Answers awaiting emission to the consumer.
-    pending: VecDeque<Vec<S::Node>>,
-    started: bool,
-    stats: EnumMisStats,
+    frontier: Frontier<S>,
 }
 
 impl<S: Sgr> EnumMis<S> {
     /// Starts an enumeration in the given print mode.
     pub fn new(sgr: S, mode: PrintMode) -> Self {
-        let cursor = sgr.start_nodes();
         EnumMis {
-            sgr,
-            mode,
-            cursor,
-            node_iter_done: false,
-            nodes: Vec::new(),
-            queue: VecDeque::new(),
-            processed: Vec::new(),
-            seen: FxHashSet::default(),
-            pending: VecDeque::new(),
-            started: false,
-            stats: EnumMisStats::default(),
+            frontier: Frontier::new(sgr, mode),
         }
     }
 
@@ -98,98 +54,12 @@ impl<S: Sgr> EnumMis<S> {
 
     /// Current counters.
     pub fn stats(&self) -> EnumMisStats {
-        self.stats
+        self.frontier.stats()
     }
 
     /// The wrapped SGR.
     pub fn sgr(&self) -> &S {
-        &self.sgr
-    }
-
-    /// Canonicalizes and registers a freshly created answer; queues it and —
-    /// in `UponGeneration` mode — emits it.
-    fn offer(&mut self, mut answer: Vec<S::Node>) {
-        answer.sort_unstable();
-        if self.seen.contains(&answer) {
-            return;
-        }
-        self.seen.insert(answer.clone());
-        if self.mode == PrintMode::UponGeneration {
-            self.pending.push_back(answer.clone());
-            self.stats.answers += 1;
-        }
-        self.queue.push_back(answer);
-    }
-
-    /// Extension of `j` in the direction of node `v` (lines 11–15 / 20–24):
-    /// `Jv = {v} ∪ {u ∈ J | ¬A_E(v, u)}`, expanded to a maximal independent
-    /// set.
-    fn extend_in_direction(&mut self, j_idx: usize, v_idx: usize) {
-        let v = self.nodes[v_idx].clone();
-        let j = &self.processed[j_idx];
-        if j.binary_search(&v).is_ok() {
-            // v ∈ J: Jv = J (an answer already seen) — skip the Extend call.
-            return;
-        }
-        let mut jv = Vec::with_capacity(j.len() + 1);
-        jv.push(v.clone());
-        for u in j {
-            self.stats.edge_queries += 1;
-            if !self.sgr.edge(&v, u) {
-                jv.push(u.clone());
-            }
-        }
-        self.stats.extend_calls += 1;
-        let k = self.sgr.extend(&jv);
-        debug_assert!(
-            jv.iter().all(|u| k.contains(u)),
-            "Extend must return a superset of its input"
-        );
-        self.offer(k);
-    }
-
-    /// Runs the algorithm until at least one answer is pending or the
-    /// enumeration is complete.
-    fn advance(&mut self) {
-        if !self.started {
-            self.started = true;
-            self.stats.extend_calls += 1;
-            let first = self.sgr.extend(&[]);
-            self.offer(first); // line 1–3
-        }
-        while self.pending.is_empty() {
-            if let Some(j) = self.queue.pop_front() {
-                // lines 8–15: process J in the direction of every known node
-                if self.mode == PrintMode::UponPop {
-                    self.pending.push_back(j.clone());
-                    self.stats.answers += 1;
-                }
-                self.processed.push(j);
-                let j_idx = self.processed.len() - 1;
-                for v_idx in 0..self.nodes.len() {
-                    self.extend_in_direction(j_idx, v_idx);
-                }
-            } else {
-                // lines 16–24: queue is dry — pull nodes until it refills
-                if self.node_iter_done {
-                    return;
-                }
-                match self.sgr.next_node(&mut self.cursor) {
-                    None => {
-                        self.node_iter_done = true;
-                        return;
-                    }
-                    Some(v) => {
-                        self.nodes.push(v);
-                        self.stats.nodes_generated += 1;
-                        let v_idx = self.nodes.len() - 1;
-                        for j_idx in 0..self.processed.len() {
-                            self.extend_in_direction(j_idx, v_idx);
-                        }
-                    }
-                }
-            }
-        }
+        self.frontier.sgr()
     }
 }
 
@@ -197,10 +67,15 @@ impl<S: Sgr> Iterator for EnumMis<S> {
     type Item = Vec<S::Node>;
 
     fn next(&mut self) -> Option<Vec<S::Node>> {
-        if self.pending.is_empty() {
-            self.advance();
+        while !self.frontier.has_emissions() && !self.frontier.is_complete() {
+            let batch = self.frontier.drain_pending();
+            let results = batch
+                .iter()
+                .map(|pair| pair.evaluate(self.frontier.sgr()))
+                .collect();
+            self.frontier.absorb(results);
         }
-        self.pending.pop_front()
+        self.frontier.pop_emission()
     }
 }
 
@@ -308,5 +183,29 @@ mod tests {
         sorted.sort();
         sorted.dedup();
         assert_eq!(sorted.len(), 3);
+    }
+
+    /// Driving the `Frontier` by hand (the way an external driver would)
+    /// produces the same stream as the `EnumMis` iterator.
+    #[test]
+    fn manual_frontier_drive_matches_iterator() {
+        let g = Graph::cycle(6);
+        let sgr = ExplicitSgr::new(&g);
+        let via_iter: Vec<_> = EnumMis::upon_generation(&sgr).collect();
+
+        let mut frontier = Frontier::new(&sgr, PrintMode::UponGeneration);
+        let mut manual = Vec::new();
+        loop {
+            while !frontier.has_emissions() && !frontier.is_complete() {
+                let batch = frontier.drain_pending();
+                let results = batch.iter().map(|p| p.evaluate(&&sgr)).collect();
+                frontier.absorb(results);
+            }
+            match frontier.pop_emission() {
+                Some(a) => manual.push(a),
+                None => break,
+            }
+        }
+        assert_eq!(via_iter, manual);
     }
 }

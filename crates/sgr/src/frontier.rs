@@ -1,0 +1,296 @@
+//! The `EnumMIS` schedule as a reusable state machine.
+//!
+//! [`Frontier`] owns every piece of bookkeeping Figure 1 of the paper
+//! needs — the queue `Q` of unprocessed answers, the processed list `P`,
+//! the seen-set `Q ∪ P`, the generated node list `V`, node-pulling when
+//! the queue runs dry, revisiting processed answers in the direction of a
+//! newly pulled node, and the `UponGeneration` / `UponPop` printing split
+//! of Section 3.2.2 — but performs **no** `Extend` or edge-oracle calls
+//! itself. Instead it advances in explicit batches:
+//!
+//! 1. [`Frontier::drain_pending`] moves the schedule to its next step and
+//!    returns that step's independent [`ExtendPair`]s (all directions of
+//!    one popped answer, or one fresh node against every processed
+//!    answer);
+//! 2. the caller evaluates each pair — inline via [`ExtendPair::evaluate`]
+//!    (the sequential [`EnumMis`](crate::EnumMis) iterator) or fanned out
+//!    over a thread pool (the engine's deterministic parallel driver);
+//! 3. [`Frontier::absorb`] feeds the results back **in batch order**,
+//!    which is what keeps every consumer's emission order identical to
+//!    the sequential algorithm.
+//!
+//! Because the schedule itself lives here once, the sequential iterator
+//! and any parallel driver cannot drift apart: they differ only in *where*
+//! the pure `Extend` calls run.
+
+use crate::Sgr;
+use mintri_graph::FxHashSet;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// When answers become visible to the consumer; see the docs of
+/// [`EnumMis`](crate::EnumMis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrintMode {
+    /// Print as soon as an answer is generated (`EnumMIS`, lines 2/14/23).
+    #[default]
+    UponGeneration,
+    /// Print when an answer is popped from the queue (`EnumMISHold`).
+    UponPop,
+}
+
+/// Running counters, exposed for the benchmark harness and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnumMisStats {
+    /// Calls to the SGR `extend` operation.
+    pub extend_calls: usize,
+    /// Calls to the SGR `edge` oracle.
+    pub edge_queries: usize,
+    /// Nodes pulled from the SGR node iterator so far (`|V|`).
+    pub nodes_generated: usize,
+    /// Answers produced so far.
+    pub answers: usize,
+}
+
+/// One independent unit of `EnumMIS` work: extend the processed answer
+/// `J` in the direction of node `v` (`Jv = {v} ∪ {u ∈ J | ¬A_E(v, u)}`,
+/// then `Extend`). The bootstrap `Extend(∅)` call is the pair with an
+/// empty answer and no direction.
+#[derive(Debug, Clone)]
+pub struct ExtendPair<N> {
+    /// `J` — a processed answer, sorted (empty for the bootstrap call).
+    pub answer: Arc<Vec<N>>,
+    /// `v` — the direction node; `None` for the bootstrap call.
+    pub direction: Option<N>,
+}
+
+impl<N: Clone + Ord> ExtendPair<N> {
+    /// Evaluates this pair against `sgr`: `None` when `v ∈ J` (the
+    /// extension would reproduce `J` itself, lines 11/20 skip it),
+    /// otherwise the maximal independent set `Extend(Jv)`.
+    ///
+    /// Pure in the SGR: safe to run on any thread holding (a clone of)
+    /// the SGR, which is exactly how the parallel driver uses it.
+    pub fn evaluate<S: Sgr<Node = N>>(&self, sgr: &S) -> Option<Vec<N>> {
+        let Some(v) = &self.direction else {
+            return Some(sgr.extend(&self.answer));
+        };
+        if self.answer.binary_search(v).is_ok() {
+            return None;
+        }
+        let mut jv = Vec::with_capacity(self.answer.len() + 1);
+        jv.push(v.clone());
+        for u in self.answer.iter() {
+            if !sgr.edge(v, u) {
+                jv.push(u.clone());
+            }
+        }
+        let k = sgr.extend(&jv);
+        debug_assert!(
+            jv.iter().all(|u| k.contains(u)),
+            "Extend must return a superset of its input"
+        );
+        Some(k)
+    }
+}
+
+/// The shared `EnumMIS` schedule (see the module docs). Drive it with:
+///
+/// ```text
+/// while !frontier.has_emissions() && !frontier.is_complete() {
+///     let batch = frontier.drain_pending();
+///     let results = …evaluate each pair, preserving order…;
+///     frontier.absorb(results);
+/// }
+/// frontier.pop_emission()
+/// ```
+pub struct Frontier<S: Sgr> {
+    sgr: S,
+    mode: PrintMode,
+    cursor: S::NodeCursor,
+    node_iter_done: bool,
+    /// `V`: the SGR nodes generated so far.
+    nodes: Vec<S::Node>,
+    /// `Q`: answers generated but not yet processed.
+    queue: VecDeque<Arc<Vec<S::Node>>>,
+    /// `P`: processed answers.
+    processed: Vec<Arc<Vec<S::Node>>>,
+    /// Membership structure for `Q ∪ P` (answers ever created).
+    seen: FxHashSet<Arc<Vec<S::Node>>>,
+    /// Answers awaiting emission to the consumer.
+    pending: VecDeque<Vec<S::Node>>,
+    /// `|J|` of each pair handed out by the last `drain_pending`,
+    /// awaiting `absorb` — all absorb needs for its one-to-one check and
+    /// edge-query accounting, so the pairs themselves are not retained.
+    in_flight: Vec<usize>,
+    started: bool,
+    complete: bool,
+    stats: EnumMisStats,
+}
+
+impl<S: Sgr> Frontier<S> {
+    /// Starts a schedule over `sgr` in the given print mode.
+    pub fn new(sgr: S, mode: PrintMode) -> Self {
+        let cursor = sgr.start_nodes();
+        Frontier {
+            sgr,
+            mode,
+            cursor,
+            node_iter_done: false,
+            nodes: Vec::new(),
+            queue: VecDeque::new(),
+            processed: Vec::new(),
+            seen: FxHashSet::default(),
+            pending: VecDeque::new(),
+            in_flight: Vec::new(),
+            started: false,
+            complete: false,
+            stats: EnumMisStats::default(),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> EnumMisStats {
+        self.stats
+    }
+
+    /// The wrapped SGR.
+    pub fn sgr(&self) -> &S {
+        &self.sgr
+    }
+
+    /// `true` once the schedule is exhausted: the queue is dry and the
+    /// node iterator is done. Emissions may still be pending.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// `true` while answers await [`Frontier::pop_emission`].
+    pub fn has_emissions(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Pops the next answer in emission order.
+    pub fn pop_emission(&mut self) -> Option<Vec<S::Node>> {
+        self.pending.pop_front()
+    }
+
+    /// Advances the schedule to its next step and returns that step's
+    /// batch of independent extend calls (lines 8–15 on a popped answer,
+    /// lines 16–24 on a freshly pulled node). An empty batch means the
+    /// step produced emissions without extend work, or the schedule is
+    /// complete — re-check [`Frontier::has_emissions`] /
+    /// [`Frontier::is_complete`] and loop.
+    ///
+    /// Every returned batch must be answered by exactly one
+    /// [`Frontier::absorb`] call before the next `drain_pending`.
+    pub fn drain_pending(&mut self) -> Vec<ExtendPair<S::Node>> {
+        assert!(
+            self.in_flight.is_empty(),
+            "drain_pending called with a batch still in flight; absorb it first"
+        );
+        if self.complete {
+            return Vec::new();
+        }
+        if !self.started {
+            // lines 1–3: bootstrap with Extend(∅)
+            self.started = true;
+            return self.hand_out(vec![ExtendPair {
+                answer: Arc::new(Vec::new()),
+                direction: None,
+            }]);
+        }
+        loop {
+            if let Some(j) = self.queue.pop_front() {
+                // lines 8–15: process J in the direction of every known node
+                if self.mode == PrintMode::UponPop {
+                    self.pending.push_back((*j).clone());
+                    self.stats.answers += 1;
+                }
+                self.processed.push(Arc::clone(&j));
+                let batch: Vec<ExtendPair<S::Node>> = self
+                    .nodes
+                    .iter()
+                    .map(|v| ExtendPair {
+                        answer: Arc::clone(&j),
+                        direction: Some(v.clone()),
+                    })
+                    .collect();
+                if batch.is_empty() && self.pending.is_empty() {
+                    continue; // nothing to extend toward yet; keep popping
+                }
+                return self.hand_out(batch);
+            }
+            // lines 16–24: queue is dry — pull the next node
+            if self.node_iter_done {
+                self.complete = true;
+                return Vec::new();
+            }
+            match self.sgr.next_node(&mut self.cursor) {
+                None => {
+                    self.node_iter_done = true;
+                    self.complete = true;
+                    return Vec::new();
+                }
+                Some(v) => {
+                    self.nodes.push(v.clone());
+                    self.stats.nodes_generated += 1;
+                    let batch: Vec<ExtendPair<S::Node>> = self
+                        .processed
+                        .iter()
+                        .map(|j| ExtendPair {
+                            answer: Arc::clone(j),
+                            direction: Some(v.clone()),
+                        })
+                        .collect();
+                    if batch.is_empty() {
+                        continue; // no processed answers yet (unreachable post-bootstrap)
+                    }
+                    return self.hand_out(batch);
+                }
+            }
+        }
+    }
+
+    fn hand_out(&mut self, batch: Vec<ExtendPair<S::Node>>) -> Vec<ExtendPair<S::Node>> {
+        self.in_flight = batch.iter().map(|pair| pair.answer.len()).collect();
+        batch
+    }
+
+    /// Feeds back the results of the last drained batch, **in batch
+    /// order** (`None` where `v ∈ J` skipped the call). Registers each
+    /// new maximal independent set exactly once and counts the stats the
+    /// evaluations imply: one `extend` per `Some`, plus its `|J|` edge
+    /// queries.
+    pub fn absorb(&mut self, results: Vec<Option<Vec<S::Node>>>) {
+        let answer_lens = std::mem::take(&mut self.in_flight);
+        assert_eq!(
+            answer_lens.len(),
+            results.len(),
+            "absorb must answer the drained batch one-to-one"
+        );
+        for (answer_len, result) in answer_lens.into_iter().zip(results) {
+            if let Some(answer) = result {
+                self.stats.extend_calls += 1;
+                self.stats.edge_queries += answer_len;
+                self.offer(answer);
+            }
+        }
+    }
+
+    /// Canonicalizes and registers a freshly created answer; queues it
+    /// and — in `UponGeneration` mode — emits it.
+    fn offer(&mut self, mut answer: Vec<S::Node>) {
+        answer.sort_unstable();
+        if self.seen.contains(&answer) {
+            return;
+        }
+        let answer = Arc::new(answer);
+        self.seen.insert(Arc::clone(&answer));
+        if self.mode == PrintMode::UponGeneration {
+            self.pending.push_back((*answer).clone());
+            self.stats.answers += 1;
+        }
+        self.queue.push_back(answer);
+    }
+}

@@ -32,12 +32,14 @@
 
 mod enum_mis;
 mod explicit;
+mod frontier;
 mod seth;
 
 pub mod bruteforce;
 
-pub use enum_mis::{EnumMis, EnumMisStats, PrintMode};
+pub use enum_mis::EnumMis;
 pub use explicit::ExplicitSgr;
+pub use frontier::{EnumMisStats, ExtendPair, Frontier, PrintMode};
 pub use seth::{CnfFormula, SethNode, SethSgr};
 
 use std::hash::Hash;
@@ -104,6 +106,31 @@ impl<S: Sgr> Iterator for SgrNodeIter<'_, S> {
 }
 
 impl<S: Sgr> Sgr for &S {
+    type Node = S::Node;
+    type NodeCursor = S::NodeCursor;
+
+    fn start_nodes(&self) -> Self::NodeCursor {
+        (**self).start_nodes()
+    }
+
+    fn next_node(&self, cursor: &mut Self::NodeCursor) -> Option<Self::Node> {
+        (**self).next_node(cursor)
+    }
+
+    fn edge(&self, u: &Self::Node, v: &Self::Node) -> bool {
+        (**self).edge(u, v)
+    }
+
+    fn extend(&self, base: &[Self::Node]) -> Vec<Self::Node> {
+        (**self).extend(base)
+    }
+}
+
+/// A shared SGR is an SGR: lets owners of an `Arc`'d representation (the
+/// engine's cached `Arc<MsGraph>` sessions) run [`EnumMis`] / [`Frontier`]
+/// directly over it, with no borrow tying the enumeration to a stack
+/// frame and no newtype wrapper.
+impl<S: Sgr> Sgr for std::sync::Arc<S> {
     type Node = S::Node;
     type NodeCursor = S::NodeCursor;
 

@@ -229,7 +229,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Sizes accepted by [`vec`]: a fixed length or a length range.
+    /// Sizes accepted by [`vec()`]: a fixed length or a length range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -262,7 +262,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -6,20 +6,24 @@
 //! mintri triangulate  --input g.col [--algo mcsm|lbtriang|lexm|mindegree]
 //! mintri enumerate    --input g.col [--limit K] [--budget-ms T] [--algo ...]
 //!                     [--threads N] [--delivery unordered|deterministic]
+//! mintri best-k       --input g.col [--k K] [--by width|fill] [--limit K]
+//!                     [--budget-ms T] [--threads N] [--delivery ...]
 //! mintri decompose    --input g.col [--limit K] [--one-per-class true]
+//!                     [--threads N] [--delivery ...]
 //! ```
 //!
 //! `--threads N` (N > 1, or 0 for "all cores") runs the enumeration on
-//! the `mintri-engine` work-stealing pool; `--delivery deterministic`
-//! makes the parallel output order match the single-threaded one.
+//! the `mintri-engine` work-stealing pool — for `enumerate`, `best-k`
+//! and `decompose` alike; `--delivery deterministic` makes the parallel
+//! output order match the single-threaded one.
 //!
 //! Graphs: DIMACS `.col` (default), 0-based edge lists, or UAI network
 //! files. Output goes to stdout; diagnostics to stderr.
 
 use mintri::core::{AnytimeSearch, EnumerationBudget, ProperTreeDecompositions, SearchStrategy};
-use mintri::engine::Delivery;
 #[cfg(feature = "parallel")]
-use mintri::engine::{parallel_strategy_with, EngineConfig};
+use mintri::engine::parallel_strategy_with;
+use mintri::engine::{Delivery, Engine, EngineConfig};
 use mintri::graph::io::{parse_dimacs, parse_edge_list};
 use mintri::prelude::*;
 use mintri::separators::MinimalSeparatorIter;
@@ -100,29 +104,32 @@ fn pick_triangulator(flags: &HashMap<String, String>) -> Result<Box<dyn Triangul
     )
 }
 
-/// `--threads` / `--delivery` → a sequential or engine-backed strategy.
-fn pick_strategy(flags: &HashMap<String, String>) -> Result<SearchStrategy, String> {
+fn pick_delivery(flags: &HashMap<String, String>) -> Result<Delivery, String> {
+    match flags.get("delivery").map(String::as_str) {
+        None | Some("unordered") => Ok(Delivery::Unordered),
+        Some("deterministic") => Ok(Delivery::Deterministic),
+        Some(other) => Err(format!(
+            "unknown --delivery {other:?} (use unordered or deterministic)"
+        )),
+    }
+}
+
+/// `--threads` / `--delivery` → an [`EngineConfig`] for the engine-backed
+/// paths, or `None` for the classic sequential iterators (`--threads 1`
+/// and no flag both mean sequential).
+fn pick_engine_config(flags: &HashMap<String, String>) -> Result<Option<EngineConfig>, String> {
     let threads: Option<usize> = flags
         .get("threads")
         .map(|s| s.parse().map_err(|_| "--threads must be an integer"))
         .transpose()?;
-    let delivery = match flags.get("delivery").map(String::as_str) {
-        None | Some("unordered") => Delivery::Unordered,
-        Some("deterministic") => Delivery::Deterministic,
-        Some(other) => {
-            return Err(format!(
-                "unknown --delivery {other:?} (use unordered or deterministic)"
-            ))
-        }
-    };
+    let delivery = pick_delivery(flags)?;
     match threads {
-        // `--threads 1` and no flag both mean the classic iterator.
         None | Some(1) => {
             let _ = delivery;
-            Ok(SearchStrategy::Sequential)
+            Ok(None)
         }
         #[cfg(feature = "parallel")]
-        Some(n) => Ok(parallel_strategy_with(EngineConfig {
+        Some(n) => Ok(Some(EngineConfig {
             threads: n,
             delivery,
             ..EngineConfig::default()
@@ -131,6 +138,17 @@ fn pick_strategy(flags: &HashMap<String, String>) -> Result<SearchStrategy, Stri
         Some(_) => {
             Err("--threads needs the `parallel` feature; rebuild with default features".to_string())
         }
+    }
+}
+
+/// `--threads` / `--delivery` → a sequential or engine-backed strategy.
+fn pick_strategy(flags: &HashMap<String, String>) -> Result<SearchStrategy, String> {
+    match pick_engine_config(flags)? {
+        None => Ok(SearchStrategy::Sequential),
+        #[cfg(feature = "parallel")]
+        Some(config) => Ok(parallel_strategy_with(config)),
+        #[cfg(not(feature = "parallel"))]
+        Some(_) => unreachable!("pick_engine_config never returns Some without `parallel`"),
     }
 }
 
@@ -195,15 +213,51 @@ fn run(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
                 outcome.elapsed.as_secs_f64() * 1e3
             );
         }
+        "best-k" => {
+            let k: usize = flags
+                .get("k")
+                .map(|s| s.parse().map_err(|_| "--k must be an integer"))
+                .transpose()?
+                .unwrap_or(1);
+            let budget = EnumerationBudget {
+                max_results: (limit != usize::MAX).then_some(limit),
+                time_limit: budget_ms.map(Duration::from_millis),
+            };
+            let by = flags.get("by").map(String::as_str).unwrap_or("width");
+            let cost: fn(&Triangulation) -> usize = match by {
+                "width" => |t| t.width(),
+                "fill" => |t| t.fill_count(),
+                other => return Err(format!("unknown --by {other:?} (use width or fill)")),
+            };
+            let best = match pick_engine_config(flags)? {
+                // The engine path: warm shared memo + the configured
+                // parallel delivery behind the same selection loop.
+                Some(config) => Engine::with_config(config).best_k_by(&g, k, budget, cost),
+                None => best_k_by(&g, k, budget, cost),
+            };
+            println!("rank,width,fill");
+            for (i, t) in best.iter().enumerate() {
+                println!("{},{},{}", i, t.width(), t.fill_count());
+            }
+            eprintln!("{} best-{by} triangulations of {k} requested", best.len());
+        }
         "decompose" => {
             let one_per_class = flags
                 .get("one-per-class")
                 .map(|s| s == "true" || s == "1")
                 .unwrap_or(false);
-            let iter: Box<dyn Iterator<Item = TreeDecomposition>> = if one_per_class {
-                Box::new(ProperTreeDecompositions::one_per_class(&g))
-            } else {
-                Box::new(ProperTreeDecompositions::new(&g))
+            let iter: Box<dyn Iterator<Item = TreeDecomposition>> = match pick_engine_config(flags)?
+            {
+                Some(config) => {
+                    let mode = if one_per_class {
+                        TdEnumerationMode::OnePerClass
+                    } else {
+                        TdEnumerationMode::AllDecompositions
+                    };
+                    Box::new(Engine::with_config(config).decompose(&g, mode))
+                }
+                None if one_per_class => Box::new(ProperTreeDecompositions::one_per_class(&g)),
+                None => Box::new(ProperTreeDecompositions::new(&g)),
             };
             let mut count = 0usize;
             for (i, d) in iter.take(limit).enumerate() {
@@ -221,7 +275,7 @@ fn run(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
         }
         other => {
             return Err(format!(
-                "unknown command {other:?} (use stats, triangulate, enumerate or decompose)"
+                "unknown command {other:?} (use stats, triangulate, enumerate, best-k or decompose)"
             ))
         }
     }

@@ -60,7 +60,7 @@ pub mod prelude {
     pub use mintri_engine::{Delivery, Engine, EngineConfig, EngineEnumeration, GraphSession};
     pub use mintri_graph::{Graph, Node, NodeSet};
     pub use mintri_separators::{crossing, MinimalSeparatorIter};
-    pub use mintri_sgr::{EnumMis, PrintMode, Sgr};
+    pub use mintri_sgr::{EnumMis, EnumMisStats, Frontier, PrintMode, Sgr};
     pub use mintri_treedecomp::{exact_treewidth, TreeDecomposition};
     pub use mintri_triangulate::{
         is_minimal_triangulation, EliminationOrder, LbTriang, LexM, McsM, Triangulation,

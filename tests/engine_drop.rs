@@ -1,0 +1,83 @@
+//! Drop-robustness of the parallel drivers: abandoning an enumeration
+//! after an arbitrary prefix — in either delivery mode, at any thread
+//! count — must neither deadlock nor leak pool threads.
+//!
+//! This lives in its own test binary on purpose: the leak check counts
+//! the process's live OS threads via `/proc/self/task`, which is only
+//! meaningful when no sibling test is spinning pools up and down
+//! concurrently.
+
+use mintri::core::MinimalTriangulationsEnumerator;
+use mintri::engine::{Delivery, EngineConfig, ParallelEnumerator};
+use mintri::triangulate::McsM;
+use mintri::workloads::random::erdos_renyi;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Live OS threads of this process; 0 when `/proc` is unavailable (the
+/// assertions degrade to no-ops there).
+fn live_threads() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+/// Waits (briefly) for the thread count to drop back to `baseline` —
+/// `pthread_join` returns before the kernel reaps the task entry, so a
+/// freshly joined worker can linger in `/proc` for a moment.
+fn settles_to(baseline: usize) -> bool {
+    for _ in 0..200 {
+        if live_threads() <= baseline {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Drop either driver after a random prefix of a random-size run:
+    /// `Drop` must join every worker (the test hangs on deadlock and the
+    /// thread count exposes a leak) and the prefix itself must be a
+    /// prefix of the sequential answer set's size.
+    #[test]
+    fn dropping_either_driver_after_a_random_prefix_is_clean(
+        seed in 0u64..1000,
+        prefix in 0usize..12,
+        threads in 1usize..5,
+        deterministic in any::<bool>(),
+    ) {
+        let baseline = live_threads();
+        let g = erdos_renyi(12, 0.3, seed);
+        let delivery = if deterministic {
+            Delivery::Deterministic
+        } else {
+            Delivery::Unordered
+        };
+        let mut e = ParallelEnumerator::with_config(
+            &g,
+            Box::new(McsM),
+            &EngineConfig {
+                threads,
+                delivery,
+                channel_capacity: 2, // small: exercise workers parked in send()
+                ..EngineConfig::default()
+            },
+        );
+        let taken = e.by_ref().take(prefix).count();
+        let total = MinimalTriangulationsEnumerator::new(&g).count();
+        prop_assert_eq!(taken, prefix.min(total));
+        drop(e); // must join all workers without deadlocking…
+        if baseline > 0 {
+            // …and leave no pool thread behind.
+            prop_assert!(
+                settles_to(baseline),
+                "worker threads leaked: {} live, baseline {}",
+                live_threads(),
+                baseline
+            );
+        }
+    }
+}

@@ -61,6 +61,46 @@ fn deterministic_mode_matches_sequential_on_determinism_families() {
     }
 }
 
+/// The deterministic driver runs the *same* `Frontier` schedule as the
+/// sequential iterator, so its `EnumMIS` counters — extend calls, edge
+/// queries, nodes generated, answers — must match exactly, not just the
+/// emitted stream. Counter drift would mean the schedules diverged even
+/// if the outputs happened to agree.
+#[test]
+fn deterministic_stats_match_sequential_on_determinism_families() {
+    let families = [
+        erdos_renyi(20, 0.3, 99),
+        promedas(12, 36, 3, 5),
+        erdos_renyi(25, 0.25, 7),
+        mintri::workloads::tpch_query(7).graph,
+    ];
+    for g in &families {
+        let mut seq = MinimalTriangulationsEnumerator::new(g);
+        let n_seq = seq.by_ref().take(50).count();
+        for threads in [2, 4] {
+            let mut par = ParallelEnumerator::with_config(
+                g,
+                Box::new(McsM),
+                &EngineConfig {
+                    threads,
+                    delivery: Delivery::Deterministic,
+                    ..EngineConfig::default()
+                },
+            );
+            let n_par = par.by_ref().take(50).count();
+            assert_eq!(n_seq, n_par);
+            assert_eq!(
+                seq.enum_stats(),
+                par.enum_stats()
+                    .expect("deterministic delivery exposes EnumMIS stats"),
+                "EnumMIS counters diverged from the sequential schedule at \
+                 {threads} threads on a {}-node graph",
+                g.num_nodes()
+            );
+        }
+    }
+}
+
 #[test]
 fn deterministic_mode_is_reproducible_across_runs() {
     let g = erdos_renyi(18, 0.3, 12345);
