@@ -17,7 +17,7 @@
 
 use mintri_bench::Args;
 use mintri_core::MinimalTriangulationsEnumerator;
-use mintri_engine::{Engine, ParallelEnumerator};
+use mintri_engine::{Engine, ParallelEnumerator, Query};
 use mintri_workloads::random_suite;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -97,8 +97,8 @@ fn main() -> std::io::Result<()> {
     // (replay requires a finished run): warm-session replay vs cold query.
     let small = mintri_workloads::random::erdos_renyi(18, 0.3, 42);
     let engine = Engine::new();
-    let (replay_n, cold_s) = time_stream(engine.enumerate(&small), usize::MAX);
-    let (_, warm_s) = time_stream(engine.enumerate(&small), usize::MAX);
+    let (replay_n, cold_s) = time_stream(engine.run(&small, Query::enumerate()), usize::MAX);
+    let (_, warm_s) = time_stream(engine.run(&small, Query::enumerate()), usize::MAX);
     let _ = writeln!(
         json,
         "  \"session_replay\": {{\"graph\": \"gnp_n18_p0.3\", \"results\": {replay_n}, \

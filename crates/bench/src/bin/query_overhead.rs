@@ -1,0 +1,163 @@
+//! Dispatch overhead of the typed `Query` → `Response` front door vs.
+//! driving the sequential iterator directly, plus the engine's
+//! query-path costs (cold run and warm replay). Emits `BENCH_query.json`
+//! so future PRs can watch the front door stay thin.
+//!
+//! Three configurations per workload, all streaming the same `k`
+//! results:
+//!
+//! * `direct`    — `MinimalTriangulationsEnumerator` (the kernel);
+//! * `run_local` — `Query::enumerate().run_local(&g)` (adds budget
+//!   checks, per-result quality records and the response plumbing);
+//! * `engine`    — `Engine::run` on a cold session (adds fingerprinting,
+//!   the session store and the shared-memo `MsGraph`), then the same
+//!   query again as a warm `is_replay()` serve.
+//!
+//! Flags: `--out FILE` (default `BENCH_query.json`), `--results K`
+//! (default 1500), `--max-n N` (default 40).
+//!
+//! Like `BENCH_engine.json`, the document stamps the host's CPU count
+//! and `"speedup_observable": false` when `cpus == 1` — single-core
+//! parallel numbers measure coordination overhead, not scaling (the
+//! overhead figures here are sequential and remain valid either way).
+
+use mintri_core::query::Query;
+use mintri_core::{EnumerationBudget, MinimalTriangulationsEnumerator};
+use mintri_engine::Engine;
+use mintri_workloads::random_suite;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Wall-clock seconds to stream the first `k` triangulations.
+fn time_stream<I: Iterator>(stream: I, k: usize) -> (usize, f64) {
+    let started = Instant::now();
+    let produced = stream.take(k).count();
+    (produced, started.elapsed().as_secs_f64())
+}
+
+fn main() -> std::io::Result<()> {
+    let args = mintri_bench::Args::parse();
+    let out_path = args.get_str("out", "BENCH_query.json");
+    let k = args.get_usize("results", 1500);
+    let max_n = args.get_usize("max-n", 40);
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup_observable = cpus > 1;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"query_overhead\",");
+    let _ = writeln!(json, "  \"cpus\": {cpus},");
+    let _ = writeln!(json, "  \"speedup_observable\": {speedup_observable},");
+    let _ = writeln!(json, "  \"results_per_run\": {k},");
+    let _ = writeln!(json, "  \"workloads\": [");
+
+    let suite: Vec<_> = random_suite(max_n, 20, 42)
+        .into_iter()
+        .filter(|(p, _)| *p < 0.6)
+        .collect();
+    let mut first = true;
+    for (p, inst) in &suite {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        eprintln!("workload {} …", inst.name);
+        let g = &inst.graph;
+
+        let (n_direct, direct_s) = time_stream(MinimalTriangulationsEnumerator::new(g), k);
+        let (n_local, local_s) = {
+            let started = Instant::now();
+            let produced = Query::enumerate()
+                .budget(EnumerationBudget::results(k))
+                .run_local(g)
+                .count();
+            (produced, started.elapsed().as_secs_f64())
+        };
+        assert_eq!(n_direct, n_local, "the front door must not change counts");
+
+        // Engine path: cold query, then the warm replay of the same query.
+        // Replay needs a *completed* enumeration, so only time it when the
+        // workload finishes within k results.
+        let engine = Engine::new();
+        let (n_engine, engine_s) = {
+            let started = Instant::now();
+            let produced = engine
+                .run(
+                    g,
+                    Query::enumerate()
+                        .budget(EnumerationBudget::results(k))
+                        .threads(1),
+                )
+                .count();
+            (produced, started.elapsed().as_secs_f64())
+        };
+        assert_eq!(n_direct, n_engine);
+        let replay = if n_direct < k {
+            let started = Instant::now();
+            let response = engine.run(g, Query::enumerate().threads(1));
+            let replayed = response.is_replay();
+            let produced = response.count();
+            assert!(replayed && produced == n_direct);
+            Some(started.elapsed().as_secs_f64())
+        } else {
+            None
+        };
+
+        let pct = |s: f64| 100.0 * (s - direct_s) / direct_s;
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", inst.name);
+        let _ = writeln!(json, "      \"p\": {p},");
+        let _ = writeln!(json, "      \"nodes\": {},", g.num_nodes());
+        let _ = writeln!(json, "      \"results\": {n_direct},");
+        let _ = writeln!(
+            json,
+            "      \"direct\": {{\"seconds\": {direct_s:.6}, \"avg_delay_us\": {:.3}}},",
+            1e6 * direct_s / n_direct.max(1) as f64
+        );
+        let _ = writeln!(
+            json,
+            "      \"run_local\": {{\"seconds\": {local_s:.6}, \"overhead_pct\": {:.2}}},",
+            pct(local_s)
+        );
+        let _ = writeln!(
+            json,
+            "      \"engine_cold\": {{\"seconds\": {engine_s:.6}, \"overhead_pct\": {:.2}}}{}",
+            pct(engine_s),
+            if replay.is_some() { "," } else { "" }
+        );
+        if let Some(replay_s) = replay {
+            let _ = writeln!(
+                json,
+                "      \"engine_replay\": {{\"seconds\": {replay_s:.6}, \"speedup_vs_direct\": {:.1}}}",
+                direct_s / replay_s.max(1e-9)
+            );
+        }
+        let _ = write!(json, "    }}");
+    }
+    json.push_str("\n  ],\n");
+
+    // The serving story through the front door, on a graph whose
+    // enumeration *completes* (replay requires a finished run): cold
+    // engine query vs. warm `is_replay()` serve of the same query.
+    let small = mintri_workloads::random::erdos_renyi(18, 0.3, 42);
+    let engine = Engine::new();
+    let started = Instant::now();
+    let cold_n = engine.run(&small, Query::enumerate().threads(1)).count();
+    let cold_s = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let warm = engine.run(&small, Query::enumerate().threads(1));
+    assert!(warm.is_replay());
+    let warm_n = warm.count();
+    let warm_s = started.elapsed().as_secs_f64();
+    assert_eq!(cold_n, warm_n);
+    let _ = writeln!(
+        json,
+        "  \"session_replay\": {{\"graph\": \"gnp_n18_p0.3\", \"results\": {cold_n}, \
+         \"cold_seconds\": {cold_s:.6}, \"warm_seconds\": {warm_s:.6}, \"speedup\": {:.1}}}",
+        cold_s / warm_s.max(1e-9)
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json)?;
+    eprintln!("wrote {out_path}");
+    Ok(())
+}

@@ -3,7 +3,6 @@
 //! methodology of Section 6 (delays, width/fill statistics, quality over
 //! time).
 
-use crate::MinimalTriangulationsEnumerator;
 use mintri_graph::Graph;
 use mintri_sgr::PrintMode;
 use mintri_triangulate::{Triangulation, Triangulator};
@@ -80,7 +79,10 @@ impl EnumerationBudget {
         }
     }
 
-    fn exhausted(&self, produced: usize, started: Instant) -> bool {
+    /// `true` once either limit has tripped, given `produced` results so
+    /// far and the run's start time — the single budget check shared by
+    /// every driver (the query layer, ranked selection, anytime runs).
+    pub fn exhausted(&self, produced: usize, started: Instant) -> bool {
         if self.max_results.is_some_and(|n| produced >= n) {
             return true;
         }
@@ -259,6 +261,11 @@ impl<'g> AnytimeSearch<'g> {
 
     /// Runs the enumeration, recording one [`ResultRecord`] per
     /// triangulation.
+    ///
+    /// The sequential strategy is a thin adapter over the typed query
+    /// front door: it runs [`Task::Stats`](crate::query::Task) via
+    /// [`Query::run_local`](crate::query::Query::run_local) and converts
+    /// the [`QueryOutcome`](crate::query::QueryOutcome).
     pub fn run(self) -> AnytimeOutcome {
         let AnytimeSearch {
             g,
@@ -268,10 +275,19 @@ impl<'g> AnytimeSearch<'g> {
             strategy,
         } = self;
         match strategy {
-            SearchStrategy::Sequential => Self::record(
-                budget,
-                MinimalTriangulationsEnumerator::with_config(g, triangulator, mode),
-            ),
+            SearchStrategy::Sequential => {
+                let outcome = crate::query::Query::stats()
+                    .triangulator(triangulator)
+                    .mode(mode)
+                    .budget(budget)
+                    .run_local(g)
+                    .wait();
+                AnytimeOutcome {
+                    records: outcome.records,
+                    completed: outcome.completed,
+                    elapsed: outcome.elapsed,
+                }
+            }
             SearchStrategy::Streamed(factory) => {
                 Self::record(budget, factory(g, triangulator, mode))
             }

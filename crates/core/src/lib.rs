@@ -28,6 +28,17 @@
 //! as the product of their components' triangulations with no special
 //! casing (see the `disconnected_graphs_multiply` test).
 
+//! ## The front door
+//!
+//! All four workloads — streaming, best-`k`, decompositions, instrumented
+//! anytime runs — are [`Task`]s of one typed [`Query`], answered by one
+//! [`Response`] handle (stream + [`Response::cancel`] +
+//! [`Response::outcome`]). [`Query::run_local`] executes sequentially
+//! with zero setup; `mintri_engine::Engine::run` executes the same query
+//! with warm sessions, parallel drivers and completed-answer replay. The
+//! items above remain as the underlying kernel and as deprecated
+//! adapters.
+
 mod anytime;
 mod bruteforce;
 mod eager;
@@ -35,6 +46,7 @@ mod enumerator;
 pub mod memo;
 mod msgraph;
 mod proper;
+pub mod query;
 mod ranked;
 
 pub use anytime::{
@@ -46,4 +58,10 @@ pub use eager::{EagerMinimalTriangulations, EagerMsGraph};
 pub use enumerator::MinimalTriangulationsEnumerator;
 pub use msgraph::{MsGraph, MsGraphStats, SepId};
 pub use proper::{ProperTreeDecompositions, TdEnumerationMode};
-pub use ranked::{best_fill, best_k_by, best_k_of_stream, best_width};
+pub use query::{
+    CancelHookGuard, CancelToken, CostMeasure, Delivery, Query, QueryItem, QueryOutcome, Response,
+    Task, TriangulationStream,
+};
+pub use ranked::best_k_of_stream;
+#[allow(deprecated)]
+pub use ranked::{best_fill, best_k_by, best_width};

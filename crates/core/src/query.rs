@@ -1,0 +1,946 @@
+//! The one front door: a typed [`Query`] describing **what** to compute,
+//! and a [`Response`] handle describing **how it went**.
+//!
+//! Every enumeration workload — streaming `MinTri(g)`, budgeted best-`k`
+//! selection, proper tree decompositions, instrumented anytime runs — is
+//! a [`Task`] inside one request type, and every execution path — the
+//! zero-setup sequential iterator ([`Query::run_local`]), the engine's
+//! warm sessions, parallel drivers and completed-answer replay
+//! (`mintri_engine::Engine::run`), and any future transport serializing
+//! queries over the wire — answers with the same [`Response`]: a blocking
+//! result stream plus [`Response::cancel`], [`Response::outcome`]
+//! (budget, per-result quality, `EnumMIS` counters) and
+//! [`Response::is_replay`].
+//!
+//! ```
+//! use mintri_core::query::{CostMeasure, Query};
+//! use mintri_core::EnumerationBudget;
+//! use mintri_graph::Graph;
+//!
+//! let g = Graph::cycle(6);
+//! // What to compute…
+//! let query = Query::best_k(3, CostMeasure::Fill).budget(EnumerationBudget::unlimited());
+//! // …and how it went.
+//! let mut response = query.run_local(&g);
+//! let best = response.triangulations();
+//! assert_eq!(best.len(), 3);
+//! let outcome = response.outcome();
+//! assert!(outcome.completed);
+//! assert_eq!(outcome.scanned, 14); // C6 has Catalan(4) = 14 triangulations
+//! ```
+//!
+//! Execution layers implement [`TriangulationStream`] and hand it to
+//! [`Response::over_stream`]; all task logic (budgets, top-`k` selection,
+//! decomposition expansion, quality records, cancellation) lives here,
+//! once.
+
+use crate::ranked::TopK;
+use crate::{
+    EnumerationBudget, MinimalTriangulationsEnumerator, QualityStats, ResultRecord,
+    TdEnumerationMode,
+};
+use mintri_chordal::CliqueForest;
+use mintri_graph::Graph;
+use mintri_sgr::{EnumMisStats, PrintMode};
+use mintri_treedecomp::{proper_decompositions_of_chordal, TreeDecomposition};
+use mintri_triangulate::{McsM, Triangulation, Triangulator};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a [`Query`] computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Stream every minimal triangulation of the graph.
+    Enumerate,
+    /// Scan the enumeration (under the query budget) and keep the `k`
+    /// best triangulations by `cost`, emitted in ascending cost order.
+    BestK {
+        /// How many results to keep.
+        k: usize,
+        /// The ranking measure.
+        cost: CostMeasure,
+    },
+    /// Stream proper tree decompositions (Section 5 reduction), expanded
+    /// from each minimal triangulation.
+    Decompose {
+        /// All decompositions, or one per bag-equivalence class.
+        mode: TdEnumerationMode,
+    },
+    /// Drive the enumeration (under the query budget) and emit one
+    /// [`ResultRecord`] per triangulation instead of the triangulations
+    /// themselves — the instrumented "anytime" run of the paper's
+    /// experimental study. The aggregates land in [`QueryOutcome`].
+    Stats,
+}
+
+/// A built-in, serializable ranking measure for [`Task::BestK`].
+///
+/// (Arbitrary closures stay available through
+/// [`best_k_of_stream`](crate::best_k_of_stream) over a streaming
+/// response; a typed query keeps the measure wire-encodable.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostMeasure {
+    /// Treewidth of the triangulation (max clique − 1). Smaller is better.
+    #[default]
+    Width,
+    /// Number of fill edges. Smaller is better.
+    Fill,
+}
+
+impl CostMeasure {
+    /// Evaluates the measure on one triangulation.
+    pub fn evaluate(&self, t: &Triangulation) -> usize {
+        match self {
+            CostMeasure::Width => t.width(),
+            CostMeasure::Fill => t.fill_count(),
+        }
+    }
+
+    /// The measure's conventional name (`"width"` / `"fill"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CostMeasure::Width => "width",
+            CostMeasure::Fill => "fill",
+        }
+    }
+}
+
+/// When and in what order a query's results reach the consumer.
+///
+/// Sequential execution ([`Query::run_local`], or an engine resolved to
+/// one thread) always produces the sequential order; the contract below
+/// is what a *parallel* executor must honor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Delivery {
+    /// Stream each answer the moment any worker produces it. Fastest;
+    /// the answer *set* equals the sequential enumerator's, the order is
+    /// a race.
+    #[default]
+    Unordered,
+    /// The output order is identical to the sequential enumerator's
+    /// (`mintri_core::MinimalTriangulationsEnumerator`) under the query's
+    /// [`PrintMode`]. Use for tests, golden files and distributed work
+    /// splitting.
+    Deterministic,
+}
+
+/// A cloneable cancellation handle shared between a [`Response`] and any
+/// thread that wants to stop it mid-stream.
+///
+/// [`CancelToken::cancel`] flips the flag and fires every registered
+/// hook; execution layers register hooks that wake blocked consumers
+/// (e.g. aborting a parallel worker pool so a `recv()` returns). A token
+/// can be attached to a query up front ([`Query::cancel_token`]) so the
+/// controller never needs the `Response` itself.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    hooks: Mutex<HookRegistry>,
+}
+
+#[derive(Default)]
+struct HookRegistry {
+    next_id: u64,
+    hooks: Vec<(u64, Box<dyn Fn() + Send + Sync>)>,
+}
+
+/// Keeps one [`CancelToken::on_cancel`] registration alive; dropping the
+/// guard deregisters the hook, so a long-lived token reused across many
+/// queries does not accumulate closures (and the run state they capture)
+/// from runs that already ended.
+#[must_use = "dropping the guard deregisters the cancel hook"]
+pub struct CancelHookGuard {
+    inner: Arc<CancelInner>,
+    id: u64,
+}
+
+impl Drop for CancelHookGuard {
+    fn drop(&mut self) {
+        let mut registry = self.inner.hooks.lock().unwrap();
+        registry.hooks.retain(|(id, _)| *id != self.id);
+    }
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation: the response ends its stream at the next
+    /// emission boundary (parallel executors abort their workers).
+    /// Idempotent.
+    pub fn cancel(&self) {
+        // Flag and hooks move together under the registry lock, so a
+        // concurrent `on_cancel` either sees the flag (and fires the new
+        // hook itself) or registers in time for this iteration.
+        let registry = self.inner.hooks.lock().unwrap();
+        self.inner.flag.store(true, Ordering::SeqCst);
+        for (_, hook) in registry.hooks.iter() {
+            hook();
+        }
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::SeqCst)
+    }
+
+    /// Registers a hook fired on cancellation (immediately, if the token
+    /// is already cancelled). Execution layers use this to tear down
+    /// worker pools; hooks must be idempotent, non-blocking, and must
+    /// not call back into this token (the registry lock is held while
+    /// hooks run). The hook stays registered until the returned guard is
+    /// dropped.
+    pub fn on_cancel(&self, hook: impl Fn() + Send + Sync + 'static) -> CancelHookGuard {
+        let mut registry = self.inner.hooks.lock().unwrap();
+        if self.is_cancelled() {
+            hook();
+        }
+        let id = registry.next_id;
+        registry.next_id += 1;
+        registry.hooks.push((id, Box::new(hook)));
+        CancelHookGuard {
+            inner: Arc::clone(&self.inner),
+            id,
+        }
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+/// One streamed result of a [`Response`]; which variant arrives is
+/// determined by the query's [`Task`].
+#[derive(Debug, Clone)]
+pub enum QueryItem {
+    /// A minimal triangulation ([`Task::Enumerate`], [`Task::BestK`]).
+    Triangulation(Triangulation),
+    /// A proper tree decomposition ([`Task::Decompose`]).
+    Decomposition(TreeDecomposition),
+    /// A per-result measurement ([`Task::Stats`]).
+    Record(ResultRecord),
+}
+
+impl QueryItem {
+    /// The triangulation, if this item is one.
+    pub fn into_triangulation(self) -> Option<Triangulation> {
+        match self {
+            QueryItem::Triangulation(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The tree decomposition, if this item is one.
+    pub fn into_decomposition(self) -> Option<TreeDecomposition> {
+        match self {
+            QueryItem::Decomposition(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The measurement record, if this item is one.
+    pub fn as_record(&self) -> Option<ResultRecord> {
+        match self {
+            QueryItem::Record(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+/// How a query's execution went: counts, per-result quality records,
+/// termination cause and (when the executor replays the sequential
+/// schedule) the `EnumMIS` counters.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutcome {
+    /// One record per triangulation scanned, in scan order — populated
+    /// only by [`Task::Stats`], the instrumented scan. The other tasks
+    /// stream without per-result instrumentation: no quality
+    /// measurements are computed and nothing accumulates, so an
+    /// exponential-size enumeration stays O(1) memory.
+    pub records: Vec<ResultRecord>,
+    /// Items emitted to the consumer.
+    pub produced: usize,
+    /// Triangulations pulled from the underlying enumeration.
+    pub scanned: usize,
+    /// `true` iff the enumeration genuinely finished — the scan covered
+    /// all of `MinTri(g)` — rather than the budget tripping, the
+    /// consumer stopping early, or a cancellation.
+    pub completed: bool,
+    /// `true` iff the stream ended because [`Response::cancel`] (or the
+    /// query's [`CancelToken`]) fired.
+    pub cancelled: bool,
+    /// `true` iff the executor served a previously completed enumeration
+    /// from cache, with zero `Extend` calls.
+    pub replayed: bool,
+    /// Wall-clock time from query start to the end of the stream (or to
+    /// the snapshot, while streaming).
+    pub elapsed: Duration,
+    /// `EnumMIS` counters of the run — present when the executor ran the
+    /// sequential schedule (locally, or under [`Delivery::Deterministic`]);
+    /// absent for unordered parallel runs and cache replays.
+    pub enum_stats: Option<EnumMisStats>,
+}
+
+impl QueryOutcome {
+    /// Table 1 / Table 2 quality statistics over the scan records
+    /// (`None` unless the task was [`Task::Stats`]).
+    pub fn quality(&self) -> Option<QualityStats> {
+        QualityStats::from_records(&self.records)
+    }
+
+    /// Mean delay between consecutive scanned results (records required,
+    /// so [`Task::Stats`] only).
+    pub fn average_delay(&self) -> Option<Duration> {
+        if self.records.is_empty() {
+            return None;
+        }
+        Some(self.elapsed / self.records.len() as u32)
+    }
+}
+
+/// A stream of minimal triangulations an executor hands to
+/// [`Response::over_stream`] — the single integration point between the
+/// query layer and any execution backend (sequential iterator, warm
+/// engine sessions, parallel drivers, replayed caches, remote
+/// transports).
+pub trait TriangulationStream {
+    /// The next triangulation, or `None` when the stream ends.
+    fn next_tri(&mut self) -> Option<Triangulation>;
+
+    /// After [`TriangulationStream::next_tri`] returned `None`: did the
+    /// stream end because the enumeration genuinely finished (as opposed
+    /// to an abort)?
+    fn finished(&self) -> bool;
+
+    /// `EnumMIS` counters, when this stream runs the sequential schedule.
+    fn enum_stats(&self) -> Option<EnumMisStats> {
+        None
+    }
+
+    /// `true` when this stream replays a previously completed
+    /// enumeration without recomputation.
+    fn is_replay(&self) -> bool {
+        false
+    }
+}
+
+/// The zero-setup sequential stream behind [`Query::run_local`].
+struct SequentialStream<'g>(MinimalTriangulationsEnumerator<'g>);
+
+impl TriangulationStream for SequentialStream<'_> {
+    fn next_tri(&mut self) -> Option<Triangulation> {
+        self.0.next()
+    }
+
+    fn finished(&self) -> bool {
+        // The sequential iterator only ends when complete.
+        true
+    }
+
+    fn enum_stats(&self) -> Option<EnumMisStats> {
+        Some(self.0.enum_stats())
+    }
+}
+
+/// A typed request: **what** to compute ([`Task`]), over which
+/// triangulation backend, under which budget, with which delivery and
+/// parallelism. Build one with the task constructors
+/// ([`Query::enumerate`], [`Query::best_k`], [`Query::decompose`],
+/// [`Query::stats`]), refine it with the builder methods, then execute it
+/// with [`Query::run_local`] (sequential, zero setup) or
+/// `mintri_engine::Engine::run` (warm sessions, parallel drivers, answer
+/// replay).
+///
+/// The fields are public on purpose: a query is plain data — the request
+/// type a batch or HTTP transport serializes — and execution layers
+/// destructure it.
+pub struct Query {
+    /// What to compute.
+    pub task: Task,
+    /// The triangulation backend `Extend` runs (default MCS-M).
+    pub triangulator: Box<dyn Triangulator>,
+    /// The printing discipline of the sequential schedule (default
+    /// [`PrintMode::UponGeneration`]); meaningful for sequential and
+    /// [`Delivery::Deterministic`] execution.
+    pub mode: PrintMode,
+    /// Stopping condition (default unlimited). For [`Task::BestK`] and
+    /// [`Task::Stats`] the budget bounds the *scan*; for
+    /// [`Task::Enumerate`] and [`Task::Decompose`] it bounds the emitted
+    /// results.
+    pub budget: EnumerationBudget,
+    /// Result-ordering contract for parallel executors (default
+    /// [`Delivery::Unordered`]).
+    pub delivery: Delivery,
+    /// Worker threads: `0` (default) lets the executor decide
+    /// (sequential for [`Query::run_local`], the engine's configured
+    /// parallelism for `Engine::run`); `1` forces sequential execution;
+    /// `n > 1` requests a parallel run.
+    pub threads: usize,
+    /// Cancellation handle; clone it before running to keep a controller.
+    pub cancel: CancelToken,
+}
+
+impl Query {
+    /// A query with the given task and all defaults.
+    pub fn new(task: Task) -> Self {
+        Query {
+            task,
+            triangulator: Box::new(McsM),
+            mode: PrintMode::UponGeneration,
+            budget: EnumerationBudget::unlimited(),
+            delivery: Delivery::Unordered,
+            threads: 0,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Stream every minimal triangulation.
+    pub fn enumerate() -> Self {
+        Self::new(Task::Enumerate)
+    }
+
+    /// The `k` best triangulations under `cost`.
+    pub fn best_k(k: usize, cost: CostMeasure) -> Self {
+        Self::new(Task::BestK { k, cost })
+    }
+
+    /// Stream proper tree decompositions.
+    pub fn decompose(mode: TdEnumerationMode) -> Self {
+        Self::new(Task::Decompose { mode })
+    }
+
+    /// Instrumented anytime run: per-result records plus aggregates.
+    pub fn stats() -> Self {
+        Self::new(Task::Stats)
+    }
+
+    /// Sets the triangulation backend.
+    pub fn triangulator(mut self, t: Box<dyn Triangulator>) -> Self {
+        self.triangulator = t;
+        self
+    }
+
+    /// Sets the print mode.
+    pub fn mode(mut self, mode: PrintMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the budget.
+    pub fn budget(mut self, budget: EnumerationBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the delivery contract.
+    pub fn delivery(mut self, delivery: Delivery) -> Self {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Sets the worker-thread request.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Attaches an external cancellation token.
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Executes the query on the calling thread against a borrowed graph
+    /// — the zero-setup path for scripts and tests. Always sequential
+    /// (ignores [`Query::threads`] and [`Query::delivery`]; sequential
+    /// output *is* the deterministic order); no warm state is kept. For
+    /// repeated or parallel traffic, hand the query to
+    /// `mintri_engine::Engine::run` instead.
+    pub fn run_local(self, g: &Graph) -> Response<'_> {
+        let Query {
+            task,
+            triangulator,
+            mode,
+            budget,
+            cancel,
+            ..
+        } = self;
+        let stream = SequentialStream(MinimalTriangulationsEnumerator::with_config(
+            g,
+            triangulator,
+            mode,
+        ));
+        Response::over_stream(task, budget, cancel, Box::new(stream))
+    }
+}
+
+impl std::fmt::Debug for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Query")
+            .field("task", &self.task)
+            .field("triangulator", &self.triangulator.name())
+            .field("mode", &self.mode)
+            .field("budget", &self.budget)
+            .field("delivery", &self.delivery)
+            .field("threads", &self.threads)
+            .field("cancel", &self.cancel)
+            .finish()
+    }
+}
+
+/// The unified answer handle: a blocking stream of [`QueryItem`]s (via
+/// [`Iterator`]) plus [`Response::cancel`], [`Response::outcome`] and
+/// [`Response::is_replay`].
+///
+/// Dropping a response aborts the underlying execution (parallel workers
+/// are joined; nothing leaks). The budget and the cancel token are
+/// honored between emissions; for unordered parallel execution,
+/// cancellation additionally aborts the workers immediately, unblocking
+/// a consumer parked on the result channel.
+pub struct Response<'a> {
+    task: Task,
+    budget: EnumerationBudget,
+    cancel: CancelToken,
+    source: Option<Box<dyn TriangulationStream + 'a>>,
+    started: Instant,
+    records: Vec<ResultRecord>,
+    produced: usize,
+    scanned: usize,
+    completed: bool,
+    cancelled: bool,
+    replay: bool,
+    enum_stats: Option<EnumMisStats>,
+    done_at: Option<Duration>,
+    /// Buffered emissions ([`Task::BestK`] results after the scan).
+    pending: VecDeque<QueryItem>,
+    /// The current triangulation's decomposition class
+    /// ([`Task::Decompose`] with [`TdEnumerationMode::AllDecompositions`]).
+    class: Option<Box<dyn Iterator<Item = TreeDecomposition>>>,
+}
+
+impl<'a> Response<'a> {
+    /// Builds a response executing `task` over an arbitrary
+    /// [`TriangulationStream`] — the constructor execution layers (the
+    /// engine, future transports) use. All task logic runs here; the
+    /// stream only produces triangulations.
+    pub fn over_stream(
+        task: Task,
+        budget: EnumerationBudget,
+        cancel: CancelToken,
+        source: Box<dyn TriangulationStream + 'a>,
+    ) -> Response<'a> {
+        Response {
+            task,
+            budget,
+            cancel,
+            replay: source.is_replay(),
+            source: Some(source),
+            started: Instant::now(),
+            records: Vec::new(),
+            produced: 0,
+            scanned: 0,
+            completed: false,
+            cancelled: false,
+            enum_stats: None,
+            done_at: None,
+            pending: VecDeque::new(),
+            class: None,
+        }
+    }
+
+    /// `true` when this response replays a previously completed
+    /// enumeration (zero `Extend` calls).
+    pub fn is_replay(&self) -> bool {
+        self.replay
+    }
+
+    /// Requests cancellation (equivalent to cancelling the query's
+    /// [`CancelToken`]): the stream ends at the next emission boundary
+    /// and [`QueryOutcome::cancelled`] is set.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// A cloneable handle for cancelling from another thread.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// A snapshot of how the run went so far; final once the stream has
+    /// ended. Cheap enough to call per item (clones the record list).
+    pub fn outcome(&self) -> QueryOutcome {
+        QueryOutcome {
+            records: self.records.clone(),
+            produced: self.produced,
+            scanned: self.scanned,
+            completed: self.completed,
+            cancelled: self.cancelled,
+            replayed: self.replay,
+            elapsed: self.done_at.unwrap_or_else(|| self.started.elapsed()),
+            enum_stats: self.enum_stats,
+        }
+    }
+
+    /// Drains the stream and collects the triangulations (for
+    /// [`Task::Enumerate`] / [`Task::BestK`]).
+    pub fn triangulations(&mut self) -> Vec<Triangulation> {
+        self.by_ref()
+            .filter_map(QueryItem::into_triangulation)
+            .collect()
+    }
+
+    /// Drains the stream and collects the tree decompositions (for
+    /// [`Task::Decompose`]).
+    pub fn decompositions(&mut self) -> Vec<TreeDecomposition> {
+        self.by_ref()
+            .filter_map(QueryItem::into_decomposition)
+            .collect()
+    }
+
+    /// Drains the stream (discarding items) and returns the final
+    /// outcome — the "just tell me how it went" call for [`Task::Stats`].
+    pub fn wait(mut self) -> QueryOutcome {
+        self.by_ref().for_each(drop);
+        self.outcome()
+    }
+
+    /// Ends the stream: captures counters, drops the source (joining any
+    /// parallel workers) and freezes the elapsed clock.
+    fn end_stream(&mut self) {
+        if let Some(source) = self.source.take() {
+            if self.enum_stats.is_none() {
+                self.enum_stats = source.enum_stats();
+            }
+            drop(source);
+        }
+        if !self.completed && self.cancel.is_cancelled() {
+            self.cancelled = true;
+        }
+        if self.done_at.is_none() {
+            self.done_at = Some(self.started.elapsed());
+        }
+    }
+
+    /// Pulls one triangulation from the source. Checks cancellation, and
+    /// the budget against `spent` (which count the budget limits differs
+    /// by task). For [`Task::Stats`] — and only there, so plain streams
+    /// stay O(1) memory and skip the width computation — a quality
+    /// record is accumulated per pull. `None` ends the stream.
+    fn pull(&mut self, spent: usize) -> Option<Triangulation> {
+        let source = self.source.as_mut()?;
+        if self.cancel.is_cancelled() || self.budget.exhausted(spent, self.started) {
+            self.end_stream();
+            return None;
+        }
+        match source.next_tri() {
+            Some(tri) => {
+                self.scanned += 1;
+                if matches!(self.task, Task::Stats) {
+                    self.records.push(ResultRecord {
+                        index: self.records.len(),
+                        at: self.started.elapsed(),
+                        width: tri.width(),
+                        fill: tri.fill_count(),
+                    });
+                }
+                Some(tri)
+            }
+            None => {
+                self.completed = source.finished() && !self.cancel.is_cancelled();
+                self.end_stream();
+                None
+            }
+        }
+    }
+
+    /// Runs the whole [`Task::BestK`] scan, buffering the winners.
+    fn scan_best_k(&mut self, k: usize, cost: CostMeasure) {
+        let mut top = TopK::new(k);
+        let mut index = 0usize;
+        while let Some(tri) = self.pull(index) {
+            top.offer(cost.evaluate(&tri), index, tri);
+            index += 1;
+        }
+        self.pending = top
+            .into_vec()
+            .into_iter()
+            .map(QueryItem::Triangulation)
+            .collect();
+    }
+
+    fn next_item(&mut self) -> Option<QueryItem> {
+        if let Some(item) = self.pending.pop_front() {
+            self.produced += 1;
+            return Some(item);
+        }
+        match self.task {
+            Task::Enumerate => {
+                let tri = self.pull(self.produced)?;
+                self.produced += 1;
+                Some(QueryItem::Triangulation(tri))
+            }
+            Task::Stats => {
+                let _ = self.pull(self.produced)?;
+                self.produced += 1;
+                Some(QueryItem::Record(
+                    *self.records.last().expect("just recorded"),
+                ))
+            }
+            Task::BestK { k, cost } => {
+                if self.source.is_some() {
+                    self.scan_best_k(k, cost);
+                }
+                self.pending.pop_front().inspect(|_| self.produced += 1)
+            }
+            Task::Decompose { mode } => loop {
+                if let Some(class) = &mut self.class {
+                    match class.next() {
+                        Some(d) => {
+                            // The emitted-results budget also bounds
+                            // mid-class emissions.
+                            if self.cancel.is_cancelled()
+                                || self.budget.exhausted(self.produced, self.started)
+                            {
+                                self.class = None;
+                                self.end_stream();
+                                return None;
+                            }
+                            self.produced += 1;
+                            return Some(QueryItem::Decomposition(d));
+                        }
+                        None => self.class = None,
+                    }
+                }
+                let tri = self.pull(self.produced)?;
+                match mode {
+                    TdEnumerationMode::OnePerClass => {
+                        let forest = CliqueForest::build(&tri.graph);
+                        self.produced += 1;
+                        return Some(QueryItem::Decomposition(TreeDecomposition {
+                            bags: forest.cliques,
+                            edges: forest.edges,
+                        }));
+                    }
+                    TdEnumerationMode::AllDecompositions => {
+                        self.class = Some(Box::new(proper_decompositions_of_chordal(&tri.graph)));
+                    }
+                }
+            },
+        }
+    }
+}
+
+impl Iterator for Response<'_> {
+    type Item = QueryItem;
+
+    fn next(&mut self) -> Option<QueryItem> {
+        self.next_item()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProperTreeDecompositions;
+
+    #[test]
+    fn enumerate_matches_the_sequential_iterator() {
+        let g = Graph::cycle(7);
+        let via_query: Vec<_> = Query::enumerate()
+            .run_local(&g)
+            .triangulations()
+            .iter()
+            .map(|t| t.graph.edges())
+            .collect();
+        let direct: Vec<_> = MinimalTriangulationsEnumerator::new(&g)
+            .map(|t| t.graph.edges())
+            .collect();
+        assert_eq!(via_query, direct, "run_local is the sequential order");
+    }
+
+    #[test]
+    fn outcome_reports_completion_and_stats() {
+        let g = Graph::cycle(6);
+        let mut response = Query::enumerate().run_local(&g);
+        let n = response.by_ref().count();
+        assert_eq!(n, 14);
+        let outcome = response.outcome();
+        assert!(outcome.completed);
+        assert!(!outcome.cancelled);
+        assert!(!outcome.replayed);
+        assert_eq!(outcome.produced, 14);
+        assert_eq!(outcome.scanned, 14);
+        assert!(
+            outcome.records.is_empty(),
+            "plain enumeration streams without per-result instrumentation"
+        );
+        let stats = outcome
+            .enum_stats
+            .expect("sequential run exposes EnumMIS stats");
+        assert_eq!(stats.answers, 14);
+    }
+
+    #[test]
+    fn budget_truncates_and_clears_completed() {
+        let g = Graph::cycle(8);
+        let outcome = Query::stats()
+            .budget(EnumerationBudget::results(5))
+            .run_local(&g)
+            .wait();
+        assert_eq!(outcome.records.len(), 5);
+        assert!(!outcome.completed);
+        assert!(!outcome.cancelled);
+    }
+
+    #[test]
+    fn cancel_mid_stream_stops_and_flags() {
+        let g = Graph::cycle(9);
+        let mut response = Query::enumerate().run_local(&g);
+        let token = response.cancel_token();
+        assert!(response.next().is_some());
+        token.cancel();
+        assert!(response.next().is_none(), "cancellation ends the stream");
+        let outcome = response.outcome();
+        assert!(outcome.cancelled);
+        assert!(!outcome.completed);
+        assert_eq!(outcome.produced, 1);
+    }
+
+    #[test]
+    fn best_k_matches_ranked_selection() {
+        let g = Graph::cycle(7);
+        let best = Query::best_k(3, CostMeasure::Fill)
+            .run_local(&g)
+            .triangulations();
+        assert_eq!(best.len(), 3);
+        assert!(best.iter().all(|t| t.fill_count() == 4));
+        // ascending cost order
+        for w in best.windows(2) {
+            assert!(w[0].fill_count() <= w[1].fill_count());
+        }
+    }
+
+    #[test]
+    fn best_k_budget_bounds_the_scan() {
+        let g = Graph::cycle(9);
+        let mut response = Query::best_k(2, CostMeasure::Width)
+            .budget(EnumerationBudget::results(5))
+            .run_local(&g);
+        let best = response.triangulations();
+        assert_eq!(best.len(), 2);
+        let outcome = response.outcome();
+        assert_eq!(outcome.scanned, 5, "budget bounds the scan, not the output");
+        assert!(!outcome.completed);
+    }
+
+    #[test]
+    fn decompose_matches_proper_tree_decompositions() {
+        let g = Graph::cycle(6);
+        for (mode, reference) in [
+            (
+                TdEnumerationMode::AllDecompositions,
+                ProperTreeDecompositions::new(&g).count(),
+            ),
+            (
+                TdEnumerationMode::OnePerClass,
+                ProperTreeDecompositions::one_per_class(&g).count(),
+            ),
+        ] {
+            let mut response = Query::decompose(mode).run_local(&g);
+            let ds = response.decompositions();
+            assert_eq!(ds.len(), reference, "{mode:?}");
+            assert!(response.outcome().completed);
+            assert!(ds.iter().all(|d| d.is_proper(&g)));
+        }
+    }
+
+    #[test]
+    fn decompose_budget_bounds_emitted_decompositions() {
+        let g = Graph::cycle(7);
+        let mut response = Query::decompose(TdEnumerationMode::AllDecompositions)
+            .budget(EnumerationBudget::results(3))
+            .run_local(&g);
+        assert_eq!(response.decompositions().len(), 3);
+        assert!(!response.outcome().completed);
+    }
+
+    #[test]
+    fn stats_task_emits_records_and_quality() {
+        let g = Graph::cycle(6);
+        let mut response = Query::stats().run_local(&g);
+        let records: Vec<_> = response.by_ref().filter_map(|i| i.as_record()).collect();
+        assert_eq!(records.len(), 14);
+        let outcome = response.outcome();
+        assert!(outcome.completed);
+        let q = outcome.quality().unwrap();
+        assert_eq!(q.num_results, 14);
+        assert_eq!(q.min_width, 2);
+    }
+
+    #[test]
+    fn zero_time_budget_yields_nothing() {
+        let outcome = Query::stats()
+            .budget(EnumerationBudget::time(Duration::ZERO))
+            .run_local(&Graph::cycle(8))
+            .wait();
+        assert!(outcome.records.is_empty());
+        assert!(!outcome.completed);
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let g = Graph::cycle(6);
+        let mut response = Query::enumerate().cancel_token(token).run_local(&g);
+        assert!(response.next().is_none());
+        assert!(response.outcome().cancelled);
+    }
+
+    #[test]
+    fn cancel_hooks_fire_once_registered() {
+        let token = CancelToken::new();
+        let fired = Arc::new(AtomicBool::new(false));
+        let observer = Arc::clone(&fired);
+        let guard = token.on_cancel(move || observer.store(true, Ordering::SeqCst));
+        assert!(!fired.load(Ordering::SeqCst));
+        token.cancel();
+        assert!(fired.load(Ordering::SeqCst));
+        drop(guard);
+    }
+
+    #[test]
+    fn dropped_hook_guards_deregister() {
+        let token = CancelToken::new();
+        let fired = Arc::new(AtomicBool::new(false));
+        let observer = Arc::clone(&fired);
+        let guard = token.on_cancel(move || observer.store(true, Ordering::SeqCst));
+        drop(guard); // the run ended; its hook must not linger
+        token.cancel();
+        assert!(
+            !fired.load(Ordering::SeqCst),
+            "deregistered hooks must not fire"
+        );
+    }
+
+    #[test]
+    fn query_debug_names_the_backend() {
+        let q = Query::enumerate();
+        let dbg = format!("{q:?}");
+        assert!(dbg.contains("Enumerate"));
+        assert!(dbg.contains("MCS_M"), "{dbg}");
+    }
+}

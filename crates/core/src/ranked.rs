@@ -4,26 +4,85 @@
 //! delay guarantees is the follow-up work of Ravid et al. [38]; this module
 //! provides the anytime approximation the original paper's experiments
 //! perform.)
+//!
+//! The typed front door for this workload is
+//! [`Task::BestK`](crate::query::Task) — `Query::best_k(k, cost)` — which
+//! runs the same [`TopK`] selection loop; the free functions below are
+//! deprecated adapters kept for migration, plus [`best_k_of_stream`] for
+//! application-specific (non-serializable) cost closures over any
+//! triangulation stream.
 
-use crate::{EnumerationBudget, MinimalTriangulationsEnumerator};
+use crate::query::{CostMeasure, Query};
+use crate::EnumerationBudget;
 use mintri_graph::Graph;
 use mintri_triangulate::Triangulation;
 use std::time::Instant;
+
+/// The `k`-best selection state shared by [`best_k_of_stream`] and the
+/// query layer's [`Task::BestK`](crate::query::Task): keeps the `k` best
+/// under a cost, ascending, ties keeping the earlier-produced result
+/// first.
+pub(crate) struct TopK<C: Ord> {
+    k: usize,
+    // (cost, production index) keeps ordering deterministic under ties
+    kept: Vec<(C, usize, Triangulation)>,
+}
+
+impl<C: Ord> TopK<C> {
+    pub(crate) fn new(k: usize) -> Self {
+        TopK {
+            k,
+            kept: Vec::with_capacity(k.min(1024) + 1),
+        }
+    }
+
+    /// Offers the `i`-th scanned triangulation with its cost.
+    pub(crate) fn offer(&mut self, c: C, i: usize, tri: Triangulation) {
+        // only insert if it beats the current worst (or there is room)
+        if self.kept.len() < self.k
+            || self
+                .kept
+                .last()
+                .is_some_and(|(wc, wi, _)| (&c, &i) < (wc, wi))
+        {
+            let pos = self
+                .kept
+                .binary_search_by(|(ec, ei, _)| (ec, ei).cmp(&(&c, &i)))
+                .unwrap_or_else(|p| p);
+            self.kept.insert(pos, (c, i, tri));
+            self.kept.truncate(self.k);
+        }
+    }
+
+    /// The winners in ascending cost order.
+    pub(crate) fn into_vec(self) -> Vec<Triangulation> {
+        self.kept.into_iter().map(|(_, _, t)| t).collect()
+    }
+}
 
 /// Runs the enumeration under `budget` and returns the `k` best
 /// triangulations according to `cost` (smaller is better), in ascending
 /// cost order. Ties keep the earlier-produced result first.
 ///
 /// ```
-/// use mintri_core::{best_k_by, EnumerationBudget};
+/// use mintri_core::query::{CostMeasure, Query};
+/// use mintri_core::EnumerationBudget;
 /// use mintri_graph::Graph;
 ///
 /// let g = Graph::cycle(7);
-/// let best = best_k_by(&g, 3, EnumerationBudget::unlimited(), |t| t.fill_count());
+/// let best = Query::best_k(3, CostMeasure::Fill)
+///     .budget(EnumerationBudget::unlimited())
+///     .run_local(&g)
+///     .triangulations();
 /// assert_eq!(best.len(), 3);
 /// // every minimal triangulation of a cycle has fill n-3
 /// assert!(best.iter().all(|t| t.fill_count() == 4));
 /// ```
+#[deprecated(
+    since = "0.3.0",
+    note = "build a typed query instead: `Query::best_k(k, cost).budget(b).run_local(&g)` \
+            (or `Engine::run` for warm sessions); for custom cost closures use `best_k_of_stream`"
+)]
 pub fn best_k_by<C, F>(
     g: &Graph,
     k: usize,
@@ -34,13 +93,21 @@ where
     C: Ord,
     F: Fn(&Triangulation) -> C,
 {
-    best_k_of_stream(MinimalTriangulationsEnumerator::new(g), k, budget, cost)
+    best_k_of_stream(
+        Query::enumerate()
+            .run_local(g)
+            .filter_map(crate::query::QueryItem::into_triangulation),
+        k,
+        budget,
+        cost,
+    )
 }
 
-/// The selection loop behind [`best_k_by`], applicable to *any*
-/// triangulation stream (the engine's parallel/cached streams reuse it):
-/// keep the `k` best under `cost` within `budget`, ascending, ties
-/// keeping the earlier-produced result first.
+/// The selection loop behind [`Task::BestK`](crate::query::Task),
+/// applicable to *any* triangulation stream with *any* cost closure (the
+/// engine's replayed/parallel streams and application-specific measures
+/// reuse it): keep the `k` best under `cost` within `budget`, ascending,
+/// ties keeping the earlier-produced result first.
 pub fn best_k_of_stream<C, F>(
     stream: impl IntoIterator<Item = Triangulation>,
     k: usize,
@@ -52,45 +119,45 @@ where
     F: Fn(&Triangulation) -> C,
 {
     let started = Instant::now();
-    // (cost, production index) keeps ordering deterministic under ties
-    let mut kept: Vec<(C, usize, Triangulation)> = Vec::with_capacity(k + 1);
+    let mut top = TopK::new(k);
     for (i, tri) in stream.into_iter().enumerate() {
-        if budget_exhausted(&budget, i, started) {
+        if budget.exhausted(i, started) {
             break;
         }
         let c = cost(&tri);
-        // only insert if it beats the current worst (or there is room)
-        if kept.len() < k || kept.last().is_some_and(|(wc, wi, _)| (&c, &i) < (wc, wi)) {
-            let pos = kept
-                .binary_search_by(|(ec, ei, _)| (ec, ei).cmp(&(&c, &i)))
-                .unwrap_or_else(|p| p);
-            kept.insert(pos, (c, i, tri));
-            kept.truncate(k);
-        }
+        top.offer(c, i, tri);
     }
-    kept.into_iter().map(|(_, _, t)| t).collect()
-}
-
-fn budget_exhausted(budget: &EnumerationBudget, produced: usize, started: Instant) -> bool {
-    if budget.max_results.is_some_and(|n| produced >= n) {
-        return true;
-    }
-    budget.time_limit.is_some_and(|t| started.elapsed() >= t)
+    top.into_vec()
 }
 
 /// The minimum-width triangulation found within `budget`.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Query::best_k(1, CostMeasure::Width).budget(b).run_local(&g)`"
+)]
 pub fn best_width(g: &Graph, budget: EnumerationBudget) -> Option<Triangulation> {
-    best_k_by(g, 1, budget, |t| t.width()).into_iter().next()
+    Query::best_k(1, CostMeasure::Width)
+        .budget(budget)
+        .run_local(g)
+        .triangulations()
+        .pop()
 }
 
 /// The minimum-fill triangulation found within `budget`.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Query::best_k(1, CostMeasure::Fill).budget(b).run_local(&g)`"
+)]
 pub fn best_fill(g: &Graph, budget: EnumerationBudget) -> Option<Triangulation> {
-    best_k_by(g, 1, budget, |t| t.fill_count())
-        .into_iter()
-        .next()
+    Query::best_k(1, CostMeasure::Fill)
+        .budget(budget)
+        .run_local(g)
+        .triangulations()
+        .pop()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::BruteForce;
@@ -151,5 +218,22 @@ mod tests {
     fn zero_k_is_empty() {
         let g = Graph::cycle(5);
         assert!(best_k_by(&g, 0, EnumerationBudget::unlimited(), |t| t.width()).is_empty());
+    }
+
+    #[test]
+    fn deprecated_adapters_agree_with_the_query_front_door() {
+        let g = Graph::cycle(7);
+        let via_adapter: Vec<_> =
+            best_k_by(&g, 4, EnumerationBudget::unlimited(), |t| t.fill_count())
+                .iter()
+                .map(|t| t.graph.edges())
+                .collect();
+        let via_query: Vec<_> = Query::best_k(4, CostMeasure::Fill)
+            .run_local(&g)
+            .triangulations()
+            .iter()
+            .map(|t| t.graph.edges())
+            .collect();
+        assert_eq!(via_adapter, via_query);
     }
 }

@@ -22,28 +22,27 @@
 //!    graph reuse the warm memo, and once any enumeration completes the
 //!    answer list itself is cached and replayed without an `Extend` call.
 //!
-//! ## When to use which API
+//! ## One front door
 //!
-//! * One-shot, one thread, borrowed graph → keep using
-//!   `mintri_core::MinimalTriangulationsEnumerator`; it is allocation-
-//!   lean and needs no thread pool.
-//! * One-shot but large / slow graph → [`ParallelEnumerator::new`] with
-//!   the thread count of your machine.
-//! * A service answering repeated or batched queries → hold one
-//!   [`Engine`] for the process and go through it; warm sessions and
-//!   answer replay are where the big wins live.
-//! * Budgeted searches that should use all cores →
-//!   [`parallel_strategy`] plugged into `mintri_core::AnytimeSearch`.
+//! [`Engine::run`] is the serving entry point: it takes a typed
+//! [`Query`] (what to compute — enumerate / best-k / decompose / stats —
+//! plus backend, budget, delivery, threads) and answers with a
+//! [`Response`] (the blocking result stream plus `cancel()`,
+//! `outcome()` and `is_replay()`). Sessions, completed-answer replay and
+//! the parallel drivers are dispatch details behind it; the zero-setup
+//! sequential path is `Query::run_local`, no engine required.
 //!
 //! ```
-//! use mintri_engine::Engine;
+//! use mintri_engine::{Engine, Query};
 //! use mintri_graph::Graph;
 //!
-//! // served: the second call replays the cached answers
+//! // served: the second query replays the cached answers
 //! let g = Graph::cycle(6);
 //! let engine = Engine::new();
-//! assert_eq!(engine.enumerate(&g).count(), 14);
-//! assert!(engine.enumerate(&g).is_replay());
+//! assert_eq!(engine.run(&g, Query::enumerate()).count(), 14);
+//! let replay = engine.run(&g, Query::enumerate());
+//! assert!(replay.is_replay());
+//! assert_eq!(replay.count(), 14);
 //! ```
 //!
 //! (Direct parallel streaming lives in [`ParallelEnumerator`]'s docs; it
@@ -67,21 +66,15 @@ pub use pool::WorkPool;
 #[cfg(feature = "parallel")]
 pub use sched::{Backoff, Idle, Scheduler};
 
-/// When and in what order a parallel enumeration's results reach the
-/// consumer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Delivery {
-    /// Stream each answer the moment any worker produces it. Fastest;
-    /// the answer *set* equals the sequential enumerator's, the order is
-    /// a race.
-    #[default]
-    Unordered,
-    /// Replay the sequential schedule with batch-parallel `Extend`
-    /// calls: output order is identical to
-    /// `mintri_core::MinimalTriangulationsEnumerator`. Use for tests,
-    /// golden files and distributed work splitting.
-    Deterministic,
-}
+/// The delivery contract now lives with the rest of the query vocabulary
+/// in `mintri_core::query`; re-exported here so existing
+/// `mintri_engine::Delivery` paths keep working.
+pub use mintri_core::query::Delivery;
+/// The typed query front door, re-exported for convenience: build a
+/// [`Query`], hand it to [`Engine::run`], consume the [`Response`].
+pub use mintri_core::query::{
+    CancelHookGuard, CancelToken, CostMeasure, Query, QueryItem, QueryOutcome, Response, Task,
+};
 
 /// Configuration shared by [`Engine`] and [`ParallelEnumerator`].
 #[derive(Debug, Clone)]

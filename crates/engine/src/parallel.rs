@@ -174,6 +174,25 @@ impl ParallelEnumerator {
         }
     }
 
+    /// A thread-safe hook that aborts this run when called: unordered
+    /// workers wind down (unblocking a consumer parked on the result
+    /// channel), the deterministic driver stops at the next batch
+    /// boundary. The stream then ends with
+    /// [`ParallelEnumerator::is_complete`] still `false`. Used by the
+    /// query layer's `CancelToken`; idempotent.
+    pub fn abort_hook(&self) -> Box<dyn Fn() + Send + Sync + 'static> {
+        match &self.inner {
+            Inner::Unordered(s) => {
+                let shared = Arc::clone(&s.shared);
+                Box::new(move || shared.abort())
+            }
+            Inner::Deterministic(d) => {
+                let stop = Arc::clone(&d.stop);
+                Box::new(move || stop.store(true, Ordering::SeqCst))
+            }
+        }
+    }
+
     /// Next answer as interned separator ids plus its materialized
     /// triangulation (the session layer records the ids for replay).
     pub fn next_pair(&mut self) -> Option<(Vec<SepId>, Triangulation)> {
@@ -477,6 +496,9 @@ impl Drop for UnorderedStream {
 struct DeterministicDriver {
     frontier: Frontier<Arc<MsGraph<'static>>>,
     pool: WorkPool,
+    /// External abort (the query layer's cancellation): checked between
+    /// batches, so a cancel takes effect at the next emission boundary.
+    stop: Arc<AtomicBool>,
 }
 
 impl DeterministicDriver {
@@ -484,6 +506,7 @@ impl DeterministicDriver {
         DeterministicDriver {
             frontier: Frontier::new(ms, mode),
             pool: WorkPool::new(config.resolved_threads()),
+            stop: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -507,6 +530,9 @@ impl DeterministicDriver {
 
     fn next_answer(&mut self) -> Option<Vec<SepId>> {
         while !self.frontier.has_emissions() && !self.frontier.is_complete() {
+            if self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
             let batch = self.frontier.drain_pending();
             let results = self.evaluate_batch(batch);
             self.frontier.absorb(results);

@@ -1,21 +1,27 @@
 //! The serving layer: one [`Engine`] caches warm per-graph state across
-//! queries.
+//! queries, and [`Engine::run`] executes any typed
+//! [`Query`](mintri_core::query::Query) against it.
 //!
 //! A [`GraphSession`] holds the shared, internally synchronized
-//! [`MsGraph`] for one input graph (keyed by a structural fingerprint) —
-//! so its interned separators and memoized crossing tests survive across
-//! `enumerate` / `best_k_by` / `decompose` calls — plus, once any
-//! enumeration has run to completion, the full answer list, which later
-//! queries replay without touching `Extend` at all. This is the "repeated
-//! traffic" story: the first query over a graph pays for the enumeration,
-//! every later one is a cache replay (or at worst a warm-memo rerun).
+//! [`MsGraph`] for one (graph, triangulation backend) pair — so its
+//! interned separators and memoized crossing tests survive across
+//! queries — plus, once any enumeration has run to completion, the full
+//! answer list, keyed by the order contract it was recorded under
+//! (unordered discovery, or a sequential [`PrintMode`] schedule). Later
+//! queries whose delivery contract the recorded order satisfies replay
+//! it without touching `Extend` at all — for *every* task: enumeration,
+//! best-k, decomposition and stats queries all stream through the same
+//! replay-aware source. This is the "repeated traffic" story: the first
+//! query over a graph pays for the enumeration, every later one is a
+//! cache replay (or at worst a warm-memo rerun).
 
 use crate::EngineConfig;
+use mintri_core::query::{CancelToken, Delivery, Query, QueryItem, Response, TriangulationStream};
 use mintri_core::{EnumerationBudget, MsGraph, MsGraphStats, SepId, TdEnumerationMode};
 use mintri_graph::{FxHashMap, FxHasher, Graph};
-use mintri_sgr::{EnumMis, PrintMode};
-use mintri_treedecomp::{proper_decompositions_of_chordal, TreeDecomposition};
-use mintri_triangulate::{McsM, Triangulation};
+use mintri_sgr::{EnumMis, EnumMisStats, PrintMode};
+use mintri_treedecomp::TreeDecomposition;
+use mintri_triangulate::{McsM, Triangulation, Triangulator};
 use std::hash::Hasher;
 use std::sync::{Arc, Mutex};
 
@@ -32,27 +38,49 @@ fn fingerprint(g: &Graph) -> u64 {
     h.finish()
 }
 
-/// Warm state for one graph: the shared memoized `MSGraph` and, once an
-/// enumeration has completed, the full answer list in emission order.
+/// The order contract a cached answer list was recorded under.
+///
+/// An `Ordered(mode)` list is the sequential schedule's emission order
+/// and can serve *any* query; an `Unordered` list is one particular
+/// race outcome — set-correct, so it serves [`Delivery::Unordered`]
+/// queries, but never a [`Delivery::Deterministic`] one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum AnswerKey {
+    /// Recorded from an unordered parallel run.
+    Unordered,
+    /// Recorded from the sequential schedule under this print mode.
+    Ordered(PrintMode),
+}
+
+/// Warm state for one (graph, triangulation backend) pair: the shared
+/// memoized `MSGraph` and, per completed enumeration order, the full
+/// answer list.
 pub struct GraphSession {
     graph: Arc<Graph>,
+    backend: &'static str,
     ms: Arc<MsGraph<'static>>,
-    answers: Mutex<Option<Arc<Vec<Vec<SepId>>>>>,
+    answers: Mutex<FxHashMap<AnswerKey, Arc<Vec<Vec<SepId>>>>>,
 }
 
 impl GraphSession {
-    fn new(g: &Graph) -> Self {
+    fn new(g: &Graph, triangulator: Box<dyn Triangulator>) -> Self {
         let graph = Arc::new(g.clone());
         GraphSession {
-            ms: Arc::new(MsGraph::shared(Arc::clone(&graph), Box::new(McsM))),
+            backend: triangulator.name(),
+            ms: Arc::new(MsGraph::shared(Arc::clone(&graph), triangulator)),
             graph,
-            answers: Mutex::new(None),
+            answers: Mutex::new(FxHashMap::default()),
         }
     }
 
     /// The session's graph.
     pub fn graph(&self) -> &Arc<Graph> {
         &self.graph
+    }
+
+    /// The name of the triangulation backend this session runs.
+    pub fn backend(&self) -> &'static str {
+        self.backend
     }
 
     /// The shared memoized `MSGraph` (interner + crossing memo).
@@ -66,16 +94,36 @@ impl GraphSession {
         self.ms.stats()
     }
 
-    /// The cached complete answer list, if any enumeration has finished.
+    /// A cached complete answer list, if any enumeration has finished
+    /// (any recorded order).
     pub fn cached_answers(&self) -> Option<Arc<Vec<Vec<SepId>>>> {
-        self.answers.lock().unwrap().clone()
+        // An unordered consumer accepts any recorded order — the same
+        // rule the engine's replay dispatch uses.
+        self.replayable(Delivery::Unordered, PrintMode::UponGeneration)
     }
 
-    fn store_answers(&self, answers: Vec<Vec<SepId>>) {
-        let mut slot = self.answers.lock().unwrap();
-        if slot.is_none() {
-            *slot = Some(Arc::new(answers));
+    /// The cached answer list able to serve a query with this delivery
+    /// contract and print mode, if one exists.
+    fn replayable(&self, delivery: Delivery, mode: PrintMode) -> Option<Arc<Vec<Vec<SepId>>>> {
+        let answers = self.answers.lock().unwrap();
+        match delivery {
+            // Only the matching sequential order is bit-identical.
+            Delivery::Deterministic => answers.get(&AnswerKey::Ordered(mode)).cloned(),
+            // Any completed list is set-correct.
+            Delivery::Unordered => answers
+                .get(&AnswerKey::Ordered(mode))
+                .or_else(|| answers.get(&AnswerKey::Unordered))
+                .or_else(|| answers.values().next())
+                .cloned(),
         }
+    }
+
+    fn store_answers(&self, key: AnswerKey, answers: Vec<Vec<SepId>>) {
+        self.answers
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::new(answers));
     }
 }
 
@@ -96,13 +144,20 @@ enum Source {
     Sequential(Box<EnumMis<Arc<MsGraph<'static>>>>),
 }
 
-/// Streaming iterator returned by [`Engine::enumerate`]. On natural
-/// exhaustion of a live run it deposits the complete answer list back
-/// into the session for future replays.
+/// The engine's replay-aware triangulation stream: what every
+/// [`Engine::run`] response consumes, and the iterator the deprecated
+/// [`Engine::enumerate`] returns. On natural exhaustion of a live run it
+/// deposits the complete answer list back into the session for future
+/// replays, under the order key the run was executed with.
 pub struct EngineEnumeration {
     session: Arc<GraphSession>,
     source: Source,
-    recorded: Option<Vec<Vec<SepId>>>,
+    recorded: Option<(AnswerKey, Vec<Vec<SepId>>)>,
+    /// Keeps the query token's abort hook registered for exactly this
+    /// stream's lifetime — dropping the stream deregisters it, so a
+    /// long-lived token does not accumulate hooks from finished runs.
+    #[cfg(feature = "parallel")]
+    _cancel_hook: Option<mintri_core::query::CancelHookGuard>,
 }
 
 impl EngineEnumeration {
@@ -117,15 +172,15 @@ impl EngineEnumeration {
             #[cfg(feature = "parallel")]
             Source::Live(par) => match par.next_pair() {
                 Some(pair) => {
-                    if let Some(rec) = &mut self.recorded {
+                    if let Some((_, rec)) = &mut self.recorded {
                         rec.push(pair.0.clone());
                     }
                     Some(pair)
                 }
                 None => {
                     if par.is_complete() {
-                        if let Some(rec) = self.recorded.take() {
-                            self.session.store_answers(rec);
+                        if let Some((key, rec)) = self.recorded.take() {
+                            self.session.store_answers(key, rec);
                         }
                     }
                     None
@@ -133,7 +188,7 @@ impl EngineEnumeration {
             },
             Source::Sequential(seq) => match seq.next() {
                 Some(answer) => {
-                    if let Some(rec) = &mut self.recorded {
+                    if let Some((_, rec)) = &mut self.recorded {
                         rec.push(answer.clone());
                     }
                     let tri = self.session.ms.materialize(&answer);
@@ -141,8 +196,8 @@ impl EngineEnumeration {
                 }
                 None => {
                     // A sequential stream only ends when complete.
-                    if let Some(rec) = self.recorded.take() {
-                        self.session.store_answers(rec);
+                    if let Some((key, rec)) = self.recorded.take() {
+                        self.session.store_answers(key, rec);
                     }
                     None
                 }
@@ -164,18 +219,46 @@ impl Iterator for EngineEnumeration {
     }
 }
 
+impl TriangulationStream for EngineEnumeration {
+    fn next_tri(&mut self) -> Option<Triangulation> {
+        self.next_pair().map(|(_, tri)| tri)
+    }
+
+    fn finished(&self) -> bool {
+        match &self.source {
+            // A replay or sequential stream only ends by exhaustion.
+            Source::Cached { .. } | Source::Sequential(_) => true,
+            #[cfg(feature = "parallel")]
+            Source::Live(par) => par.is_complete(),
+        }
+    }
+
+    fn enum_stats(&self) -> Option<EnumMisStats> {
+        match &self.source {
+            Source::Cached { .. } => None,
+            #[cfg(feature = "parallel")]
+            Source::Live(par) => par.enum_stats(),
+            Source::Sequential(seq) => Some(seq.stats()),
+        }
+    }
+
+    fn is_replay(&self) -> bool {
+        EngineEnumeration::is_replay(self)
+    }
+}
+
 /// The cache-sharing enumeration engine: a session store over
-/// [`GraphSession`]s plus the query API. Cheap to share behind an `Arc`;
-/// all methods take `&self`.
+/// [`GraphSession`]s plus the one serving entry point, [`Engine::run`].
+/// Cheap to share behind an `Arc`; all methods take `&self`.
 ///
 /// ```
-/// use mintri_engine::Engine;
+/// use mintri_engine::{Engine, Query};
 /// use mintri_graph::Graph;
 ///
 /// let engine = Engine::new();
 /// let g = Graph::cycle(6);
-/// assert_eq!(engine.enumerate(&g).count(), 14); // computes
-/// assert_eq!(engine.enumerate(&g).count(), 14); // replays the cache
+/// assert_eq!(engine.run(&g, Query::enumerate()).count(), 14); // computes
+/// assert_eq!(engine.run(&g, Query::enumerate()).count(), 14); // replays the cache
 /// assert_eq!(engine.sessions_cached(), 1);
 /// ```
 pub struct Engine {
@@ -184,7 +267,8 @@ pub struct Engine {
 }
 
 /// The session cache: fingerprint → colliding sessions (collisions are
-/// astronomically rare but must coexist, not evict each other), with a
+/// astronomically rare but must coexist, not evict each other; distinct
+/// triangulation backends over one graph also coexist here), with a
 /// recency stamp per session for LRU eviction under `max_sessions`.
 #[derive(Default)]
 struct SessionStore {
@@ -194,14 +278,15 @@ struct SessionStore {
 }
 
 impl SessionStore {
-    /// Looks `g` up, refreshing its recency stamp; `None` on miss.
-    fn get(&mut self, key: u64, g: &Graph) -> Option<Arc<GraphSession>> {
+    /// Looks `(g, backend)` up, refreshing its recency stamp; `None` on
+    /// miss.
+    fn get(&mut self, key: u64, g: &Graph, backend: &str) -> Option<Arc<GraphSession>> {
         self.clock += 1;
         let clock = self.clock;
         let entries = self.by_key.get_mut(&key)?;
         for (stamp, session) in entries.iter_mut() {
             // Fingerprints are 64-bit but not a proof; verify.
-            if session.graph.as_ref() == g {
+            if session.graph.as_ref() == g && session.backend == backend {
                 *stamp = clock;
                 return Some(Arc::clone(session));
             }
@@ -268,28 +353,38 @@ impl Engine {
         &self.config
     }
 
-    /// Number of graphs with live warm sessions.
+    /// Number of live warm sessions.
     pub fn sessions_cached(&self) -> usize {
         self.sessions.lock().unwrap().live
     }
 
-    /// The (existing or fresh) warm session for `g`. Touching a session
-    /// refreshes it in the LRU order; when the store exceeds
-    /// [`EngineConfig::max_sessions`], the least recently used session is
-    /// dropped (its memory — memo tables and answer cache — with it).
+    /// The (existing or fresh) warm session for `g` under the default
+    /// (MCS-M) backend. Touching a session refreshes it in the LRU
+    /// order; when the store exceeds [`EngineConfig::max_sessions`], the
+    /// least recently used session is dropped (its memory — memo tables
+    /// and answer cache — with it).
     pub fn session(&self, g: &Graph) -> Arc<GraphSession> {
+        self.session_keyed(g, Box::new(McsM))
+    }
+
+    /// The warm session for `g` under `triangulator`'s backend (sessions
+    /// are keyed by graph *and* backend name — different backends
+    /// discover the same answer set in different orders, so their caches
+    /// must not alias). Consumes the triangulator only on a miss.
+    fn session_keyed(&self, g: &Graph, triangulator: Box<dyn Triangulator>) -> Arc<GraphSession> {
         let key = fingerprint(g);
         let mut sessions = self.sessions.lock().unwrap();
-        if let Some(existing) = sessions.get(key, g) {
+        if let Some(existing) = sessions.get(key, g, triangulator.name()) {
             return existing;
         }
-        let session = Arc::new(GraphSession::new(g));
+        let session = Arc::new(GraphSession::new(g, triangulator));
         sessions.insert(key, Arc::clone(&session), self.config.max_sessions);
         session
     }
 
-    /// Drops the warm session for `g`, if any (frees its memo tables and
-    /// cached answers; a later query rebuilds from scratch).
+    /// Drops every warm session for `g` (all backends), if any — frees
+    /// their memo tables and cached answers; a later query rebuilds from
+    /// scratch.
     pub fn evict(&self, g: &Graph) {
         let key = fingerprint(g);
         let mut sessions = self.sessions.lock().unwrap();
@@ -311,54 +406,154 @@ impl Engine {
         sessions.live = 0;
     }
 
+    /// **The serving entry point**: executes a typed [`Query`] against
+    /// the warm session for `g` and returns the unified [`Response`]
+    /// stream.
+    ///
+    /// Dispatch, in order:
+    ///
+    /// 1. **Replay** — if a completed answer list compatible with the
+    ///    query's [`Delivery`] contract and [`PrintMode`] is cached, it
+    ///    is served with zero `Extend` calls ([`Response::is_replay`]),
+    ///    for every task: ranked and decomposition queries replay just
+    ///    like plain enumerations.
+    /// 2. **Parallel** — otherwise, when the effective thread count
+    ///    (`query.threads`, or this engine's configured parallelism when
+    ///    `0`) exceeds one and the `parallel` feature is compiled in,
+    ///    the query runs on the work-stealing pool under the requested
+    ///    delivery contract. The query's `CancelToken` aborts the
+    ///    workers mid-stream.
+    /// 3. **Sequential** — else the plain `EnumMIS` iterator runs over
+    ///    the session's warm memo.
+    ///
+    /// A live run that drains to natural completion deposits its answer
+    /// list back into the session, so the *next* query — of any task
+    /// shape — replays.
+    pub fn run(&self, g: &Graph, query: Query) -> Response<'static> {
+        let Query {
+            task,
+            triangulator,
+            mode,
+            budget,
+            delivery,
+            threads,
+            cancel,
+        } = query;
+        let session = self.session_keyed(g, triangulator);
+        let stream = self.stream_for(&session, mode, delivery, threads, Some(&cancel));
+        Response::over_stream(task, budget, cancel, Box::new(stream))
+    }
+
+    /// The replay-aware stream behind every query: cached answers when
+    /// the delivery contract allows, otherwise a live (parallel or
+    /// sequential) run against the warm session memo.
+    fn stream_for(
+        &self,
+        session: &Arc<GraphSession>,
+        mode: PrintMode,
+        delivery: Delivery,
+        threads: usize,
+        cancel: Option<&CancelToken>,
+    ) -> EngineEnumeration {
+        if let Some(answers) = session.replayable(delivery, mode) {
+            return EngineEnumeration {
+                session: Arc::clone(session),
+                source: Source::Cached { answers, next: 0 },
+                recorded: None,
+                #[cfg(feature = "parallel")]
+                _cancel_hook: None,
+            };
+        }
+        let threads = match threads {
+            0 => self.config.resolved_threads(),
+            n => n,
+        };
+        self.live_stream(session, mode, delivery, threads, cancel)
+    }
+
+    #[cfg(feature = "parallel")]
+    fn live_stream(
+        &self,
+        session: &Arc<GraphSession>,
+        mode: PrintMode,
+        delivery: Delivery,
+        threads: usize,
+        cancel: Option<&CancelToken>,
+    ) -> EngineEnumeration {
+        if threads > 1 {
+            let par = crate::ParallelEnumerator::from_msgraph_with_mode(
+                Arc::clone(&session.ms),
+                &EngineConfig {
+                    threads,
+                    delivery,
+                    ..self.config.clone()
+                },
+                mode,
+            );
+            let cancel_hook = cancel.map(|token| token.on_cancel(par.abort_hook()));
+            let key = match delivery {
+                Delivery::Unordered => AnswerKey::Unordered,
+                Delivery::Deterministic => AnswerKey::Ordered(mode),
+            };
+            return EngineEnumeration {
+                session: Arc::clone(session),
+                source: Source::Live(par),
+                recorded: Some((key, Vec::new())),
+                _cancel_hook: cancel_hook,
+            };
+        }
+        Self::sequential_stream(session, mode)
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn live_stream(
+        &self,
+        session: &Arc<GraphSession>,
+        mode: PrintMode,
+        _delivery: Delivery,
+        _threads: usize,
+        _cancel: Option<&CancelToken>,
+    ) -> EngineEnumeration {
+        Self::sequential_stream(session, mode)
+    }
+
+    fn sequential_stream(session: &Arc<GraphSession>, mode: PrintMode) -> EngineEnumeration {
+        EngineEnumeration {
+            session: Arc::clone(session),
+            source: Source::Sequential(Box::new(EnumMis::new(Arc::clone(&session.ms), mode))),
+            recorded: Some((AnswerKey::Ordered(mode), Vec::new())),
+            #[cfg(feature = "parallel")]
+            _cancel_hook: None,
+        }
+    }
+
     /// Streams the minimal triangulations of `g`: replayed from cache
     /// when a previous enumeration completed, otherwise computed live
     /// (in parallel when configured and compiled in) against the warm
     /// session memo.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use the one front door: `engine.run(&g, Query::enumerate())`"
+    )]
     pub fn enumerate(&self, g: &Graph) -> EngineEnumeration {
         let session = self.session(g);
-        if let Some(answers) = session.cached_answers() {
-            return EngineEnumeration {
-                session,
-                source: Source::Cached { answers, next: 0 },
-                recorded: None,
-            };
-        }
-        let source = self.live_source(&session);
-        EngineEnumeration {
-            session,
-            source,
-            recorded: Some(Vec::new()),
-        }
-    }
-
-    #[cfg(feature = "parallel")]
-    fn live_source(&self, session: &Arc<GraphSession>) -> Source {
-        if self.config.resolved_threads() > 1 {
-            Source::Live(crate::ParallelEnumerator::from_msgraph(
-                Arc::clone(&session.ms),
-                &self.config,
-            ))
-        } else {
-            Source::Sequential(Box::new(EnumMis::new(
-                Arc::clone(&session.ms),
-                PrintMode::UponGeneration,
-            )))
-        }
-    }
-
-    #[cfg(not(feature = "parallel"))]
-    fn live_source(&self, session: &Arc<GraphSession>) -> Source {
-        Source::Sequential(Box::new(EnumMis::new(
-            Arc::clone(&session.ms),
+        self.stream_for(
+            &session,
             PrintMode::UponGeneration,
-        )))
+            self.config.delivery,
+            self.config.threads,
+            None,
+        )
     }
 
     /// The `k` best triangulations of `g` under `cost` (smaller is
     /// better) within `budget`, in ascending cost order; ties keep the
-    /// earlier-produced result. The engine-level twin of
-    /// [`mintri_core::best_k_by`], sharing the warm session.
+    /// earlier-produced result.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `engine.run(&g, Query::best_k(k, cost).budget(b))`; for custom cost \
+                closures, `best_k_of_stream` over `engine.run(&g, Query::enumerate())`"
+    )]
     pub fn best_k_by<C, F>(
         &self,
         g: &Graph,
@@ -370,37 +565,36 @@ impl Engine {
         C: Ord,
         F: Fn(&Triangulation) -> C,
     {
-        mintri_core::best_k_of_stream(self.enumerate(g), k, budget, cost)
+        mintri_core::best_k_of_stream(
+            self.run(g, Query::enumerate())
+                .filter_map(QueryItem::into_triangulation),
+            k,
+            budget,
+            cost,
+        )
     }
 
     /// Streams proper tree decompositions of `g`, expanding each minimal
     /// triangulation from the (cached or live) enumeration.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use the one front door: `engine.run(&g, Query::decompose(mode))`"
+    )]
     pub fn decompose(
         &self,
         g: &Graph,
         mode: TdEnumerationMode,
     ) -> impl Iterator<Item = TreeDecomposition> {
-        let stream = self.enumerate(g);
-        stream.flat_map(move |tri| -> Box<dyn Iterator<Item = TreeDecomposition>> {
-            match mode {
-                TdEnumerationMode::OnePerClass => {
-                    let forest = mintri_chordal::CliqueForest::build(&tri.graph);
-                    Box::new(std::iter::once(TreeDecomposition {
-                        bags: forest.cliques,
-                        edges: forest.edges,
-                    }))
-                }
-                TdEnumerationMode::AllDecompositions => {
-                    Box::new(proper_decompositions_of_chordal(&tri.graph))
-                }
-            }
-        })
+        self.run(g, Query::decompose(mode))
+            .filter_map(QueryItem::into_decomposition)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use mintri_core::query::CostMeasure;
     use mintri_core::{MinimalTriangulationsEnumerator, ProperTreeDecompositions};
 
     #[test]
@@ -483,6 +677,27 @@ mod tests {
     }
 
     #[test]
+    fn sessions_are_backend_keyed() {
+        let engine = Engine::new();
+        let g = Graph::cycle(6);
+        let n = engine
+            .run(&g, Query::enumerate().triangulator(Box::new(McsM)))
+            .count();
+        let m = engine
+            .run(
+                &g,
+                Query::enumerate().triangulator(Box::new(mintri_triangulate::LexM)),
+            )
+            .count();
+        assert_eq!(n, m, "backends agree on the answer set");
+        assert_eq!(
+            engine.sessions_cached(),
+            2,
+            "distinct backends must not alias one session"
+        );
+    }
+
+    #[test]
     fn best_k_matches_core_ranked() {
         let engine = Engine::new();
         let g = Graph::cycle(7);
@@ -518,11 +733,87 @@ mod tests {
         });
         let g = Graph::cycle(8);
         // Different query kinds against one session: enumeration first...
-        let _ = engine.enumerate(&g).count();
+        let _ = engine.run(&g, Query::enumerate()).count();
         let computed_once = engine.session(&g).stats().crossing_computed;
         assert!(computed_once > 0);
         // ...then best-k, which replays and computes nothing new.
-        let _ = engine.best_k_by(&g, 2, EnumerationBudget::unlimited(), |t| t.width());
+        let _ = engine.run(&g, Query::best_k(2, CostMeasure::Width)).count();
         assert_eq!(engine.session(&g).stats().crossing_computed, computed_once);
+    }
+
+    #[test]
+    fn ranked_and_decompose_queries_replay_without_extends() {
+        // The satellite fix this pins: best-k and decompose queries must
+        // be served from a completed-answer replay — zero Extend calls,
+        // `is_replay()` true — not just plain enumerations.
+        let engine = Engine::new();
+        let g = Graph::cycle(7);
+
+        // Cold best-k query: scans live (unlimited budget ⇒ the scan
+        // completes ⇒ the answer list is deposited).
+        let mut cold = engine.run(&g, Query::best_k(3, CostMeasure::Fill));
+        assert!(!cold.is_replay());
+        assert_eq!(cold.triangulations().len(), 3);
+        let extends_after_cold = engine.session(&g).stats().extends;
+        assert!(extends_after_cold > 0);
+
+        // Warm best-k: replay, zero new Extends.
+        let mut warm = engine.run(&g, Query::best_k(3, CostMeasure::Fill));
+        assert!(warm.is_replay(), "ranked queries must replay warm sessions");
+        assert_eq!(warm.triangulations().len(), 3);
+        assert!(warm.outcome().replayed);
+        assert_eq!(engine.session(&g).stats().extends, extends_after_cold);
+
+        // Warm decompose: same replay, still zero new Extends.
+        let warm_decompose = engine.run(&g, Query::decompose(TdEnumerationMode::OnePerClass));
+        assert!(
+            warm_decompose.is_replay(),
+            "decompose queries must replay warm sessions"
+        );
+        assert_eq!(warm_decompose.count(), 42);
+        assert_eq!(engine.session(&g).stats().extends, extends_after_cold);
+    }
+
+    #[test]
+    fn unordered_replay_never_serves_deterministic_queries() {
+        #[cfg(feature = "parallel")]
+        {
+            let engine = Engine::with_config(EngineConfig {
+                threads: 4,
+                ..EngineConfig::default()
+            });
+            let g = Graph::cycle(7);
+            // Record an unordered run (a race order) into the cache.
+            let n = engine.run(&g, Query::enumerate().threads(4)).count();
+            assert_eq!(n, 42);
+            // A deterministic query must NOT replay it: order is a contract.
+            let det = engine.run(
+                &g,
+                Query::enumerate()
+                    .threads(4)
+                    .delivery(Delivery::Deterministic),
+            );
+            assert!(
+                !det.is_replay(),
+                "an unordered recording cannot serve a deterministic query"
+            );
+            let order: Vec<_> = det
+                .filter_map(QueryItem::into_triangulation)
+                .map(|t| t.graph.edges())
+                .collect();
+            let reference: Vec<_> = MinimalTriangulationsEnumerator::new(&g)
+                .map(|t| t.graph.edges())
+                .collect();
+            assert_eq!(order, reference);
+            // …and the deterministic run's deposit now serves both contracts.
+            assert!(engine
+                .run(
+                    &g,
+                    Query::enumerate()
+                        .threads(4)
+                        .delivery(Delivery::Deterministic)
+                )
+                .is_replay());
+        }
     }
 }

@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 /// When answers become visible to the consumer; see the docs of
 /// [`EnumMis`](crate::EnumMis).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PrintMode {
     /// Print as soon as an answer is generated (`EnumMIS`, lines 2/14/23).
     #[default]

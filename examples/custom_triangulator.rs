@@ -5,12 +5,12 @@
 //! implementing [`Triangulator`] works — even a deliberately silly one —
 //! and the *set* of enumerated triangulations is always exactly
 //! `MinTri(g)`; the backend only influences the discovery order and speed.
+//! The backend is a parameter of the typed [`Query`], so the same swap
+//! works locally and through an engine.
 //!
 //! Run with: `cargo run --example custom_triangulator`
 
-use mintri::core::MinimalTriangulationsEnumerator;
 use mintri::prelude::*;
-use mintri::sgr::PrintMode;
 use mintri::triangulate::{minimal_triangulation_sandwich, CompleteFill};
 
 /// A custom backend: complete-fill followed by the sandwich minimalizer,
@@ -50,24 +50,27 @@ fn main() {
         ],
     );
 
-    // Reference run with MCS-M.
-    let mut reference: Vec<_> = MinimalTriangulationsEnumerator::new(&g)
+    // Reference run with the default backend (MCS-M).
+    let mut reference: Vec<_> = Query::enumerate()
+        .run_local(&g)
+        .triangulations()
+        .iter()
         .map(|t| t.graph.edges())
         .collect();
     reference.sort();
 
-    // Custom backend run.
+    // The same query with the custom backend swapped in.
     let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let backend = CountingNaive {
         calls: calls.clone(),
     };
-    let mut custom: Vec<_> = MinimalTriangulationsEnumerator::with_config(
-        &g,
-        Box::new(backend),
-        PrintMode::UponGeneration,
-    )
-    .map(|t| t.graph.edges())
-    .collect();
+    let mut custom: Vec<_> = Query::enumerate()
+        .triangulator(Box::new(backend))
+        .run_local(&g)
+        .triangulations()
+        .iter()
+        .map(|t| t.graph.edges())
+        .collect();
     custom.sort();
 
     // The answer sets agree exactly.

@@ -8,6 +8,9 @@
 //! isomorphic minimum-width decompositions can differ by orders of
 //! magnitude in join performance).
 //!
+//! The decomposition stream is a [`Query`] task; application-specific
+//! measures are computed over its [`Response`] items.
+//!
 //! Run with: `cargo run --release --example join_query_optimization`
 
 use mintri::prelude::*;
@@ -40,9 +43,9 @@ fn main() {
     let mut best_width = usize::MAX;
     let mut best_fill = usize::MAX;
     let mut best_adhesion = usize::MAX;
-    let mut count = 0usize;
 
-    for d in ProperTreeDecompositions::one_per_class(g) {
+    let mut response = Query::decompose(TdEnumerationMode::OnePerClass).run_local(g);
+    for d in response.by_ref().filter_map(QueryItem::into_decomposition) {
         let width = d.width();
         let fill = d.fill(g);
         let adhesion = adhesion_cost(&d);
@@ -52,11 +55,12 @@ fn main() {
         best_width = best_width.min(width);
         best_fill = best_fill.min(fill);
         best_adhesion = best_adhesion.min(adhesion);
-        count += 1;
     }
+    let outcome = response.outcome();
+    assert!(outcome.completed);
 
     let (w1, f1, a1) = first.expect("Q7 has decompositions");
-    println!("\n{count} bag configurations enumerated");
+    println!("\n{} bag configurations enumerated", outcome.produced);
     println!("measure      first   best");
     println!("width        {w1:5}  {best_width:5}");
     println!("fill         {f1:5}  {best_fill:5}");

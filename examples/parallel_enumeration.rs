@@ -1,11 +1,10 @@
 //! The engine in three acts: parallel streaming, deterministic delivery,
-//! and warm sessions serving repeated queries.
+//! and warm sessions serving repeated queries — every act the same typed
+//! [`Query`] through [`Engine::run`].
 //!
 //! Run with: `cargo run --release --example parallel_enumeration`
 
-use mintri::core::MinimalTriangulationsEnumerator;
-use mintri::engine::{Delivery, Engine, EngineConfig, ParallelEnumerator};
-use mintri::triangulate::McsM;
+use mintri::prelude::*;
 use mintri::workloads::random::erdos_renyi;
 use std::time::Instant;
 
@@ -17,15 +16,28 @@ fn main() {
         g.num_edges()
     );
     let take = 3000;
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let engine = Engine::new();
 
-    // Act 1 — the sequential baseline vs. the unordered parallel stream.
+    // Act 1 — the sequential baseline vs. the unordered parallel stream:
+    // the same query, executed locally vs. on the engine's pool.
     let t0 = Instant::now();
-    let sequential = MinimalTriangulationsEnumerator::new(&g).take(take).count();
+    let sequential = Query::enumerate()
+        .budget(EnumerationBudget::results(take))
+        .run_local(&g)
+        .triangulations()
+        .len();
     let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let t0 = Instant::now();
-    let parallel = ParallelEnumerator::new(&g, threads).take(take).count();
+    let parallel = engine
+        .run(
+            &g,
+            Query::enumerate()
+                .budget(EnumerationBudget::results(take))
+                .threads(threads),
+        )
+        .count();
     let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(sequential, parallel);
     println!(
@@ -35,33 +47,38 @@ fn main() {
     );
 
     // Act 2 — deterministic delivery: parallel speed, sequential order.
-    let ordered: Vec<_> = ParallelEnumerator::with_config(
-        &g,
-        Box::new(McsM),
-        &EngineConfig {
-            threads,
-            delivery: Delivery::Deterministic,
-            ..EngineConfig::default()
-        },
-    )
-    .take(10)
-    .map(|t| t.fill_count())
-    .collect();
-    let reference: Vec<_> = MinimalTriangulationsEnumerator::new(&g)
-        .take(10)
+    let ordered: Vec<_> = engine
+        .run(
+            &g,
+            Query::enumerate()
+                .budget(EnumerationBudget::results(10))
+                .threads(threads)
+                .delivery(Delivery::Deterministic),
+        )
+        .filter_map(QueryItem::into_triangulation)
+        .map(|t| t.fill_count())
+        .collect();
+    let reference: Vec<_> = Query::enumerate()
+        .budget(EnumerationBudget::results(10))
+        .run_local(&g)
+        .triangulations()
+        .iter()
         .map(|t| t.fill_count())
         .collect();
     assert_eq!(ordered, reference);
     println!("deterministic mode reproduces the sequential stream: {ordered:?}");
 
-    // Act 3 — the serving story: one Engine, repeated traffic.
-    let engine = Engine::new();
+    // Act 3 — the serving story: one Engine, repeated traffic. The
+    // second query replays the completed answer list with zero Extend
+    // calls — and so would a best-k or decompose query on the same graph.
     let small = erdos_renyi(18, 0.3, 42);
     let t0 = Instant::now();
-    let n = engine.enumerate(&small).count();
+    let n = engine.run(&small, Query::enumerate()).count();
     let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t0 = Instant::now();
-    let m = engine.enumerate(&small).count();
+    let warm = engine.run(&small, Query::enumerate());
+    assert!(warm.is_replay());
+    let m = warm.count();
     let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(n, m);
     println!(

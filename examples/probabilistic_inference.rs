@@ -4,19 +4,22 @@
 //! so every saved width level matters. This example runs the enumerator as
 //! an *anytime* algorithm on a Promedas-style medical-diagnosis network and
 //! a grid MRF, reporting how the best width and fill improve over the run
-//! (the Figure 9/10 methodology as a library feature).
+//! (the Figure 9/10 methodology as a library feature) — the instrumented
+//! scan is [`Query::stats`], and the aggregates come back in the
+//! response's [`QueryOutcome`].
 //!
 //! Run with: `cargo run --release --example probabilistic_inference`
 
-use mintri::core::{AnytimeSearch, EnumerationBudget};
+use mintri::prelude::*;
 use mintri::workloads::pgm::promedas;
 use mintri::workloads::random::grid;
 use std::time::Duration;
 
-fn report(name: &str, g: &mintri::graph::Graph, budget: Duration) {
-    let outcome = AnytimeSearch::new(g)
+fn report(name: &str, g: &Graph, budget: Duration) {
+    let outcome = Query::stats()
         .budget(EnumerationBudget::results_or_time(5_000, budget))
-        .run();
+        .run_local(g)
+        .wait();
     let Some(q) = outcome.quality() else {
         println!("{name}: no results within budget");
         return;
@@ -38,8 +41,12 @@ fn report(name: &str, g: &mintri::graph::Graph, budget: Duration) {
         q.first_fill, q.min_fill, q.fill_improvement_pct, q.num_leq_first_fill
     );
     println!("  width improvements over time:");
-    for (at, w) in outcome.running_min(|r| r.width) {
-        println!("    {:6.1} ms: width {}", at.as_secs_f64() * 1e3, w);
+    let mut best = usize::MAX;
+    for r in &outcome.records {
+        if r.width < best {
+            best = r.width;
+            println!("    {:6.1} ms: width {}", r.at.as_secs_f64() * 1e3, r.width);
+        }
     }
 }
 

@@ -1,5 +1,5 @@
 //! Quickstart: enumerate the minimal triangulations and proper tree
-//! decompositions of a small graph.
+//! decompositions of a small graph through the one query front door.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -15,15 +15,33 @@ fn main() {
     );
 
     // 1. Enumerate ALL minimal triangulations (Catalan(4) = 14 of them).
+    //    `Query` describes what to compute; `run_local` executes it
+    //    sequentially with zero setup.
     println!("\nminimal triangulations:");
-    for (i, tri) in MinimalTriangulationsEnumerator::new(&g).enumerate() {
+    let mut response = Query::enumerate().run_local(&g);
+    for (i, tri) in response
+        .by_ref()
+        .filter_map(QueryItem::into_triangulation)
+        .enumerate()
+    {
         println!("  #{i:2}: width {}, fill {:?}", tri.width(), tri.fill);
         assert!(is_chordal(&tri.graph));
         assert!(is_minimal_triangulation(&g, &tri.graph));
     }
+    // The same handle reports how the run went.
+    let outcome = response.outcome();
+    assert!(outcome.completed);
+    println!(
+        "  ({} results in {:.1} ms)",
+        outcome.produced,
+        outcome.elapsed.as_secs_f64() * 1e3,
+    );
 
-    // 2. Enumerate the proper tree decompositions.
-    let decompositions: Vec<TreeDecomposition> = ProperTreeDecompositions::new(&g).collect();
+    // 2. Proper tree decompositions are the same query type with a
+    //    different task.
+    let decompositions = Query::decompose(TdEnumerationMode::AllDecompositions)
+        .run_local(&g)
+        .decompositions();
     println!(
         "\n{} proper tree decompositions; the first:",
         decompositions.len()
@@ -35,14 +53,14 @@ fn main() {
     println!("  tree edges: {:?}", d.edges);
     println!("  width: {}, valid: {}", d.width(), d.validate(&g).is_ok());
 
-    // 3. The enumeration is lazy — an anytime "give me something better"
-    //    loop needs no upfront bound:
-    let best = MinimalTriangulationsEnumerator::new(&g)
-        .take(5)
-        .min_by_key(|t| t.fill_count())
-        .expect("C6 has triangulations");
+    // 3. Ranked selection under a budget — "give me something better" —
+    //    is a task parameter too, not a separate API.
+    let best = Query::best_k(1, CostMeasure::Fill)
+        .budget(EnumerationBudget::results(5))
+        .run_local(&g)
+        .triangulations();
     println!(
         "\nbest fill among the first 5 results: {}",
-        best.fill_count()
+        best[0].fill_count()
     );
 }

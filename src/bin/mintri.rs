@@ -2,27 +2,31 @@
 //! proper tree decompositions of graphs from files.
 //!
 //! ```text
-//! mintri stats        --input g.col [--format dimacs|edges|uai]
-//! mintri triangulate  --input g.col [--algo mcsm|lbtriang|lexm|mindegree]
+//! mintri stats        --input g.col [--input-format dimacs|edges|uai] [--format text|json]
+//! mintri triangulate  --input g.col [--algo mcsm|lbtriang|lexm|mindegree] [--format ...]
 //! mintri enumerate    --input g.col [--limit K] [--budget-ms T] [--algo ...]
-//!                     [--threads N] [--delivery unordered|deterministic]
+//!                     [--threads N] [--delivery unordered|deterministic] [--format ...]
 //! mintri best-k       --input g.col [--k K] [--by width|fill] [--limit K]
-//!                     [--budget-ms T] [--threads N] [--delivery ...]
+//!                     [--budget-ms T] [--threads N] [--delivery ...] [--format ...]
 //! mintri decompose    --input g.col [--limit K] [--one-per-class true]
-//!                     [--threads N] [--delivery ...]
+//!                     [--threads N] [--delivery ...] [--format ...]
 //! ```
 //!
-//! `--threads N` (N > 1, or 0 for "all cores") runs the enumeration on
-//! the `mintri-engine` work-stealing pool — for `enumerate`, `best-k`
-//! and `decompose` alike; `--delivery deterministic` makes the parallel
+//! Every enumeration command builds one typed [`Query`] (task + backend +
+//! budget + delivery + threads) and renders its [`Response`] — `--format
+//! json` emits the results *and* the outcome (budget, quality, replay,
+//! `EnumMIS` counters) as one JSON document on stdout. `--threads N`
+//! (N > 1, or 0 for "all cores") executes the query on a `mintri-engine`
+//! work-stealing pool; `--delivery deterministic` makes the parallel
 //! output order match the single-threaded one.
 //!
 //! Graphs: DIMACS `.col` (default), 0-based edge lists, or UAI network
-//! files. Output goes to stdout; diagnostics to stderr.
+//! files — select explicitly with `--input-format`. (For compatibility,
+//! `--format dimacs|edges|uai` is still accepted as an input format;
+//! otherwise `--format` selects the *output* format, `text` or `json`.)
+//! Text output goes to stdout; diagnostics to stderr.
 
-use mintri::core::{AnytimeSearch, EnumerationBudget, ProperTreeDecompositions, SearchStrategy};
-#[cfg(feature = "parallel")]
-use mintri::engine::parallel_strategy_with;
+use mintri::core::{EnumerationBudget, QueryOutcome};
 use mintri::engine::{Delivery, Engine, EngineConfig};
 use mintri::graph::io::{parse_dimacs, parse_edge_list};
 use mintri::prelude::*;
@@ -36,7 +40,9 @@ use std::time::Duration;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: mintri <stats|triangulate|enumerate|decompose> --input FILE [flags]");
+        eprintln!(
+            "usage: mintri <stats|triangulate|enumerate|best-k|decompose> --input FILE [flags]"
+        );
         return ExitCode::FAILURE;
     };
     let flags = match parse_flags(args) {
@@ -70,25 +76,52 @@ fn parse_flags(args: impl Iterator<Item = String>) -> Result<HashMap<String, Str
     Ok(flags)
 }
 
+/// Output rendering selected by `--format` (`text` by default).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Output {
+    Text,
+    Json,
+}
+
+/// The `--format` flag historically selected the *input* file format;
+/// those values still route there, everything else is an output format.
+fn pick_output(flags: &HashMap<String, String>) -> Result<Output, String> {
+    match flags.get("format").map(String::as_str) {
+        None | Some("text") | Some("dimacs") | Some("edges") | Some("uai") => Ok(Output::Text),
+        Some("json") => Ok(Output::Json),
+        Some(other) => Err(format!(
+            "unknown --format {other:?} (use text or json; dimacs|edges|uai select the input format)"
+        )),
+    }
+}
+
 fn load_graph(flags: &HashMap<String, String>) -> Result<Graph, String> {
     let path = flags
         .get("input")
         .ok_or_else(|| "--input FILE is required".to_string())?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let format = flags.get("format").map(String::as_str).unwrap_or_else(|| {
-        if path.ends_with(".uai") {
-            "uai"
-        } else if path.ends_with(".edges") || path.ends_with(".txt") {
-            "edges"
-        } else {
-            "dimacs"
-        }
-    });
+    let legacy = flags
+        .get("format")
+        .map(String::as_str)
+        .filter(|f| matches!(*f, "dimacs" | "edges" | "uai"));
+    let format = flags
+        .get("input-format")
+        .map(String::as_str)
+        .or(legacy)
+        .unwrap_or_else(|| {
+            if path.ends_with(".uai") {
+                "uai"
+            } else if path.ends_with(".edges") || path.ends_with(".txt") {
+                "edges"
+            } else {
+                "dimacs"
+            }
+        });
     match format {
         "dimacs" => parse_dimacs(&text).map_err(|e| e.to_string()),
         "edges" => parse_edge_list(&text).map_err(|e| e.to_string()),
         "uai" => parse_uai(&text),
-        other => Err(format!("unknown --format {other:?}")),
+        other => Err(format!("unknown --input-format {other:?}")),
     }
 }
 
@@ -114,9 +147,9 @@ fn pick_delivery(flags: &HashMap<String, String>) -> Result<Delivery, String> {
     }
 }
 
-/// `--threads` / `--delivery` → an [`EngineConfig`] for the engine-backed
-/// paths, or `None` for the classic sequential iterators (`--threads 1`
-/// and no flag both mean sequential).
+/// `--threads` → an [`EngineConfig`] for engine-backed execution, or
+/// `None` for the zero-setup local path (`--threads 1` and no flag both
+/// mean sequential).
 fn pick_engine_config(flags: &HashMap<String, String>) -> Result<Option<EngineConfig>, String> {
     let threads: Option<usize> = flags
         .get("threads")
@@ -124,10 +157,7 @@ fn pick_engine_config(flags: &HashMap<String, String>) -> Result<Option<EngineCo
         .transpose()?;
     let delivery = pick_delivery(flags)?;
     match threads {
-        None | Some(1) => {
-            let _ = delivery;
-            Ok(None)
-        }
+        None | Some(1) => Ok(None),
         #[cfg(feature = "parallel")]
         Some(n) => Ok(Some(EngineConfig {
             threads: n,
@@ -136,131 +166,257 @@ fn pick_engine_config(flags: &HashMap<String, String>) -> Result<Option<EngineCo
         })),
         #[cfg(not(feature = "parallel"))]
         Some(_) => {
+            let _ = delivery;
             Err("--threads needs the `parallel` feature; rebuild with default features".to_string())
         }
     }
 }
 
-/// `--threads` / `--delivery` → a sequential or engine-backed strategy.
-fn pick_strategy(flags: &HashMap<String, String>) -> Result<SearchStrategy, String> {
-    match pick_engine_config(flags)? {
-        None => Ok(SearchStrategy::Sequential),
-        #[cfg(feature = "parallel")]
-        Some(config) => Ok(parallel_strategy_with(config)),
-        #[cfg(not(feature = "parallel"))]
-        Some(_) => unreachable!("pick_engine_config never returns Some without `parallel`"),
-    }
-}
-
-fn run(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
-    let g = load_graph(flags)?;
-    let limit: usize = flags
+fn parse_budget(flags: &HashMap<String, String>) -> Result<EnumerationBudget, String> {
+    let limit: Option<usize> = flags
         .get("limit")
         .map(|s| s.parse().map_err(|_| "--limit must be an integer"))
-        .transpose()?
-        .unwrap_or(usize::MAX);
+        .transpose()?;
     let budget_ms: Option<u64> = flags
         .get("budget-ms")
         .map(|s| s.parse().map_err(|_| "--budget-ms must be an integer"))
         .transpose()?;
+    Ok(EnumerationBudget {
+        max_results: limit,
+        time_limit: budget_ms.map(Duration::from_millis),
+    })
+}
 
-    match command {
-        "stats" => {
-            println!("nodes: {}", g.num_nodes());
-            println!("edges: {}", g.num_edges());
-            println!("chordal: {}", is_chordal(&g));
-            let cap = 10_000;
-            let seps: Vec<_> = MinimalSeparatorIter::new(&g).take(cap).collect();
-            let more = if seps.len() == cap { "+" } else { "" };
-            println!("minimal separators: {}{}", seps.len(), more);
-            if is_chordal(&g) {
-                println!("treewidth: {}", treewidth_of_chordal(&g));
-            } else {
-                let t = minimal_triangulation(&g, &McsM);
-                println!("mcs-m width (treewidth upper bound): {}", t.width());
-                println!("mcs-m fill: {}", t.fill_count());
-            }
-        }
-        "triangulate" => {
-            let t = pick_triangulator(flags)?;
-            let tri = minimal_triangulation(&g, t.as_ref());
-            println!("c minimal triangulation by {}", t.name());
-            println!("c width {} fill {}", tri.width(), tri.fill_count());
-            for (u, v) in tri.fill {
-                println!("f {} {}", u + 1, v + 1);
-            }
-        }
-        "enumerate" => {
-            let t = pick_triangulator(flags)?;
-            let budget = EnumerationBudget {
-                max_results: (limit != usize::MAX).then_some(limit),
-                time_limit: budget_ms.map(Duration::from_millis),
-            };
-            let strategy = pick_strategy(flags)?;
-            let outcome = AnytimeSearch::new(&g)
-                .triangulator(t)
-                .budget(budget)
-                .strategy(strategy)
-                .run();
-            println!("index,elapsed_us,width,fill");
-            for r in &outcome.records {
-                println!("{},{},{},{}", r.index, r.at.as_micros(), r.width, r.fill);
-            }
-            eprintln!(
-                "{} minimal triangulations{} in {:.1} ms",
-                outcome.records.len(),
-                if outcome.completed { " (complete)" } else { "" },
-                outcome.elapsed.as_secs_f64() * 1e3
-            );
-        }
+/// Builds the typed query for one enumeration command — the single place
+/// where CLI flags become a request.
+fn build_query(command: &str, flags: &HashMap<String, String>) -> Result<Query, String> {
+    let query = match command {
+        // The enumerate command's output is the per-result record CSV
+        // (index, elapsed, width, fill) — the instrumented scan.
+        "enumerate" => Query::stats(),
         "best-k" => {
             let k: usize = flags
                 .get("k")
                 .map(|s| s.parse().map_err(|_| "--k must be an integer"))
                 .transpose()?
                 .unwrap_or(1);
-            let budget = EnumerationBudget {
-                max_results: (limit != usize::MAX).then_some(limit),
-                time_limit: budget_ms.map(Duration::from_millis),
-            };
-            let by = flags.get("by").map(String::as_str).unwrap_or("width");
-            let cost: fn(&Triangulation) -> usize = match by {
-                "width" => |t| t.width(),
-                "fill" => |t| t.fill_count(),
+            let cost = match flags.get("by").map(String::as_str).unwrap_or("width") {
+                "width" => CostMeasure::Width,
+                "fill" => CostMeasure::Fill,
                 other => return Err(format!("unknown --by {other:?} (use width or fill)")),
             };
-            let best = match pick_engine_config(flags)? {
-                // The engine path: warm shared memo + the configured
-                // parallel delivery behind the same selection loop.
-                Some(config) => Engine::with_config(config).best_k_by(&g, k, budget, cost),
-                None => best_k_by(&g, k, budget, cost),
-            };
-            println!("rank,width,fill");
-            for (i, t) in best.iter().enumerate() {
-                println!("{},{},{}", i, t.width(), t.fill_count());
-            }
-            eprintln!("{} best-{by} triangulations of {k} requested", best.len());
+            Query::best_k(k, cost)
         }
         "decompose" => {
             let one_per_class = flags
                 .get("one-per-class")
                 .map(|s| s == "true" || s == "1")
                 .unwrap_or(false);
-            let iter: Box<dyn Iterator<Item = TreeDecomposition>> = match pick_engine_config(flags)?
-            {
-                Some(config) => {
-                    let mode = if one_per_class {
-                        TdEnumerationMode::OnePerClass
-                    } else {
-                        TdEnumerationMode::AllDecompositions
-                    };
-                    Box::new(Engine::with_config(config).decompose(&g, mode))
-                }
-                None if one_per_class => Box::new(ProperTreeDecompositions::one_per_class(&g)),
-                None => Box::new(ProperTreeDecompositions::new(&g)),
-            };
+            Query::decompose(if one_per_class {
+                TdEnumerationMode::OnePerClass
+            } else {
+                TdEnumerationMode::AllDecompositions
+            })
+        }
+        other => return Err(format!("not an enumeration command: {other:?}")),
+    };
+    Ok(query
+        .triangulator(pick_triangulator(flags)?)
+        .budget(parse_budget(flags)?)
+        .delivery(pick_delivery(flags)?))
+}
+
+/// Executes a query: through an [`Engine`] when `--threads` asks for
+/// parallelism, otherwise on the calling thread with zero setup.
+fn execute<'g>(
+    query: Query,
+    g: &'g Graph,
+    flags: &HashMap<String, String>,
+) -> Result<Response<'g>, String> {
+    Ok(match pick_engine_config(flags)? {
+        Some(config) => Engine::with_config(config).run(g, query),
+        None => query.run_local(g),
+    })
+}
+
+fn run(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let output = pick_output(flags)?;
+
+    match command {
+        "stats" => cmd_stats(&g, output),
+        "triangulate" => cmd_triangulate(&g, flags, output),
+        "enumerate" => cmd_enumerate(&g, flags, output),
+        "best-k" => cmd_best_k(&g, flags, output),
+        "decompose" => cmd_decompose(&g, flags, output),
+        other => Err(format!(
+            "unknown command {other:?} (use stats, triangulate, enumerate, best-k or decompose)"
+        )),
+    }
+}
+
+fn cmd_stats(g: &Graph, output: Output) -> Result<(), String> {
+    let cap = 10_000;
+    let seps: Vec<_> = MinimalSeparatorIter::new(g).take(cap).collect();
+    let truncated = seps.len() == cap;
+    let chordal = is_chordal(g);
+    match output {
+        Output::Text => {
+            println!("nodes: {}", g.num_nodes());
+            println!("edges: {}", g.num_edges());
+            println!("chordal: {chordal}");
+            let more = if truncated { "+" } else { "" };
+            println!("minimal separators: {}{}", seps.len(), more);
+            if chordal {
+                println!("treewidth: {}", treewidth_of_chordal(g));
+            } else {
+                let t = minimal_triangulation(g, &McsM);
+                println!("mcs-m width (treewidth upper bound): {}", t.width());
+                println!("mcs-m fill: {}", t.fill_count());
+            }
+        }
+        Output::Json => {
+            let mut doc = JsonObject::new();
+            doc.raw("command", "\"stats\"".into());
+            doc.raw("graph", graph_json(g));
+            doc.bool("chordal", chordal);
+            doc.usize("minimal_separators", seps.len());
+            doc.bool("minimal_separators_truncated", truncated);
+            if chordal {
+                doc.usize("treewidth", treewidth_of_chordal(g));
+            } else {
+                let t = minimal_triangulation(g, &McsM);
+                doc.usize("mcsm_width", t.width());
+                doc.usize("mcsm_fill", t.fill_count());
+            }
+            println!("{}", doc.finish());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_triangulate(
+    g: &Graph,
+    flags: &HashMap<String, String>,
+    output: Output,
+) -> Result<(), String> {
+    let t = pick_triangulator(flags)?;
+    let tri = minimal_triangulation(g, t.as_ref());
+    match output {
+        Output::Text => {
+            println!("c minimal triangulation by {}", t.name());
+            println!("c width {} fill {}", tri.width(), tri.fill_count());
+            for (u, v) in tri.fill {
+                println!("f {} {}", u + 1, v + 1);
+            }
+        }
+        Output::Json => {
+            let mut doc = JsonObject::new();
+            doc.raw("command", "\"triangulate\"".into());
+            doc.raw("graph", graph_json(g));
+            doc.raw("algo", format!("{:?}", t.name()));
+            doc.usize("width", tri.width());
+            doc.usize("fill_count", tri.fill_count());
+            // 1-based endpoints, matching the DIMACS-style text output
+            let fill: Vec<String> = tri
+                .fill
+                .iter()
+                .map(|(u, v)| format!("[{},{}]", u + 1, v + 1))
+                .collect();
+            doc.raw("fill", format!("[{}]", fill.join(",")));
+            println!("{}", doc.finish());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_enumerate(g: &Graph, flags: &HashMap<String, String>, output: Output) -> Result<(), String> {
+    let query = build_query("enumerate", flags)?;
+    let mut response = execute(query, g, flags)?;
+    response.by_ref().for_each(drop);
+    let outcome = response.outcome();
+    match output {
+        Output::Text => {
+            println!("index,elapsed_us,width,fill");
+            for r in &outcome.records {
+                println!("{},{},{},{}", r.index, r.at.as_micros(), r.width, r.fill);
+            }
+            eprintln!(
+                "{} minimal triangulations{}{} in {:.1} ms",
+                outcome.records.len(),
+                if outcome.completed { " (complete)" } else { "" },
+                if outcome.replayed { " (replay)" } else { "" },
+                outcome.elapsed.as_secs_f64() * 1e3
+            );
+        }
+        Output::Json => {
+            let results: Vec<String> = outcome
+                .records
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"index\":{},\"elapsed_us\":{},\"width\":{},\"fill\":{}}}",
+                        r.index,
+                        r.at.as_micros(),
+                        r.width,
+                        r.fill
+                    )
+                })
+                .collect();
+            print_json_doc("enumerate", g, &results, &outcome);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_best_k(g: &Graph, flags: &HashMap<String, String>, output: Output) -> Result<(), String> {
+    let by = flags.get("by").cloned().unwrap_or_else(|| "width".into());
+    let query = build_query("best-k", flags)?;
+    let mut response = execute(query, g, flags)?;
+    let best = response.triangulations();
+    let outcome = response.outcome();
+    match output {
+        Output::Text => {
+            println!("rank,width,fill");
+            for (i, t) in best.iter().enumerate() {
+                println!("{},{},{}", i, t.width(), t.fill_count());
+            }
+            eprintln!(
+                "{} best-{by} triangulations ({} scanned{})",
+                best.len(),
+                outcome.scanned,
+                if outcome.replayed { ", replayed" } else { "" }
+            );
+        }
+        Output::Json => {
+            let results: Vec<String> = best
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    format!(
+                        "{{\"rank\":{},\"width\":{},\"fill\":{}}}",
+                        i,
+                        t.width(),
+                        t.fill_count()
+                    )
+                })
+                .collect();
+            print_json_doc("best-k", g, &results, &outcome);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_decompose(g: &Graph, flags: &HashMap<String, String>, output: Output) -> Result<(), String> {
+    let query = build_query("decompose", flags)?;
+    let mut response = execute(query, g, flags)?;
+    match output {
+        Output::Text => {
             let mut count = 0usize;
-            for (i, d) in iter.take(limit).enumerate() {
+            for (i, item) in response.by_ref().enumerate() {
+                let Some(d) = item.into_decomposition() else {
+                    continue;
+                };
                 println!("d {} width {} bags {}", i, d.width(), d.num_bags());
                 for bag in &d.bags {
                     let items: Vec<String> = bag.iter().map(|v| (v + 1).to_string()).collect();
@@ -273,11 +429,133 @@ fn run(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
             }
             eprintln!("{count} proper tree decompositions printed");
         }
-        other => {
-            return Err(format!(
-                "unknown command {other:?} (use stats, triangulate, enumerate, best-k or decompose)"
-            ))
+        Output::Json => {
+            let ds = response.decompositions();
+            let outcome = response.outcome();
+            let results: Vec<String> = ds
+                .iter()
+                .map(|d| {
+                    // 1-based vertices, matching the text output and the
+                    // triangulate JSON; `edges` are 0-based bag indices.
+                    let bags: Vec<String> = d
+                        .bags
+                        .iter()
+                        .map(|bag| {
+                            let items: Vec<String> =
+                                bag.iter().map(|v| (v + 1).to_string()).collect();
+                            format!("[{}]", items.join(","))
+                        })
+                        .collect();
+                    let edges: Vec<String> =
+                        d.edges.iter().map(|(a, b)| format!("[{a},{b}]")).collect();
+                    format!(
+                        "{{\"width\":{},\"bags\":[{}],\"edges\":[{}]}}",
+                        d.width(),
+                        bags.join(","),
+                        edges.join(",")
+                    )
+                })
+                .collect();
+            print_json_doc("decompose", g, &results, &outcome);
         }
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Hand-rolled JSON rendering (the workspace deliberately carries no CLI /
+// serialization dependencies; everything emitted here is numbers, bools
+// and fixed identifier strings, so no escaping is needed).
+// ---------------------------------------------------------------------------
+
+struct JsonObject {
+    fields: Vec<String>,
+}
+
+impl JsonObject {
+    fn new() -> Self {
+        JsonObject { fields: Vec::new() }
+    }
+
+    fn raw(&mut self, key: &str, value: String) {
+        self.fields.push(format!("\"{key}\":{value}"));
+    }
+
+    fn usize(&mut self, key: &str, value: usize) {
+        self.raw(key, value.to_string());
+    }
+
+    fn bool(&mut self, key: &str, value: bool) {
+        self.raw(key, value.to_string());
+    }
+
+    fn finish(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+fn graph_json(g: &Graph) -> String {
+    format!(
+        "{{\"nodes\":{},\"edges\":{}}}",
+        g.num_nodes(),
+        g.num_edges()
+    )
+}
+
+fn outcome_json(outcome: &QueryOutcome) -> String {
+    let mut doc = JsonObject::new();
+    doc.usize("produced", outcome.produced);
+    doc.usize("scanned", outcome.scanned);
+    doc.bool("completed", outcome.completed);
+    doc.bool("cancelled", outcome.cancelled);
+    doc.bool("replayed", outcome.replayed);
+    doc.raw(
+        "elapsed_ms",
+        format!("{:.3}", outcome.elapsed.as_secs_f64() * 1e3),
+    );
+    match outcome.quality() {
+        Some(q) => {
+            let mut quality = JsonObject::new();
+            quality.usize("num_results", q.num_results);
+            quality.usize("first_width", q.first_width);
+            quality.usize("min_width", q.min_width);
+            quality.usize("num_leq_first_width", q.num_leq_first_width);
+            quality.raw(
+                "width_improvement_pct",
+                format!("{:.2}", q.width_improvement_pct),
+            );
+            quality.usize("first_fill", q.first_fill);
+            quality.usize("min_fill", q.min_fill);
+            quality.usize("num_leq_first_fill", q.num_leq_first_fill);
+            quality.raw(
+                "fill_improvement_pct",
+                format!("{:.2}", q.fill_improvement_pct),
+            );
+            doc.raw("quality", quality.finish());
+        }
+        None => doc.raw("quality", "null".into()),
+    }
+    match outcome.enum_stats {
+        Some(s) => {
+            let mut stats = JsonObject::new();
+            stats.usize("extend_calls", s.extend_calls);
+            stats.usize("edge_queries", s.edge_queries);
+            stats.usize("nodes_generated", s.nodes_generated);
+            stats.usize("answers", s.answers);
+            doc.raw("enum_stats", stats.finish());
+        }
+        None => doc.raw("enum_stats", "null".into()),
+    }
+    doc.finish()
+}
+
+/// The one JSON document every enumeration command emits: results plus
+/// the response outcome.
+fn print_json_doc(command: &str, g: &Graph, results: &[String], outcome: &QueryOutcome) {
+    let mut doc = JsonObject::new();
+    doc.raw("command", format!("{command:?}"));
+    doc.raw("graph", graph_json(g));
+    doc.raw("results", format!("[{}]", results.join(",")));
+    doc.raw("outcome", outcome_json(outcome));
+    println!("{}", doc.finish());
 }

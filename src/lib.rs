@@ -9,33 +9,57 @@
 //!
 //! // The 4-cycle has exactly two minimal triangulations (the two diagonals).
 //! let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
-//! let results: Vec<_> = MinimalTriangulationsEnumerator::new(&g).collect();
+//! let results = Query::enumerate().run_local(&g).triangulations();
 //! assert_eq!(results.len(), 2);
 //! ```
 //!
 //! ## Choosing an enumeration API
 //!
-//! Two front doors cover every workload:
+//! There is **one front door**: a typed [`prelude::Query`] describes
+//! *what* to compute, and a [`prelude::Response`] describes *how it
+//! went*. Everything else is either an execution choice behind that
+//! door, or the low-level kernel beneath it.
 //!
-//! * **The iterator stack** ([`core`]) — single-threaded, borrow-based,
-//!   zero setup: [`prelude::MinimalTriangulationsEnumerator`] streams
-//!   `MinTri(g)` in incremental polynomial time;
-//!   [`prelude::ProperTreeDecompositions`] does the same for proper tree
-//!   decompositions; [`prelude::AnytimeSearch`] adds budgets and quality
-//!   recording. Reach for these in scripts, tests and one-shot calls.
-//! * **The engine** ([`engine`]) — the serving layer. An
-//!   [`prelude::Engine`] keeps a warm session per graph (sharded
-//!   separator-interner and crossing memos shared across threads *and*
-//!   across queries, completed answer lists replayed for free), and
-//!   [`prelude::ParallelEnumerator`] fans the `EnumMIS` frontier over a
-//!   work-stealing thread pool with a choice of
-//!   [`prelude::Delivery::Unordered`] (fastest) or
-//!   [`prelude::Delivery::Deterministic`] (bit-identical to the
-//!   sequential order). Reach for these in services and on big inputs.
+//! * **What to compute** is the query's [`prelude::Task`]:
+//!   `Query::enumerate()` streams `MinTri(g)`;
+//!   `Query::best_k(k, cost)` keeps the `k` best under a
+//!   [`prelude::CostMeasure`]; `Query::decompose(mode)` streams proper
+//!   tree decompositions (Section 5); `Query::stats()` runs the
+//!   instrumented anytime scan of the paper's experiments. Budgets
+//!   ([`prelude::EnumerationBudget`]), the triangulation backend
+//!   ([`prelude::Triangulator`]), the print discipline
+//!   ([`prelude::PrintMode`]), delivery contract and thread count are
+//!   all builder parameters of the same query.
+//! * **Where to run it** is a two-way choice:
+//!   [`core::query::Query::run_local`] executes sequentially on the
+//!   calling thread with zero setup (scripts, tests, one-shot calls);
+//!   [`engine::Engine::run`] executes the *same query* against a warm
+//!   per-graph session — sharded memo tables shared across threads and
+//!   queries, work-stealing parallel drivers
+//!   ([`prelude::Delivery::Unordered`] streams fastest,
+//!   [`prelude::Delivery::Deterministic`] is bit-identical to the
+//!   sequential order), and completed-answer replay (repeat queries of
+//!   *any* task shape serve with zero `Extend` calls).
+//! * **How it went** is always the same [`prelude::Response`] handle: a
+//!   blocking [`prelude::QueryItem`] stream plus `cancel()` (honored
+//!   mid-stream; parallel workers are aborted and joined), `outcome()`
+//!   (budget/quality records, `EnumMIS` counters, termination cause) and
+//!   `is_replay()`.
 //!
-//! The two agree exactly: the engine's `Deterministic` mode reproduces
-//! the iterator stack's output stream, and `Unordered` reproduces the
-//! answer set (`tests/engine_parallel.rs` holds both contracts).
+//! The two execution paths agree exactly: `Deterministic` delivery
+//! reproduces `run_local`'s output stream, and `Unordered` reproduces
+//! the answer set (`tests/engine_parallel.rs` and `tests/query_api.rs`
+//! hold both contracts).
+//!
+//! Beneath the front door, the single-threaded iterator kernel remains
+//! public for allocation-lean embedding:
+//! [`prelude::MinimalTriangulationsEnumerator`],
+//! [`prelude::ProperTreeDecompositions`] and the SGR machinery in
+//! [`sgr`]. The pre-query entry points — the ranked free functions
+//! (`best_k_by`/`best_width`/`best_fill`) and
+//! `Engine::{enumerate, best_k_by, decompose}` — are deprecated thin
+//! adapters over `Query` now; each deprecation note names its
+//! replacement.
 
 pub use mintri_chordal as chordal;
 pub use mintri_core as core;
@@ -50,14 +74,18 @@ pub use mintri_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use mintri_chordal::{is_chordal, maximal_cliques, treewidth_of_chordal, CliqueForest};
+    pub use mintri_core::best_k_of_stream;
+    #[allow(deprecated)]
+    pub use mintri_core::{best_fill, best_k_by, best_width};
     pub use mintri_core::{
-        best_fill, best_k_by, best_width, AnytimeSearch, BruteForce, EagerMinimalTriangulations,
-        EnumerationBudget, MinimalTriangulationsEnumerator, ProperTreeDecompositions,
-        SearchStrategy, TdEnumerationMode,
+        AnytimeSearch, BruteForce, CancelToken, CostMeasure, Delivery, EagerMinimalTriangulations,
+        EnumerationBudget, MinimalTriangulationsEnumerator, ProperTreeDecompositions, Query,
+        QueryItem, QueryOutcome, Response, SearchStrategy, Task, TdEnumerationMode,
+        TriangulationStream,
     };
     #[cfg(feature = "parallel")]
     pub use mintri_engine::{parallel_strategy, parallel_strategy_with, ParallelEnumerator};
-    pub use mintri_engine::{Delivery, Engine, EngineConfig, EngineEnumeration, GraphSession};
+    pub use mintri_engine::{Engine, EngineConfig, EngineEnumeration, GraphSession};
     pub use mintri_graph::{Graph, Node, NodeSet};
     pub use mintri_separators::{crossing, MinimalSeparatorIter};
     pub use mintri_sgr::{EnumMis, EnumMisStats, Frontier, PrintMode, Sgr};

@@ -1,6 +1,10 @@
 //! Drop-robustness of the parallel drivers: abandoning an enumeration
 //! after an arbitrary prefix — in either delivery mode, at any thread
-//! count — must neither deadlock nor leak pool threads.
+//! count — must neither deadlock nor leak pool threads. The same
+//! guarantees hold one layer up, for the query front door: a
+//! [`Response`] whose budget trips, or that is cancelled mid-stream
+//! (from the consumer or from another thread), must end its stream and
+//! join every worker.
 //!
 //! This lives in its own test binary on purpose: the leak check counts
 //! the process's live OS threads via `/proc/self/task`, which is only
@@ -8,7 +12,8 @@
 //! concurrently.
 
 use mintri::core::MinimalTriangulationsEnumerator;
-use mintri::engine::{Delivery, EngineConfig, ParallelEnumerator};
+use mintri::engine::{Delivery, Engine, EngineConfig, ParallelEnumerator};
+use mintri::prelude::*;
 use mintri::triangulate::McsM;
 use mintri::workloads::random::erdos_renyi;
 use proptest::prelude::*;
@@ -33,6 +38,147 @@ fn settles_to(baseline: usize) -> bool {
         std::thread::sleep(Duration::from_millis(5));
     }
     false
+}
+
+/// A parallel engine plus a graph with plenty of results (the delivery
+/// contract is chosen per query).
+fn launch(threads: usize) -> (Engine, Graph) {
+    let engine = Engine::with_config(EngineConfig {
+        threads,
+        channel_capacity: 2, // small: exercise workers parked in send()
+        ..EngineConfig::default()
+    });
+    let g = erdos_renyi(16, 0.3, 7);
+    (engine, g)
+}
+
+#[test]
+fn response_cancel_mid_stream_is_honored_in_both_deliveries() {
+    for delivery in [Delivery::Unordered, Delivery::Deterministic] {
+        let baseline = live_threads();
+        let (engine, g) = launch(4);
+        let mut response = engine.run(&g, Query::enumerate().threads(4).delivery(delivery));
+        assert!(response.next().is_some(), "{delivery:?}: first result");
+        assert!(response.next().is_some(), "{delivery:?}: second result");
+        response.cancel();
+        // The stream must end promptly — not hang, not keep producing.
+        assert!(
+            response.next().is_none(),
+            "{delivery:?}: cancel must end the stream"
+        );
+        let outcome = response.outcome();
+        assert!(outcome.cancelled, "{delivery:?}: cancelled flag");
+        assert!(!outcome.completed, "{delivery:?}: not complete");
+        assert_eq!(outcome.produced, 2);
+        drop(response);
+        if baseline > 0 {
+            assert!(
+                settles_to(baseline),
+                "{delivery:?}: worker threads leaked after cancel: {} live, baseline {}",
+                live_threads(),
+                baseline
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_thread_cancel_unblocks_a_draining_consumer() {
+    for delivery in [Delivery::Unordered, Delivery::Deterministic] {
+        let baseline = live_threads();
+        let (engine, g) = launch(4);
+        // Safety net: if cancellation were broken the budget still ends
+        // the run, and the `cancelled` assertion below catches the bug
+        // instead of the suite hanging.
+        let mut response = engine.run(
+            &g,
+            Query::enumerate()
+                .threads(4)
+                .delivery(delivery)
+                .budget(EnumerationBudget::results(200_000)),
+        );
+        let token = response.cancel_token();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        });
+        // Drain until the stream ends — mid-stream, whenever the cancel
+        // lands, including while parked on the parallel result channel.
+        let drained = response.by_ref().count();
+        canceller.join().unwrap();
+        let outcome = response.outcome();
+        assert!(
+            outcome.cancelled,
+            "{delivery:?}: the cross-thread cancel must have ended the run \
+             (drained {drained} results)"
+        );
+        drop(response);
+        if baseline > 0 {
+            assert!(
+                settles_to(baseline),
+                "{delivery:?}: worker threads leaked after cross-thread cancel"
+            );
+        }
+    }
+}
+
+#[test]
+fn result_budget_mid_stream_joins_workers_in_both_deliveries() {
+    for delivery in [Delivery::Unordered, Delivery::Deterministic] {
+        let baseline = live_threads();
+        let (engine, g) = launch(4);
+        let mut response = engine.run(
+            &g,
+            Query::enumerate()
+                .threads(4)
+                .delivery(delivery)
+                .budget(EnumerationBudget::results(7)),
+        );
+        assert_eq!(response.by_ref().count(), 7, "{delivery:?}");
+        let outcome = response.outcome();
+        assert!(!outcome.completed, "{delivery:?}: budget, not completion");
+        assert!(!outcome.cancelled, "{delivery:?}");
+        drop(response);
+        if baseline > 0 {
+            assert!(
+                settles_to(baseline),
+                "{delivery:?}: worker threads leaked after budget stop"
+            );
+        }
+    }
+}
+
+#[test]
+fn time_budget_mid_stream_joins_workers_in_both_deliveries() {
+    for delivery in [Delivery::Unordered, Delivery::Deterministic] {
+        let baseline = live_threads();
+        let (engine, g) = launch(4);
+        let mut response = engine.run(
+            &g,
+            Query::enumerate()
+                .threads(4)
+                .delivery(delivery)
+                // Generous result cap as the hang safety-net; the clock
+                // trips far earlier.
+                .budget(EnumerationBudget::results_or_time(
+                    200_000,
+                    Duration::from_millis(40),
+                )),
+        );
+        let n = response.by_ref().count();
+        let outcome = response.outcome();
+        assert!(
+            !outcome.completed || n < 200_000,
+            "{delivery:?}: the run must have been timeboxed"
+        );
+        drop(response);
+        if baseline > 0 {
+            assert!(
+                settles_to(baseline),
+                "{delivery:?}: worker threads leaked after timeout"
+            );
+        }
+    }
 }
 
 proptest! {

@@ -113,13 +113,22 @@ fn deterministic_mode_is_reproducible_across_runs() {
 fn engine_replay_preserves_results_across_queries() {
     let engine = Engine::new();
     let g = erdos_renyi(14, 0.25, 3);
-    let mut first: Vec<_> = engine.enumerate(&g).map(|t| t.graph.edges()).collect();
+    let mut first: Vec<_> = engine
+        .run(&g, Query::enumerate())
+        .filter_map(QueryItem::into_triangulation)
+        .map(|t| t.graph.edges())
+        .collect();
     let computed = engine.session(&g).stats().extends;
-    let mut second: Vec<_> = engine.enumerate(&g).map(|t| t.graph.edges()).collect();
+    let replay = engine.run(&g, Query::enumerate());
+    assert!(replay.is_replay(), "second query must be a cache replay");
+    let mut second: Vec<_> = replay
+        .filter_map(QueryItem::into_triangulation)
+        .map(|t| t.graph.edges())
+        .collect();
     assert_eq!(
         engine.session(&g).stats().extends,
         computed,
-        "second query must be a cache replay"
+        "replay must not invoke Extend"
     );
     first.sort();
     second.sort();
@@ -177,7 +186,11 @@ proptest! {
     #[test]
     fn engine_enumeration_matches_sequential_set(g in graph_strategy(6)) {
         let engine = Engine::new();
-        let mut got: Vec<_> = engine.enumerate(&g).map(|t| t.graph.edges()).collect();
+        let mut got: Vec<_> = engine
+            .run(&g, Query::enumerate())
+            .filter_map(QueryItem::into_triangulation)
+            .map(|t| t.graph.edges())
+            .collect();
         got.sort();
         let mut expected: Vec<_> = MinimalTriangulationsEnumerator::new(&g)
             .map(|t| t.graph.edges())

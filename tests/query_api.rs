@@ -1,0 +1,205 @@
+//! Contracts of the typed `Query` → `Response` front door:
+//!
+//! * `Query::run_local` is the sequential enumerator, bit for bit — and
+//!   `Engine::run` with `Delivery::Deterministic` reproduces it at every
+//!   thread count, while `Delivery::Unordered` reproduces the answer
+//!   *set* (the parity guarantees of `tests/engine_parallel.rs`, now
+//!   exercised through the one serving entry point);
+//! * every task — enumerate, best-k, decompose, stats — matches its
+//!   pre-query reference implementation;
+//! * warm sessions replay for *ranked and decompose* queries too, with
+//!   zero `Extend` calls and `is_replay()` set;
+//! * budgets and outcomes are reported identically across executors.
+
+use mintri::core::MinimalTriangulationsEnumerator;
+use mintri::prelude::*;
+use mintri::workloads::random::erdos_renyi;
+
+fn edges_of(tris: &[Triangulation]) -> Vec<Vec<(Node, Node)>> {
+    tris.iter().map(|t| t.graph.edges()).collect()
+}
+
+#[test]
+fn run_local_is_the_sequential_iterator_bit_for_bit() {
+    for mode in [PrintMode::UponGeneration, PrintMode::UponPop] {
+        let g = erdos_renyi(14, 0.3, 5);
+        let via_query = edges_of(
+            &Query::enumerate()
+                .mode(mode)
+                .budget(EnumerationBudget::results(300))
+                .run_local(&g)
+                .triangulations(),
+        );
+        let direct: Vec<_> = MinimalTriangulationsEnumerator::with_config(&g, Box::new(McsM), mode)
+            .take(300)
+            .map(|t| t.graph.edges())
+            .collect();
+        assert_eq!(via_query, direct, "mode {mode:?}");
+    }
+}
+
+#[cfg(feature = "parallel")]
+#[test]
+fn deterministic_engine_queries_match_run_local_exactly() {
+    let g = erdos_renyi(16, 0.3, 99);
+    let reference = edges_of(&Query::enumerate().run_local(&g).triangulations());
+    for threads in [2, 4] {
+        let engine = Engine::new();
+        let got: Vec<_> = engine
+            .run(
+                &g,
+                Query::enumerate()
+                    .threads(threads)
+                    .delivery(Delivery::Deterministic),
+            )
+            .filter_map(QueryItem::into_triangulation)
+            .map(|t| t.graph.edges())
+            .collect();
+        assert_eq!(got, reference, "{threads} threads");
+    }
+}
+
+#[cfg(feature = "parallel")]
+#[test]
+fn unordered_engine_queries_match_the_answer_set() {
+    let g = erdos_renyi(14, 0.3, 41);
+    let mut reference = edges_of(&Query::enumerate().run_local(&g).triangulations());
+    reference.sort();
+    for threads in [2, 4] {
+        let engine = Engine::new();
+        let mut got: Vec<_> = engine
+            .run(&g, Query::enumerate().threads(threads))
+            .filter_map(QueryItem::into_triangulation)
+            .map(|t| t.graph.edges())
+            .collect();
+        got.sort();
+        assert_eq!(got, reference, "{threads} threads");
+    }
+}
+
+#[test]
+fn best_k_task_matches_the_selection_loop() {
+    let g = erdos_renyi(12, 0.3, 3);
+    let via_task = edges_of(
+        &Query::best_k(5, CostMeasure::Fill)
+            .run_local(&g)
+            .triangulations(),
+    );
+    let via_loop = edges_of(&best_k_of_stream(
+        MinimalTriangulationsEnumerator::new(&g),
+        5,
+        EnumerationBudget::unlimited(),
+        |t| t.fill_count(),
+    ));
+    assert_eq!(via_task, via_loop);
+}
+
+#[test]
+fn decompose_task_matches_proper_tree_decompositions() {
+    let g = Graph::cycle(6);
+    let via_task: Vec<_> = Query::decompose(TdEnumerationMode::AllDecompositions)
+        .run_local(&g)
+        .decompositions()
+        .iter()
+        .map(|d| (d.num_bags(), d.width()))
+        .collect();
+    let direct: Vec<_> = ProperTreeDecompositions::new(&g)
+        .map(|d| (d.num_bags(), d.width()))
+        .collect();
+    assert_eq!(via_task, direct);
+}
+
+#[test]
+fn stats_task_agrees_with_anytime_search() {
+    let g = Graph::cycle(7);
+    let outcome = Query::stats()
+        .budget(EnumerationBudget::results(10))
+        .run_local(&g)
+        .wait();
+    let anytime = AnytimeSearch::new(&g)
+        .budget(EnumerationBudget::results(10))
+        .run();
+    assert_eq!(outcome.records.len(), anytime.records.len());
+    assert_eq!(outcome.completed, anytime.completed);
+    let (q1, q2) = (outcome.quality().unwrap(), anytime.quality().unwrap());
+    assert_eq!(q1.min_width, q2.min_width);
+    assert_eq!(q1.min_fill, q2.min_fill);
+}
+
+#[test]
+fn ranked_and_decompose_engine_queries_replay_warm_sessions() {
+    // The replay-bypass fix: a best-k query on a warm session must serve
+    // from the completed-answer cache — zero Extend calls — and say so.
+    let engine = Engine::new();
+    let g = erdos_renyi(12, 0.25, 11);
+
+    let mut cold = engine.run(&g, Query::best_k(2, CostMeasure::Width));
+    assert!(!cold.is_replay());
+    let cold_best = edges_of(&cold.triangulations());
+    let extends = engine.session(&g).stats().extends;
+    assert!(extends > 0);
+
+    let mut warm = engine.run(&g, Query::best_k(2, CostMeasure::Width));
+    assert!(
+        warm.is_replay(),
+        "ranked query must replay the warm session"
+    );
+    assert_eq!(edges_of(&warm.triangulations()), cold_best);
+    assert!(warm.outcome().replayed);
+    assert_eq!(
+        engine.session(&g).stats().extends,
+        extends,
+        "replayed ranked query must not call Extend"
+    );
+
+    let warm_decompose = engine.run(&g, Query::decompose(TdEnumerationMode::OnePerClass));
+    assert!(
+        warm_decompose.is_replay(),
+        "decompose query must replay the warm session"
+    );
+    assert!(warm_decompose.count() > 0);
+    assert_eq!(engine.session(&g).stats().extends, extends);
+
+    // …and the instrumented stats task replays too.
+    let warm_stats = engine.run(&g, Query::stats());
+    assert!(warm_stats.is_replay());
+    let outcome = warm_stats.wait();
+    assert!(outcome.replayed && outcome.completed);
+    assert_eq!(engine.session(&g).stats().extends, extends);
+}
+
+#[test]
+fn outcomes_agree_between_local_and_engine_execution() {
+    let g = Graph::cycle(7);
+    let local = Query::stats().run_local(&g).wait();
+    let engine = Engine::with_config(EngineConfig {
+        threads: 1,
+        ..EngineConfig::default()
+    });
+    let served = engine.run(&g, Query::stats()).wait();
+    assert_eq!(local.scanned, served.scanned);
+    assert_eq!(local.completed, served.completed);
+    assert_eq!(
+        local.enum_stats.expect("sequential stats"),
+        served.enum_stats.expect("engine sequential stats"),
+        "the engine's sequential path runs the identical schedule"
+    );
+}
+
+#[test]
+fn budget_is_honored_identically_across_executors() {
+    let g = erdos_renyi(12, 0.3, 17);
+    let engine = Engine::new();
+    for k in [1usize, 4, 9] {
+        let local = Query::enumerate()
+            .budget(EnumerationBudget::results(k))
+            .run_local(&g)
+            .triangulations()
+            .len();
+        let served = engine
+            .run(&g, Query::enumerate().budget(EnumerationBudget::results(k)))
+            .count();
+        assert!(local <= k);
+        assert_eq!(local, served, "budget results({k})");
+    }
+}
