@@ -36,8 +36,17 @@
 //! [`Response::outcome`]). [`Query::run_local`] executes sequentially
 //! with zero setup; `mintri_engine::Engine::run` executes the same query
 //! with warm sessions, parallel drivers and completed-answer replay. The
-//! items above remain as the underlying kernel and as deprecated
-//! adapters.
+//! items above remain as the underlying kernel.
+//!
+//! ## The planning layer
+//!
+//! Every executor first routes the query through a [`Plan`]: the graph
+//! splits into connected components and clique-minimal-separator atoms
+//! (Leimer's decomposition, `mintri_separators::atom_decomposition`),
+//! one [`TriangulationStream`] runs per non-trivial atom, and the
+//! product [`ComposedStream`] recombines them — so a graph of many
+//! small atoms pays the *sum* of small enumerations instead of one
+//! exponential blob. `Query::planned(false)` forces the unreduced path.
 
 mod anytime;
 mod bruteforce;
@@ -45,6 +54,7 @@ mod eager;
 mod enumerator;
 pub mod memo;
 mod msgraph;
+pub mod plan;
 mod proper;
 pub mod query;
 mod ranked;
@@ -57,11 +67,10 @@ pub use bruteforce::BruteForce;
 pub use eager::{EagerMinimalTriangulations, EagerMsGraph};
 pub use enumerator::MinimalTriangulationsEnumerator;
 pub use msgraph::{MsGraph, MsGraphStats, SepId};
+pub use plan::{AtomStream, ComposedStream, Plan, PlannedAtom};
 pub use proper::{ProperTreeDecompositions, TdEnumerationMode};
 pub use query::{
     CancelHookGuard, CancelToken, CostMeasure, Delivery, Query, QueryItem, QueryOutcome, Response,
     Task, TriangulationStream,
 };
 pub use ranked::best_k_of_stream;
-#[allow(deprecated)]
-pub use ranked::{best_fill, best_k_by, best_width};

@@ -1,0 +1,603 @@
+//! The planning layer: split a query's graph into connected components
+//! and clique-minimal-separator atoms **before** enumerating, run one
+//! triangulation stream per non-trivial atom, and recombine through a
+//! product composer that is itself a [`TriangulationStream`].
+//!
+//! Minimal triangulations factor over Leimer's atom decomposition
+//! (`mintri_separators::atom_decomposition`): clique separators are
+//! never filled and no fill edge crosses one, so `MinTri(g)` is exactly
+//! the set of independent per-atom choices. A graph of ten small atoms
+//! therefore costs the *sum* of ten small enumerations plus a cheap
+//! merge per emitted result — not one enumeration of the exponential
+//! blob. Chordal atoms (cliques included) have a single, fill-free
+//! minimal triangulation and are dropped from the plan entirely.
+//!
+//! Everything downstream is unchanged: the composer implements
+//! [`TriangulationStream`], so budgets, top-k selection, decomposition
+//! expansion, stats, cancellation and both deliveries in
+//! [`Response`](crate::query::Response) work over composed streams
+//! exactly as over flat ones. [`Query::run_local`](crate::query::Query)
+//! composes sequential per-atom streams; `mintri_engine::Engine::run`
+//! composes per-atom *session* streams, which is what makes warm memos
+//! and replayed answers shareable between different graphs that happen
+//! to contain the same atom.
+
+use crate::msgraph::MsGraph;
+use crate::query::TriangulationStream;
+use crate::MinimalTriangulationsEnumerator;
+use mintri_chordal::is_chordal;
+use mintri_graph::{Graph, Node};
+use mintri_separators::{atom_decomposition, AtomDecomposition};
+use mintri_sgr::{EnumMisStats, PrintMode};
+use mintri_triangulate::{Triangulation, Triangulator};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One non-trivial (non-chordal) atom of a [`Plan`]: the induced
+/// subgraph renumbered to `0..k`, plus the `new -> old` node map back
+/// into the query's graph.
+///
+/// The renumbering is canonical (ascending original ids), so two
+/// different graphs containing the same atom produce *identical*
+/// subgraphs — which is what lets an engine key sessions per atom and
+/// share warm state across queries on different graphs.
+#[derive(Debug, Clone)]
+pub struct PlannedAtom {
+    /// The atom's induced subgraph, renumbered to `0..k`.
+    pub graph: Graph,
+    /// Maps the subgraph's node ids back to the original graph's.
+    pub old_of: Vec<Node>,
+}
+
+/// How to execute a query over a graph: the atom decomposition, reduced
+/// to the non-trivial atoms an executor must actually enumerate.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    nodes: usize,
+    /// The full decomposition (components, all atoms, separators) —
+    /// what `mintri atoms` prints.
+    pub decomposition: AtomDecomposition,
+    /// The non-chordal atoms, in decomposition order. Chordal atoms
+    /// contribute exactly one fill-free triangulation each and need no
+    /// stream.
+    pub atoms: Vec<PlannedAtom>,
+}
+
+impl Plan {
+    /// Plans `g`: decomposes into components and atoms (polynomial; one
+    /// MCS-M triangulation per split) and keeps the atoms that need
+    /// enumeration.
+    pub fn of(g: &Graph) -> Plan {
+        let decomposition = atom_decomposition(g);
+        let atoms = decomposition
+            .atoms
+            .iter()
+            .filter_map(|a| {
+                let (graph, old_of) = g.induced_subgraph(a);
+                (!is_chordal(&graph)).then_some(PlannedAtom { graph, old_of })
+            })
+            .collect();
+        Plan {
+            nodes: g.num_nodes(),
+            decomposition,
+            atoms,
+        }
+    }
+
+    /// `true` when planning cannot help: the graph is one single
+    /// non-trivial atom, so the composed path would wrap exactly the
+    /// unreduced enumeration. Executors use the flat path here, which
+    /// also preserves the historical sequential order and `EnumMIS`
+    /// counters bit for bit.
+    pub fn is_unreduced(&self) -> bool {
+        self.atoms.len() == 1 && self.atoms[0].graph.num_nodes() == self.nodes
+    }
+
+    /// The sequential execution of this plan: one in-thread `EnumMIS`
+    /// stream per atom, composed. This is what
+    /// [`Query::run_local`](crate::query::Query::run_local) runs for a
+    /// non-trivial plan.
+    pub fn into_sequential_stream(
+        self,
+        g: &Graph,
+        triangulator: Box<dyn Triangulator>,
+        mode: PrintMode,
+    ) -> ComposedStream<'static> {
+        let shared: Arc<dyn Triangulator> = Arc::from(triangulator);
+        let children = self
+            .atoms
+            .into_iter()
+            .map(|atom| {
+                let ms = MsGraph::shared(Arc::new(atom.graph), Box::new(Arc::clone(&shared)));
+                AtomStream {
+                    stream: Box::new(SequentialAtom(
+                        MinimalTriangulationsEnumerator::from_msgraph(ms, mode),
+                    )),
+                    old_of: atom.old_of,
+                }
+            })
+            .collect();
+        ComposedStream::new(g.clone(), children)
+    }
+}
+
+/// A per-atom sequential stream (owns its subgraph through the
+/// `MsGraph`).
+struct SequentialAtom(MinimalTriangulationsEnumerator<'static>);
+
+impl TriangulationStream for SequentialAtom {
+    fn next_tri(&mut self) -> Option<Triangulation> {
+        self.0.next()
+    }
+
+    fn finished(&self) -> bool {
+        true
+    }
+
+    fn enum_stats(&self) -> Option<EnumMisStats> {
+        Some(self.0.enum_stats())
+    }
+}
+
+/// One atom's contribution to a composed stream: the stream of its
+/// minimal triangulations (in atom-local node ids) plus the map back
+/// into the composed graph's ids.
+pub struct AtomStream<'a> {
+    /// The atom's triangulation stream.
+    pub stream: Box<dyn TriangulationStream + 'a>,
+    /// Maps the stream's node ids to the composed graph's.
+    pub old_of: Vec<Node>,
+}
+
+struct AtomCursor<'a> {
+    stream: Option<Box<dyn TriangulationStream + 'a>>,
+    old_of: Vec<Node>,
+    /// Fill edges of results `offset .. offset + cache.len()`, mapped to
+    /// base-graph ids.
+    cache: VecDeque<Vec<(Node, Node)>>,
+    /// Index of the first cached result. Nonzero only for the *first*
+    /// cursor, whose odometer digit never resets: its passed entries are
+    /// dead and are trimmed, so single-atom composition streams in O(1)
+    /// memory like the flat path (every other cursor is revisited on
+    /// each product row and must keep its full cache).
+    offset: usize,
+    /// The drained stream ended by natural exhaustion.
+    finished: bool,
+    /// The drained stream ended by an abort (cancellation) instead.
+    aborted: bool,
+    replay: bool,
+    stats: Option<EnumMisStats>,
+}
+
+impl AtomCursor<'_> {
+    /// Makes result `idx` available in the cache, pulling from the live
+    /// stream as needed. `false` when the stream ended first. `idx` is
+    /// at most one past the last cached result, and never below
+    /// `offset`.
+    fn ensure(&mut self, idx: usize) -> bool {
+        if idx - self.offset < self.cache.len() {
+            return true;
+        }
+        let Some(stream) = self.stream.as_mut() else {
+            return false;
+        };
+        match stream.next_tri() {
+            Some(tri) => {
+                let fill = tri
+                    .fill
+                    .iter()
+                    .map(|&(u, v)| (self.old_of[u as usize], self.old_of[v as usize]))
+                    .collect();
+                self.cache.push_back(fill);
+                true
+            }
+            None => {
+                self.finished = stream.finished();
+                self.aborted = !self.finished;
+                if self.stats.is_none() {
+                    self.stats = stream.enum_stats();
+                }
+                // Drop eagerly: a parallel atom stream joins its workers
+                // here instead of idling until the whole product ends.
+                self.stream = None;
+                false
+            }
+        }
+    }
+
+    /// The cached fills of result `idx`.
+    fn fill_at(&self, idx: usize) -> &[(Node, Node)] {
+        &self.cache[idx - self.offset]
+    }
+
+    /// Frees every cached result below `idx`.
+    fn trim_below(&mut self, idx: usize) {
+        while self.offset < idx {
+            self.cache.pop_front();
+            self.offset += 1;
+        }
+    }
+
+    fn stats(&self) -> Option<EnumMisStats> {
+        match &self.stream {
+            Some(stream) => stream.enum_stats(),
+            None => self.stats,
+        }
+    }
+}
+
+/// The product/merge composer: combines one [`AtomStream`] per planned
+/// atom into the stream of the base graph's minimal triangulations, and
+/// is itself a [`TriangulationStream`] — the execution layers hand it to
+/// [`Response::over_stream`](crate::query::Response::over_stream)
+/// unchanged.
+///
+/// Emission order is the lexicographic product (odometer) order: the
+/// *last* atom's stream varies fastest, each atom stream in its own
+/// emission order. Fills already seen are cached per atom, so every
+/// atom's underlying enumeration runs **exactly once** no matter how
+/// many product rows recombine it, and each emission costs one base
+/// clone plus the fills. With deterministic per-atom streams the
+/// composed order is a pure function of the plan — stable across thread
+/// counts and executors.
+///
+/// Zero atoms (a chordal graph) compose to exactly one result: the base
+/// graph itself, fill-free.
+pub struct ComposedStream<'a> {
+    base: Graph,
+    cursors: Vec<AtomCursor<'a>>,
+    odometer: Vec<usize>,
+    started: bool,
+    halted: bool,
+    complete: bool,
+}
+
+impl<'a> ComposedStream<'a> {
+    /// Composes `children` (one per non-trivial atom, in plan order)
+    /// over the base graph they decompose.
+    pub fn new(base: Graph, children: Vec<AtomStream<'a>>) -> ComposedStream<'a> {
+        let cursors: Vec<AtomCursor<'a>> = children
+            .into_iter()
+            .map(|child| AtomCursor {
+                replay: child.stream.is_replay(),
+                stream: Some(child.stream),
+                old_of: child.old_of,
+                cache: VecDeque::new(),
+                offset: 0,
+                finished: false,
+                aborted: false,
+                stats: None,
+            })
+            .collect();
+        ComposedStream {
+            odometer: vec![0; cursors.len()],
+            base,
+            cursors,
+            started: false,
+            halted: false,
+            complete: false,
+        }
+    }
+
+    /// The combination at the current odometer position.
+    fn materialize(&self) -> Triangulation {
+        let mut h = self.base.clone();
+        let mut fill = Vec::new();
+        for (cursor, &idx) in self.cursors.iter().zip(&self.odometer) {
+            for &(u, v) in cursor.fill_at(idx) {
+                // Atoms overlap only inside clique separators, which are
+                // never filled — the guard keeps `fill` exact regardless.
+                if h.add_edge(u, v) {
+                    fill.push((u, v));
+                }
+            }
+        }
+        Triangulation {
+            graph: h,
+            fill,
+            peo: None,
+        }
+    }
+}
+
+impl TriangulationStream for ComposedStream<'_> {
+    fn next_tri(&mut self) -> Option<Triangulation> {
+        if self.halted {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            // First row: one result from every atom. A graph always has
+            // at least one minimal triangulation, so an empty pull here
+            // means the child aborted (or replayed a poisoned cache) —
+            // either way the product ends.
+            for i in 0..self.cursors.len() {
+                if !self.cursors[i].ensure(0) {
+                    self.halted = true;
+                    self.complete = self.cursors[i].finished;
+                    return None;
+                }
+            }
+            return Some(self.materialize());
+        }
+        // Advance the odometer, last atom fastest.
+        let mut i = self.cursors.len();
+        loop {
+            if i == 0 {
+                self.halted = true;
+                self.complete = true;
+                return None;
+            }
+            i -= 1;
+            let next = self.odometer[i] + 1;
+            if self.cursors[i].ensure(next) {
+                self.odometer[i] = next;
+                if i == 0 {
+                    // The first digit never resets: everything behind it
+                    // is dead, and dropping it keeps a single-cursor
+                    // composition O(1) memory over exponential streams.
+                    self.cursors[0].trim_below(next);
+                }
+                break;
+            }
+            if self.cursors[i].aborted {
+                self.halted = true;
+                return None;
+            }
+            self.odometer[i] = 0;
+        }
+        Some(self.materialize())
+    }
+
+    fn finished(&self) -> bool {
+        self.complete
+    }
+
+    /// The per-atom kernel counters, **summed** — `extend_calls`,
+    /// `edge_queries` and `nodes_generated` are the real work totals;
+    /// `answers` sums the per-atom answer counts (the *sum* the plan
+    /// pays for, not the product it emits). `None` as soon as any atom
+    /// stream cannot report (e.g. an unordered parallel run).
+    fn enum_stats(&self) -> Option<EnumMisStats> {
+        let mut total = EnumMisStats::default();
+        for cursor in &self.cursors {
+            let s = cursor.stats()?;
+            total.extend_calls += s.extend_calls;
+            total.edge_queries += s.edge_queries;
+            total.nodes_generated += s.nodes_generated;
+            total.answers += s.answers;
+        }
+        Some(total)
+    }
+
+    fn is_replay(&self) -> bool {
+        !self.cursors.is_empty() && self.cursors.iter().all(|c| c.replay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use mintri_graph::NodeSet;
+
+    fn sorted_edge_sets(g: &Graph, planned: bool) -> Vec<Vec<(Node, Node)>> {
+        let mut out: Vec<_> = Query::enumerate()
+            .planned(planned)
+            .run_local(g)
+            .triangulations()
+            .iter()
+            .map(|t| t.graph.edges())
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn planned_equals_unreduced_on_glued_cycles() {
+        // C4 and C5 glued at vertex 0 → two atoms, 2 × 5 = 10 results
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (0, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ],
+        );
+        assert_eq!(Plan::of(&g).atoms.len(), 2);
+        let planned = sorted_edge_sets(&g, true);
+        assert_eq!(planned.len(), 10);
+        assert_eq!(planned, sorted_edge_sets(&g, false));
+    }
+
+    #[test]
+    fn planned_equals_unreduced_on_disconnected_input() {
+        // two disjoint C4s ⇒ 2 × 2 results
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+            ],
+        );
+        let planned = sorted_edge_sets(&g, true);
+        assert_eq!(planned.len(), 4);
+        assert_eq!(planned, sorted_edge_sets(&g, false));
+    }
+
+    #[test]
+    fn chordal_graphs_compose_to_one_fill_free_result() {
+        for g in [
+            Graph::path(6),
+            Graph::complete(4),
+            Graph::new(3),
+            Graph::new(0),
+        ] {
+            let plan = Plan::of(&g);
+            assert!(plan.atoms.is_empty(), "chordal graphs need no streams");
+            let mut response = Query::enumerate().run_local(&g);
+            let results = response.triangulations();
+            assert_eq!(results.len(), 1);
+            assert_eq!(results[0].graph, g);
+            assert!(results[0].fill.is_empty());
+            assert!(response.outcome().completed);
+        }
+    }
+
+    #[test]
+    fn single_atom_graphs_take_the_unreduced_path() {
+        let plan = Plan::of(&Graph::cycle(7));
+        assert!(plan.is_unreduced());
+        // and the planned query result is bit-identical to the flat one
+        let g = Graph::cycle(7);
+        let a: Vec<_> = Query::enumerate()
+            .run_local(&g)
+            .triangulations()
+            .iter()
+            .map(|t| t.graph.edges())
+            .collect();
+        let b: Vec<_> = Query::enumerate()
+            .planned(false)
+            .run_local(&g)
+            .triangulations()
+            .iter()
+            .map(|t| t.graph.edges())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn composed_results_are_minimal_triangulations_with_exact_fill() {
+        // pendant C4 off a C5 through a cut vertex, plus a chordal tail
+        let g = Graph::from_edges(
+            11,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0),
+                (0, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+            ],
+        );
+        for t in Query::enumerate().run_local(&g).triangulations() {
+            assert!(mintri_triangulate::is_minimal_triangulation(&g, &t.graph));
+            let mut fill = t.fill.clone();
+            fill.sort();
+            assert_eq!(fill, t.graph.fill_edges_over(&g), "fill list is exact");
+        }
+    }
+
+    #[test]
+    fn planned_atoms_are_canonically_renumbered() {
+        // the same C5 atom embedded in two different graphs renumbers to
+        // the same subgraph — the property per-atom session keying needs
+        let g1 = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0),
+                (0, 5),
+                (5, 6),
+                (6, 0),
+            ],
+        );
+        let g2 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 5)]);
+        let find_c5 = |p: &Plan| {
+            p.atoms
+                .iter()
+                .find(|a| a.graph.num_nodes() == 5)
+                .unwrap()
+                .graph
+                .clone()
+        };
+        let (p1, p2) = (Plan::of(&g1), Plan::of(&g2));
+        assert_eq!(find_c5(&p1), find_c5(&p2));
+    }
+
+    #[test]
+    fn odometer_order_is_deterministic() {
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 3),
+            ],
+        );
+        let run = || -> Vec<_> {
+            Query::enumerate()
+                .run_local(&g)
+                .triangulations()
+                .iter()
+                .map(|t| t.graph.edges())
+                .collect()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn composed_stats_sum_per_atom_work() {
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 3),
+            ],
+        );
+        let mut response = Query::enumerate().run_local(&g);
+        let n = response.by_ref().count();
+        assert_eq!(n, 4, "2 × 2 product");
+        let stats = response
+            .outcome()
+            .enum_stats
+            .expect("sequential atoms report");
+        assert_eq!(stats.answers, 4, "2 + 2 per-atom answers");
+    }
+
+    #[test]
+    fn plan_reports_the_decomposition() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 1), (3, 4)]);
+        let plan = Plan::of(&g);
+        assert_eq!(plan.decomposition.components.len(), 1);
+        assert!(!plan.decomposition.atoms.is_empty());
+        let covered: Vec<NodeSet> = plan.decomposition.atoms.clone();
+        let mut union = NodeSet::new(5);
+        for a in &covered {
+            union.union_with(a);
+        }
+        assert_eq!(union, g.node_set());
+    }
+}

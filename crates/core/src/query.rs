@@ -34,6 +34,10 @@
 //! decomposition expansion, quality records, cancellation) lives here,
 //! once.
 
+/// The planning layer lives in [`crate::plan`]; re-exported here because
+/// a [`Plan`] is part of the query vocabulary (every executor routes a
+/// query through one).
+pub use crate::plan::{AtomStream, ComposedStream, Plan, PlannedAtom};
 use crate::ranked::TopK;
 use crate::{
     EnumerationBudget, MinimalTriangulationsEnumerator, QualityStats, ResultRecord,
@@ -389,6 +393,14 @@ pub struct Query {
     /// parallelism for `Engine::run`); `1` forces sequential execution;
     /// `n > 1` requests a parallel run.
     pub threads: usize,
+    /// Plan before enumerating (default `true`): split the graph into
+    /// components and clique-minimal-separator atoms ([`Plan`]), run one
+    /// stream per non-trivial atom and recombine through the product
+    /// composer. `false` forces the unreduced whole-graph path — the
+    /// debugging/benchmarking escape hatch (`mintri … --no-plan`), and
+    /// the way to reproduce the historical whole-graph sequential order
+    /// on decomposable inputs.
+    pub plan: bool,
     /// Cancellation handle; clone it before running to keep a controller.
     pub cancel: CancelToken,
 }
@@ -403,6 +415,7 @@ impl Query {
             budget: EnumerationBudget::unlimited(),
             delivery: Delivery::Unordered,
             threads: 0,
+            plan: true,
             cancel: CancelToken::new(),
         }
     }
@@ -457,6 +470,12 @@ impl Query {
         self
     }
 
+    /// Enables or disables the planning layer (see [`Query::plan`]).
+    pub fn planned(mut self, plan: bool) -> Self {
+        self.plan = plan;
+        self
+    }
+
     /// Attaches an external cancellation token.
     pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
@@ -469,6 +488,13 @@ impl Query {
     /// output *is* the deterministic order); no warm state is kept. For
     /// repeated or parallel traffic, hand the query to
     /// `mintri_engine::Engine::run` instead.
+    ///
+    /// Unless [`Query::plan`] is off, the graph is first decomposed into
+    /// atoms ([`Plan`]): each non-trivial atom enumerates on its own
+    /// (much smaller) subgraph and the composed product streams out.
+    /// Output order is the plan's odometer order — deterministic, and
+    /// identical to what an engine produces for the same query under
+    /// [`Delivery::Deterministic`] at any thread count.
     pub fn run_local(self, g: &Graph) -> Response<'_> {
         let Query {
             task,
@@ -476,8 +502,16 @@ impl Query {
             mode,
             budget,
             cancel,
+            plan,
             ..
         } = self;
+        if plan {
+            let plan = Plan::of(g);
+            if !plan.is_unreduced() {
+                let stream = plan.into_sequential_stream(g, triangulator, mode);
+                return Response::over_stream(task, budget, cancel, Box::new(stream));
+            }
+        }
         let stream = SequentialStream(MinimalTriangulationsEnumerator::with_config(
             g,
             triangulator,
@@ -496,6 +530,7 @@ impl std::fmt::Debug for Query {
             .field("budget", &self.budget)
             .field("delivery", &self.delivery)
             .field("threads", &self.threads)
+            .field("plan", &self.plan)
             .field("cancel", &self.cancel)
             .finish()
     }

@@ -7,14 +7,11 @@
 //!
 //! The typed front door for this workload is
 //! [`Task::BestK`](crate::query::Task) — `Query::best_k(k, cost)` — which
-//! runs the same [`TopK`] selection loop; the free functions below are
-//! deprecated adapters kept for migration, plus [`best_k_of_stream`] for
-//! application-specific (non-serializable) cost closures over any
+//! runs the same [`TopK`] selection loop; [`best_k_of_stream`] remains
+//! for application-specific (non-serializable) cost closures over any
 //! triangulation stream.
 
-use crate::query::{CostMeasure, Query};
 use crate::EnumerationBudget;
-use mintri_graph::Graph;
 use mintri_triangulate::Triangulation;
 use std::time::Instant;
 
@@ -60,49 +57,6 @@ impl<C: Ord> TopK<C> {
     }
 }
 
-/// Runs the enumeration under `budget` and returns the `k` best
-/// triangulations according to `cost` (smaller is better), in ascending
-/// cost order. Ties keep the earlier-produced result first.
-///
-/// ```
-/// use mintri_core::query::{CostMeasure, Query};
-/// use mintri_core::EnumerationBudget;
-/// use mintri_graph::Graph;
-///
-/// let g = Graph::cycle(7);
-/// let best = Query::best_k(3, CostMeasure::Fill)
-///     .budget(EnumerationBudget::unlimited())
-///     .run_local(&g)
-///     .triangulations();
-/// assert_eq!(best.len(), 3);
-/// // every minimal triangulation of a cycle has fill n-3
-/// assert!(best.iter().all(|t| t.fill_count() == 4));
-/// ```
-#[deprecated(
-    since = "0.3.0",
-    note = "build a typed query instead: `Query::best_k(k, cost).budget(b).run_local(&g)` \
-            (or `Engine::run` for warm sessions); for custom cost closures use `best_k_of_stream`"
-)]
-pub fn best_k_by<C, F>(
-    g: &Graph,
-    k: usize,
-    budget: EnumerationBudget,
-    cost: F,
-) -> Vec<Triangulation>
-where
-    C: Ord,
-    F: Fn(&Triangulation) -> C,
-{
-    best_k_of_stream(
-        Query::enumerate()
-            .run_local(g)
-            .filter_map(crate::query::QueryItem::into_triangulation),
-        k,
-        budget,
-        cost,
-    )
-}
-
 /// The selection loop behind [`Task::BestK`](crate::query::Task),
 /// applicable to *any* triangulation stream with *any* cost closure (the
 /// engine's replayed/parallel streams and application-specific measures
@@ -130,43 +84,30 @@ where
     top.into_vec()
 }
 
-/// The minimum-width triangulation found within `budget`.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `Query::best_k(1, CostMeasure::Width).budget(b).run_local(&g)`"
-)]
-pub fn best_width(g: &Graph, budget: EnumerationBudget) -> Option<Triangulation> {
-    Query::best_k(1, CostMeasure::Width)
-        .budget(budget)
-        .run_local(g)
-        .triangulations()
-        .pop()
-}
-
-/// The minimum-fill triangulation found within `budget`.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `Query::best_k(1, CostMeasure::Fill).budget(b).run_local(&g)`"
-)]
-pub fn best_fill(g: &Graph, budget: EnumerationBudget) -> Option<Triangulation> {
-    Query::best_k(1, CostMeasure::Fill)
-        .budget(budget)
-        .run_local(g)
-        .triangulations()
-        .pop()
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::query::{CostMeasure, Query};
     use crate::BruteForce;
+    use mintri_graph::Graph;
+
+    fn best_k(
+        g: &Graph,
+        k: usize,
+        cost: CostMeasure,
+        budget: EnumerationBudget,
+    ) -> Vec<Triangulation> {
+        Query::best_k(k, cost)
+            .budget(budget)
+            .run_local(g)
+            .triangulations()
+    }
 
     #[test]
     fn best_fill_on_a_cycle_is_optimal() {
         let g = Graph::cycle(8);
-        let best = best_fill(&g, EnumerationBudget::unlimited()).unwrap();
-        assert_eq!(best.fill_count(), 5);
+        let best = best_k(&g, 1, CostMeasure::Fill, EnumerationBudget::unlimited());
+        assert_eq!(best[0].fill_count(), 5);
     }
 
     #[test]
@@ -190,50 +131,56 @@ mod tests {
             .map(mintri_chordal::treewidth_of_chordal)
             .min()
             .unwrap();
-        let best = best_width(&g, EnumerationBudget::unlimited()).unwrap();
-        assert_eq!(best.width(), exhaustive_min);
+        let best = best_k(&g, 1, CostMeasure::Width, EnumerationBudget::unlimited());
+        assert_eq!(best[0].width(), exhaustive_min);
     }
 
     #[test]
     fn top_k_is_sorted_and_bounded() {
         let g = Graph::cycle(6);
-        let top = best_k_by(&g, 5, EnumerationBudget::unlimited(), |t| t.fill_count());
+        let top = best_k(&g, 5, CostMeasure::Fill, EnumerationBudget::unlimited());
         assert_eq!(top.len(), 5);
         for w in top.windows(2) {
             assert!(w[0].fill_count() <= w[1].fill_count());
         }
         // k larger than the answer count returns everything
-        let all = best_k_by(&g, 100, EnumerationBudget::unlimited(), |t| t.width());
+        let all = best_k(&g, 100, CostMeasure::Width, EnumerationBudget::unlimited());
         assert_eq!(all.len(), 14);
     }
 
     #[test]
     fn result_budget_limits_exploration() {
         let g = Graph::cycle(9);
-        let top = best_k_by(&g, 2, EnumerationBudget::results(5), |t| t.fill_count());
+        let top = best_k(&g, 2, CostMeasure::Fill, EnumerationBudget::results(5));
         assert_eq!(top.len(), 2);
     }
 
     #[test]
     fn zero_k_is_empty() {
         let g = Graph::cycle(5);
-        assert!(best_k_by(&g, 0, EnumerationBudget::unlimited(), |t| t.width()).is_empty());
+        assert!(best_k(&g, 0, CostMeasure::Width, EnumerationBudget::unlimited()).is_empty());
     }
 
     #[test]
-    fn deprecated_adapters_agree_with_the_query_front_door() {
+    fn custom_cost_closures_run_through_best_k_of_stream() {
         let g = Graph::cycle(7);
-        let via_adapter: Vec<_> =
-            best_k_by(&g, 4, EnumerationBudget::unlimited(), |t| t.fill_count())
-                .iter()
-                .map(|t| t.graph.edges())
-                .collect();
+        let via_stream: Vec<_> = best_k_of_stream(
+            Query::enumerate()
+                .run_local(&g)
+                .filter_map(crate::query::QueryItem::into_triangulation),
+            4,
+            EnumerationBudget::unlimited(),
+            |t| t.fill_count(),
+        )
+        .iter()
+        .map(|t| t.graph.edges())
+        .collect();
         let via_query: Vec<_> = Query::best_k(4, CostMeasure::Fill)
             .run_local(&g)
             .triangulations()
             .iter()
             .map(|t| t.graph.edges())
             .collect();
-        assert_eq!(via_adapter, via_query);
+        assert_eq!(via_stream, via_query);
     }
 }

@@ -17,10 +17,15 @@
 //!    [`Delivery::Unordered`] (fastest; set-equal to sequential) and
 //!    [`Delivery::Deterministic`] (bit-identical to the sequential
 //!    enumerator's output order — use it in tests and golden files).
-//! 3. **[`Engine`]**: sessions keyed by graph fingerprint. Repeated
-//!    `enumerate` / `best_k_by` / `decompose` calls against the same
-//!    graph reuse the warm memo, and once any enumeration completes the
-//!    answer list itself is cached and replayed without an `Extend` call.
+//! 3. **[`Engine`]**: sessions keyed by **atom subgraph** fingerprint.
+//!    Every query is first routed through the planning layer
+//!    (`mintri_core::query::Plan`): the graph splits into
+//!    clique-minimal-separator atoms, each non-trivial atom gets its own
+//!    warm session and stream, and the product composer recombines
+//!    them. Repeated queries against the same graph — or *different*
+//!    graphs sharing an atom — reuse the warm memo, and once an atom's
+//!    enumeration completes its answer list is cached and replayed
+//!    without an `Extend` call.
 //!
 //! ## One front door
 //!
@@ -28,9 +33,10 @@
 //! [`Query`] (what to compute — enumerate / best-k / decompose / stats —
 //! plus backend, budget, delivery, threads) and answers with a
 //! [`Response`] (the blocking result stream plus `cancel()`,
-//! `outcome()` and `is_replay()`). Sessions, completed-answer replay and
-//! the parallel drivers are dispatch details behind it; the zero-setup
-//! sequential path is `Query::run_local`, no engine required.
+//! `outcome()` and `is_replay()`). Planning, sessions, completed-answer
+//! replay and the parallel drivers are dispatch details behind it; the
+//! zero-setup sequential path is `Query::run_local`, no engine
+//! required.
 //!
 //! ```
 //! use mintri_engine::{Engine, Query};
@@ -57,7 +63,7 @@ mod pool;
 #[cfg(feature = "parallel")]
 mod sched;
 
-pub use session::{Engine, EngineEnumeration, GraphSession};
+pub use session::{Engine, GraphSession};
 
 #[cfg(feature = "parallel")]
 pub use parallel::ParallelEnumerator;

@@ -1,6 +1,8 @@
 //! The serving layer: one [`Engine`] caches warm per-graph state across
 //! queries, and [`Engine::run`] executes any typed
-//! [`Query`](mintri_core::query::Query) against it.
+//! [`Query`](mintri_core::query::Query) against it — routed through the
+//! planning layer, so the cached unit is the **atom subgraph**, not the
+//! whole query graph.
 //!
 //! A [`GraphSession`] holds the shared, internally synchronized
 //! [`MsGraph`] for one (graph, triangulation backend) pair — so its
@@ -12,18 +14,24 @@
 //! it without touching `Extend` at all — for *every* task: enumeration,
 //! best-k, decomposition and stats queries all stream through the same
 //! replay-aware source. This is the "repeated traffic" story: the first
-//! query over a graph pays for the enumeration, every later one is a
+//! query over a graph pays for its atoms' enumerations, every later one
+//! — including queries on *different* graphs sharing an atom — is a
 //! cache replay (or at worst a warm-memo rerun).
 
 use crate::EngineConfig;
-use mintri_core::query::{CancelToken, Delivery, Query, QueryItem, Response, TriangulationStream};
-use mintri_core::{EnumerationBudget, MsGraph, MsGraphStats, SepId, TdEnumerationMode};
+use mintri_core::query::{
+    AtomStream, CancelToken, ComposedStream, Delivery, Plan, Query, Response, TriangulationStream,
+};
+use mintri_core::{MsGraph, MsGraphStats, SepId};
 use mintri_graph::{FxHashMap, FxHasher, Graph};
 use mintri_sgr::{EnumMis, EnumMisStats, PrintMode};
-use mintri_treedecomp::TreeDecomposition;
 use mintri_triangulate::{McsM, Triangulation, Triangulator};
 use std::hash::Hasher;
 use std::sync::{Arc, Mutex};
+
+/// Cached plans colliding under one fingerprint (equality-verified on
+/// lookup, like sessions).
+type PlanBucket = Vec<(Graph, Arc<Plan>)>;
 
 /// Structural fingerprint of a graph: node count plus the canonical edge
 /// list, hashed. Sessions verify true equality on lookup, so a collision
@@ -145,11 +153,12 @@ enum Source {
 }
 
 /// The engine's replay-aware triangulation stream: what every
-/// [`Engine::run`] response consumes, and the iterator the deprecated
-/// [`Engine::enumerate`] returns. On natural exhaustion of a live run it
-/// deposits the complete answer list back into the session for future
-/// replays, under the order key the run was executed with.
-pub struct EngineEnumeration {
+/// [`Engine::run`] response consumes — one per planned atom (composed),
+/// or one for the whole graph when the plan reduces nothing. On natural
+/// exhaustion of a live run it deposits the complete answer list back
+/// into its session for future replays, under the order key the run was
+/// executed with.
+pub(crate) struct EngineEnumeration {
     session: Arc<GraphSession>,
     source: Source,
     recorded: Option<(AnswerKey, Vec<Vec<SepId>>)>,
@@ -264,6 +273,10 @@ impl TriangulationStream for EngineEnumeration {
 pub struct Engine {
     config: EngineConfig,
     sessions: Mutex<SessionStore>,
+    /// Memoized atom decompositions, fingerprint-keyed like the
+    /// sessions (collisions verified by equality), so warm repeated
+    /// traffic skips straight to the per-atom replay caches.
+    plans: Mutex<FxHashMap<u64, PlanBucket>>,
 }
 
 /// The session cache: fingerprint → colliding sessions (collisions are
@@ -345,6 +358,7 @@ impl Engine {
         Engine {
             config,
             sessions: Mutex::new(SessionStore::default()),
+            plans: Mutex::new(FxHashMap::default()),
         }
     }
 
@@ -382,9 +396,11 @@ impl Engine {
         session
     }
 
-    /// Drops every warm session for `g` (all backends), if any — frees
-    /// their memo tables and cached answers; a later query rebuilds from
-    /// scratch.
+    /// Drops every warm session for `g` (all backends) and its cached
+    /// plan, if any — frees their memo tables and cached answers; a
+    /// later query rebuilds from scratch. (An atom session shared with
+    /// another graph is only dropped when evicted under *its own*
+    /// subgraph.)
     pub fn evict(&self, g: &Graph) {
         let key = fingerprint(g);
         let mut sessions = self.sessions.lock().unwrap();
@@ -397,20 +413,41 @@ impl Engine {
                 store.by_key.remove(&key);
             }
         }
+        drop(sessions);
+        let mut plans = self.plans.lock().unwrap();
+        if let Some(entries) = plans.get_mut(&key) {
+            entries.retain(|(pg, _)| pg != g);
+            if entries.is_empty() {
+                plans.remove(&key);
+            }
+        }
     }
 
-    /// Drops every warm session.
+    /// Drops every warm session and cached plan.
     pub fn clear_sessions(&self) {
         let mut sessions = self.sessions.lock().unwrap();
         sessions.by_key.clear();
         sessions.live = 0;
+        drop(sessions);
+        self.plans.lock().unwrap().clear();
     }
 
     /// **The serving entry point**: executes a typed [`Query`] against
-    /// the warm session for `g` and returns the unified [`Response`]
-    /// stream.
+    /// the warm sessions for `g`'s plan and returns the unified
+    /// [`Response`] stream.
     ///
-    /// Dispatch, in order:
+    /// Unless the query disables planning, `g` is first decomposed into
+    /// clique-minimal-separator atoms
+    /// ([`Plan`](mintri_core::query::Plan)); **sessions are keyed per
+    /// atom subgraph** (fingerprint + backend), one replay-aware stream
+    /// runs per non-trivial atom, and the product composer recombines
+    /// them. Two queries on *different* graphs that share an atom
+    /// therefore share that atom's warm memo and recorded answers — the
+    /// cross-query reuse whole-graph keying cannot express. A plan that
+    /// reduces nothing (one atom spanning the graph) falls back to the
+    /// whole-graph session below.
+    ///
+    /// Per-atom (and whole-graph) dispatch, in order:
     ///
     /// 1. **Replay** — if a completed answer list compatible with the
     ///    query's [`Delivery`] contract and [`PrintMode`] is cached, it
@@ -422,13 +459,13 @@ impl Engine {
     ///    `0`) exceeds one and the `parallel` feature is compiled in,
     ///    the query runs on the work-stealing pool under the requested
     ///    delivery contract. The query's `CancelToken` aborts the
-    ///    workers mid-stream.
+    ///    workers mid-stream (all atoms at once).
     /// 3. **Sequential** — else the plain `EnumMIS` iterator runs over
     ///    the session's warm memo.
     ///
     /// A live run that drains to natural completion deposits its answer
-    /// list back into the session, so the *next* query — of any task
-    /// shape — replays.
+    /// list back into its session, so the *next* query touching that
+    /// atom — of any task shape, over any containing graph — replays.
     pub fn run(&self, g: &Graph, query: Query) -> Response<'static> {
         let Query {
             task,
@@ -437,11 +474,101 @@ impl Engine {
             budget,
             delivery,
             threads,
+            plan,
             cancel,
         } = query;
+        if plan {
+            let plan = self.plan_for(g);
+            if !plan.is_unreduced() {
+                let shared: Arc<dyn Triangulator> = Arc::from(triangulator);
+                let last = plan.atoms.len().saturating_sub(1);
+                let children = plan
+                    .atoms
+                    .iter()
+                    .enumerate()
+                    .map(|(i, atom)| {
+                        let session =
+                            self.session_keyed(&atom.graph, Box::new(Arc::clone(&shared)));
+                        // The composer varies the *last* atom fastest: it
+                        // drains fully while the others are pulled one
+                        // result per product row. Only the last atom is on
+                        // the critical path for parallelism, so it alone
+                        // gets the requested thread count — earlier atoms
+                        // run sequentially instead of spawning one
+                        // full-width (and mostly idle) pool per atom.
+                        let atom_threads = if i == last { threads } else { 1 };
+                        let stream =
+                            self.stream_for(&session, mode, delivery, atom_threads, Some(&cancel));
+                        AtomStream {
+                            stream: Box::new(stream),
+                            old_of: atom.old_of.clone(),
+                        }
+                    })
+                    .collect();
+                let composed = ComposedStream::new(g.clone(), children);
+                return Response::over_stream(task, budget, cancel, Box::new(composed));
+            }
+        }
         let session = self.session_keyed(g, triangulator);
         let stream = self.stream_for(&session, mode, delivery, threads, Some(&cancel));
         Response::over_stream(task, budget, cancel, Box::new(stream))
+    }
+
+    /// The cached (or freshly computed) [`Plan`] for `g`. Planning is
+    /// polynomial but not free (one MCS-M triangulation per
+    /// decomposition split), and the engine exists for *repeated*
+    /// traffic — so plans are memoized by graph fingerprint, with true
+    /// equality verified on lookup, and the whole cache is dropped when
+    /// it outgrows twice the session cap (plans are cheap to rebuild;
+    /// LRU bookkeeping is not worth it here).
+    fn plan_for(&self, g: &Graph) -> Arc<Plan> {
+        let key = fingerprint(g);
+        {
+            let plans = self.plans.lock().unwrap();
+            if let Some(entries) = plans.get(&key) {
+                if let Some((_, plan)) = entries.iter().find(|(pg, _)| pg == g) {
+                    return Arc::clone(plan);
+                }
+            }
+        }
+        let plan = Arc::new(Plan::of(g));
+        let mut plans = self.plans.lock().unwrap();
+        // Planning ran outside the lock (it is polynomial but not free),
+        // so a concurrent first query may have beaten us here — re-check
+        // before inserting, or the bucket accumulates duplicates.
+        if let Some(entries) = plans.get(&key) {
+            if let Some((_, existing)) = entries.iter().find(|(pg, _)| pg == g) {
+                return Arc::clone(existing);
+            }
+        }
+        if plans.len() >= self.config.max_sessions.max(1) * 2 {
+            plans.clear();
+        }
+        plans
+            .entry(key)
+            .or_default()
+            .push((g.clone(), Arc::clone(&plan)));
+        plan
+    }
+
+    /// The engine-wide memo counters: [`MsGraphStats`] summed over every
+    /// live session (all graphs, atoms and backends). Watch `extends`
+    /// stay flat across a query to prove it was served entirely from
+    /// replayed answers — the per-atom analogue of
+    /// [`GraphSession::stats`].
+    pub fn memo_stats(&self) -> MsGraphStats {
+        let sessions = self.sessions.lock().unwrap();
+        let mut total = MsGraphStats::default();
+        for entries in sessions.by_key.values() {
+            for (_, session) in entries {
+                let s = session.stats();
+                total.crossing_computed += s.crossing_computed;
+                total.crossing_cached += s.crossing_cached;
+                total.extends += s.extends;
+                total.separators_interned += s.separators_interned;
+            }
+        }
+        total
     }
 
     /// The replay-aware stream behind every query: cached answers when
@@ -526,88 +653,37 @@ impl Engine {
             _cancel_hook: None,
         }
     }
-
-    /// Streams the minimal triangulations of `g`: replayed from cache
-    /// when a previous enumeration completed, otherwise computed live
-    /// (in parallel when configured and compiled in) against the warm
-    /// session memo.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use the one front door: `engine.run(&g, Query::enumerate())`"
-    )]
-    pub fn enumerate(&self, g: &Graph) -> EngineEnumeration {
-        let session = self.session(g);
-        self.stream_for(
-            &session,
-            PrintMode::UponGeneration,
-            self.config.delivery,
-            self.config.threads,
-            None,
-        )
-    }
-
-    /// The `k` best triangulations of `g` under `cost` (smaller is
-    /// better) within `budget`, in ascending cost order; ties keep the
-    /// earlier-produced result.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `engine.run(&g, Query::best_k(k, cost).budget(b))`; for custom cost \
-                closures, `best_k_of_stream` over `engine.run(&g, Query::enumerate())`"
-    )]
-    pub fn best_k_by<C, F>(
-        &self,
-        g: &Graph,
-        k: usize,
-        budget: EnumerationBudget,
-        cost: F,
-    ) -> Vec<Triangulation>
-    where
-        C: Ord,
-        F: Fn(&Triangulation) -> C,
-    {
-        mintri_core::best_k_of_stream(
-            self.run(g, Query::enumerate())
-                .filter_map(QueryItem::into_triangulation),
-            k,
-            budget,
-            cost,
-        )
-    }
-
-    /// Streams proper tree decompositions of `g`, expanding each minimal
-    /// triangulation from the (cached or live) enumeration.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use the one front door: `engine.run(&g, Query::decompose(mode))`"
-    )]
-    pub fn decompose(
-        &self,
-        g: &Graph,
-        mode: TdEnumerationMode,
-    ) -> impl Iterator<Item = TreeDecomposition> {
-        self.run(g, Query::decompose(mode))
-            .filter_map(QueryItem::into_decomposition)
-    }
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use mintri_core::query::CostMeasure;
-    use mintri_core::{MinimalTriangulationsEnumerator, ProperTreeDecompositions};
+    use mintri_core::query::{CostMeasure, QueryItem};
+    use mintri_core::{
+        MinimalTriangulationsEnumerator, ProperTreeDecompositions, TdEnumerationMode,
+    };
+
+    fn enumerate_edges(engine: &Engine, g: &Graph) -> (bool, Vec<Vec<(u32, u32)>>) {
+        let response = engine.run(g, Query::enumerate());
+        let replayed = response.is_replay();
+        let edges = response
+            .filter_map(QueryItem::into_triangulation)
+            .map(|t| t.graph.edges())
+            .collect();
+        (replayed, edges)
+    }
 
     #[test]
     fn repeat_enumeration_replays_from_cache() {
         let engine = Engine::new();
         let g = Graph::cycle(7);
-        let first: Vec<_> = engine.enumerate(&g).map(|t| t.graph.edges()).collect();
+        let (cold_replay, first) = enumerate_edges(&engine, &g);
+        assert!(!cold_replay);
         assert_eq!(first.len(), 42);
         let session = engine.session(&g);
         let extends_after_first = session.stats().extends;
-        let replay = engine.enumerate(&g);
-        assert!(replay.is_replay());
-        let second: Vec<_> = replay.map(|t| t.graph.edges()).collect();
+        let (warm_replay, second) = enumerate_edges(&engine, &g);
+        assert!(warm_replay);
         assert_eq!(first, second, "replay preserves emission order");
         assert_eq!(
             session.stats().extends,
@@ -621,13 +697,16 @@ mod tests {
     fn incomplete_runs_do_not_poison_the_cache() {
         let engine = Engine::new();
         let g = Graph::cycle(9);
-        let mut stream = engine.enumerate(&g);
-        let _ = stream.next();
-        drop(stream); // abandoned early: no cached answer list
+        let mut response = engine.run(&g, Query::enumerate());
+        let _ = response.next();
+        drop(response); // abandoned early: no cached answer list
         assert!(engine.session(&g).cached_answers().is_none());
         // a full run afterwards still works and caches
-        let n = engine.enumerate(&g).count();
-        assert_eq!(n, MinimalTriangulationsEnumerator::new(&g).count());
+        let (_, edges) = enumerate_edges(&engine, &g);
+        assert_eq!(
+            edges.len(),
+            MinimalTriangulationsEnumerator::new(&g).count()
+        );
         assert!(engine.session(&g).cached_answers().is_some());
     }
 
@@ -667,9 +746,9 @@ mod tests {
     fn sessions_are_fingerprint_keyed() {
         let engine = Engine::new();
         let a = Graph::cycle(5);
-        let b = Graph::path(5);
-        let _ = engine.enumerate(&a).count();
-        let _ = engine.enumerate(&b).count();
+        let b = Graph::cycle(6);
+        let _ = engine.run(&a, Query::enumerate()).count();
+        let _ = engine.run(&b, Query::enumerate()).count();
         assert_eq!(engine.sessions_cached(), 2);
         let s1 = engine.session(&a);
         let s2 = engine.session(&Graph::cycle(5));
@@ -701,7 +780,9 @@ mod tests {
     fn best_k_matches_core_ranked() {
         let engine = Engine::new();
         let g = Graph::cycle(7);
-        let best = engine.best_k_by(&g, 3, EnumerationBudget::unlimited(), |t| t.fill_count());
+        let best = engine
+            .run(&g, Query::best_k(3, CostMeasure::Fill))
+            .triangulations();
         assert_eq!(best.len(), 3);
         assert!(best.iter().all(|t| t.fill_count() == 4));
     }
@@ -714,7 +795,8 @@ mod tests {
         });
         let g = Graph::cycle(6);
         let mut via_engine: Vec<_> = engine
-            .decompose(&g, TdEnumerationMode::AllDecompositions)
+            .run(&g, Query::decompose(TdEnumerationMode::AllDecompositions))
+            .filter_map(QueryItem::into_decomposition)
             .map(|d| (d.num_bags(), d.width()))
             .collect();
         let mut via_core: Vec<_> = ProperTreeDecompositions::new(&g)
@@ -723,6 +805,78 @@ mod tests {
         via_engine.sort();
         via_core.sort();
         assert_eq!(via_engine, via_core);
+    }
+
+    #[test]
+    fn planned_queries_key_sessions_per_atom() {
+        // two cycles glued at a cut vertex → two atom sessions, no
+        // whole-graph session
+        let engine = Engine::with_config(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let g = Graph::from_edges(
+            9,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 3),
+            ],
+        );
+        let n = engine.run(&g, Query::enumerate()).count();
+        assert_eq!(n, 2 * 14, "C4 × C6 product");
+        assert_eq!(
+            engine.sessions_cached(),
+            2,
+            "one session per non-trivial atom, none for the whole graph"
+        );
+        // the same query replays both atoms
+        let warm = engine.run(&g, Query::enumerate());
+        assert!(warm.is_replay(), "all atom sessions replay");
+        assert_eq!(warm.count(), 28);
+    }
+
+    #[test]
+    fn atom_sessions_are_shared_across_different_graphs() {
+        // g1 and g2 are different graphs sharing the C5 atom on {0..4}
+        let engine = Engine::with_config(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let c5 = &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        let mut g1 = Graph::from_edges(8, c5);
+        for e in [(0, 5), (5, 6), (6, 7), (7, 0)] {
+            g1.add_edge(e.0, e.1);
+        }
+        let mut g2 = Graph::from_edges(7, c5);
+        for e in [(0, 5), (5, 6), (6, 0)] {
+            g2.add_edge(e.0, e.1);
+        }
+        let n1 = engine.run(&g1, Query::enumerate()).count();
+        assert_eq!(n1, 5 * 2, "C5 × C4");
+        let extends_after_g1 = engine.memo_stats().extends;
+
+        // g2's C5 atom replays g1's session: only the triangle (chordal,
+        // no stream) and... the C5 is g2's only non-trivial atom, so the
+        // whole query is a replay and extends stay flat.
+        let warm = engine.run(&g2, Query::enumerate());
+        assert!(
+            warm.is_replay(),
+            "a different graph sharing the atom replays its session"
+        );
+        assert_eq!(warm.count(), 5);
+        assert_eq!(
+            engine.memo_stats().extends,
+            extends_after_g1,
+            "the shared atom session served without any new Extend"
+        );
     }
 
     #[test]

@@ -24,12 +24,14 @@
 //! assert!(crossing(&g, &seps[0], &seps[1]));
 //! ```
 
+mod atoms;
 mod berry;
 mod cliquesep;
 mod crossing;
 
 pub mod bruteforce;
 
+pub use atoms::{atom_decomposition, find_clique_minimal_separator, AtomDecomposition};
 pub use berry::{all_minimal_separators, MinSepState, MinimalSeparatorIter};
 pub use cliquesep::{
     clique_minimal_separators, is_clique_minimal_separator, minimal_uv_separators,

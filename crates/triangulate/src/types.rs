@@ -53,6 +53,22 @@ pub trait Triangulator: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
+/// One triangulator shared by many owners (the planning layer hands a
+/// single query backend to every per-atom stream).
+impl<T: Triangulator + ?Sized> Triangulator for std::sync::Arc<T> {
+    fn triangulate(&self, g: &Graph) -> Triangulation {
+        (**self).triangulate(g)
+    }
+
+    fn guarantees_minimal(&self) -> bool {
+        (**self).guarantees_minimal()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// The trivial baseline: add every missing edge. Never minimal (except on
 /// complete graphs); exists to exercise the sandwich path and as the
 /// "naive implementation" the paper mentions for `Triangulate`.

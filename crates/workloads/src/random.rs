@@ -39,6 +39,31 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     g
 }
 
+/// Cycles of the given lengths chained through shared cut vertices —
+/// the canonical multi-atom workload: each cut vertex is a clique
+/// minimal separator, so the atom decomposition is exactly one atom per
+/// cycle and the minimal-triangulation count is the product of the
+/// per-cycle Catalan numbers. Used by the planning-layer tests and the
+/// `reduction_gain` benchmark (keep them measuring the same family).
+pub fn chained_cycles(lengths: &[usize]) -> Graph {
+    let n: usize = lengths.iter().map(|l| l - 1).sum::<usize>() + 1;
+    let mut g = Graph::new(n);
+    let mut anchor = 0 as Node;
+    let mut next = 1 as Node;
+    for &len in lengths {
+        assert!(len >= 3, "a cycle needs at least 3 nodes");
+        let mut prev = anchor;
+        for _ in 0..len - 1 {
+            g.add_edge(prev, next);
+            prev = next;
+            next += 1;
+        }
+        g.add_edge(prev, anchor);
+        anchor = prev;
+    }
+    g
+}
+
 /// A grid with `holes` random edges removed (still connected retries are
 /// *not* attempted; the enumeration stack handles disconnection), used to
 /// vary the 8 grid instances of the dataset.

@@ -85,10 +85,11 @@ fn main() {
         "engine session: {n} triangulations — cold query {cold_ms:.1} ms, \
          warm replay {warm_ms:.1} ms"
     );
-    let stats = engine.session(&small).stats();
+    // Sessions are keyed per planned atom, so aggregate across them.
+    let stats = engine.memo_stats();
     println!(
         "warm session state: {} separators interned, {} crossing tests \
-         computed (shared by every future query on this graph)",
+         computed (shared by every future query touching these atoms)",
         stats.separators_interned, stats.crossing_computed
     );
 }

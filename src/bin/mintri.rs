@@ -3,12 +3,13 @@
 //!
 //! ```text
 //! mintri stats        --input g.col [--input-format dimacs|edges|uai] [--format text|json]
+//! mintri atoms        --input g.col [--format text|json]
 //! mintri triangulate  --input g.col [--algo mcsm|lbtriang|lexm|mindegree] [--format ...]
-//! mintri enumerate    --input g.col [--limit K] [--budget-ms T] [--algo ...]
+//! mintri enumerate    --input g.col [--limit K] [--budget-ms T] [--algo ...] [--no-plan]
 //!                     [--threads N] [--delivery unordered|deterministic] [--format ...]
-//! mintri best-k       --input g.col [--k K] [--by width|fill] [--limit K]
+//! mintri best-k       --input g.col [--k K] [--by width|fill] [--limit K] [--no-plan]
 //!                     [--budget-ms T] [--threads N] [--delivery ...] [--format ...]
-//! mintri decompose    --input g.col [--limit K] [--one-per-class true]
+//! mintri decompose    --input g.col [--limit K] [--one-per-class true] [--no-plan]
 //!                     [--threads N] [--delivery ...] [--format ...]
 //! ```
 //!
@@ -19,6 +20,11 @@
 //! (N > 1, or 0 for "all cores") executes the query on a `mintri-engine`
 //! work-stealing pool; `--delivery deterministic` makes the parallel
 //! output order match the single-threaded one.
+//!
+//! `mintri atoms` prints the clique-minimal-separator decomposition the
+//! planning layer enumerates over (components, atoms, separators).
+//! Enumeration commands plan by default; `--no-plan` forces the
+//! unreduced whole-graph path for debugging and benchmarking.
 //!
 //! Graphs: DIMACS `.col` (default), 0-based edge lists, or UAI network
 //! files — select explicitly with `--input-format`. (For compatibility,
@@ -41,7 +47,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
         eprintln!(
-            "usage: mintri <stats|triangulate|enumerate|best-k|decompose> --input FILE [flags]"
+            "usage: mintri <stats|atoms|triangulate|enumerate|best-k|decompose> --input FILE [flags]"
         );
         return ExitCode::FAILURE;
     };
@@ -61,6 +67,9 @@ fn main() -> ExitCode {
     }
 }
 
+/// Flags that take no value (present means `true`).
+const SWITCH_FLAGS: &[&str] = &["no-plan"];
+
 fn parse_flags(args: impl Iterator<Item = String>) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut iter = args.peekable();
@@ -68,9 +77,12 @@ fn parse_flags(args: impl Iterator<Item = String>) -> Result<HashMap<String, Str
         let key = arg
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {arg:?}"))?;
-        let value = iter
-            .next()
-            .ok_or_else(|| format!("missing value for --{key}"))?;
+        let value = if SWITCH_FLAGS.contains(&key) {
+            "true".to_string()
+        } else {
+            iter.next()
+                .ok_or_else(|| format!("missing value for --{key}"))?
+        };
         flags.insert(key.to_string(), value);
     }
     Ok(flags)
@@ -223,7 +235,8 @@ fn build_query(command: &str, flags: &HashMap<String, String>) -> Result<Query, 
     Ok(query
         .triangulator(pick_triangulator(flags)?)
         .budget(parse_budget(flags)?)
-        .delivery(pick_delivery(flags)?))
+        .delivery(pick_delivery(flags)?)
+        .planned(!flags.contains_key("no-plan")))
 }
 
 /// Executes a query: through an [`Engine`] when `--threads` asks for
@@ -245,14 +258,74 @@ fn run(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
 
     match command {
         "stats" => cmd_stats(&g, output),
+        "atoms" => cmd_atoms(&g, output),
         "triangulate" => cmd_triangulate(&g, flags, output),
         "enumerate" => cmd_enumerate(&g, flags, output),
         "best-k" => cmd_best_k(&g, flags, output),
         "decompose" => cmd_decompose(&g, flags, output),
         other => Err(format!(
-            "unknown command {other:?} (use stats, triangulate, enumerate, best-k or decompose)"
+            "unknown command {other:?} (use stats, atoms, triangulate, enumerate, best-k or decompose)"
         )),
     }
+}
+
+/// `mintri atoms`: the decomposition the planning layer runs over —
+/// connected components, clique-minimal-separator atoms (flagged
+/// chordal/trivial when they need no enumeration) and the separators the
+/// split used. Vertices are printed 1-based, matching the DIMACS-style
+/// output of the other commands.
+fn cmd_atoms(g: &Graph, output: Output) -> Result<(), String> {
+    let d = atom_decomposition(g);
+    let one_based =
+        |s: &NodeSet| -> Vec<String> { s.iter().map(|v| (v + 1).to_string()).collect() };
+    match output {
+        Output::Text => {
+            println!("components: {}", d.components.len());
+            println!("atoms: {}", d.atoms.len());
+            println!("clique separators: {}", d.separators.len());
+            for a in &d.atoms {
+                let (sub, _) = g.induced_subgraph(a);
+                let kind = if is_chordal(&sub) {
+                    "chordal"
+                } else {
+                    "enumerated"
+                };
+                println!("a [{}] {}", one_based(a).join(" "), kind);
+            }
+            for s in &d.separators {
+                println!("s [{}]", one_based(s).join(" "));
+            }
+        }
+        Output::Json => {
+            let set_json = |s: &NodeSet| format!("[{}]", one_based(s).join(","));
+            let sets_json = |ss: &[NodeSet]| {
+                format!(
+                    "[{}]",
+                    ss.iter().map(set_json).collect::<Vec<_>>().join(",")
+                )
+            };
+            let atoms: Vec<String> = d
+                .atoms
+                .iter()
+                .map(|a| {
+                    let (sub, _) = g.induced_subgraph(a);
+                    format!(
+                        "{{\"vertices\":{},\"chordal\":{}}}",
+                        set_json(a),
+                        is_chordal(&sub)
+                    )
+                })
+                .collect();
+            let mut doc = JsonObject::new();
+            doc.raw("command", "\"atoms\"".into());
+            doc.raw("graph", graph_json(g));
+            doc.raw("components", sets_json(&d.components));
+            doc.raw("atoms", format!("[{}]", atoms.join(",")));
+            doc.raw("clique_separators", sets_json(&d.separators));
+            println!("{}", doc.finish());
+        }
+    }
+    Ok(())
 }
 
 fn cmd_stats(g: &Graph, output: Output) -> Result<(), String> {

@@ -33,33 +33,40 @@
 //! * **Where to run it** is a two-way choice:
 //!   [`core::query::Query::run_local`] executes sequentially on the
 //!   calling thread with zero setup (scripts, tests, one-shot calls);
-//!   [`engine::Engine::run`] executes the *same query* against a warm
-//!   per-graph session — sharded memo tables shared across threads and
+//!   [`engine::Engine::run`] executes the *same query* against warm
+//!   per-atom sessions — sharded memo tables shared across threads and
 //!   queries, work-stealing parallel drivers
 //!   ([`prelude::Delivery::Unordered`] streams fastest,
-//!   [`prelude::Delivery::Deterministic`] is bit-identical to the
-//!   sequential order), and completed-answer replay (repeat queries of
-//!   *any* task shape serve with zero `Extend` calls).
+//!   [`prelude::Delivery::Deterministic`] reproduces the sequential
+//!   order at any thread count), and completed-answer replay (repeat
+//!   queries of *any* task shape serve with zero `Extend` calls).
 //! * **How it went** is always the same [`prelude::Response`] handle: a
 //!   blocking [`prelude::QueryItem`] stream plus `cancel()` (honored
 //!   mid-stream; parallel workers are aborted and joined), `outcome()`
 //!   (budget/quality records, `EnumMIS` counters, termination cause) and
 //!   `is_replay()`.
 //!
+//! Before any of that, **both executors plan**: the graph is decomposed
+//! into connected components and clique-minimal-separator atoms
+//! ([`prelude::Plan`], over [`prelude::atom_decomposition`]); each
+//! non-trivial atom enumerates on its own small subgraph and a product
+//! composer ([`prelude::ComposedStream`]) recombines the per-atom
+//! streams — minimal triangulations factor over atoms, so the answer
+//! set is identical while the work drops from one exponential blob to a
+//! sum of small enumerations. The engine keys its sessions per atom, so
+//! different graphs sharing an atom share its warm cache. Opt out per
+//! query with `Query::planned(false)` (CLI: `--no-plan`).
+//!
 //! The two execution paths agree exactly: `Deterministic` delivery
 //! reproduces `run_local`'s output stream, and `Unordered` reproduces
-//! the answer set (`tests/engine_parallel.rs` and `tests/query_api.rs`
-//! hold both contracts).
+//! the answer set (`tests/engine_parallel.rs`, `tests/query_api.rs` and
+//! `tests/planning.rs` hold these contracts).
 //!
 //! Beneath the front door, the single-threaded iterator kernel remains
 //! public for allocation-lean embedding:
 //! [`prelude::MinimalTriangulationsEnumerator`],
 //! [`prelude::ProperTreeDecompositions`] and the SGR machinery in
-//! [`sgr`]. The pre-query entry points — the ranked free functions
-//! (`best_k_by`/`best_width`/`best_fill`) and
-//! `Engine::{enumerate, best_k_by, decompose}` — are deprecated thin
-//! adapters over `Query` now; each deprecation note names its
-//! replacement.
+//! [`sgr`].
 
 pub use mintri_chordal as chordal;
 pub use mintri_core as core;
@@ -75,19 +82,19 @@ pub use mintri_workloads as workloads;
 pub mod prelude {
     pub use mintri_chordal::{is_chordal, maximal_cliques, treewidth_of_chordal, CliqueForest};
     pub use mintri_core::best_k_of_stream;
-    #[allow(deprecated)]
-    pub use mintri_core::{best_fill, best_k_by, best_width};
     pub use mintri_core::{
-        AnytimeSearch, BruteForce, CancelToken, CostMeasure, Delivery, EagerMinimalTriangulations,
-        EnumerationBudget, MinimalTriangulationsEnumerator, ProperTreeDecompositions, Query,
-        QueryItem, QueryOutcome, Response, SearchStrategy, Task, TdEnumerationMode,
-        TriangulationStream,
+        AnytimeSearch, BruteForce, CancelToken, ComposedStream, CostMeasure, Delivery,
+        EagerMinimalTriangulations, EnumerationBudget, MinimalTriangulationsEnumerator, Plan,
+        PlannedAtom, ProperTreeDecompositions, Query, QueryItem, QueryOutcome, Response,
+        SearchStrategy, Task, TdEnumerationMode, TriangulationStream,
     };
     #[cfg(feature = "parallel")]
     pub use mintri_engine::{parallel_strategy, parallel_strategy_with, ParallelEnumerator};
-    pub use mintri_engine::{Engine, EngineConfig, EngineEnumeration, GraphSession};
+    pub use mintri_engine::{Engine, EngineConfig, GraphSession};
     pub use mintri_graph::{Graph, Node, NodeSet};
-    pub use mintri_separators::{crossing, MinimalSeparatorIter};
+    pub use mintri_separators::{
+        atom_decomposition, crossing, AtomDecomposition, MinimalSeparatorIter,
+    };
     pub use mintri_sgr::{EnumMis, EnumMisStats, Frontier, PrintMode, Sgr};
     pub use mintri_treedecomp::{exact_treewidth, TreeDecomposition};
     pub use mintri_triangulate::{

@@ -20,11 +20,14 @@ fn edges_of(tris: &[Triangulation]) -> Vec<Vec<(Node, Node)>> {
 }
 
 #[test]
-fn run_local_is_the_sequential_iterator_bit_for_bit() {
+fn unplanned_run_local_is_the_sequential_iterator_bit_for_bit() {
+    // `--no-plan` contract: with planning off, `run_local` IS the
+    // whole-graph sequential enumerator, bit for bit, in both modes.
     for mode in [PrintMode::UponGeneration, PrintMode::UponPop] {
         let g = erdos_renyi(14, 0.3, 5);
         let via_query = edges_of(
             &Query::enumerate()
+                .planned(false)
                 .mode(mode)
                 .budget(EnumerationBudget::results(300))
                 .run_local(&g)
@@ -36,6 +39,50 @@ fn run_local_is_the_sequential_iterator_bit_for_bit() {
             .collect();
         assert_eq!(via_query, direct, "mode {mode:?}");
     }
+}
+
+#[test]
+fn planned_run_local_matches_the_unreduced_answer_set() {
+    // Planning may reorder (the composed odometer order) but never
+    // changes the answer set — here on a graph with several atoms: two
+    // cycles and a pendant path glued on.
+    let mut g = erdos_renyi(8, 0.35, 5);
+    let base = g.num_nodes() as Node;
+    let mut grow = |edges: &[(Node, Node)]| {
+        let n = g.num_nodes() + edges.len();
+        let mut bigger = Graph::new(n);
+        for (u, v) in g.edges() {
+            bigger.add_edge(u, v);
+        }
+        for &(u, v) in edges {
+            bigger.add_edge(u, v);
+        }
+        g = bigger;
+    };
+    grow(&[
+        (0, base),
+        (base, base + 1),
+        (base + 1, base + 2),
+        (base + 2, 0),
+        (base + 2, base + 3),
+        (base + 3, base + 4),
+    ]);
+    let planned = {
+        let mut v = edges_of(&Query::enumerate().run_local(&g).triangulations());
+        v.sort();
+        v
+    };
+    let unreduced = {
+        let mut v = edges_of(
+            &Query::enumerate()
+                .planned(false)
+                .run_local(&g)
+                .triangulations(),
+        );
+        v.sort();
+        v
+    };
+    assert_eq!(planned, unreduced);
 }
 
 #[cfg(feature = "parallel")]
@@ -128,26 +175,29 @@ fn stats_task_agrees_with_anytime_search() {
 
 #[test]
 fn ranked_and_decompose_engine_queries_replay_warm_sessions() {
-    // The replay-bypass fix: a best-k query on a warm session must serve
-    // from the completed-answer cache — zero Extend calls — and say so.
+    // The replay-bypass fix: a best-k query on warm sessions must serve
+    // from the completed-answer caches — zero Extend calls — and say so.
+    // (`memo_stats` aggregates over all sessions, so this holds whether
+    // the graph planned into several atom sessions or one whole-graph
+    // session.)
     let engine = Engine::new();
     let g = erdos_renyi(12, 0.25, 11);
 
     let mut cold = engine.run(&g, Query::best_k(2, CostMeasure::Width));
     assert!(!cold.is_replay());
     let cold_best = edges_of(&cold.triangulations());
-    let extends = engine.session(&g).stats().extends;
+    let extends = engine.memo_stats().extends;
     assert!(extends > 0);
 
     let mut warm = engine.run(&g, Query::best_k(2, CostMeasure::Width));
     assert!(
         warm.is_replay(),
-        "ranked query must replay the warm session"
+        "ranked query must replay the warm sessions"
     );
     assert_eq!(edges_of(&warm.triangulations()), cold_best);
     assert!(warm.outcome().replayed);
     assert_eq!(
-        engine.session(&g).stats().extends,
+        engine.memo_stats().extends,
         extends,
         "replayed ranked query must not call Extend"
     );
@@ -155,17 +205,57 @@ fn ranked_and_decompose_engine_queries_replay_warm_sessions() {
     let warm_decompose = engine.run(&g, Query::decompose(TdEnumerationMode::OnePerClass));
     assert!(
         warm_decompose.is_replay(),
-        "decompose query must replay the warm session"
+        "decompose query must replay the warm sessions"
     );
     assert!(warm_decompose.count() > 0);
-    assert_eq!(engine.session(&g).stats().extends, extends);
+    assert_eq!(engine.memo_stats().extends, extends);
 
     // …and the instrumented stats task replays too.
     let warm_stats = engine.run(&g, Query::stats());
     assert!(warm_stats.is_replay());
     let outcome = warm_stats.wait();
     assert!(outcome.replayed && outcome.completed);
-    assert_eq!(engine.session(&g).stats().extends, extends);
+    assert_eq!(engine.memo_stats().extends, extends);
+}
+
+#[test]
+fn atom_sessions_carry_warm_state_between_different_graphs() {
+    // The cross-query sharing per-atom keying buys: two *different*
+    // graphs containing the same atom. The second query replays the
+    // shared atom's recorded answers — `is_replay()`/`outcome()`-level
+    // evidence plus flat engine-wide Extend counters.
+    let engine = Engine::new();
+    let c6: &[(Node, Node)] = &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)];
+    // g1: the C6 atom plus a pendant C4 glued at vertex 0
+    let mut g1 = Graph::from_edges(9, c6);
+    for &(u, v) in &[(0, 6), (6, 7), (7, 8), (8, 0)] {
+        g1.add_edge(u, v);
+    }
+    // g2: the same C6 atom plus a pendant edge — a different graph
+    let mut g2 = Graph::from_edges(7, c6);
+    g2.add_edge(0, 6);
+
+    let mut first = engine.run(&g1, Query::enumerate());
+    assert!(!first.is_replay());
+    assert_eq!(first.by_ref().count(), 14 * 2, "C6 × C4 product");
+    assert!(first.outcome().completed);
+    let extends_after_g1 = engine.memo_stats().extends;
+    assert!(extends_after_g1 > 0);
+
+    // g2's only non-trivial atom is the shared C6 ⇒ full replay.
+    let mut second = engine.run(&g2, Query::enumerate());
+    assert!(
+        second.is_replay(),
+        "a different graph sharing the atom must replay its warm session"
+    );
+    assert_eq!(second.by_ref().count(), 14);
+    let outcome = second.outcome();
+    assert!(outcome.replayed && outcome.completed);
+    assert_eq!(
+        engine.memo_stats().extends,
+        extends_after_g1,
+        "the shared atom served from cache: zero new Extend calls"
+    );
 }
 
 #[test]
