@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Serving smoke suite: boots the release `mintri serve` binary, drives
+# the whole HTTP surface with curl, asserts the warm-replay contract
+# (`"is_replay":true` on the second identical query), proves malformed
+# input answers a structured 400 without killing the server, and fails
+# on any non-2xx or on a leaked server process.
+#
+# Usage: ci/serve_smoke.sh [BINARY]   (default target/release/mintri)
+set -euo pipefail
+
+BIN=${1:-target/release/mintri}
+PORT=${MINTRI_SMOKE_PORT:-7765}
+ADDR="127.0.0.1:$PORT"
+BASE="http://$ADDR"
+
+fail() { echo "SERVE SMOKE FAILED: $*" >&2; exit 1; }
+
+[ -x "$BIN" ] || fail "$BIN is not an executable (build release first)"
+
+"$BIN" serve --addr "$ADDR" --max-sessions 16 &
+SERVER_PID=$!
+cleanup() {
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# Wait for the server to come up (and notice if it died on the spot).
+up=""
+for _ in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server process died during startup"
+    sleep 0.2
+done
+[ -n "$up" ] || fail "server never answered /healthz"
+
+echo "== healthz"
+curl -sf "$BASE/healthz" | grep -q '"status":"ok"' || fail "healthz did not answer ok"
+
+echo "== upload graph"
+GRAPH='{"nodes":6,"edges":[[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]]}'
+GID=$(curl -sf -X POST "$BASE/v1/graphs" -d "$GRAPH" | sed -n 's/.*"graph_id":"\([^"]*\)".*/\1/p')
+[ -n "$GID" ] || fail "upload returned no graph_id"
+echo "   graph_id=$GID"
+
+ENUM="{\"graph_id\":\"$GID\",\"query\":{\"task\":{\"type\":\"enumerate\"}}}"
+BESTK="{\"graph_id\":\"$GID\",\"query\":{\"task\":{\"type\":\"best_k\",\"k\":2,\"cost\":\"width\"}}}"
+
+echo "== cold enumerate"
+COLD=$(curl -sf -X POST "$BASE/v1/query" -d "$ENUM")
+echo "$COLD" | grep -q '"count":14'        || fail "C6 must have 14 minimal triangulations: $COLD"
+echo "$COLD" | grep -q '"is_replay":false' || fail "first query must compute: $COLD"
+
+echo "== best-k"
+curl -sf -X POST "$BASE/v1/query" -d "$BESTK" | grep -q '"count":2' || fail "best-k must return 2 items"
+
+echo "== warm replay"
+WARM=$(curl -sf -X POST "$BASE/v1/query" -d "$ENUM")
+echo "$WARM" | grep -q '"is_replay":true' || fail "second identical query must replay: $WARM"
+
+echo "== batch"
+BATCH=$(curl -sf -X POST "$BASE/v1/batch" -d "{\"queries\":[$ENUM,$BESTK]}")
+echo "$BATCH" | grep -q '"count":2' || fail "batch must answer both queries: $BATCH"
+
+echo "== malformed input answers a structured 400"
+CODE=$(curl -s -o /tmp/smoke_400.json -w '%{http_code}' -X POST "$BASE/v1/query" -d '{definitely not json')
+[ "$CODE" = "400" ] || fail "malformed JSON must answer 400, got $CODE"
+grep -q '"error"' /tmp/smoke_400.json || fail "400 body must be structured"
+curl -sf "$BASE/healthz" >/dev/null || fail "server must survive malformed input"
+
+echo "== stats"
+curl -sf "$BASE/v1/stats" | grep -q '"sessions":' || fail "stats must report sessions"
+
+echo "== clean shutdown"
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+kill -0 "$SERVER_PID" 2>/dev/null && fail "server process leaked after shutdown"
+trap - EXIT
+
+echo "SERVE SMOKE OK"

@@ -1,0 +1,128 @@
+//! The bench-regression gate: parses `BENCH_*.json` documents (with the
+//! same `mintri_core::json` parser the wire uses — the benches' output
+//! is not write-only either) and fails loudly when an invariant doesn't
+//! hold. CI runs it after the `--quick` bench smoke runs; locally it
+//! doubles as a sanity check on freshly regenerated baselines.
+//!
+//! Checks:
+//! * `--serve FILE` (`serve_throughput` output): the warm-replay gate —
+//!   `warm_is_replay` true, warm and cold scans count the same answer
+//!   set, and warm-replay req/s at least `--min-ratio` (default 10)
+//!   times cold.
+//! * `--reduction FILE` (`reduction_gain` output): every workload
+//!   enumerated a positive number of results in positive time (the
+//!   planned-vs-unreduced *equality* is asserted inside the bench run
+//!   itself; this guards the document).
+//!
+//! Exits non-zero on the first violation, printing what failed.
+
+use mintri_bench::Args;
+use mintri_core::json::JsonValue;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn field<'a>(doc: &'a JsonValue, path: &[&str]) -> Result<&'a JsonValue, String> {
+    let mut v = doc;
+    for key in path {
+        v = v
+            .get(key)
+            .ok_or_else(|| format!("missing field {:?}", path.join(".")))?;
+    }
+    Ok(v)
+}
+
+fn check_serve(path: &str, min_ratio: f64) -> Result<(), String> {
+    let doc = load(path)?;
+    let gate = field(&doc, &["gate"])?;
+    let replay = field(gate, &["warm_is_replay"])?
+        .as_bool()
+        .ok_or("warm_is_replay must be a boolean")?;
+    if !replay {
+        return Err(format!("{path}: warm requests did not replay"));
+    }
+    let cold_scanned = field(gate, &["cold_scanned"])?
+        .as_usize()
+        .ok_or("cold_scanned must be an integer")?;
+    let warm_scanned = field(gate, &["warm_scanned"])?
+        .as_usize()
+        .ok_or("warm_scanned must be an integer")?;
+    if cold_scanned == 0 || cold_scanned != warm_scanned {
+        return Err(format!(
+            "{path}: scan counts diverge (cold {cold_scanned}, warm {warm_scanned})"
+        ));
+    }
+    let ratio = field(gate, &["warm_over_cold"])?
+        .as_f64()
+        .ok_or("warm_over_cold must be a number")?;
+    if ratio < min_ratio {
+        return Err(format!(
+            "{path}: warm-replay only {ratio:.2}x cold (gate: >= {min_ratio}x)"
+        ));
+    }
+    eprintln!(
+        "serve ok: {} — replay {ratio:.0}x cold over {cold_scanned} answers",
+        field(gate, &["workload"])?.as_str().unwrap_or("?")
+    );
+    Ok(())
+}
+
+fn check_reduction(path: &str) -> Result<(), String> {
+    let doc = load(path)?;
+    let workloads = field(&doc, &["workloads"])?
+        .as_array()
+        .ok_or("workloads must be an array")?;
+    if workloads.is_empty() {
+        return Err(format!("{path}: no workloads recorded"));
+    }
+    for w in workloads {
+        let name = field(w, &["name"])?.as_str().unwrap_or("?").to_string();
+        let results = field(w, &["results"])?
+            .as_usize()
+            .ok_or_else(|| format!("{name}: results must be an integer"))?;
+        if results == 0 {
+            return Err(format!("{path}: workload {name} produced no results"));
+        }
+        for key in ["unreduced_seconds", "planned_seconds"] {
+            let seconds = field(w, &[key])?
+                .as_f64()
+                .ok_or_else(|| format!("{name}: {key} must be a number"))?;
+            if seconds <= 0.0 || seconds.is_nan() {
+                return Err(format!("{path}: workload {name} has {key} = {seconds}"));
+            }
+        }
+    }
+    eprintln!(
+        "reduction ok: {} workloads, all non-degenerate",
+        workloads.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let min_ratio = args.get_u64("min-ratio", 10) as f64;
+    let serve = args.get_str("serve", "");
+    let reduction = args.get_str("reduction", "");
+    if serve.is_empty() && reduction.is_empty() {
+        eprintln!("usage: bench_check [--serve BENCH_serve.json] [--reduction BENCH_reduction.json] [--min-ratio R]");
+        return ExitCode::FAILURE;
+    }
+    let mut checks: Vec<Result<(), String>> = Vec::new();
+    if !serve.is_empty() {
+        checks.push(check_serve(&serve, min_ratio));
+    }
+    if !reduction.is_empty() {
+        checks.push(check_reduction(&reduction));
+    }
+    for check in checks {
+        if let Err(e) = check {
+            eprintln!("BENCH CHECK FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -52,6 +52,7 @@ mod anytime;
 mod bruteforce;
 mod eager;
 mod enumerator;
+pub mod json;
 pub mod memo;
 mod msgraph;
 pub mod plan;

@@ -63,7 +63,7 @@ mod pool;
 #[cfg(feature = "parallel")]
 mod sched;
 
-pub use session::{Engine, GraphSession};
+pub use session::{graph_fingerprint, Engine, GraphSession};
 
 #[cfg(feature = "parallel")]
 pub use parallel::ParallelEnumerator;

@@ -35,8 +35,10 @@ type PlanBucket = Vec<(Graph, Arc<Plan>)>;
 
 /// Structural fingerprint of a graph: node count plus the canonical edge
 /// list, hashed. Sessions verify true equality on lookup, so a collision
-/// costs a comparison, never a wrong answer.
-fn fingerprint(g: &Graph) -> u64 {
+/// costs a comparison, never a wrong answer. Public because the serving
+/// layers key their own registries by the same value (one definition —
+/// graph ids and session keys must never diverge).
+pub fn graph_fingerprint(g: &Graph) -> u64 {
     let mut h = FxHasher::default();
     h.write_usize(g.num_nodes());
     for (u, v) in g.edges() {
@@ -386,12 +388,23 @@ impl Engine {
     /// discover the same answer set in different orders, so their caches
     /// must not alias). Consumes the triangulator only on a miss.
     fn session_keyed(&self, g: &Graph, triangulator: Box<dyn Triangulator>) -> Arc<GraphSession> {
-        let key = fingerprint(g);
+        let key = graph_fingerprint(g);
+        {
+            let mut sessions = self.sessions.lock().unwrap();
+            if let Some(existing) = sessions.get(key, g, triangulator.name()) {
+                return existing;
+            }
+        }
+        // Build the warm state outside the store lock: construction
+        // clones the graph and allocates the sharded memo tables, and
+        // concurrent traffic on *other* graphs must not serialize behind
+        // it. Two clients racing on the same new graph both build; the
+        // re-check below keeps exactly one.
+        let session = Arc::new(GraphSession::new(g, triangulator));
         let mut sessions = self.sessions.lock().unwrap();
-        if let Some(existing) = sessions.get(key, g, triangulator.name()) {
+        if let Some(existing) = sessions.get(key, g, session.backend()) {
             return existing;
         }
-        let session = Arc::new(GraphSession::new(g, triangulator));
         sessions.insert(key, Arc::clone(&session), self.config.max_sessions);
         session
     }
@@ -402,7 +415,7 @@ impl Engine {
     /// another graph is only dropped when evicted under *its own*
     /// subgraph.)
     pub fn evict(&self, g: &Graph) {
-        let key = fingerprint(g);
+        let key = graph_fingerprint(g);
         let mut sessions = self.sessions.lock().unwrap();
         let store = &mut *sessions;
         if let Some(entries) = store.by_key.get_mut(&key) {
@@ -522,7 +535,7 @@ impl Engine {
     /// it outgrows twice the session cap (plans are cheap to rebuild;
     /// LRU bookkeeping is not worth it here).
     fn plan_for(&self, g: &Graph) -> Arc<Plan> {
-        let key = fingerprint(g);
+        let key = graph_fingerprint(g);
         {
             let plans = self.plans.lock().unwrap();
             if let Some(entries) = plans.get(&key) {

@@ -1,0 +1,469 @@
+//! The JSON API: five endpoints, zero task logic. Every handler only
+//! (de)serializes with `mintri_core::json` and calls [`Engine::run`] —
+//! budgets, best-k selection, decomposition expansion, replay and
+//! cancellation all live behind the front door, exactly where the CLI
+//! and library callers get them.
+//!
+//! | Method | Path         | Body                                        | Answer |
+//! |--------|--------------|---------------------------------------------|--------|
+//! | GET    | `/healthz`   | —                                           | `{"status":"ok",…}` |
+//! | GET    | `/v1/stats`  | —                                           | sessions, graphs, memo counters |
+//! | POST   | `/v1/graphs` | `{"nodes":N,"edges":[[u,v],…]}`             | `{"graph_id":…}` |
+//! | POST   | `/v1/query`  | `{"graph_id"∣"graph", "query", ["timeout_ms"], ["stream"]}` | one response document (or NDJSON chunks) |
+//! | POST   | `/v1/batch`  | `{"queries":[spec,…]}`                      | `{"responses":[…]}` |
+//!
+//! Errors are structured: `{"error":{"status":S,"message":…}}` with the
+//! same status on the HTTP line — malformed input is a 4xx, never a
+//! worker panic.
+
+use crate::http::{HttpError, Request};
+use mintri_core::json::{
+    graph_from_json, graph_summary_json, outcome_json, query_from_json, JsonObject, JsonValue,
+};
+use mintri_core::query::{Query, QueryItem, Response, Task};
+use mintri_engine::{graph_fingerprint, Engine};
+use mintri_graph::Graph;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Caps on what remote clients may register and submit.
+#[derive(Debug, Clone)]
+pub struct ApiLimits {
+    /// Largest graph (in nodes) `/v1/graphs` and inline `"graph"` fields
+    /// accept (adjacency is quadratic in nodes).
+    pub max_graph_nodes: usize,
+    /// Registry capacity: uploads beyond this answer 503 until graphs
+    /// age out (the registry is an explicit store, not an LRU).
+    pub max_graphs: usize,
+    /// Largest `/v1/batch` request, in queries.
+    pub max_batch: usize,
+    /// Default/maximum `max_results` budget imposed on **collected**
+    /// queries (`/v1/query` without `"stream":true`, every batch slot):
+    /// a collected response buffers every rendered item in memory, and
+    /// enumerations are exponential, so an uncapped budget would let one
+    /// small graph exhaust the server. Capped runs report
+    /// `"completed":false`; streaming responses are O(1) memory and stay
+    /// uncapped.
+    pub max_collected_results: usize,
+}
+
+impl Default for ApiLimits {
+    fn default() -> Self {
+        ApiLimits {
+            max_graph_nodes: 4096,
+            max_graphs: 1024,
+            max_batch: 256,
+            max_collected_results: 100_000,
+        }
+    }
+}
+
+/// Shared server state: the engine (all warm sessions and replay caches
+/// live there) plus the uploaded-graph registry.
+pub struct AppState {
+    engine: Arc<Engine>,
+    graphs: Mutex<HashMap<String, Arc<Graph>>>,
+    limits: ApiLimits,
+    started: Instant,
+}
+
+impl AppState {
+    /// Fresh state over a shared engine.
+    pub fn new(engine: Arc<Engine>, limits: ApiLimits) -> Self {
+        AppState {
+            engine,
+            graphs: Mutex::new(HashMap::new()),
+            limits,
+            started: Instant::now(),
+        }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Number of registered graphs.
+    pub fn graphs_registered(&self) -> usize {
+        self.graphs.lock().unwrap().len()
+    }
+}
+
+/// What a routed request produced: either a complete body, or a query
+/// stream the connection loop writes out chunk by chunk.
+pub enum Reply {
+    /// A finished JSON document.
+    Full {
+        /// HTTP status.
+        status: u16,
+        /// The response body.
+        body: String,
+    },
+    /// A live query to stream as NDJSON chunks (boxed: the running
+    /// query dwarfs the other variant).
+    Stream(Box<RunningQuery>),
+}
+
+impl Reply {
+    fn ok(body: String) -> Reply {
+        Reply::Full { status: 200, body }
+    }
+}
+
+/// Renders the structured error document every non-2xx answer carries.
+pub fn error_body(status: u16, message: &str) -> String {
+    let mut inner = JsonObject::new();
+    inner.usize("status", status as usize);
+    inner.str("message", message);
+    let mut doc = JsonObject::new();
+    doc.raw("error", inner.finish());
+    doc.finish()
+}
+
+impl From<HttpError> for Reply {
+    fn from(e: HttpError) -> Reply {
+        Reply::Full {
+            status: e.status,
+            body: error_body(e.status, &e.message),
+        }
+    }
+}
+
+/// A query mid-execution: the engine response stream plus the watchdog
+/// keeping its per-request timeout armed. Dropping it (after draining or
+/// mid-stream) cancels the watchdog and joins its thread.
+pub struct RunningQuery {
+    /// Wire name of the task, stamped on the response document.
+    pub task_name: &'static str,
+    /// The live response stream.
+    pub response: Response<'static>,
+    _watchdog: Option<Watchdog>,
+}
+
+/// Cancels the query's [`CancelToken`](mintri_core::query::CancelToken)
+/// if the request deadline passes before the stream ends.
+struct Watchdog {
+    /// Dropped first on teardown: disconnecting wakes the thread without
+    /// waiting out the timeout.
+    done: Option<mpsc::Sender<()>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.take();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn arm_watchdog(query: &Query, timeout: Duration) -> Watchdog {
+    let token = query.cancel.clone();
+    let (tx, rx) = mpsc::channel::<()>();
+    let thread = std::thread::spawn(move || {
+        if let Err(mpsc::RecvTimeoutError::Timeout) = rx.recv_timeout(timeout) {
+            token.cancel();
+        }
+    });
+    Watchdog {
+        done: Some(tx),
+        thread: Some(thread),
+    }
+}
+
+/// The wire name of a task (also the `"task"` field of every response
+/// document).
+pub fn task_name(task: &Task) -> &'static str {
+    match task {
+        Task::Enumerate => "enumerate",
+        Task::BestK { .. } => "best_k",
+        Task::Decompose { .. } => "decompose",
+        Task::Stats => "stats",
+    }
+}
+
+/// Renders one streamed [`QueryItem`] the way the CLI renders the same
+/// result kind (1-based vertices, 0-based bag indices).
+pub fn render_item(item: &QueryItem) -> String {
+    match item {
+        QueryItem::Triangulation(t) => {
+            let fill: Vec<String> = t
+                .fill
+                .iter()
+                .map(|(u, v)| format!("[{},{}]", u + 1, v + 1))
+                .collect();
+            let mut doc = JsonObject::new();
+            doc.usize("width", t.width());
+            doc.usize("fill", t.fill_count());
+            doc.raw("fill_edges", format!("[{}]", fill.join(",")));
+            doc.finish()
+        }
+        QueryItem::Decomposition(d) => {
+            let bags: Vec<String> = d
+                .bags
+                .iter()
+                .map(|bag| {
+                    let items: Vec<String> = bag.iter().map(|v| (v + 1).to_string()).collect();
+                    format!("[{}]", items.join(","))
+                })
+                .collect();
+            let edges: Vec<String> = d.edges.iter().map(|(a, b)| format!("[{a},{b}]")).collect();
+            let mut doc = JsonObject::new();
+            doc.usize("width", d.width());
+            doc.raw("bags", format!("[{}]", bags.join(",")));
+            doc.raw("edges", format!("[{}]", edges.join(",")));
+            doc.finish()
+        }
+        QueryItem::Record(r) => {
+            let mut doc = JsonObject::new();
+            doc.usize("index", r.index);
+            doc.raw("elapsed_us", r.at.as_micros().to_string());
+            doc.usize("width", r.width);
+            doc.usize("fill", r.fill);
+            doc.finish()
+        }
+    }
+}
+
+/// The final document of a drained query: task, rendered items, replay
+/// flag and the full outcome. `count` is the number of items produced —
+/// `items.len()` for a collected response, the number of already-written
+/// chunks for a streamed one (whose `items` array is empty here).
+pub fn finish_document(
+    task_name: &str,
+    items: &[String],
+    count: usize,
+    response: &Response<'_>,
+) -> String {
+    let outcome = response.outcome();
+    let mut doc = JsonObject::new();
+    doc.str("task", task_name);
+    doc.raw("items", format!("[{}]", items.join(",")));
+    doc.usize("count", count);
+    doc.bool("is_replay", response.is_replay());
+    doc.raw("outcome", outcome_json(&outcome));
+    doc.finish()
+}
+
+impl AppState {
+    fn register_graph(&self, v: &JsonValue) -> Result<(String, Arc<Graph>), HttpError> {
+        let g = graph_from_json(v, self.limits.max_graph_nodes).map_err(HttpError::bad_request)?;
+        let g = Arc::new(g);
+        let mut graphs = self.graphs.lock().unwrap();
+        // Ids are the engine's own session fingerprint (one definition:
+        // graph ids and session keys must never diverge), with equality
+        // verified on collision — a clash costs a probe, never a wrong
+        // graph.
+        let base = format!("g{:016x}", graph_fingerprint(&g));
+        for probe in 0.. {
+            let id = if probe == 0 {
+                base.clone()
+            } else {
+                format!("{base}-{probe}")
+            };
+            match graphs.get(&id) {
+                Some(existing) if **existing == *g => return Ok((id, Arc::clone(existing))),
+                Some(_) => continue, // fingerprint collision: probe onward
+                None => {
+                    if graphs.len() >= self.limits.max_graphs {
+                        return Err(HttpError::new(
+                            503,
+                            format!("graph registry full ({} graphs)", graphs.len()),
+                        ));
+                    }
+                    graphs.insert(id.clone(), Arc::clone(&g));
+                    return Ok((id, g));
+                }
+            }
+        }
+        unreachable!("the probe loop always returns")
+    }
+
+    fn resolve_graph(&self, spec: &JsonValue) -> Result<Arc<Graph>, HttpError> {
+        match (spec.get("graph_id"), spec.get("graph")) {
+            (Some(id), None) => {
+                let id = id
+                    .as_str()
+                    .ok_or_else(|| HttpError::bad_request("`graph_id` must be a string"))?;
+                self.graphs
+                    .lock()
+                    .unwrap()
+                    .get(id)
+                    .cloned()
+                    .ok_or_else(|| HttpError::new(404, format!("unknown graph_id {id:?}")))
+            }
+            (None, Some(inline)) => Ok(Arc::new(
+                graph_from_json(inline, self.limits.max_graph_nodes)
+                    .map_err(HttpError::bad_request)?,
+            )),
+            (Some(_), Some(_)) => Err(HttpError::bad_request(
+                "give either `graph_id` or an inline `graph`, not both",
+            )),
+            (None, None) => Err(HttpError::bad_request(
+                "query spec needs a `graph_id` or an inline `graph`",
+            )),
+        }
+    }
+
+    /// Parses one query spec and starts it on the engine. The returned
+    /// [`RunningQuery`] has produced nothing yet; the caller drains it
+    /// (collected or chunk by chunk). `collected` responses get the
+    /// [`ApiLimits::max_collected_results`] budget clamp — they buffer
+    /// every item, so an unbudgeted exponential enumeration must not be
+    /// allowed to collect unboundedly.
+    fn start_query(&self, spec: &JsonValue, collected: bool) -> Result<RunningQuery, HttpError> {
+        if spec.entries().is_none() {
+            return Err(HttpError::bad_request("query spec must be a JSON object"));
+        }
+        let graph = self.resolve_graph(spec)?;
+        let query_field = spec
+            .get("query")
+            .ok_or_else(|| HttpError::bad_request("query spec needs a `query` object"))?;
+        let mut query = query_from_json(query_field).map_err(HttpError::bad_request)?;
+        if collected {
+            let cap = self.limits.max_collected_results.max(1);
+            query.budget.max_results = Some(match query.budget.max_results {
+                Some(n) => n.min(cap),
+                None => cap,
+            });
+        }
+        let timeout = match spec.get("timeout_ms") {
+            None => None,
+            Some(JsonValue::Null) => None,
+            Some(v) => Some(Duration::from_millis(v.as_u64().ok_or_else(|| {
+                HttpError::bad_request("`timeout_ms` must be a non-negative integer")
+            })?)),
+        };
+        let name = task_name(&query.task);
+        let watchdog = timeout.map(|t| arm_watchdog(&query, t));
+        let response = self.engine.run(&graph, query);
+        Ok(RunningQuery {
+            task_name: name,
+            response,
+            _watchdog: watchdog,
+        })
+    }
+
+    /// Runs one spec to completion and renders the response document.
+    fn run_collected(&self, spec: &JsonValue) -> Result<String, HttpError> {
+        let mut running = self.start_query(spec, true)?;
+        let items: Vec<String> = running.response.by_ref().map(|i| render_item(&i)).collect();
+        Ok(finish_document(
+            running.task_name,
+            &items,
+            items.len(),
+            &running.response,
+        ))
+    }
+
+    fn handle_healthz(&self) -> Reply {
+        let mut doc = JsonObject::new();
+        doc.str("status", "ok");
+        doc.raw("uptime_ms", self.started.elapsed().as_millis().to_string());
+        Reply::ok(doc.finish())
+    }
+
+    fn handle_stats(&self) -> Reply {
+        let memo = self.engine.memo_stats();
+        let mut memo_doc = JsonObject::new();
+        memo_doc.usize("extends", memo.extends);
+        memo_doc.usize("crossing_computed", memo.crossing_computed);
+        memo_doc.usize("crossing_cached", memo.crossing_cached);
+        memo_doc.usize("separators_interned", memo.separators_interned);
+        let mut doc = JsonObject::new();
+        doc.usize("sessions", self.engine.sessions_cached());
+        doc.usize("graphs", self.graphs_registered());
+        doc.raw("memo", memo_doc.finish());
+        doc.raw("uptime_ms", self.started.elapsed().as_millis().to_string());
+        Reply::ok(doc.finish())
+    }
+
+    fn handle_graphs(&self, body: &JsonValue) -> Result<Reply, HttpError> {
+        let (id, g) = self.register_graph(body)?;
+        let mut doc = JsonObject::new();
+        doc.str("graph_id", &id);
+        doc.raw("graph", graph_summary_json(&g));
+        Ok(Reply::ok(doc.finish()))
+    }
+
+    fn handle_query(&self, body: &JsonValue) -> Result<Reply, HttpError> {
+        let stream = match body.get("stream") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| HttpError::bad_request("`stream` must be a boolean"))?,
+        };
+        if stream {
+            return Ok(Reply::Stream(Box::new(self.start_query(body, false)?)));
+        }
+        Ok(Reply::ok(self.run_collected(body)?))
+    }
+
+    fn handle_batch(&self, body: &JsonValue) -> Result<Reply, HttpError> {
+        let specs = body
+            .get("queries")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| HttpError::bad_request("batch needs a `queries` array"))?;
+        if specs.len() > self.limits.max_batch {
+            return Err(HttpError::bad_request(format!(
+                "batch of {} queries exceeds the cap of {}",
+                specs.len(),
+                self.limits.max_batch
+            )));
+        }
+        // One connection, many queries; a bad spec fails its own slot,
+        // not the batch.
+        let responses: Vec<String> = specs
+            .iter()
+            .map(|spec| {
+                // Batch answers are one collected document per slot; a
+                // requested stream can't be honored here, so validate the
+                // field exactly like /v1/query does and reject it rather
+                // than silently dropping the delivery mode.
+                match spec.get("stream") {
+                    Some(JsonValue::Bool(true)) => {
+                        return error_body(400, "streaming is not supported inside /v1/batch")
+                    }
+                    Some(v) if v.as_bool().is_none() => {
+                        return error_body(400, "`stream` must be a boolean")
+                    }
+                    _ => {}
+                }
+                match self.run_collected(spec) {
+                    Ok(doc) => doc,
+                    Err(e) => error_body(e.status, &e.message),
+                }
+            })
+            .collect();
+        let mut doc = JsonObject::new();
+        doc.raw("responses", format!("[{}]", responses.join(",")));
+        doc.usize("count", responses.len());
+        Ok(Reply::ok(doc.finish()))
+    }
+
+    /// Routes one parsed request. Infallible: every error is already a
+    /// structured [`Reply::Full`].
+    pub fn route(&self, req: &Request) -> Reply {
+        let result = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Ok(self.handle_healthz()),
+            ("GET", "/v1/stats") => Ok(self.handle_stats()),
+            ("POST", "/v1/graphs") => self.parse_body(req).and_then(|v| self.handle_graphs(&v)),
+            ("POST", "/v1/query") => self.parse_body(req).and_then(|v| self.handle_query(&v)),
+            ("POST", "/v1/batch") => self.parse_body(req).and_then(|v| self.handle_batch(&v)),
+            (_, "/healthz" | "/v1/stats" | "/v1/graphs" | "/v1/query" | "/v1/batch") => Err(
+                HttpError::new(405, format!("{} is not valid here", req.method)),
+            ),
+            (_, path) => Err(HttpError::new(404, format!("no route for {path:?}"))),
+        };
+        result.unwrap_or_else(Reply::from)
+    }
+
+    fn parse_body(&self, req: &Request) -> Result<JsonValue, HttpError> {
+        let text = std::str::from_utf8(&req.body)
+            .map_err(|_| HttpError::bad_request("request body is not valid UTF-8"))?;
+        JsonValue::parse(text).map_err(|e| HttpError::bad_request(e.to_string()))
+    }
+}

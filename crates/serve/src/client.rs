@@ -1,0 +1,167 @@
+//! A minimal HTTP/1.1 client for the transport's own tests, benches and
+//! smoke tooling — connect, send one JSON request, read one response
+//! (fixed-length or chunked). Not a general-purpose client; just enough
+//! to drive `mintri-serve` without external tooling.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body (chunked transfer already decoded).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// The first value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A keep-alive connection to the server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    host: String,
+}
+
+impl Client {
+    /// Connects (10 s timeouts on both directions).
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Display) -> std::io::Result<Client> {
+        let host = addr.to_string();
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            host,
+        })
+    }
+
+    /// Sends `method path` with an optional JSON body and reads the
+    /// response. The connection stays usable afterwards (keep-alive).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            self.host,
+            body.len(),
+        );
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    /// Sends raw bytes verbatim (for malformed-input tests) and reads
+    /// whatever single response comes back.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<HttpResponse> {
+        let stream = self.reader.get_mut();
+        stream.write_all(bytes)?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let status_line = self.read_line()?;
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed status line {status_line:?}"),
+                )
+            })?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        let header = |name: &str| {
+            headers
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str())
+        };
+
+        let body = if header("transfer-encoding")
+            .map(|v| v.eq_ignore_ascii_case("chunked"))
+            .unwrap_or(false)
+        {
+            let mut out = Vec::new();
+            loop {
+                let size_line = self.read_line()?;
+                let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("malformed chunk size {size_line:?}"),
+                    )
+                })?;
+                let mut chunk = vec![0u8; size + 2]; // data + CRLF
+                self.reader.read_exact(&mut chunk)?;
+                if size == 0 {
+                    break;
+                }
+                out.extend_from_slice(&chunk[..size]);
+            }
+            out
+        } else {
+            let length = header("content-length")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(0);
+            let mut out = vec![0u8; length];
+            self.reader.read_exact(&mut out)?;
+            out
+        };
+        Ok(HttpResponse {
+            status,
+            headers,
+            body: String::from_utf8_lossy(&body).into_owned(),
+        })
+    }
+}
+
+/// One-shot convenience: fresh connection, one request, response.
+pub fn request(
+    addr: impl ToSocketAddrs + std::fmt::Display,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    Client::connect(addr)?.request(method, path, body)
+}

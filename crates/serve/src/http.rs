@@ -1,0 +1,299 @@
+//! A minimal HTTP/1.1 layer over `std::net` — just enough protocol for
+//! the JSON transport: request parsing with hard limits, keep-alive,
+//! fixed-length and chunked responses. Hand-rolled because the
+//! environment is offline (no hyper/axum), the same way rand/proptest
+//! are shimmed elsewhere in the workspace.
+//!
+//! Every parse failure maps to a *structured* [`HttpError`] (status +
+//! message) that the connection loop renders as a JSON error body; no
+//! input, however malformed or oversized, may panic a worker.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Hard limits on what one request may occupy.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Cap on the request line + headers, in bytes.
+    pub max_head_bytes: usize,
+    /// Cap on the request body, in bytes (enforced against
+    /// `Content-Length` before any body byte is read).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the client per the RFC; matched
+    /// verbatim).
+    pub method: String,
+    /// The request target, e.g. `/v1/query` (query strings are kept
+    /// verbatim; the API has none).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// `true` for an `HTTP/1.0` request (whose default is to close the
+    /// connection after the response).
+    pub http10: bool,
+}
+
+impl Request {
+    /// The first value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` when the client asked to close the connection after this
+    /// exchange: `Connection: close`, or an HTTP/1.0 request without an
+    /// explicit `Connection: keep-alive`.
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => v.eq_ignore_ascii_case("close"),
+            None => self.http10,
+        }
+    }
+}
+
+/// A protocol-level failure: the HTTP status to answer with, and a
+/// message for the structured JSON error body.
+#[derive(Debug)]
+pub struct HttpError {
+    /// HTTP status code (4xx/5xx).
+    pub status: u16,
+    /// Human-readable cause, embedded in the JSON error document.
+    pub message: String,
+}
+
+impl HttpError {
+    /// A client error with the given status.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+
+    /// 400 Bad Request.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, message)
+    }
+}
+
+/// The canonical reason phrase for the statuses this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads one request off the stream. `Ok(None)` means the client closed
+/// the connection cleanly between requests (the keep-alive loop ends);
+/// `Err` carries the status to answer before closing.
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Option<Request>, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_terminator(&buf) {
+            break pos;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(HttpError::new(431, "request head too large"));
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if buf.is_empty() {
+                    return Ok(None); // idle keep-alive connection timed out
+                }
+                return Err(HttpError::new(408, "timed out reading the request"));
+            }
+            Err(e) => return Err(HttpError::bad_request(format!("read failed: {e}"))),
+        };
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None); // clean close between requests
+            }
+            return Err(HttpError::bad_request("truncated request head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::bad_request("request head is not valid UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(HttpError::bad_request(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad_request(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::bad_request(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+        http10: version == "HTTP/1.0",
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::bad_request(
+            "chunked request bodies are not supported; send Content-Length",
+        ));
+    }
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::bad_request(format!("invalid Content-Length {v:?}")))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::new(
+            413,
+            format!(
+                "request body of {content_length} bytes exceeds the {}-byte cap",
+                limits.max_body_bytes
+            ),
+        ));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        // Pipelined extra bytes would desynchronize the keep-alive loop;
+        // this tiny server reads one request at a time.
+        return Err(HttpError::bad_request(
+            "request body longer than Content-Length",
+        ));
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = match stream.read(&mut chunk[..want]) {
+            Ok(0) => return Err(HttpError::bad_request("truncated request body")),
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::new(408, "timed out reading the request body"))
+            }
+            Err(e) => return Err(HttpError::bad_request(format!("read failed: {e}"))),
+        };
+        body.extend_from_slice(&chunk[..n]);
+    }
+    request.body = body;
+    Ok(Some(request))
+}
+
+/// Writes a complete JSON response with `Content-Length`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        status_text(status),
+        body.len(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Streams a response as `Transfer-Encoding: chunked` NDJSON: call
+/// [`ChunkedWriter::line`] per document, then [`ChunkedWriter::finish`].
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and returns the chunk writer.
+    pub fn begin(stream: &'a mut TcpStream, keep_alive: bool) -> std::io::Result<Self> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: {connection}\r\n\r\n",
+        )?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Writes one JSON document as its own chunk, newline-terminated.
+    pub fn line(&mut self, doc: &str) -> std::io::Result<()> {
+        write!(self.stream, "{:x}\r\n{doc}\n\r\n", doc.len() + 1)?;
+        self.stream.flush()
+    }
+
+    /// Writes the terminating zero chunk.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_default_sanely() {
+        let l = Limits::default();
+        assert!(l.max_head_bytes >= 4096);
+        assert!(l.max_body_bytes >= 1024 * 1024);
+    }
+
+    #[test]
+    fn status_texts_cover_the_api() {
+        for s in [200, 400, 404, 405, 408, 413, 431, 500, 503] {
+            assert_ne!(status_text(s), "Error");
+        }
+        assert_eq!(status_text(418), "Error");
+    }
+}

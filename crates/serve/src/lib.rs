@@ -1,0 +1,255 @@
+//! # mintri-serve — the HTTP/batch transport for the `Query` front door
+//!
+//! `mintri_core::query::Query` is plain serializable data and
+//! [`Engine::run`] is the one entry point — so an HTTP server is nothing
+//! but a (de)serialization layer plus an engine. This crate is that
+//! layer: a threaded HTTP/1.1 JSON server on [`std::net::TcpListener`],
+//! hand-rolled end to end (the environment is offline; no axum/hyper —
+//! the same shimming discipline as the vendored rand/proptest).
+//!
+//! The server owns one shared [`Arc<Engine>`], so **every remote query
+//! benefits from the engine's per-atom warm sessions and replay
+//! caches**: the first query over a graph pays for its atoms'
+//! enumerations, every later one — from any connection, even over a
+//! *different* graph sharing an atom — replays with zero `Extend` calls
+//! and reports `"is_replay": true`.
+//!
+//! ```no_run
+//! use mintri_engine::Engine;
+//! use mintri_serve::{ServeConfig, Server};
+//! use std::sync::Arc;
+//!
+//! let server = Server::bind(ServeConfig::default(), Arc::new(Engine::new())).unwrap();
+//! println!("listening on {}", server.local_addr().unwrap());
+//! server.run().unwrap(); // blocks; shut down via a handle from another thread
+//! ```
+//!
+//! The endpoint table, wire format and the zero-task-logic invariant are
+//! documented in the workspace `ARCHITECTURE.md` ("The transport
+//! layer"); the request/response schemas live in [`api`].
+
+pub mod api;
+pub mod client;
+pub mod http;
+
+use api::{error_body, finish_document, render_item, ApiLimits, AppState, Reply};
+use http::{ChunkedWriter, HttpError, Limits};
+use mintri_engine::Engine;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Server configuration: where to listen, how many connection workers,
+/// and the protocol / API limits.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7171` (port `0` picks a free one).
+    pub addr: String,
+    /// Connection worker threads (each serves one connection at a time;
+    /// queries may additionally use the engine's own thread pool).
+    pub workers: usize,
+    /// Per-connection idle/read timeout; a stalled client frees its
+    /// worker after this long.
+    pub read_timeout: Duration,
+    /// Protocol limits (head/body size caps).
+    pub limits: Limits,
+    /// API limits (graph size, registry and batch caps).
+    pub api: ApiLimits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7171".into(),
+            workers: 4,
+            read_timeout: Duration::from_secs(30),
+            limits: Limits::default(),
+            api: ApiLimits::default(),
+        }
+    }
+}
+
+/// The listening server. [`Server::run`] blocks serving connections
+/// until a [`ServerHandle::shutdown`] arrives.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    config: ServeConfig,
+}
+
+/// A cloneable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Asks the accept loop to stop. Idempotent; `run()` returns after
+    /// in-flight connections finish their current request.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Server {
+    /// Binds the listener and prepares the shared state. The engine is
+    /// taken as an `Arc` so the caller can keep a handle (e.g. to watch
+    /// [`Engine::memo_stats`] from outside).
+    pub fn bind(config: ServeConfig, engine: Arc<Engine>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(AppState::new(engine, config.api.clone()));
+        Ok(Server {
+            listener,
+            state,
+            stop: Arc::new(AtomicBool::new(false)),
+            config,
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// The shared state (for in-process observation in tests/benches).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Serves connections until shutdown: a blocking accept loop feeding
+    /// a fixed pool of connection workers over a bounded channel.
+    pub fn run(self) -> std::io::Result<()> {
+        let workers = self.config.workers.max(1);
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&self.state);
+            let config = self.config.clone();
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("mintri-serve-{i}"))
+                    .spawn(move || loop {
+                        let stream = match rx.lock().unwrap().recv() {
+                            Ok(s) => s,
+                            Err(_) => return, // accept loop gone: drain out
+                        };
+                        serve_connection(&state, &config, stream);
+                    })?,
+            );
+        }
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    // A full queue applies backpressure on accept.
+                    let _ = tx.send(s);
+                }
+                Err(_) => continue,
+            }
+        }
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection: a keep-alive loop of read → route → write.
+/// Every failure path answers with a structured JSON error when the
+/// socket still permits it; a handler panic becomes a 500, never a dead
+/// worker.
+fn serve_connection(state: &Arc<AppState>, config: &ServeConfig, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    // A client that stops *reading* must not wedge a worker either: once
+    // the kernel send buffer fills, writes time out and the connection
+    // is dropped.
+    let _ = stream.set_write_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let request = match http::read_request(&mut stream, &config.limits) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close / idle timeout
+            Err(e) => {
+                let _ = http::write_response(
+                    &mut stream,
+                    e.status,
+                    &error_body(e.status, &e.message),
+                    false,
+                );
+                return;
+            }
+        };
+        let keep_alive = !request.wants_close();
+        // The route + collection path never *should* panic; if malformed
+        // input finds a way, the worker answers 500 and lives on.
+        let reply = std::panic::catch_unwind(AssertUnwindSafe(|| state.route(&request)))
+            .unwrap_or_else(|_| {
+                Reply::from(HttpError::new(500, "internal error handling the request"))
+            });
+        let ok = match reply {
+            Reply::Full { status, body } => {
+                http::write_response(&mut stream, status, &body, keep_alive).is_ok()
+            }
+            Reply::Stream(running) => stream_query(&mut stream, keep_alive, *running).is_ok(),
+        };
+        if !ok || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Streams a running query as chunked NDJSON: one `{"item":…}` line per
+/// result, then a final `{"done":…}` line carrying the outcome.
+fn stream_query(
+    stream: &mut TcpStream,
+    keep_alive: bool,
+    mut running: api::RunningQuery,
+) -> std::io::Result<()> {
+    let mut writer = ChunkedWriter::begin(stream, keep_alive)?;
+    let mut streamed = 0usize;
+    loop {
+        let item = std::panic::catch_unwind(AssertUnwindSafe(|| running.response.next()));
+        match item {
+            Ok(Some(item)) => {
+                let mut doc = mintri_core::json::JsonObject::new();
+                doc.raw("item", render_item(&item));
+                writer.line(&doc.finish())?;
+                streamed += 1;
+            }
+            Ok(None) => break,
+            Err(_) => {
+                writer.line(&error_body(500, "internal error mid-stream"))?;
+                return writer.finish();
+            }
+        }
+    }
+    let done = finish_document(running.task_name, &[], streamed, &running.response);
+    let mut doc = mintri_core::json::JsonObject::new();
+    doc.raw("done", done);
+    writer.line(&doc.finish())?;
+    writer.finish()
+}

@@ -64,6 +64,20 @@ pub fn chained_cycles(lengths: &[usize]) -> Graph {
     g
 }
 
+/// An `n`-cycle plus the single chord `(0, j)` — a cheap family of
+/// pairwise distinct non-chordal graphs (vary `j`), used by the serving
+/// benchmark's cold-request pool and the engine eviction stress tests
+/// (keep them hammering the same family).
+pub fn chord_cycle(n: usize, j: Node) -> Graph {
+    assert!(
+        (2..n as Node - 1).contains(&j),
+        "chord (0,{j}) must not be a cycle edge"
+    );
+    let mut g = Graph::cycle(n);
+    g.add_edge(0, j);
+    g
+}
+
 /// A grid with `holes` random edges removed (still connected retries are
 /// *not* attempted; the enumeration stack handles disconnection), used to
 /// vary the 8 grid instances of the dataset.

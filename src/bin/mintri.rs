@@ -11,6 +11,8 @@
 //!                     [--budget-ms T] [--threads N] [--delivery ...] [--format ...]
 //! mintri decompose    --input g.col [--limit K] [--one-per-class true] [--no-plan]
 //!                     [--threads N] [--delivery ...] [--format ...]
+//! mintri serve        [--addr HOST:PORT] [--threads N] [--max-sessions M]
+//!                     [--workers W]
 //! ```
 //!
 //! Every enumeration command builds one typed [`Query`] (task + backend +
@@ -31,23 +33,32 @@
 //! `--format dimacs|edges|uai` is still accepted as an input format;
 //! otherwise `--format` selects the *output* format, `text` or `json`.)
 //! Text output goes to stdout; diagnostics to stderr.
+//!
+//! `mintri serve` boots the HTTP/batch transport (`mintri-serve`) over
+//! one shared engine: every remote query hits the same warm sessions
+//! and replay caches the library calls do. All JSON — CLI output and
+//! the wire — is rendered *and parsed* by `mintri_core::json`, so the
+//! documents round-trip.
 
-use mintri::core::{EnumerationBudget, QueryOutcome};
+use mintri::core::json::{graph_summary_json, response_document, JsonObject};
+use mintri::core::EnumerationBudget;
 use mintri::engine::{Delivery, Engine, EngineConfig};
 use mintri::graph::io::{parse_dimacs, parse_edge_list};
 use mintri::prelude::*;
 use mintri::separators::MinimalSeparatorIter;
+use mintri::serve::{ServeConfig, Server};
 use mintri::triangulate::{minimal_triangulation, EliminationOrder, LexM};
 use mintri::workloads::parse_uai;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
         eprintln!(
-            "usage: mintri <stats|atoms|triangulate|enumerate|best-k|decompose> --input FILE [flags]"
+            "usage: mintri <stats|atoms|triangulate|enumerate|best-k|decompose> --input FILE [flags]\n       mintri serve [--addr HOST:PORT] [--threads N] [--max-sessions M] [--workers W]"
         );
         return ExitCode::FAILURE;
     };
@@ -253,6 +264,9 @@ fn execute<'g>(
 }
 
 fn run(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    if command == "serve" {
+        return cmd_serve(flags);
+    }
     let g = load_graph(flags)?;
     let output = pick_output(flags)?;
 
@@ -264,9 +278,41 @@ fn run(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
         "best-k" => cmd_best_k(&g, flags, output),
         "decompose" => cmd_decompose(&g, flags, output),
         other => Err(format!(
-            "unknown command {other:?} (use stats, atoms, triangulate, enumerate, best-k or decompose)"
+            "unknown command {other:?} (use stats, atoms, triangulate, enumerate, best-k, decompose or serve)"
         )),
     }
+}
+
+/// `mintri serve`: the HTTP/batch transport over one shared [`Engine`].
+/// `--threads` configures the engine's worker pool (per-query
+/// parallelism), `--workers` the connection workers, `--max-sessions`
+/// the warm-session LRU cap.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(key)
+            .map(|s| s.parse().map_err(|_| format!("--{key} must be an integer")))
+            .unwrap_or(Ok(default))
+    };
+    let mut engine_config = EngineConfig {
+        max_sessions: parse_usize("max-sessions", EngineConfig::default().max_sessions)?,
+        ..EngineConfig::default()
+    };
+    engine_config.threads = parse_usize("threads", engine_config.threads)?;
+    let config = ServeConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| ServeConfig::default().addr),
+        workers: parse_usize("workers", ServeConfig::default().workers)?,
+        ..ServeConfig::default()
+    };
+    let engine = Arc::new(Engine::with_config(engine_config));
+    let server = Server::bind(config, engine).map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("mintri-serve listening on http://{addr}");
+    eprintln!("endpoints: GET /healthz | GET /v1/stats | POST /v1/graphs | POST /v1/query | POST /v1/batch");
+    server.run().map_err(|e| format!("server failed: {e}"))
 }
 
 /// `mintri atoms`: the decomposition the planning layer runs over —
@@ -317,8 +363,8 @@ fn cmd_atoms(g: &Graph, output: Output) -> Result<(), String> {
                 })
                 .collect();
             let mut doc = JsonObject::new();
-            doc.raw("command", "\"atoms\"".into());
-            doc.raw("graph", graph_json(g));
+            doc.str("command", "atoms");
+            doc.raw("graph", graph_summary_json(g));
             doc.raw("components", sets_json(&d.components));
             doc.raw("atoms", format!("[{}]", atoms.join(",")));
             doc.raw("clique_separators", sets_json(&d.separators));
@@ -350,8 +396,8 @@ fn cmd_stats(g: &Graph, output: Output) -> Result<(), String> {
         }
         Output::Json => {
             let mut doc = JsonObject::new();
-            doc.raw("command", "\"stats\"".into());
-            doc.raw("graph", graph_json(g));
+            doc.str("command", "stats");
+            doc.raw("graph", graph_summary_json(g));
             doc.bool("chordal", chordal);
             doc.usize("minimal_separators", seps.len());
             doc.bool("minimal_separators_truncated", truncated);
@@ -385,9 +431,9 @@ fn cmd_triangulate(
         }
         Output::Json => {
             let mut doc = JsonObject::new();
-            doc.raw("command", "\"triangulate\"".into());
-            doc.raw("graph", graph_json(g));
-            doc.raw("algo", format!("{:?}", t.name()));
+            doc.str("command", "triangulate");
+            doc.raw("graph", graph_summary_json(g));
+            doc.str("algo", t.name());
             doc.usize("width", tri.width());
             doc.usize("fill_count", tri.fill_count());
             // 1-based endpoints, matching the DIMACS-style text output
@@ -436,7 +482,7 @@ fn cmd_enumerate(g: &Graph, flags: &HashMap<String, String>, output: Output) -> 
                     )
                 })
                 .collect();
-            print_json_doc("enumerate", g, &results, &outcome);
+            println!("{}", response_document("enumerate", g, &results, &outcome));
         }
     }
     Ok(())
@@ -474,7 +520,7 @@ fn cmd_best_k(g: &Graph, flags: &HashMap<String, String>, output: Output) -> Res
                     )
                 })
                 .collect();
-            print_json_doc("best-k", g, &results, &outcome);
+            println!("{}", response_document("best-k", g, &results, &outcome));
         }
     }
     Ok(())
@@ -529,106 +575,12 @@ fn cmd_decompose(g: &Graph, flags: &HashMap<String, String>, output: Output) -> 
                     )
                 })
                 .collect();
-            print_json_doc("decompose", g, &results, &outcome);
+            println!("{}", response_document("decompose", g, &results, &outcome));
         }
     }
     Ok(())
 }
 
-// ---------------------------------------------------------------------------
-// Hand-rolled JSON rendering (the workspace deliberately carries no CLI /
-// serialization dependencies; everything emitted here is numbers, bools
-// and fixed identifier strings, so no escaping is needed).
-// ---------------------------------------------------------------------------
-
-struct JsonObject {
-    fields: Vec<String>,
-}
-
-impl JsonObject {
-    fn new() -> Self {
-        JsonObject { fields: Vec::new() }
-    }
-
-    fn raw(&mut self, key: &str, value: String) {
-        self.fields.push(format!("\"{key}\":{value}"));
-    }
-
-    fn usize(&mut self, key: &str, value: usize) {
-        self.raw(key, value.to_string());
-    }
-
-    fn bool(&mut self, key: &str, value: bool) {
-        self.raw(key, value.to_string());
-    }
-
-    fn finish(self) -> String {
-        format!("{{{}}}", self.fields.join(","))
-    }
-}
-
-fn graph_json(g: &Graph) -> String {
-    format!(
-        "{{\"nodes\":{},\"edges\":{}}}",
-        g.num_nodes(),
-        g.num_edges()
-    )
-}
-
-fn outcome_json(outcome: &QueryOutcome) -> String {
-    let mut doc = JsonObject::new();
-    doc.usize("produced", outcome.produced);
-    doc.usize("scanned", outcome.scanned);
-    doc.bool("completed", outcome.completed);
-    doc.bool("cancelled", outcome.cancelled);
-    doc.bool("replayed", outcome.replayed);
-    doc.raw(
-        "elapsed_ms",
-        format!("{:.3}", outcome.elapsed.as_secs_f64() * 1e3),
-    );
-    match outcome.quality() {
-        Some(q) => {
-            let mut quality = JsonObject::new();
-            quality.usize("num_results", q.num_results);
-            quality.usize("first_width", q.first_width);
-            quality.usize("min_width", q.min_width);
-            quality.usize("num_leq_first_width", q.num_leq_first_width);
-            quality.raw(
-                "width_improvement_pct",
-                format!("{:.2}", q.width_improvement_pct),
-            );
-            quality.usize("first_fill", q.first_fill);
-            quality.usize("min_fill", q.min_fill);
-            quality.usize("num_leq_first_fill", q.num_leq_first_fill);
-            quality.raw(
-                "fill_improvement_pct",
-                format!("{:.2}", q.fill_improvement_pct),
-            );
-            doc.raw("quality", quality.finish());
-        }
-        None => doc.raw("quality", "null".into()),
-    }
-    match outcome.enum_stats {
-        Some(s) => {
-            let mut stats = JsonObject::new();
-            stats.usize("extend_calls", s.extend_calls);
-            stats.usize("edge_queries", s.edge_queries);
-            stats.usize("nodes_generated", s.nodes_generated);
-            stats.usize("answers", s.answers);
-            doc.raw("enum_stats", stats.finish());
-        }
-        None => doc.raw("enum_stats", "null".into()),
-    }
-    doc.finish()
-}
-
-/// The one JSON document every enumeration command emits: results plus
-/// the response outcome.
-fn print_json_doc(command: &str, g: &Graph, results: &[String], outcome: &QueryOutcome) {
-    let mut doc = JsonObject::new();
-    doc.raw("command", format!("{command:?}"));
-    doc.raw("graph", graph_json(g));
-    doc.raw("results", format!("[{}]", results.join(",")));
-    doc.raw("outcome", outcome_json(outcome));
-    println!("{}", doc.finish());
-}
+// JSON rendering lives in `mintri_core::json` — shared verbatim with the
+// HTTP transport and parsed back by the same module's `JsonValue::parse`,
+// so nothing the CLI emits is write-only.

@@ -73,6 +73,7 @@ pub use mintri_core as core;
 pub use mintri_engine as engine;
 pub use mintri_graph as graph;
 pub use mintri_separators as separators;
+pub use mintri_serve as serve;
 pub use mintri_sgr as sgr;
 pub use mintri_treedecomp as treedecomp;
 pub use mintri_triangulate as triangulate;
