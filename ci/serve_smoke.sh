@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # Serving smoke suite: boots the release `mintri serve` binary, drives
 # the whole HTTP surface with curl, asserts the warm-replay contract
-# (`"is_replay":true` on the second identical query), proves malformed
-# input answers a structured 400 without killing the server, and fails
-# on any non-2xx or on a leaked server process.
+# (`"is_replay":true` on the second identical query), checks the
+# observability surface (`/v1/metrics` counters advance, replay hits
+# register, a deliberately slow best-k lands in the slow-query ring,
+# and a `"trace": true` response round-trips through the core JSON
+# parser via `bench_check --parse`), proves malformed input answers a
+# structured 400 without killing the server, and fails on any non-2xx
+# or on a leaked server process.
 #
-# Usage: ci/serve_smoke.sh [BINARY]   (default target/release/mintri)
+# Usage: ci/serve_smoke.sh [BINARY] [BENCH_CHECK]
+#        (defaults target/release/mintri, bench_check next to BINARY)
 set -euo pipefail
 
 BIN=${1:-target/release/mintri}
+BENCH_CHECK=${2:-$(dirname "${1:-target/release/mintri}")/bench_check}
 PORT=${MINTRI_SMOKE_PORT:-7765}
 ADDR="127.0.0.1:$PORT"
 BASE="http://$ADDR"
@@ -17,7 +23,9 @@ fail() { echo "SERVE SMOKE FAILED: $*" >&2; exit 1; }
 
 [ -x "$BIN" ] || fail "$BIN is not an executable (build release first)"
 
-"$BIN" serve --addr "$ADDR" --max-sessions 16 &
+# --slow-query-ms 0 makes every query "slow" so the slow-query ring is
+# deterministic to assert on.
+"$BIN" serve --addr "$ADDR" --max-sessions 16 --slow-query-ms 0 &
 SERVER_PID=$!
 cleanup() {
     kill "$SERVER_PID" 2>/dev/null || true
@@ -62,6 +70,32 @@ echo "== batch"
 BATCH=$(curl -sf -X POST "$BASE/v1/batch" -d "{\"queries\":[$ENUM,$BESTK]}")
 echo "$BATCH" | grep -q '"count":2' || fail "batch must answer both queries: $BATCH"
 
+echo "== traced query returns a span tree that the core parser accepts"
+TRACED="{\"graph_id\":\"$GID\",\"query\":{\"task\":{\"type\":\"enumerate\"},\"trace\":true}}"
+curl -sf -X POST "$BASE/v1/query" -d "$TRACED" > /tmp/smoke_trace.json
+grep -q '"trace"' /tmp/smoke_trace.json || fail "trace:true response must carry a trace"
+grep -q '"name":"atom"' /tmp/smoke_trace.json || fail "trace must contain per-atom spans"
+if [ -x "$BENCH_CHECK" ]; then
+    "$BENCH_CHECK" --parse /tmp/smoke_trace.json || fail "traced response must round-trip through the core JSON parser"
+else
+    fail "$BENCH_CHECK not found (build bench_check alongside the serve binary)"
+fi
+
+echo "== metrics"
+curl -sf "$BASE/v1/metrics" > /tmp/smoke_metrics.txt
+grep -q '^# TYPE mintri_http_requests_total counter' /tmp/smoke_metrics.txt \
+    || fail "metrics must expose typed request counters"
+QUERY_REQS=$(awk '$1 == "mintri_http_requests_total{endpoint=\"/v1/query\"}" {print $2}' /tmp/smoke_metrics.txt)
+[ -n "$QUERY_REQS" ] || fail "metrics must count /v1/query requests"
+awk -v v="$QUERY_REQS" 'BEGIN { exit !(v + 0 >= 4) }' \
+    || fail "/v1/query counter must have advanced past the queries above (got $QUERY_REQS)"
+REPLAYS=$(awk '$1 == "mintri_engine_replay_hits_total" {print $2}' /tmp/smoke_metrics.txt)
+[ -n "$REPLAYS" ] || fail "metrics must expose engine replay hits"
+awk -v v="$REPLAYS" 'BEGIN { exit !(v + 0 >= 1) }' \
+    || fail "warm replay above must register a replay hit (got $REPLAYS)"
+grep -q 'mintri_http_request_microseconds_bucket' /tmp/smoke_metrics.txt \
+    || fail "metrics must expose per-endpoint latency histograms"
+
 echo "== malformed input answers a structured 400"
 CODE=$(curl -s -o /tmp/smoke_400.json -w '%{http_code}' -X POST "$BASE/v1/query" -d '{definitely not json')
 [ "$CODE" = "400" ] || fail "malformed JSON must answer 400, got $CODE"
@@ -69,7 +103,11 @@ grep -q '"error"' /tmp/smoke_400.json || fail "400 body must be structured"
 curl -sf "$BASE/healthz" >/dev/null || fail "server must survive malformed input"
 
 echo "== stats"
-curl -sf "$BASE/v1/stats" | grep -q '"sessions":' || fail "stats must report sessions"
+STATS=$(curl -sf "$BASE/v1/stats")
+echo "$STATS" | grep -q '"sessions":' || fail "stats must report sessions"
+echo "$STATS" | grep -q '"replay_hits":' || fail "stats must report engine replay hits"
+echo "$STATS" | grep -q '"task":"best_k"' \
+    || fail "slow-query ring must have captured the best-k request: $STATS"
 
 echo "== clean shutdown"
 kill "$SERVER_PID"

@@ -13,6 +13,12 @@
 //!   enumerated a positive number of results in positive time (the
 //!   planned-vs-unreduced *equality* is asserted inside the bench run
 //!   itself; this guards the document).
+//! * `--telemetry FILE` (`telemetry_overhead` output): span tracing
+//!   cost stays under `--max-overhead-pct` (default 5) and the traced
+//!   run produced results.
+//! * `--parse FILE`: the file parses with `mintri_core::json` — the
+//!   serve smoke uses this to prove a `"trace": true` response
+//!   round-trips through the core parser.
 //!
 //! Exits non-zero on the first violation, printing what failed.
 
@@ -102,13 +108,66 @@ fn check_reduction(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn check_telemetry(path: &str, max_overhead_pct: f64) -> Result<(), String> {
+    let doc = load(path)?;
+    let results = field(&doc, &["results"])?
+        .as_usize()
+        .ok_or("results must be an integer")?;
+    if results == 0 {
+        return Err(format!("{path}: traced run produced no results"));
+    }
+    for key in ["untraced_seconds", "traced_seconds"] {
+        let seconds = field(&doc, &[key])?
+            .as_f64()
+            .ok_or_else(|| format!("{key} must be a number"))?;
+        if seconds <= 0.0 || seconds.is_nan() {
+            return Err(format!("{path}: {key} = {seconds}"));
+        }
+    }
+    let overhead = field(&doc, &["overhead_pct"])?
+        .as_f64()
+        .ok_or("overhead_pct must be a number")?;
+    if overhead.is_nan() || overhead > max_overhead_pct {
+        return Err(format!(
+            "{path}: tracing costs {overhead:.2}% (gate: <= {max_overhead_pct}%)"
+        ));
+    }
+    eprintln!(
+        "telemetry ok: {} — tracing {overhead:.2}% over {results} answers",
+        field(&doc, &["family"])?.as_str().unwrap_or("?")
+    );
+    Ok(())
+}
+
+/// Not a gate on values — a gate on *shape*: the document must survive
+/// the same parser the wire clients use.
+fn check_parse(path: &str) -> Result<(), String> {
+    let doc = load(path)?;
+    eprintln!(
+        "parse ok: {path} ({})",
+        match &doc {
+            JsonValue::Obj(fields) => format!("object, {} fields", fields.len()),
+            JsonValue::Arr(items) => format!("array, {} items", items.len()),
+            _ => "scalar".to_string(),
+        }
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let min_ratio = args.get_u64("min-ratio", 10) as f64;
+    let max_overhead_pct = args.get_u64("max-overhead-pct", 5) as f64;
     let serve = args.get_str("serve", "");
     let reduction = args.get_str("reduction", "");
-    if serve.is_empty() && reduction.is_empty() {
-        eprintln!("usage: bench_check [--serve BENCH_serve.json] [--reduction BENCH_reduction.json] [--min-ratio R]");
+    let telemetry = args.get_str("telemetry", "");
+    let parse = args.get_str("parse", "");
+    if serve.is_empty() && reduction.is_empty() && telemetry.is_empty() && parse.is_empty() {
+        eprintln!(
+            "usage: bench_check [--serve BENCH_serve.json] [--reduction BENCH_reduction.json] \
+             [--telemetry BENCH_telemetry.json] [--parse FILE.json] [--min-ratio R] \
+             [--max-overhead-pct P]"
+        );
         return ExitCode::FAILURE;
     }
     let mut checks: Vec<Result<(), String>> = Vec::new();
@@ -117,6 +176,12 @@ fn main() -> ExitCode {
     }
     if !reduction.is_empty() {
         checks.push(check_reduction(&reduction));
+    }
+    if !telemetry.is_empty() {
+        checks.push(check_telemetry(&telemetry, max_overhead_pct));
+    }
+    if !parse.is_empty() {
+        checks.push(check_parse(&parse));
     }
     for check in checks {
         if let Err(e) = check {

@@ -30,6 +30,7 @@ use crate::query::{CostMeasure, Delivery, Query, QueryOutcome, Task};
 use crate::{EnumerationBudget, TdEnumerationMode};
 use mintri_graph::{Graph, Node};
 use mintri_sgr::PrintMode;
+use mintri_telemetry::TraceNode;
 use mintri_triangulate::{CompleteFill, EliminationOrder, LbTriang, LexM, McsM, Triangulator};
 use std::fmt;
 use std::time::Duration;
@@ -689,6 +690,7 @@ pub fn query_to_json(q: &Query) -> String {
     );
     doc.usize("threads", q.threads);
     doc.bool("plan", q.plan);
+    doc.bool("trace", q.trace);
     doc.finish()
 }
 
@@ -750,6 +752,9 @@ pub fn query_from_json(v: &JsonValue) -> Result<Query, String> {
     if let Some(plan) = v.get("plan") {
         query = query.planned(plan.as_bool().ok_or("`plan` must be a boolean")?);
     }
+    if let Some(trace) = v.get("trace") {
+        query = query.traced(trace.as_bool().ok_or("`trace` must be a boolean")?);
+    }
     Ok(query)
 }
 
@@ -803,6 +808,34 @@ pub fn outcome_json(outcome: &QueryOutcome) -> String {
             doc.raw("enum_stats", stats.finish());
         }
         None => doc.raw("enum_stats", "null".into()),
+    }
+    // Present only on traced queries, so untraced documents are
+    // byte-for-byte what they were before tracing existed.
+    if let Some(trace) = &outcome.trace {
+        doc.raw("trace", trace_json(trace));
+    }
+    doc.finish()
+}
+
+/// Renders a query trace ([`QueryOutcome::trace`]) as a JSON span tree:
+/// `{"name", "start_us", "duration_us", "attrs"?, "children"?}` per
+/// span, children in start order. Parses back with [`JsonValue::parse`]
+/// like everything else the stack emits.
+pub fn trace_json(node: &TraceNode) -> String {
+    let mut doc = JsonObject::new();
+    doc.str("name", node.name);
+    doc.raw("start_us", node.start_us.to_string());
+    doc.raw("duration_us", node.duration_us.to_string());
+    if !node.attrs.is_empty() {
+        let mut attrs = JsonObject::new();
+        for (k, v) in &node.attrs {
+            attrs.str(k, v);
+        }
+        doc.raw("attrs", attrs.finish());
+    }
+    if !node.children.is_empty() {
+        let children: Vec<String> = node.children.iter().map(trace_json).collect();
+        doc.raw("children", format!("[{}]", children.join(",")));
     }
     doc.finish()
 }

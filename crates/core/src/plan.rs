@@ -23,12 +23,13 @@
 //! to contain the same atom.
 
 use crate::msgraph::MsGraph;
-use crate::query::TriangulationStream;
+use crate::query::{TracedStream, TriangulationStream};
 use crate::MinimalTriangulationsEnumerator;
 use mintri_chordal::is_chordal;
 use mintri_graph::{Graph, Node};
 use mintri_separators::{atom_decomposition, AtomDecomposition};
 use mintri_sgr::{EnumMisStats, PrintMode};
+use mintri_telemetry::SpanHandle;
 use mintri_triangulate::{Triangulation, Triangulator};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -103,16 +104,45 @@ impl Plan {
         triangulator: Box<dyn Triangulator>,
         mode: PrintMode,
     ) -> ComposedStream<'static> {
+        self.into_traced_sequential_stream(g, triangulator, mode, None)
+    }
+
+    /// [`Plan::into_sequential_stream`] with optional tracing: when
+    /// `parent` is given, each atom's stream is wrapped in a
+    /// [`TracedStream`] under its own `atom` child span (attributes:
+    /// `index`, `nodes`, `dispatch`), so the query's trace carries
+    /// per-atom timings. With `parent = None` this *is* the untraced
+    /// path — no wrapper, no overhead.
+    pub fn into_traced_sequential_stream(
+        self,
+        g: &Graph,
+        triangulator: Box<dyn Triangulator>,
+        mode: PrintMode,
+        parent: Option<&SpanHandle>,
+    ) -> ComposedStream<'static> {
         let shared: Arc<dyn Triangulator> = Arc::from(triangulator);
         let children = self
             .atoms
             .into_iter()
-            .map(|atom| {
+            .enumerate()
+            .map(|(index, atom)| {
+                let nodes = atom.graph.num_nodes();
                 let ms = MsGraph::shared(Arc::new(atom.graph), Box::new(Arc::clone(&shared)));
+                let stream: Box<dyn TriangulationStream + 'static> = Box::new(SequentialAtom(
+                    MinimalTriangulationsEnumerator::from_msgraph(ms, mode),
+                ));
+                let stream: Box<dyn TriangulationStream + 'static> = match parent {
+                    Some(span) => {
+                        let span = span.child("atom");
+                        span.attr("index", index.to_string());
+                        span.attr("nodes", nodes.to_string());
+                        span.attr("dispatch", "sequential");
+                        Box::new(TracedStream::new(stream, span))
+                    }
+                    None => stream,
+                };
                 AtomStream {
-                    stream: Box::new(SequentialAtom(
-                        MinimalTriangulationsEnumerator::from_msgraph(ms, mode),
-                    )),
+                    stream,
                     old_of: atom.old_of,
                 }
             })

@@ -46,6 +46,7 @@ use crate::{
 use mintri_chordal::CliqueForest;
 use mintri_graph::Graph;
 use mintri_sgr::{EnumMisStats, PrintMode};
+use mintri_telemetry::{SpanHandle, TraceBuilder, TraceNode};
 use mintri_treedecomp::{proper_decompositions_of_chordal, TreeDecomposition};
 use mintri_triangulate::{McsM, Triangulation, Triangulator};
 use std::collections::VecDeque;
@@ -77,6 +78,20 @@ pub enum Task {
     /// themselves — the instrumented "anytime" run of the paper's
     /// experimental study. The aggregates land in [`QueryOutcome`].
     Stats,
+}
+
+impl Task {
+    /// The task's wire name (`"enumerate"` / `"best_k"` / `"decompose"`
+    /// / `"stats"`) — the `type` tag of the JSON codec, also used as the
+    /// `task` attribute on trace spans.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Task::Enumerate => "enumerate",
+            Task::BestK { .. } => "best_k",
+            Task::Decompose { .. } => "decompose",
+            Task::Stats => "stats",
+        }
+    }
 }
 
 /// A built-in, serializable ranking measure for [`Task::BestK`].
@@ -296,6 +311,12 @@ pub struct QueryOutcome {
     /// sequential schedule (locally, or under [`Delivery::Deterministic`]);
     /// absent for unordered parallel runs and cache replays.
     pub enum_stats: Option<EnumMisStats>,
+    /// The query's span tree — present only when the query was traced
+    /// ([`Query::traced`]): plan decomposition, per-atom stream setup and
+    /// dispatch, first-result delay and drain, with timings in
+    /// microseconds. A snapshot; while the stream is still running, open
+    /// spans show their duration so far.
+    pub trace: Option<Arc<TraceNode>>,
 }
 
 impl QueryOutcome {
@@ -338,6 +359,95 @@ pub trait TriangulationStream {
     /// enumeration without recomputation.
     fn is_replay(&self) -> bool {
         false
+    }
+}
+
+/// A [`TriangulationStream`] decorator that charges the wrapped stream's
+/// work to a trace span: times the *first* pull (the stream's own
+/// first-result delay), counts every result, and stamps both onto the
+/// span (`first_result_us`, `results`) when the stream ends or is
+/// dropped. The span stays open from stream setup to exhaustion, so its
+/// duration is the full drain wall time.
+///
+/// Execution layers wrap each per-atom stream in one of these when the
+/// query is traced — untraced queries never construct one, so the hot
+/// path pays nothing. Deliberately, only the first pull reads the
+/// clock: per-item `Instant::now()` calls cost more than producing a
+/// result on small atoms and would bust the tracing-overhead gate
+/// (`bench_check --telemetry`); every later pull is one counter bump.
+pub struct TracedStream<'a> {
+    inner: Box<dyn TriangulationStream + 'a>,
+    span: SpanHandle,
+    produced: u64,
+    first_us: Option<u64>,
+    closed: bool,
+}
+
+impl<'a> TracedStream<'a> {
+    /// Wraps `inner`, charging its work to `span` (opened by the caller,
+    /// typically an `atom` child of the query span).
+    pub fn new(inner: Box<dyn TriangulationStream + 'a>, span: SpanHandle) -> Self {
+        TracedStream {
+            inner,
+            span,
+            produced: 0,
+            first_us: None,
+            closed: false,
+        }
+    }
+
+    fn close(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.span.attr("results", self.produced.to_string());
+            if let Some(us) = self.first_us {
+                self.span.attr("first_result_us", us.to_string());
+            }
+            self.span.finish();
+        }
+    }
+}
+
+impl TriangulationStream for TracedStream<'_> {
+    fn next_tri(&mut self) -> Option<Triangulation> {
+        let tri = if self.first_us.is_none() {
+            let begin = Instant::now();
+            let tri = self.inner.next_tri();
+            self.first_us = Some(begin.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            tri
+        } else {
+            self.inner.next_tri()
+        };
+        match tri {
+            Some(tri) => {
+                self.produced += 1;
+                Some(tri)
+            }
+            None => {
+                self.close();
+                None
+            }
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.inner.finished()
+    }
+
+    fn enum_stats(&self) -> Option<EnumMisStats> {
+        self.inner.enum_stats()
+    }
+
+    fn is_replay(&self) -> bool {
+        self.inner.is_replay()
+    }
+}
+
+impl Drop for TracedStream<'_> {
+    fn drop(&mut self) {
+        // Budget-truncated streams never see the final `None`; stamp the
+        // attrs here so partial runs still trace.
+        self.close();
     }
 }
 
@@ -401,6 +511,13 @@ pub struct Query {
     /// the way to reproduce the historical whole-graph sequential order
     /// on decomposable inputs.
     pub plan: bool,
+    /// Collect a per-query span trace (default `false`): plan
+    /// decomposition, per-atom stream setup, dispatch choice,
+    /// first-result delay and drain, delivered as
+    /// [`QueryOutcome::trace`]. Tracing costs two clock reads per pulled
+    /// result plus one brief lock per span; untraced queries pay
+    /// nothing.
+    pub trace: bool,
     /// Cancellation handle; clone it before running to keep a controller.
     pub cancel: CancelToken,
 }
@@ -416,6 +533,7 @@ impl Query {
             delivery: Delivery::Unordered,
             threads: 0,
             plan: true,
+            trace: false,
             cancel: CancelToken::new(),
         }
     }
@@ -476,6 +594,12 @@ impl Query {
         self
     }
 
+    /// Enables or disables span tracing (see [`Query::trace`]).
+    pub fn traced(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Attaches an external cancellation token.
     pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
@@ -503,13 +627,32 @@ impl Query {
             budget,
             cancel,
             plan,
+            trace,
             ..
         } = self;
+        let tracer = trace.then(TraceBuilder::new);
+        let query_span = tracer.as_ref().map(|t| {
+            let span = t.root_span("query");
+            span.attr("task", task.name());
+            span.attr("dispatch", "local");
+            span
+        });
         if plan {
+            let plan_span = query_span.as_ref().map(|q| q.child("plan"));
             let plan = Plan::of(g);
+            if let Some(span) = &plan_span {
+                span.attr("atoms", plan.atoms.len().to_string());
+                span.attr("unreduced", plan.is_unreduced().to_string());
+                span.finish();
+            }
             if !plan.is_unreduced() {
-                let stream = plan.into_sequential_stream(g, triangulator, mode);
-                return Response::over_stream(task, budget, cancel, Box::new(stream));
+                let stream =
+                    plan.into_traced_sequential_stream(g, triangulator, mode, query_span.as_ref());
+                let response = Response::over_stream(task, budget, cancel, Box::new(stream));
+                return match (tracer, query_span) {
+                    (Some(t), Some(s)) => response.with_trace(t, s),
+                    _ => response,
+                };
             }
         }
         let stream = SequentialStream(MinimalTriangulationsEnumerator::with_config(
@@ -517,7 +660,25 @@ impl Query {
             triangulator,
             mode,
         ));
-        Response::over_stream(task, budget, cancel, Box::new(stream))
+        let response = match query_span.as_ref() {
+            Some(q) => {
+                let span = q.child("atom");
+                span.attr("index", "0");
+                span.attr("nodes", g.num_nodes().to_string());
+                span.attr("dispatch", "sequential");
+                Response::over_stream(
+                    task,
+                    budget,
+                    cancel,
+                    Box::new(TracedStream::new(Box::new(stream), span)),
+                )
+            }
+            None => Response::over_stream(task, budget, cancel, Box::new(stream)),
+        };
+        match (tracer, query_span) {
+            (Some(t), Some(s)) => response.with_trace(t, s),
+            _ => response,
+        }
     }
 }
 
@@ -531,6 +692,7 @@ impl std::fmt::Debug for Query {
             .field("delivery", &self.delivery)
             .field("threads", &self.threads)
             .field("plan", &self.plan)
+            .field("trace", &self.trace)
             .field("cancel", &self.cancel)
             .finish()
     }
@@ -564,6 +726,15 @@ pub struct Response<'a> {
     /// The current triangulation's decomposition class
     /// ([`Task::Decompose`] with [`TdEnumerationMode::AllDecompositions`]).
     class: Option<Box<dyn Iterator<Item = TreeDecomposition>>>,
+    /// The query's tracer, when tracing ([`Response::with_trace`]).
+    trace: Option<TraceBuilder>,
+    /// The root `query` span; finished by [`Response::end_stream`].
+    query_span: Option<SpanHandle>,
+    /// The `first_result` span: open from trace attachment until the
+    /// first pull succeeds — its duration is the first-result delay.
+    first_span: Option<SpanHandle>,
+    /// The `drain` span: first successful pull → end of stream.
+    drain_span: Option<SpanHandle>,
 }
 
 impl<'a> Response<'a> {
@@ -593,7 +764,25 @@ impl<'a> Response<'a> {
             done_at: None,
             pending: VecDeque::new(),
             class: None,
+            trace: None,
+            query_span: None,
+            first_span: None,
+            drain_span: None,
         }
+    }
+
+    /// Attaches a tracer and its root `query` span to this response. The
+    /// response takes over the span lifecycle: a `first_result` child
+    /// opens immediately (its duration is the delay to the first pulled
+    /// result), a `drain` child covers first result → end of stream, and
+    /// the query span is stamped with the final `produced`/`scanned`
+    /// counts when the stream ends. Executors call this right after
+    /// [`Response::over_stream`] on traced queries.
+    pub fn with_trace(mut self, trace: TraceBuilder, query_span: SpanHandle) -> Self {
+        self.first_span = Some(query_span.child("first_result"));
+        self.trace = Some(trace);
+        self.query_span = Some(query_span);
+        self
     }
 
     /// `true` when this response replays a previously completed
@@ -626,6 +815,7 @@ impl<'a> Response<'a> {
             replayed: self.replay,
             elapsed: self.done_at.unwrap_or_else(|| self.started.elapsed()),
             enum_stats: self.enum_stats,
+            trace: self.trace.as_ref().map(TraceBuilder::snapshot),
         }
     }
 
@@ -667,6 +857,21 @@ impl<'a> Response<'a> {
         if self.done_at.is_none() {
             self.done_at = Some(self.started.elapsed());
         }
+        // Close any trace spans still open (a stream that ended before
+        // its first result never opened `drain`; `first_result` then
+        // covers the whole wait).
+        if let Some(span) = self.first_span.take() {
+            span.finish();
+        }
+        if let Some(span) = self.drain_span.take() {
+            span.finish();
+        }
+        if let Some(span) = self.query_span.take() {
+            span.attr("scanned", self.scanned.to_string());
+            span.attr("produced", self.produced.to_string());
+            span.attr("completed", self.completed.to_string());
+            span.finish();
+        }
     }
 
     /// Pulls one triangulation from the source. Checks cancellation, and
@@ -683,6 +888,10 @@ impl<'a> Response<'a> {
         match source.next_tri() {
             Some(tri) => {
                 self.scanned += 1;
+                if let Some(first) = self.first_span.take() {
+                    first.finish();
+                    self.drain_span = self.query_span.as_ref().map(|q| q.child("drain"));
+                }
                 if matches!(self.task, Task::Stats) {
                     self.records.push(ResultRecord {
                         index: self.records.len(),
@@ -968,6 +1177,59 @@ mod tests {
         assert!(
             !fired.load(Ordering::SeqCst),
             "deregistered hooks must not fire"
+        );
+    }
+
+    #[test]
+    fn traced_query_attaches_a_span_tree() {
+        let g = Graph::cycle(6);
+        let mut response = Query::enumerate().traced(true).run_local(&g);
+        assert_eq!(response.by_ref().count(), 14);
+        let outcome = response.outcome();
+        let trace = outcome.trace.expect("traced query carries a trace");
+        let query = trace.find("query").expect("root query span");
+        assert_eq!(query.attr("task"), Some("enumerate"));
+        assert_eq!(query.attr("produced"), Some("14"));
+        assert!(query.find("plan").is_some(), "plan span present");
+        let atom = query.find("atom").expect("per-atom span");
+        assert_eq!(atom.attr("results"), Some("14"));
+        assert!(query.find("first_result").is_some());
+        assert!(query.find("drain").is_some());
+        // untraced queries carry nothing
+        assert!(Query::enumerate().run_local(&g).wait().trace.is_none());
+    }
+
+    #[test]
+    fn traced_planned_query_has_one_span_per_atom() {
+        // Two C4s sharing the cut vertex 3: the plan splits them into
+        // two non-chordal atoms of 2 triangulations each (product 4).
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 3),
+            ],
+        );
+        let mut response = Query::enumerate().traced(true).run_local(&g);
+        assert_eq!(response.by_ref().count(), 4);
+        let trace = response.outcome().trace.unwrap();
+        let query = trace.find("query").unwrap();
+        let atoms: Vec<_> = query.children.iter().filter(|c| c.name == "atom").collect();
+        assert_eq!(atoms.len(), 2, "one span per planned atom");
+        assert!(atoms
+            .iter()
+            .all(|a| a.attr("dispatch") == Some("sequential")));
+        assert_eq!(atoms[0].attr("index"), Some("0"));
+        assert_eq!(atoms[1].attr("index"), Some("1"));
+        assert!(
+            atoms.iter().all(|a| a.attr("results") == Some("2")),
+            "each atom enumerated exactly its own 2 triangulations"
         );
     }
 

@@ -55,6 +55,7 @@
 //! needs the `parallel` feature.)
 
 mod session;
+mod telemetry;
 
 #[cfg(feature = "parallel")]
 mod parallel;
@@ -64,6 +65,7 @@ mod pool;
 mod sched;
 
 pub use session::{graph_fingerprint, Engine, GraphSession};
+pub use telemetry::EngineTelemetry;
 
 #[cfg(feature = "parallel")]
 pub use parallel::ParallelEnumerator;

@@ -18,16 +18,20 @@
 //! — including queries on *different* graphs sharing an atom — is a
 //! cache replay (or at worst a warm-memo rerun).
 
+use crate::telemetry::EngineTelemetry;
 use crate::EngineConfig;
 use mintri_core::query::{
-    AtomStream, CancelToken, ComposedStream, Delivery, Plan, Query, Response, TriangulationStream,
+    AtomStream, CancelToken, ComposedStream, Delivery, Plan, Query, Response, TracedStream,
+    TriangulationStream,
 };
 use mintri_core::{MsGraph, MsGraphStats, SepId};
 use mintri_graph::{FxHashMap, FxHasher, Graph};
 use mintri_sgr::{EnumMis, EnumMisStats, PrintMode};
+use mintri_telemetry::{Histogram, Registry, TraceBuilder};
 use mintri_triangulate::{McsM, Triangulation, Triangulator};
 use std::hash::Hasher;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Cached plans colliding under one fingerprint (equality-verified on
 /// lookup, like sessions).
@@ -164,11 +168,25 @@ pub(crate) struct EngineEnumeration {
     session: Arc<GraphSession>,
     source: Source,
     recorded: Option<(AnswerKey, Vec<Vec<SepId>>)>,
+    /// Stream creation time; its lifetime lands in `wall` at drop.
+    created: Instant,
+    /// The engine's stream-lifetime histogram. Recording happens once,
+    /// at drop — two clock reads per stream total, so the always-on
+    /// metric cannot perturb per-result delay.
+    wall: Option<Arc<Histogram>>,
     /// Keeps the query token's abort hook registered for exactly this
     /// stream's lifetime — dropping the stream deregisters it, so a
     /// long-lived token does not accumulate hooks from finished runs.
     #[cfg(feature = "parallel")]
     _cancel_hook: Option<mintri_core::query::CancelHookGuard>,
+}
+
+impl Drop for EngineEnumeration {
+    fn drop(&mut self) {
+        if let Some(wall) = self.wall.take() {
+            wall.record_duration(self.created.elapsed());
+        }
+    }
 }
 
 impl EngineEnumeration {
@@ -279,6 +297,8 @@ pub struct Engine {
     /// sessions (collisions verified by equality), so warm repeated
     /// traffic skips straight to the per-atom replay caches.
     plans: Mutex<FxHashMap<u64, PlanBucket>>,
+    /// Registered metric handles (and the registry they live in).
+    telemetry: EngineTelemetry,
 }
 
 /// The session cache: fingerprint → colliding sessions (collisions are
@@ -309,14 +329,19 @@ impl SessionStore {
         None
     }
 
-    fn insert(&mut self, key: u64, session: Arc<GraphSession>, cap: usize) {
+    /// Inserts, evicting LRU sessions past `cap`; returns how many were
+    /// evicted (the caller owns the telemetry counters).
+    fn insert(&mut self, key: u64, session: Arc<GraphSession>, cap: usize) -> u64 {
         self.clock += 1;
         let clock = self.clock;
         self.by_key.entry(key).or_default().push((clock, session));
         self.live += 1;
+        let mut evicted = 0;
         while self.live > cap.max(1) {
             self.evict_lru();
+            evicted += 1;
         }
+        evicted
     }
 
     fn evict_lru(&mut self) {
@@ -361,12 +386,42 @@ impl Engine {
             config,
             sessions: Mutex::new(SessionStore::default()),
             plans: Mutex::new(FxHashMap::default()),
+            telemetry: EngineTelemetry::new(Arc::new(Registry::new())),
         }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The engine's registered metric handles: session churn, replay
+    /// hits/misses, plan-cache traffic, build and stream-lifetime
+    /// histograms.
+    pub fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
+    }
+
+    /// The metrics registry this engine registers into. Serving layers
+    /// add their own per-endpoint families here, so a single
+    /// [`Registry::render_prometheus`] call covers engine and transport
+    /// alike.
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.telemetry.registry()
+    }
+
+    /// Refreshes the gauge mirrors of pull-only state: the summed
+    /// `MsGraph` memo counters and the live-session count. Call before
+    /// rendering the registry (e.g. on each `GET /v1/metrics`).
+    pub fn refresh_gauges(&self) {
+        let stats = self.memo_stats();
+        let t = &self.telemetry;
+        t.memo_extends.set(stats.extends as i64);
+        t.memo_crossing_computed.set(stats.crossing_computed as i64);
+        t.memo_crossing_cached.set(stats.crossing_cached as i64);
+        t.memo_separators_interned
+            .set(stats.separators_interned as i64);
+        t.sessions_live.set(self.sessions_cached() as i64);
     }
 
     /// Number of live warm sessions.
@@ -400,12 +455,21 @@ impl Engine {
         // concurrent traffic on *other* graphs must not serialize behind
         // it. Two clients racing on the same new graph both build; the
         // re-check below keeps exactly one.
+        let build_start = Instant::now();
         let session = Arc::new(GraphSession::new(g, triangulator));
+        let build_time = build_start.elapsed();
         let mut sessions = self.sessions.lock().unwrap();
         if let Some(existing) = sessions.get(key, g, session.backend()) {
+            // Lost the race: the discarded duplicate is not a cold build.
             return existing;
         }
-        sessions.insert(key, Arc::clone(&session), self.config.max_sessions);
+        let evicted = sessions.insert(key, Arc::clone(&session), self.config.max_sessions);
+        let live = sessions.live;
+        drop(sessions);
+        self.telemetry.sessions_built.inc();
+        self.telemetry.session_build_us.record_duration(build_time);
+        self.telemetry.sessions_evicted.add(evicted);
+        self.telemetry.sessions_live.set(live as i64);
         session
     }
 
@@ -418,15 +482,20 @@ impl Engine {
         let key = graph_fingerprint(g);
         let mut sessions = self.sessions.lock().unwrap();
         let store = &mut *sessions;
+        let mut removed = 0;
         if let Some(entries) = store.by_key.get_mut(&key) {
             let before = entries.len();
             entries.retain(|(_, s)| s.graph.as_ref() != g);
-            store.live -= before - entries.len();
+            removed = before - entries.len();
+            store.live -= removed;
             if entries.is_empty() {
                 store.by_key.remove(&key);
             }
         }
+        let live = store.live;
         drop(sessions);
+        self.telemetry.sessions_evicted.add(removed as u64);
+        self.telemetry.sessions_live.set(live as i64);
         let mut plans = self.plans.lock().unwrap();
         if let Some(entries) = plans.get_mut(&key) {
             entries.retain(|(pg, _)| pg != g);
@@ -439,9 +508,12 @@ impl Engine {
     /// Drops every warm session and cached plan.
     pub fn clear_sessions(&self) {
         let mut sessions = self.sessions.lock().unwrap();
+        let removed = sessions.live;
         sessions.by_key.clear();
         sessions.live = 0;
         drop(sessions);
+        self.telemetry.sessions_evicted.add(removed as u64);
+        self.telemetry.sessions_live.set(0);
         self.plans.lock().unwrap().clear();
     }
 
@@ -488,10 +560,28 @@ impl Engine {
             delivery,
             threads,
             plan,
+            trace,
             cancel,
         } = query;
+        let tracer = trace.then(TraceBuilder::new);
+        let query_span = tracer.as_ref().map(|t| {
+            let span = t.root_span("query");
+            span.attr("task", task.name());
+            span.attr("dispatch", "engine");
+            span
+        });
+        let effective_threads = match threads {
+            0 => self.config.resolved_threads(),
+            n => n,
+        };
         if plan {
+            let plan_span = query_span.as_ref().map(|q| q.child("plan"));
             let plan = self.plan_for(g);
+            if let Some(span) = &plan_span {
+                span.attr("atoms", plan.atoms.len().to_string());
+                span.attr("unreduced", plan.is_unreduced().to_string());
+                span.finish();
+            }
             if !plan.is_unreduced() {
                 let shared: Arc<dyn Triangulator> = Arc::from(triangulator);
                 let last = plan.atoms.len().saturating_sub(1);
@@ -512,19 +602,72 @@ impl Engine {
                         let atom_threads = if i == last { threads } else { 1 };
                         let stream =
                             self.stream_for(&session, mode, delivery, atom_threads, Some(&cancel));
+                        let stream = Self::maybe_traced(
+                            stream,
+                            query_span.as_ref(),
+                            i,
+                            atom.graph.num_nodes(),
+                            if i == last { effective_threads } else { 1 },
+                        );
                         AtomStream {
-                            stream: Box::new(stream),
+                            stream,
                             old_of: atom.old_of.clone(),
                         }
                     })
                     .collect();
                 let composed = ComposedStream::new(g.clone(), children);
-                return Response::over_stream(task, budget, cancel, Box::new(composed));
+                let response = Response::over_stream(task, budget, cancel, Box::new(composed));
+                return match (tracer, query_span) {
+                    (Some(t), Some(s)) => response.with_trace(t, s),
+                    _ => response,
+                };
             }
         }
         let session = self.session_keyed(g, triangulator);
         let stream = self.stream_for(&session, mode, delivery, threads, Some(&cancel));
-        Response::over_stream(task, budget, cancel, Box::new(stream))
+        let stream = Self::maybe_traced(
+            stream,
+            query_span.as_ref(),
+            0,
+            g.num_nodes(),
+            effective_threads,
+        );
+        let response = Response::over_stream(task, budget, cancel, stream);
+        match (tracer, query_span) {
+            (Some(t), Some(s)) => response.with_trace(t, s),
+            _ => response,
+        }
+    }
+
+    /// Wraps `stream` in a [`TracedStream`] under an `atom` span when the
+    /// query is traced; the untraced path boxes the stream unchanged.
+    /// The `dispatch` attribute records how the stream was actually
+    /// served: a cache replay, the parallel pool, or the sequential
+    /// iterator.
+    fn maybe_traced(
+        stream: EngineEnumeration,
+        query_span: Option<&mintri_telemetry::SpanHandle>,
+        index: usize,
+        nodes: usize,
+        threads: usize,
+    ) -> Box<dyn TriangulationStream + 'static> {
+        match query_span {
+            Some(parent) => {
+                let dispatch = if stream.is_replay() {
+                    "replay"
+                } else if threads > 1 && cfg!(feature = "parallel") {
+                    "parallel"
+                } else {
+                    "sequential"
+                };
+                let span = parent.child("atom");
+                span.attr("index", index.to_string());
+                span.attr("nodes", nodes.to_string());
+                span.attr("dispatch", dispatch);
+                Box::new(TracedStream::new(Box::new(stream), span))
+            }
+            None => Box::new(stream),
+        }
     }
 
     /// The cached (or freshly computed) [`Plan`] for `g`. Planning is
@@ -540,17 +683,20 @@ impl Engine {
             let plans = self.plans.lock().unwrap();
             if let Some(entries) = plans.get(&key) {
                 if let Some((_, plan)) = entries.iter().find(|(pg, _)| pg == g) {
+                    self.telemetry.plan_cache_hits.inc();
                     return Arc::clone(plan);
                 }
             }
         }
         let plan = Arc::new(Plan::of(g));
+        self.telemetry.plans_computed.inc();
         let mut plans = self.plans.lock().unwrap();
         // Planning ran outside the lock (it is polynomial but not free),
         // so a concurrent first query may have beaten us here — re-check
         // before inserting, or the bucket accumulates duplicates.
         if let Some(entries) = plans.get(&key) {
             if let Some((_, existing)) = entries.iter().find(|(pg, _)| pg == g) {
+                self.telemetry.plan_cache_hits.inc();
                 return Arc::clone(existing);
             }
         }
@@ -596,14 +742,18 @@ impl Engine {
         cancel: Option<&CancelToken>,
     ) -> EngineEnumeration {
         if let Some(answers) = session.replayable(delivery, mode) {
+            self.telemetry.replay_hits.inc();
             return EngineEnumeration {
                 session: Arc::clone(session),
                 source: Source::Cached { answers, next: 0 },
                 recorded: None,
+                created: Instant::now(),
+                wall: Some(Arc::clone(&self.telemetry.stream_wall_us)),
                 #[cfg(feature = "parallel")]
                 _cancel_hook: None,
             };
         }
+        self.telemetry.replay_misses.inc();
         let threads = match threads {
             0 => self.config.resolved_threads(),
             n => n,
@@ -639,10 +789,12 @@ impl Engine {
                 session: Arc::clone(session),
                 source: Source::Live(par),
                 recorded: Some((key, Vec::new())),
+                created: Instant::now(),
+                wall: Some(Arc::clone(&self.telemetry.stream_wall_us)),
                 _cancel_hook: cancel_hook,
             };
         }
-        Self::sequential_stream(session, mode)
+        self.sequential_stream(session, mode)
     }
 
     #[cfg(not(feature = "parallel"))]
@@ -654,14 +806,16 @@ impl Engine {
         _threads: usize,
         _cancel: Option<&CancelToken>,
     ) -> EngineEnumeration {
-        Self::sequential_stream(session, mode)
+        self.sequential_stream(session, mode)
     }
 
-    fn sequential_stream(session: &Arc<GraphSession>, mode: PrintMode) -> EngineEnumeration {
+    fn sequential_stream(&self, session: &Arc<GraphSession>, mode: PrintMode) -> EngineEnumeration {
         EngineEnumeration {
             session: Arc::clone(session),
             source: Source::Sequential(Box::new(EnumMis::new(Arc::clone(&session.ms), mode))),
             recorded: Some((AnswerKey::Ordered(mode), Vec::new())),
+            created: Instant::now(),
+            wall: Some(Arc::clone(&self.telemetry.stream_wall_us)),
             #[cfg(feature = "parallel")]
             _cancel_hook: None,
         }
@@ -939,6 +1093,57 @@ mod tests {
         );
         assert_eq!(warm_decompose.count(), 42);
         assert_eq!(engine.session(&g).stats().extends, extends_after_cold);
+    }
+
+    #[test]
+    fn telemetry_counts_sessions_replays_and_plans() {
+        let engine = Engine::with_config(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let g = Graph::cycle(6);
+        let t = engine.telemetry();
+        let _ = engine.run(&g, Query::enumerate()).count();
+        assert_eq!(t.sessions_built.get(), 1);
+        assert_eq!(t.replay_misses.get(), 1);
+        assert_eq!(t.replay_hits.get(), 0);
+        assert_eq!(t.plans_computed.get(), 1);
+        let _ = engine.run(&g, Query::enumerate()).count();
+        assert_eq!(t.sessions_built.get(), 1, "warm query builds nothing");
+        assert_eq!(t.replay_hits.get(), 1);
+        assert_eq!(t.plan_cache_hits.get(), 1);
+        assert_eq!(t.session_build_us.count(), 1);
+        assert_eq!(t.stream_wall_us.count(), 2, "one record per stream drop");
+        engine.clear_sessions();
+        assert_eq!(t.sessions_evicted.get(), 1);
+        assert_eq!(t.sessions_live.get(), 0);
+        engine.refresh_gauges();
+        let text = engine.registry().render_prometheus();
+        assert!(text.contains("mintri_engine_replay_hits_total 1"));
+        assert!(text.contains("mintri_engine_sessions_built_total 1"));
+    }
+
+    #[test]
+    fn traced_engine_run_reports_replay_dispatch() {
+        let engine = Engine::with_config(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let g = Graph::cycle(6);
+        let _ = engine.run(&g, Query::enumerate()).count();
+        let mut warm = engine.run(&g, Query::enumerate().traced(true));
+        assert_eq!(warm.by_ref().count(), 14);
+        let outcome = warm.outcome();
+        let trace = outcome.trace.expect("traced query must attach a trace");
+        let query = trace.find("query").expect("query span");
+        assert_eq!(query.attr("dispatch"), Some("engine"));
+        assert_eq!(query.attr("task"), Some("enumerate"));
+        assert!(trace.find("plan").is_some());
+        let atom = trace.find("atom").expect("atom span");
+        assert_eq!(atom.attr("dispatch"), Some("replay"));
+        assert_eq!(atom.attr("results"), Some("14"));
+        let untraced = engine.run(&g, Query::enumerate());
+        assert_eq!(untraced.count(), 14);
     }
 
     #[test]

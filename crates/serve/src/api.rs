@@ -23,6 +23,7 @@ use mintri_core::json::{
 use mintri_core::query::{Query, QueryItem, Response, Task};
 use mintri_engine::{graph_fingerprint, Engine};
 use mintri_graph::Graph;
+use mintri_telemetry::{Counter, Gauge, Histogram};
 use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -47,6 +48,10 @@ pub struct ApiLimits {
     /// `"completed":false`; streaming responses are O(1) memory and stay
     /// uncapped.
     pub max_collected_results: usize,
+    /// Queries that take at least this long (wall clock, request start
+    /// to stream end) land in the slow-query ring buffer surfaced under
+    /// `/v1/stats`.
+    pub slow_query_ms: u64,
 }
 
 impl Default for ApiLimits {
@@ -56,7 +61,136 @@ impl Default for ApiLimits {
             max_graphs: 1024,
             max_batch: 256,
             max_collected_results: 100_000,
+            slow_query_ms: 250,
         }
+    }
+}
+
+/// One endpoint's request counter and latency histogram — the same two
+/// metric names for every endpoint, distinguished by the `endpoint`
+/// label value.
+struct EndpointMetrics {
+    requests: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+}
+
+impl EndpointMetrics {
+    fn new(registry: &mintri_telemetry::Registry, endpoint: &str) -> Self {
+        let labels = &[("endpoint", endpoint)];
+        EndpointMetrics {
+            requests: registry.counter_with(
+                "mintri_http_requests_total",
+                "HTTP requests routed, by endpoint",
+                labels,
+            ),
+            latency_us: registry.histogram_with(
+                "mintri_http_request_microseconds",
+                "Request handling wall time (collected queries include the full drain)",
+                labels,
+            ),
+        }
+    }
+
+    fn observe(&self, elapsed: Duration) {
+        self.requests.inc();
+        self.latency_us.record_duration(elapsed);
+    }
+}
+
+/// The transport's metric handles, registered into the **engine's**
+/// registry — one Prometheus render covers engine and HTTP layer alike.
+pub(crate) struct HttpMetrics {
+    healthz: EndpointMetrics,
+    stats: EndpointMetrics,
+    metrics: EndpointMetrics,
+    graphs: EndpointMetrics,
+    query: EndpointMetrics,
+    batch: EndpointMetrics,
+    /// Unrouted paths / wrong methods.
+    other: EndpointMetrics,
+    /// Connections currently held by a worker.
+    pub(crate) active_connections: Arc<Gauge>,
+    /// Size of the connection worker pool.
+    pub(crate) workers: Arc<Gauge>,
+}
+
+impl HttpMetrics {
+    fn new(registry: &mintri_telemetry::Registry) -> Self {
+        HttpMetrics {
+            healthz: EndpointMetrics::new(registry, "/healthz"),
+            stats: EndpointMetrics::new(registry, "/v1/stats"),
+            metrics: EndpointMetrics::new(registry, "/v1/metrics"),
+            graphs: EndpointMetrics::new(registry, "/v1/graphs"),
+            query: EndpointMetrics::new(registry, "/v1/query"),
+            batch: EndpointMetrics::new(registry, "/v1/batch"),
+            other: EndpointMetrics::new(registry, "other"),
+            active_connections: registry.gauge(
+                "mintri_http_active_connections",
+                "Connections currently held by a worker",
+            ),
+            workers: registry.gauge("mintri_http_workers", "Size of the connection worker pool"),
+        }
+    }
+
+    fn endpoint(&self, path: &str) -> &EndpointMetrics {
+        match path {
+            "/healthz" => &self.healthz,
+            "/v1/stats" => &self.stats,
+            "/v1/metrics" => &self.metrics,
+            "/v1/graphs" => &self.graphs,
+            "/v1/query" => &self.query,
+            "/v1/batch" => &self.batch,
+            _ => &self.other,
+        }
+    }
+}
+
+/// One slow-query record: what ran, how long it took, and when (as an
+/// uptime offset, so entries order without wall-clock reads).
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Wire name of the task.
+    pub task: &'static str,
+    /// Full wall time, request start to stream end, in ms.
+    pub elapsed_ms: u64,
+    /// Items the query produced.
+    pub count: usize,
+    /// Server uptime when the query finished, in ms.
+    pub at_ms: u64,
+}
+
+/// Fixed-capacity ring of the most recent slow queries.
+struct SlowLog {
+    entries: Vec<SlowQuery>,
+    /// Next slot to overwrite once the ring is full.
+    next: usize,
+}
+
+const SLOW_LOG_CAPACITY: usize = 32;
+
+impl SlowLog {
+    fn new() -> Self {
+        SlowLog {
+            entries: Vec::with_capacity(SLOW_LOG_CAPACITY),
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, entry: SlowQuery) {
+        if self.entries.len() < SLOW_LOG_CAPACITY {
+            self.entries.push(entry);
+        } else {
+            self.entries[self.next] = entry;
+            self.next = (self.next + 1) % SLOW_LOG_CAPACITY;
+        }
+    }
+
+    /// Entries oldest-first.
+    fn ordered(&self) -> Vec<SlowQuery> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        out.extend_from_slice(&self.entries[self.next..]);
+        out.extend_from_slice(&self.entries[..self.next]);
+        out
     }
 }
 
@@ -67,16 +201,22 @@ pub struct AppState {
     graphs: Mutex<HashMap<String, Arc<Graph>>>,
     limits: ApiLimits,
     started: Instant,
+    metrics: HttpMetrics,
+    slow: Mutex<SlowLog>,
 }
 
 impl AppState {
-    /// Fresh state over a shared engine.
+    /// Fresh state over a shared engine. The transport's metrics are
+    /// registered into the engine's registry here.
     pub fn new(engine: Arc<Engine>, limits: ApiLimits) -> Self {
+        let metrics = HttpMetrics::new(engine.registry());
         AppState {
             engine,
             graphs: Mutex::new(HashMap::new()),
             limits,
             started: Instant::now(),
+            metrics,
+            slow: Mutex::new(SlowLog::new()),
         }
     }
 
@@ -89,17 +229,47 @@ impl AppState {
     pub fn graphs_registered(&self) -> usize {
         self.graphs.lock().unwrap().len()
     }
+
+    /// The transport's metric handles (connection gauges for the server
+    /// loop).
+    pub(crate) fn http_metrics(&self) -> &HttpMetrics {
+        &self.metrics
+    }
+
+    /// The slow-query entries, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow.lock().unwrap().ordered()
+    }
+
+    /// Records a finished query's wall time; entries at or above
+    /// [`ApiLimits::slow_query_ms`] land in the slow-query ring.
+    pub(crate) fn observe_query(&self, task: &'static str, elapsed: Duration, count: usize) {
+        let elapsed_ms = elapsed.as_millis() as u64;
+        if elapsed_ms >= self.limits.slow_query_ms {
+            self.slow.lock().unwrap().push(SlowQuery {
+                task,
+                elapsed_ms,
+                count,
+                at_ms: self.started.elapsed().as_millis() as u64,
+            });
+        }
+    }
 }
 
 /// What a routed request produced: either a complete body, or a query
 /// stream the connection loop writes out chunk by chunk.
 pub enum Reply {
-    /// A finished JSON document.
+    /// A finished document.
     Full {
         /// HTTP status.
         status: u16,
         /// The response body.
         body: String,
+        /// `Content-Type` of the body (`application/json` for every
+        /// endpoint but `/v1/metrics`).
+        content_type: &'static str,
+        /// Extra response headers, e.g. a 503's `Retry-After`.
+        headers: Vec<(String, String)>,
     },
     /// A live query to stream as NDJSON chunks (boxed: the running
     /// query dwarfs the other variant).
@@ -108,15 +278,39 @@ pub enum Reply {
 
 impl Reply {
     fn ok(body: String) -> Reply {
-        Reply::Full { status: 200, body }
+        Reply::Full {
+            status: 200,
+            body,
+            content_type: "application/json",
+            headers: Vec::new(),
+        }
+    }
+
+    /// A 200 with the Prometheus text exposition content type.
+    fn prometheus(body: String) -> Reply {
+        Reply::Full {
+            status: 200,
+            body,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            headers: Vec::new(),
+        }
     }
 }
 
 /// Renders the structured error document every non-2xx answer carries.
 pub fn error_body(status: u16, message: &str) -> String {
+    error_body_with(status, message, &[])
+}
+
+/// [`error_body`] with extra numeric fields merged into the error
+/// object (a 503's `capacity`/`stored`, say).
+pub fn error_body_with(status: u16, message: &str, detail: &[(&'static str, u64)]) -> String {
     let mut inner = JsonObject::new();
     inner.usize("status", status as usize);
     inner.str("message", message);
+    for (key, value) in detail {
+        inner.raw(key, value.to_string());
+    }
     let mut doc = JsonObject::new();
     doc.raw("error", inner.finish());
     doc.finish()
@@ -124,9 +318,16 @@ pub fn error_body(status: u16, message: &str) -> String {
 
 impl From<HttpError> for Reply {
     fn from(e: HttpError) -> Reply {
+        let headers = e
+            .retry_after
+            .map(|secs| ("Retry-After".to_string(), secs.to_string()))
+            .into_iter()
+            .collect();
         Reply::Full {
             status: e.status,
-            body: error_body(e.status, &e.message),
+            body: error_body_with(e.status, &e.message, &e.detail),
+            content_type: "application/json",
+            headers,
         }
     }
 }
@@ -139,6 +340,9 @@ pub struct RunningQuery {
     pub task_name: &'static str,
     /// The live response stream.
     pub response: Response<'static>,
+    /// When the request started (for the slow-query log: a streamed
+    /// query's wall time only closes when its drain does).
+    pub(crate) started: Instant,
     _watchdog: Option<Watchdog>,
 }
 
@@ -269,10 +473,16 @@ impl AppState {
                 Some(_) => continue, // fingerprint collision: probe onward
                 None => {
                     if graphs.len() >= self.limits.max_graphs {
+                        // Structured: clients read capacity/stored (and
+                        // honor Retry-After) instead of parsing the
+                        // message.
                         return Err(HttpError::new(
                             503,
                             format!("graph registry full ({} graphs)", graphs.len()),
-                        ));
+                        )
+                        .detail("capacity", self.limits.max_graphs as u64)
+                        .detail("stored", graphs.len() as u64)
+                        .retry_after(1));
                     }
                     graphs.insert(id.clone(), Arc::clone(&g));
                     return Ok((id, g));
@@ -343,14 +553,18 @@ impl AppState {
         Ok(RunningQuery {
             task_name: name,
             response,
+            started: Instant::now(),
             _watchdog: watchdog,
         })
     }
 
     /// Runs one spec to completion and renders the response document.
+    /// The full drain is timed; slow runs land in the slow-query log.
     fn run_collected(&self, spec: &JsonValue) -> Result<String, HttpError> {
+        let started = Instant::now();
         let mut running = self.start_query(spec, true)?;
         let items: Vec<String> = running.response.by_ref().map(|i| render_item(&i)).collect();
+        self.observe_query(running.task_name, started.elapsed(), items.len());
         Ok(finish_document(
             running.task_name,
             &items,
@@ -373,12 +587,61 @@ impl AppState {
         memo_doc.usize("crossing_computed", memo.crossing_computed);
         memo_doc.usize("crossing_cached", memo.crossing_cached);
         memo_doc.usize("separators_interned", memo.separators_interned);
+        let t = self.engine.telemetry();
+        let mut engine_doc = JsonObject::new();
+        engine_doc.raw("sessions_built", t.sessions_built.get().to_string());
+        engine_doc.raw("sessions_evicted", t.sessions_evicted.get().to_string());
+        engine_doc.raw("replay_hits", t.replay_hits.get().to_string());
+        engine_doc.raw("replay_misses", t.replay_misses.get().to_string());
+        engine_doc.raw("plans_computed", t.plans_computed.get().to_string());
+        engine_doc.raw("plan_cache_hits", t.plan_cache_hits.get().to_string());
+        let requests: Vec<String> = [
+            ("/healthz", &self.metrics.healthz),
+            ("/v1/stats", &self.metrics.stats),
+            ("/v1/metrics", &self.metrics.metrics),
+            ("/v1/graphs", &self.metrics.graphs),
+            ("/v1/query", &self.metrics.query),
+            ("/v1/batch", &self.metrics.batch),
+            ("other", &self.metrics.other),
+        ]
+        .iter()
+        .map(|(endpoint, m)| {
+            let mut entry = JsonObject::new();
+            entry.str("endpoint", endpoint);
+            entry.raw("requests", m.requests.get().to_string());
+            entry.finish()
+        })
+        .collect();
+        let slow: Vec<String> = self
+            .slow_queries()
+            .iter()
+            .map(|s| {
+                let mut entry = JsonObject::new();
+                entry.str("task", s.task);
+                entry.raw("elapsed_ms", s.elapsed_ms.to_string());
+                entry.usize("count", s.count);
+                entry.raw("at_ms", s.at_ms.to_string());
+                entry.finish()
+            })
+            .collect();
         let mut doc = JsonObject::new();
         doc.usize("sessions", self.engine.sessions_cached());
         doc.usize("graphs", self.graphs_registered());
         doc.raw("memo", memo_doc.finish());
+        doc.raw("engine", engine_doc.finish());
+        doc.raw("requests", format!("[{}]", requests.join(",")));
+        doc.raw("slow_queries", format!("[{}]", slow.join(",")));
+        doc.raw("slow_query_ms", self.limits.slow_query_ms.to_string());
         doc.raw("uptime_ms", self.started.elapsed().as_millis().to_string());
         Reply::ok(doc.finish())
+    }
+
+    /// `GET /v1/metrics`: the whole registry — engine counters and
+    /// per-endpoint HTTP families alike — in Prometheus text exposition
+    /// format. Gauge mirrors of pull-only state are refreshed first.
+    fn handle_metrics(&self) -> Reply {
+        self.engine.refresh_gauges();
+        Reply::prometheus(self.engine.registry().render_prometheus())
     }
 
     fn handle_graphs(&self, body: &JsonValue) -> Result<Reply, HttpError> {
@@ -445,19 +708,34 @@ impl AppState {
     }
 
     /// Routes one parsed request. Infallible: every error is already a
-    /// structured [`Reply::Full`].
+    /// structured [`Reply::Full`]. Each route lands in its endpoint's
+    /// request counter and latency histogram (collected queries time the
+    /// full drain; streamed ones only the setup — the drain happens in
+    /// the connection loop).
     pub fn route(&self, req: &Request) -> Reply {
+        let started = Instant::now();
         let result = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => Ok(self.handle_healthz()),
             ("GET", "/v1/stats") => Ok(self.handle_stats()),
+            ("GET", "/v1/metrics") => Ok(self.handle_metrics()),
             ("POST", "/v1/graphs") => self.parse_body(req).and_then(|v| self.handle_graphs(&v)),
             ("POST", "/v1/query") => self.parse_body(req).and_then(|v| self.handle_query(&v)),
             ("POST", "/v1/batch") => self.parse_body(req).and_then(|v| self.handle_batch(&v)),
-            (_, "/healthz" | "/v1/stats" | "/v1/graphs" | "/v1/query" | "/v1/batch") => Err(
-                HttpError::new(405, format!("{} is not valid here", req.method)),
-            ),
+            (
+                _,
+                "/healthz" | "/v1/stats" | "/v1/metrics" | "/v1/graphs" | "/v1/query" | "/v1/batch",
+            ) => Err(HttpError::new(
+                405,
+                format!("{} is not valid here", req.method),
+            )),
             (_, path) => Err(HttpError::new(404, format!("no route for {path:?}"))),
         };
+        let endpoint = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", p @ ("/healthz" | "/v1/stats" | "/v1/metrics"))
+            | ("POST", p @ ("/v1/graphs" | "/v1/query" | "/v1/batch")) => p,
+            _ => "other",
+        };
+        self.metrics.endpoint(endpoint).observe(started.elapsed());
         result.unwrap_or_else(Reply::from)
     }
 

@@ -76,6 +76,13 @@ pub struct HttpError {
     pub status: u16,
     /// Human-readable cause, embedded in the JSON error document.
     pub message: String,
+    /// Extra numeric fields merged into the error document — e.g. a
+    /// 503's `capacity`/`stored` pair, so clients can react to the cause
+    /// without parsing the message string.
+    pub detail: Vec<(&'static str, u64)>,
+    /// Seconds for a `Retry-After` response header, when the condition
+    /// is transient (503s).
+    pub retry_after: Option<u64>,
 }
 
 impl HttpError {
@@ -84,12 +91,26 @@ impl HttpError {
         HttpError {
             status,
             message: message.into(),
+            detail: Vec::new(),
+            retry_after: None,
         }
     }
 
     /// 400 Bad Request.
     pub fn bad_request(message: impl Into<String>) -> Self {
         Self::new(400, message)
+    }
+
+    /// Adds a structured numeric field to the error document.
+    pub fn detail(mut self, key: &'static str, value: u64) -> Self {
+        self.detail.push((key, value));
+        self
+    }
+
+    /// Sets the `Retry-After` header on the response.
+    pub fn retry_after(mut self, seconds: u64) -> Self {
+        self.retry_after = Some(seconds);
+        self
     }
 }
 
@@ -237,13 +258,31 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_with(stream, status, body, keep_alive, "application/json", &[])
+}
+
+/// [`write_response`] with an explicit content type and extra response
+/// headers (e.g. the Prometheus text exposition, or a 503's
+/// `Retry-After`).
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         status_text(status),
         body.len(),
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }

@@ -139,6 +139,7 @@ impl Server {
     /// a fixed pool of connection workers over a bounded channel.
     pub fn run(self) -> std::io::Result<()> {
         let workers = self.config.workers.max(1);
+        self.state.http_metrics().workers.set(workers as i64);
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * 2);
         let rx = Arc::new(Mutex::new(rx));
         let mut pool = Vec::with_capacity(workers);
@@ -183,6 +184,17 @@ impl Server {
 /// socket still permits it; a handler panic becomes a 500, never a dead
 /// worker.
 fn serve_connection(state: &Arc<AppState>, config: &ServeConfig, mut stream: TcpStream) {
+    let connections = Arc::clone(&state.http_metrics().active_connections);
+    connections.add(1);
+    // Balance the gauge on every exit path (including worker panics the
+    // catch_unwind below cannot see, e.g. in the write path).
+    struct ConnectionGuard(Arc<mintri_telemetry::Gauge>);
+    impl Drop for ConnectionGuard {
+        fn drop(&mut self) {
+            self.0.sub(1);
+        }
+    }
+    let _guard = ConnectionGuard(connections);
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     // A client that stops *reading* must not wedge a worker either: once
     // the kernel send buffer fills, writes time out and the connection
@@ -211,10 +223,23 @@ fn serve_connection(state: &Arc<AppState>, config: &ServeConfig, mut stream: Tcp
                 Reply::from(HttpError::new(500, "internal error handling the request"))
             });
         let ok = match reply {
-            Reply::Full { status, body } => {
-                http::write_response(&mut stream, status, &body, keep_alive).is_ok()
+            Reply::Full {
+                status,
+                body,
+                content_type,
+                headers,
+            } => http::write_response_with(
+                &mut stream,
+                status,
+                &body,
+                keep_alive,
+                content_type,
+                &headers,
+            )
+            .is_ok(),
+            Reply::Stream(running) => {
+                stream_query(state, &mut stream, keep_alive, *running).is_ok()
             }
-            Reply::Stream(running) => stream_query(&mut stream, keep_alive, *running).is_ok(),
         };
         if !ok || !keep_alive {
             return;
@@ -223,8 +248,10 @@ fn serve_connection(state: &Arc<AppState>, config: &ServeConfig, mut stream: Tcp
 }
 
 /// Streams a running query as chunked NDJSON: one `{"item":…}` line per
-/// result, then a final `{"done":…}` line carrying the outcome.
+/// result, then a final `{"done":…}` line carrying the outcome. The
+/// drained wall time feeds the slow-query log, same as collected runs.
 fn stream_query(
+    state: &Arc<AppState>,
     stream: &mut TcpStream,
     keep_alive: bool,
     mut running: api::RunningQuery,
@@ -247,6 +274,7 @@ fn stream_query(
             }
         }
     }
+    state.observe_query(running.task_name, running.started.elapsed(), streamed);
     let done = finish_document(running.task_name, &[], streamed, &running.response);
     let mut doc = mintri_core::json::JsonObject::new();
     doc.raw("done", done);

@@ -449,6 +449,184 @@ fn oversized_bodies_are_rejected_by_the_cap() {
 }
 
 #[test]
+fn metrics_endpoint_serves_prometheus_text_and_counters_advance() {
+    use mintri_telemetry::promtext;
+    let server = TestServer::boot(ServeConfig::default());
+    let g = graph_to_json(&Graph::cycle(6));
+    let spec = format!(r#"{{"graph":{g},"query":{{"task":{{"type":"enumerate"}}}}}}"#);
+    let _ = request(server.addr, "POST", "/v1/query", Some(&spec)).unwrap();
+    let _ = request(server.addr, "POST", "/v1/query", Some(&spec)).unwrap();
+
+    let resp = request(server.addr, "GET", "/v1/metrics", None).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.header("content-type")
+            .unwrap_or("")
+            .starts_with("text/plain"),
+        "metrics are text exposition, not JSON"
+    );
+    // The document is valid Prometheus text: every line parses.
+    let samples = promtext::parse(&resp.body)
+        .unwrap_or_else(|e| panic!("metrics must parse as Prometheus text: {e}\n{}", resp.body));
+
+    let value = |name: &str, label: Option<(&str, &str)>| -> Option<f64> {
+        samples
+            .iter()
+            .find(|s| s.name == name && label.is_none_or(|(k, v)| s.label(k) == Some(v)))
+            .map(|s| s.value)
+    };
+    // Per-endpoint counter advanced (two /v1/query requests).
+    assert_eq!(
+        value(
+            "mintri_http_requests_total",
+            Some(("endpoint", "/v1/query"))
+        ),
+        Some(2.0)
+    );
+    // Per-endpoint latency histogram is present with buckets.
+    assert!(samples.iter().any(|s| {
+        s.name == "mintri_http_request_microseconds_bucket"
+            && s.label("endpoint") == Some("/v1/query")
+    }));
+    // Engine counters crossed the registry: the repeat query replayed.
+    assert!(value("mintri_engine_replay_hits_total", None).unwrap() >= 1.0);
+    assert!(value("mintri_engine_sessions_built_total", None).unwrap() >= 1.0);
+    assert_eq!(value("mintri_engine_sessions_live", None).unwrap(), 1.0);
+}
+
+#[test]
+fn traced_queries_return_a_span_tree() {
+    let server = TestServer::boot(ServeConfig::default());
+    let g = graph_to_json(&Graph::cycle(6));
+    let spec = format!(r#"{{"graph":{g},"query":{{"task":{{"type":"enumerate"}},"trace":true}}}}"#);
+    let _ = request(server.addr, "POST", "/v1/query", Some(&spec)).unwrap();
+    let warm = request(server.addr, "POST", "/v1/query", Some(&spec)).unwrap();
+    assert_eq!(warm.status, 200, "{}", warm.body);
+    let doc = parse(&warm.body);
+    let trace = doc
+        .get("outcome")
+        .unwrap()
+        .get("trace")
+        .expect("traced queries carry a trace in the outcome");
+    let children = trace.get("children").unwrap().as_array().unwrap();
+    let query_span = children
+        .iter()
+        .find(|c| c.get("name").unwrap().as_str() == Some("query"))
+        .expect("query span");
+    assert!(query_span.get("duration_us").unwrap().as_u64().is_some());
+    let query_children = query_span.get("children").unwrap().as_array().unwrap();
+    let atom = query_children
+        .iter()
+        .find(|c| c.get("name").unwrap().as_str() == Some("atom"))
+        .expect("per-atom span");
+    assert_eq!(
+        atom.get("attrs").unwrap().get("dispatch").unwrap().as_str(),
+        Some("replay"),
+        "the warm query's atom must report replay dispatch"
+    );
+    assert_eq!(
+        atom.get("attrs").unwrap().get("results").unwrap().as_str(),
+        Some("14")
+    );
+
+    // An untraced query's outcome stays trace-free.
+    let plain = format!(r#"{{"graph":{g},"query":{{"task":{{"type":"enumerate"}}}}}}"#);
+    let resp = request(server.addr, "POST", "/v1/query", Some(&plain)).unwrap();
+    assert!(parse(&resp.body)
+        .get("outcome")
+        .unwrap()
+        .get("trace")
+        .is_none());
+}
+
+#[test]
+fn full_graph_registry_answers_structured_503_with_retry_after() {
+    use mintri_serve::api::ApiLimits;
+    let server = TestServer::boot(ServeConfig {
+        api: ApiLimits {
+            max_graphs: 1,
+            ..ApiLimits::default()
+        },
+        ..ServeConfig::default()
+    });
+    let first = request(
+        server.addr,
+        "POST",
+        "/v1/graphs",
+        Some(&graph_to_json(&Graph::cycle(5))),
+    )
+    .unwrap();
+    assert_eq!(first.status, 200);
+    let full = request(
+        server.addr,
+        "POST",
+        "/v1/graphs",
+        Some(&graph_to_json(&Graph::cycle(6))),
+    )
+    .unwrap();
+    assert_eq!(full.status, 503);
+    assert_eq!(
+        full.header("retry-after"),
+        Some("1"),
+        "a 503 must tell clients when to retry"
+    );
+    let error = parse(&full.body);
+    let error = error.get("error").unwrap();
+    assert_eq!(error.get("status").unwrap().as_usize(), Some(503));
+    assert_eq!(error.get("capacity").unwrap().as_usize(), Some(1));
+    assert_eq!(error.get("stored").unwrap().as_usize(), Some(1));
+
+    // Re-uploading the stored graph still answers its id.
+    let again = request(
+        server.addr,
+        "POST",
+        "/v1/graphs",
+        Some(&graph_to_json(&Graph::cycle(5))),
+    )
+    .unwrap();
+    assert_eq!(again.status, 200);
+}
+
+#[test]
+fn slow_queries_land_in_the_stats_ring_buffer() {
+    use mintri_serve::api::ApiLimits;
+    // Threshold 0: every query is "slow", so the ring fills determinately.
+    let server = TestServer::boot(ServeConfig {
+        api: ApiLimits {
+            slow_query_ms: 0,
+            ..ApiLimits::default()
+        },
+        ..ServeConfig::default()
+    });
+    let g = graph_to_json(&Graph::cycle(7));
+    let spec =
+        format!(r#"{{"graph":{g},"query":{{"task":{{"type":"best_k","k":3,"cost":"fill"}}}}}}"#);
+    let resp = request(server.addr, "POST", "/v1/query", Some(&spec)).unwrap();
+    assert_eq!(resp.status, 200);
+
+    let stats = parse(&request(server.addr, "GET", "/v1/stats", None).unwrap().body);
+    assert_eq!(stats.get("slow_query_ms").unwrap().as_usize(), Some(0));
+    let slow = stats.get("slow_queries").unwrap().as_array().unwrap();
+    assert!(!slow.is_empty(), "threshold 0 must capture the query");
+    let entry = slow
+        .iter()
+        .find(|e| e.get("task").unwrap().as_str() == Some("best_k"))
+        .expect("the best_k query is logged");
+    assert_eq!(entry.get("count").unwrap().as_usize(), Some(3));
+    assert!(entry.get("elapsed_ms").unwrap().as_u64().is_some());
+
+    // Per-endpoint request totals ride along in the same document.
+    let requests = stats.get("requests").unwrap().as_array().unwrap();
+    let query_total = requests
+        .iter()
+        .find(|r| r.get("endpoint").unwrap().as_str() == Some("/v1/query"))
+        .and_then(|r| r.get("requests").unwrap().as_usize());
+    assert_eq!(query_total, Some(1));
+    let engine = stats.get("engine").unwrap();
+    assert!(engine.get("replay_misses").unwrap().as_usize().unwrap() >= 1);
+}
+
+#[test]
 fn warm_replay_shares_across_connections_and_graph_reuploads() {
     let server = TestServer::boot(ServeConfig::default());
     let g = graph_to_json(&Graph::cycle(7));

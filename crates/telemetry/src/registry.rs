@@ -1,0 +1,599 @@
+//! The metrics registry: named families of [`Counter`]/[`Gauge`]/
+//! [`Histogram`] series, rendered in the Prometheus text exposition
+//! format — plus [`promtext`], a parser for that format so tests can pin
+//! "everything we emit parses back".
+//!
+//! Registration takes the registry lock once and hands back an `Arc`
+//! handle; after that, hot paths touch only the metric's own atomics.
+//! The lock is never held while user code runs (the workspace
+//! invariant: no telemetry lock is held across enumeration).
+
+use crate::metrics::{bucket_le, Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Label pairs as given at registration time.
+pub type Labels = Vec<(String, String)>;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Series {
+    labels: Labels,
+    metric: Metric,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    series: Vec<Series>,
+}
+
+/// A registry of metric families. Get-or-create semantics: asking for
+/// the same `(name, labels)` twice returns the same underlying metric,
+/// so layers can share one registry without coordinating registration
+/// order. Registering one name as two different kinds is a programming
+/// error and panics.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+/// `true` for names matching the Prometheus metric/label grammar
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`; the optional colon is reserved for rules,
+/// so this stack never emits it).
+pub fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn get_or_create<T>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: Kind,
+        fresh: impl FnOnce() -> Arc<T>,
+        pick: impl Fn(&Metric) -> Option<Arc<T>>,
+        wrap: impl FnOnce(Arc<T>) -> Metric,
+    ) -> Arc<T> {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        assert!(
+            labels.iter().all(|(k, _)| valid_name(k)),
+            "invalid label name in {labels:?}"
+        );
+        let labels: Labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.lock().unwrap();
+        if let Some(family) = families.iter_mut().find(|f| f.name == name) {
+            assert!(
+                family.kind == kind,
+                "metric {name:?} registered as {} and {}",
+                family.kind.name(),
+                kind.name()
+            );
+            if let Some(series) = family.series.iter().find(|s| s.labels == labels) {
+                return pick(&series.metric).expect("kind verified above");
+            }
+            let metric = fresh();
+            family.series.push(Series {
+                labels,
+                metric: wrap(Arc::clone(&metric)),
+            });
+            return metric;
+        }
+        let metric = fresh();
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            series: vec![Series {
+                labels,
+                metric: wrap(Arc::clone(&metric)),
+            }],
+        });
+        metric
+    }
+
+    /// The unlabeled counter `name`, created on first use.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// The counter `name{labels}`, created on first use.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.get_or_create(
+            name,
+            help,
+            labels,
+            Kind::Counter,
+            || Arc::new(Counter::new()),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            Metric::Counter,
+        )
+    }
+
+    /// The unlabeled gauge `name`, created on first use.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// The gauge `name{labels}`, created on first use.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.get_or_create(
+            name,
+            help,
+            labels,
+            Kind::Gauge,
+            || Arc::new(Gauge::new()),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            Metric::Gauge,
+        )
+    }
+
+    /// The unlabeled histogram `name`, created on first use.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// The histogram `name{labels}`, created on first use.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        self.get_or_create(
+            name,
+            help,
+            labels,
+            Kind::Histogram,
+            || Arc::new(Histogram::new()),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            Metric::Histogram,
+        )
+    }
+
+    /// Renders every family in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` comments per family, one
+    /// sample line per counter/gauge series, and the cumulative
+    /// `_bucket{le=…}` / `_sum` / `_count` triplet per histogram series.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().unwrap();
+        let mut out = String::new();
+        for family in families.iter() {
+            if !family.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+            }
+            let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.name());
+            for series in &family.series {
+                match &series.metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            c.get()
+                        );
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            g.get()
+                        );
+                    }
+                    Metric::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cum = 0u64;
+                        for i in 0..HISTOGRAM_BUCKETS {
+                            cum += snap.counts[i];
+                            let le = match bucket_le(i) {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            let _ = writeln!(
+                                out,
+                                "{}_bucket{} {}",
+                                family.name,
+                                render_labels(&series.labels, Some(&le)),
+                                cum
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{}_sum{} {}",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            snap.sum
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{}_count{} {}",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            cum
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders `{k="v",…,le="…"}`, or nothing when there are no labels.
+fn render_labels(labels: &Labels, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and line feed.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a HELP text: backslash and line feed (quotes stay verbatim).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parser for the Prometheus text exposition format — the other half
+/// of [`Registry::render_prometheus`], used by tests and smoke checks to
+/// assert that every emitted line is well-formed and to read sample
+/// values back out.
+pub mod promtext {
+    use super::valid_name;
+
+    /// One parsed sample line.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Sample {
+        /// Metric name (including any `_bucket`/`_sum`/`_count` suffix).
+        pub name: String,
+        /// Label pairs in source order.
+        pub labels: Vec<(String, String)>,
+        /// The sample value (`+Inf`/`-Inf`/`NaN` accepted).
+        pub value: f64,
+    }
+
+    impl Sample {
+        /// The first value of label `key`.
+        pub fn label(&self, key: &str) -> Option<&str> {
+            self.labels
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+        }
+    }
+
+    /// Parses a full exposition document: every non-comment, non-blank
+    /// line must be a valid sample, every `#` line a well-formed `HELP`
+    /// or `TYPE` comment. Returns the samples, or a message naming the
+    /// offending line.
+    pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+        let mut samples = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                parse_comment(comment).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                continue;
+            }
+            samples.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+        }
+        Ok(samples)
+    }
+
+    fn parse_comment(rest: &str) -> Result<(), String> {
+        let rest = rest.trim_start();
+        if let Some(help) = rest.strip_prefix("HELP ") {
+            let name = help.split(' ').next().unwrap_or("");
+            if !valid_name(name) {
+                return Err(format!("HELP names invalid metric {name:?}"));
+            }
+            return Ok(());
+        }
+        if let Some(ty) = rest.strip_prefix("TYPE ") {
+            let mut parts = ty.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !valid_name(name) {
+                return Err(format!("TYPE names invalid metric {name:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("unknown TYPE {kind:?}"));
+            }
+            return Ok(());
+        }
+        // Other comments are allowed by the format and carry no samples.
+        Ok(())
+    }
+
+    fn parse_sample(line: &str) -> Result<Sample, String> {
+        let bytes = line.as_bytes();
+        let mut pos = 0;
+        while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_') {
+            pos += 1;
+        }
+        let name = &line[..pos];
+        if !valid_name(name) {
+            return Err(format!("invalid metric name in {line:?}"));
+        }
+        let mut labels = Vec::new();
+        if pos < bytes.len() && bytes[pos] == b'{' {
+            pos += 1;
+            loop {
+                if pos >= bytes.len() {
+                    return Err("unterminated label set".into());
+                }
+                if bytes[pos] == b'}' {
+                    pos += 1;
+                    break;
+                }
+                let key_start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                let key = &line[key_start..pos];
+                if !valid_name(key) {
+                    return Err(format!("invalid label name in {line:?}"));
+                }
+                if bytes.get(pos) != Some(&b'=') || bytes.get(pos + 1) != Some(&b'"') {
+                    return Err(format!("expected ={{\"}} after label {key:?}"));
+                }
+                pos += 2;
+                let mut value = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        None => return Err("unterminated label value".into()),
+                        Some(b'"') => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            pos += 1;
+                            match bytes.get(pos) {
+                                Some(b'\\') => value.push('\\'),
+                                Some(b'"') => value.push('"'),
+                                Some(b'n') => value.push('\n'),
+                                _ => return Err("invalid escape in label value".into()),
+                            }
+                            pos += 1;
+                        }
+                        Some(_) => {
+                            // Step one UTF-8 scalar, not one byte.
+                            let rest = &line[pos..];
+                            let c = rest.chars().next().unwrap();
+                            value.push(c);
+                            pos += c.len_utf8();
+                        }
+                    }
+                }
+                labels.push((key.to_string(), value));
+                match bytes.get(pos) {
+                    Some(b',') => pos += 1,
+                    Some(b'}') => {}
+                    _ => return Err("expected `,` or `}` in label set".into()),
+                }
+            }
+        }
+        let rest = line[pos..].trim();
+        let mut parts = rest.split_whitespace();
+        let value_text = parts.next().ok_or("missing sample value")?;
+        let value = match value_text {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            t => t
+                .parse::<f64>()
+                .map_err(|_| format!("invalid sample value {t:?}"))?,
+        };
+        // An optional timestamp may follow; anything further is garbage.
+        if let Some(ts) = parts.next() {
+            ts.parse::<i64>()
+                .map_err(|_| format!("invalid timestamp {ts:?}"))?;
+        }
+        if parts.next().is_some() {
+            return Err(format!("trailing garbage in {line:?}"));
+        }
+        Ok(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("requests_total", "requests");
+        let b = r.counter("requests_total", "requests");
+        a.inc();
+        b.add(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.get(), 3);
+        // distinct labels are distinct series
+        let c = r.counter_with("requests_total", "requests", &[("endpoint", "/x")]);
+        c.add(10);
+        assert_eq!(a.get(), 3);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("thing", "");
+        let _ = r.gauge("thing", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_panic() {
+        let _ = Registry::new().counter("bad-name", "");
+    }
+
+    #[test]
+    fn render_includes_every_kind_and_parses_back() {
+        let r = Registry::new();
+        r.counter_with("hits_total", "hit count", &[("endpoint", "/v1/query")])
+            .add(7);
+        r.gauge("live_sessions", "live").set(3);
+        r.histogram("latency_microseconds", "request latency")
+            .record(100);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE hits_total counter"));
+        assert!(text.contains("hits_total{endpoint=\"/v1/query\"} 7"));
+        assert!(text.contains("# TYPE live_sessions gauge"));
+        assert!(text.contains("# TYPE latency_microseconds histogram"));
+        assert!(text.contains("latency_microseconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("latency_microseconds_sum 100"));
+        assert!(text.contains("latency_microseconds_count 1"));
+
+        let samples = promtext::parse(&text).expect("our own rendering must parse");
+        let hit = samples.iter().find(|s| s.name == "hits_total").unwrap();
+        assert_eq!(hit.value, 7.0);
+        assert_eq!(hit.label("endpoint"), Some("/v1/query"));
+        // Histogram buckets are cumulative and end at the count.
+        let buckets: Vec<&promtext::Sample> = samples
+            .iter()
+            .filter(|s| s.name == "latency_microseconds_bucket")
+            .collect();
+        assert_eq!(buckets.len(), HISTOGRAM_BUCKETS);
+        let mut prev = 0.0;
+        for b in &buckets {
+            assert!(b.value >= prev, "bucket counts are cumulative");
+            prev = b.value;
+        }
+        assert_eq!(buckets.last().unwrap().value, 1.0);
+        assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+    }
+
+    #[test]
+    fn label_values_escape_and_round_trip() {
+        let r = Registry::new();
+        let hostile = "we\\ird\"value\nwith everything";
+        r.counter_with("odd_total", "", &[("k", hostile)]).inc();
+        let text = r.render_prometheus();
+        let samples = promtext::parse(&text).unwrap();
+        let s = samples.iter().find(|s| s.name == "odd_total").unwrap();
+        assert_eq!(s.label("k"), Some(hostile));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "1leading_digit 3",
+            "name{unterminated=\"x 3",
+            "name{k=\"v\"",
+            "name{k=v} 3",
+            "name",
+            "name notanumber",
+            "name 3 4 5",
+            "name{k=\"\\q\"} 1",
+        ] {
+            assert!(promtext::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        // but valid corner cases pass
+        assert!(
+            promtext::parse("x 3 1700000000000").is_ok(),
+            "timestamps are legal"
+        );
+        assert!(promtext::parse("x{} 3").is_ok(), "empty label set is legal");
+        assert!(promtext::parse("# arbitrary comment\nx 1").is_ok());
+    }
+}

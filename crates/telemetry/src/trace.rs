@@ -1,0 +1,371 @@
+//! Per-query span-tree tracing.
+//!
+//! A [`TraceBuilder`] is created at the start of a traced query and
+//! handed down through the layers; each layer opens named
+//! [`SpanHandle`]s ([`TraceBuilder::root_span`] /
+//! [`SpanHandle::child`]), attaches string attributes, and finishes
+//! them. When the query completes, [`TraceBuilder::snapshot`] freezes
+//! everything into an immutable [`TraceNode`] tree that rides on the
+//! query outcome.
+//!
+//! Tracing is opt-in per query: untraced queries never allocate a
+//! builder, so the hot path stays atomics-only. When tracing *is* on,
+//! each span open/finish takes one brief mutex lock on the builder's
+//! span list — never held across enumeration, only around a `Vec` push
+//! or field write.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Index of a span inside the builder's arena. `usize::MAX` = no parent.
+const NO_PARENT: usize = usize::MAX;
+
+struct SpanRec {
+    name: &'static str,
+    parent: usize,
+    start_us: u64,
+    duration_us: Option<u64>,
+    attrs: Vec<(&'static str, String)>,
+}
+
+struct Inner {
+    started: Instant,
+    spans: Mutex<Vec<SpanRec>>,
+}
+
+/// Collects spans for one traced query. Cheap to clone (an `Arc`);
+/// clones feed the same span arena, so a builder can be handed to the
+/// planner, per-atom streams and the drain loop simultaneously.
+#[derive(Clone)]
+pub struct TraceBuilder {
+    inner: Arc<Inner>,
+}
+
+impl Default for TraceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceBuilder {
+    /// A fresh builder; its clock starts now. All span timestamps are
+    /// microseconds relative to this instant.
+    pub fn new() -> Self {
+        TraceBuilder {
+            inner: Arc::new(Inner {
+                started: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.inner
+            .started
+            .elapsed()
+            .as_micros()
+            .min(u64::MAX as u128) as u64
+    }
+
+    fn open(&self, name: &'static str, parent: usize) -> SpanHandle {
+        let start_us = self.now_us();
+        let mut spans = self.inner.spans.lock().unwrap();
+        let index = spans.len();
+        spans.push(SpanRec {
+            name,
+            parent,
+            start_us,
+            duration_us: None,
+            attrs: Vec::new(),
+        });
+        SpanHandle {
+            builder: self.clone(),
+            index,
+        }
+    }
+
+    /// Opens a top-level span (no parent).
+    pub fn root_span(&self, name: &'static str) -> SpanHandle {
+        self.open(name, NO_PARENT)
+    }
+
+    /// Freezes the current span arena into an immutable tree. Spans
+    /// still open are closed *in the snapshot* at the current clock
+    /// (their live handles keep working and may finish later — a later
+    /// snapshot would then show the real duration). Top-level spans
+    /// become children of a synthetic root named `trace`.
+    pub fn snapshot(&self) -> Arc<TraceNode> {
+        let now = self.now_us();
+        let spans = self.inner.spans.lock().unwrap();
+        // Build children lists; spans were pushed in open order, so
+        // children always follow parents and index order is start order.
+        let mut nodes: Vec<TraceNode> = spans
+            .iter()
+            .map(|s| TraceNode {
+                name: s.name,
+                start_us: s.start_us,
+                duration_us: s
+                    .duration_us
+                    .unwrap_or_else(|| now.saturating_sub(s.start_us)),
+                attrs: s.attrs.clone(),
+                children: Vec::new(),
+            })
+            .collect();
+        let mut root = TraceNode {
+            name: "trace",
+            start_us: 0,
+            duration_us: now,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        };
+        // Attach bottom-up: walking indices in reverse keeps each
+        // parent's children in start order after the final reverse.
+        for i in (0..nodes.len()).rev() {
+            let node = std::mem::replace(
+                &mut nodes[i],
+                TraceNode {
+                    name: "",
+                    start_us: 0,
+                    duration_us: 0,
+                    attrs: Vec::new(),
+                    children: Vec::new(),
+                },
+            );
+            let parent = spans[i].parent;
+            if parent == NO_PARENT {
+                root.children.push(node);
+            } else {
+                nodes[parent].children.push(node);
+            }
+        }
+        fn order(n: &mut TraceNode) {
+            n.children.reverse();
+            n.children.iter_mut().for_each(order);
+        }
+        order(&mut root);
+        Arc::new(root)
+    }
+}
+
+/// A live handle on one span. Finish it explicitly with
+/// [`SpanHandle::finish`], or let it drop — dropping an unfinished
+/// handle records the duration at drop time.
+pub struct SpanHandle {
+    builder: TraceBuilder,
+    index: usize,
+}
+
+impl SpanHandle {
+    /// Opens a child span under this one.
+    pub fn child(&self, name: &'static str) -> SpanHandle {
+        self.builder.open(name, self.index)
+    }
+
+    /// Attaches a string attribute (key is static; value is rendered
+    /// into the trace verbatim).
+    pub fn attr(&self, key: &'static str, value: impl Into<String>) {
+        let value = value.into();
+        let mut spans = self.builder.inner.spans.lock().unwrap();
+        spans[self.index].attrs.push((key, value));
+    }
+
+    /// Closes the span, recording its duration. Idempotent: the first
+    /// close wins.
+    pub fn finish(&self) {
+        let now = self.builder.now_us();
+        let mut spans = self.builder.inner.spans.lock().unwrap();
+        let rec = &mut spans[self.index];
+        if rec.duration_us.is_none() {
+            rec.duration_us = Some(now.saturating_sub(rec.start_us));
+        }
+    }
+}
+
+impl Drop for SpanHandle {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// One node of a frozen trace: a named span with its start offset and
+/// duration in microseconds, attributes, and child spans in start
+/// order. Produced by [`TraceBuilder::snapshot`]; immutable thereafter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceNode {
+    /// Span name (e.g. `query`, `plan`, `atom`, `first_result`, `drain`).
+    pub name: &'static str,
+    /// Microseconds from trace start to span open.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub duration_us: u64,
+    /// Attribute pairs in attachment order.
+    pub attrs: Vec<(&'static str, String)>,
+    /// Child spans in start order.
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    /// The first value of attribute `key` on this node.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Depth-first search for the first descendant (or self) named
+    /// `name`.
+    pub fn find(&self, name: &str) -> Option<&TraceNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Renders the tree as indented text for terminal display:
+    /// one line per span — `name  +start  dur  [k=v …]`.
+    pub fn render_text(&self) -> String {
+        fn us(v: u64) -> String {
+            if v >= 1_000_000 {
+                format!("{:.2}s", v as f64 / 1e6)
+            } else if v >= 1_000 {
+                format!("{:.2}ms", v as f64 / 1e3)
+            } else {
+                format!("{v}us")
+            }
+        }
+        fn walk(n: &TraceNode, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(n.name);
+            out.push_str(&format!("  +{}  {}", us(n.start_us), us(n.duration_us)));
+            for (k, v) in &n.attrs {
+                out.push_str(&format!("  {k}={v}"));
+            }
+            out.push('\n');
+            for c in &n.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_snapshot_in_start_order() {
+        let tb = TraceBuilder::new();
+        let q = tb.root_span("query");
+        q.attr("task", "enumerate");
+        let p = q.child("plan");
+        p.attr("atoms", "3");
+        p.finish();
+        let a0 = q.child("atom");
+        a0.attr("index", "0");
+        a0.finish();
+        let a1 = q.child("atom");
+        a1.attr("index", "1");
+        a1.finish();
+        q.finish();
+
+        let t = tb.snapshot();
+        assert_eq!(t.name, "trace");
+        assert_eq!(t.children.len(), 1);
+        let query = &t.children[0];
+        assert_eq!(query.name, "query");
+        assert_eq!(query.attr("task"), Some("enumerate"));
+        let names: Vec<&str> = query.children.iter().map(|c| c.name).collect();
+        assert_eq!(names, ["plan", "atom", "atom"]);
+        assert_eq!(query.children[1].attr("index"), Some("0"));
+        assert_eq!(query.children[2].attr("index"), Some("1"));
+        assert_eq!(t.find("plan").unwrap().attr("atoms"), Some("3"));
+    }
+
+    #[test]
+    fn dropping_a_handle_finishes_the_span() {
+        let tb = TraceBuilder::new();
+        {
+            let _s = tb.root_span("scoped");
+        }
+        let t = tb.snapshot();
+        assert_eq!(t.children[0].name, "scoped");
+        // finished at drop, so a later snapshot sees a fixed duration
+        let again = tb.snapshot();
+        assert_eq!(
+            t.children[0].duration_us, again.children[0].duration_us,
+            "drop froze the duration"
+        );
+    }
+
+    #[test]
+    fn unfinished_spans_are_closed_in_the_snapshot_only() {
+        let tb = TraceBuilder::new();
+        let s = tb.root_span("open");
+        let first = tb.snapshot();
+        assert_eq!(first.children.len(), 1, "open span still appears");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        s.finish();
+        let second = tb.snapshot();
+        assert!(
+            second.children[0].duration_us >= first.children[0].duration_us,
+            "live handle kept running after the first snapshot"
+        );
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let tb = TraceBuilder::new();
+        let s = tb.root_span("once");
+        s.finish();
+        let d1 = tb.snapshot().children[0].duration_us;
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        s.finish();
+        let d2 = tb.snapshot().children[0].duration_us;
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn render_text_indents_children() {
+        let tb = TraceBuilder::new();
+        let q = tb.root_span("query");
+        let a = q.child("atom");
+        a.attr("index", "0");
+        a.finish();
+        q.finish();
+        let text = tb.snapshot().render_text();
+        assert!(
+            text.contains("\n  query"),
+            "query indented under trace:\n{text}"
+        );
+        assert!(
+            text.contains("\n    atom"),
+            "atom indented under query:\n{text}"
+        );
+        assert!(text.contains("index=0"), "{text}");
+    }
+
+    #[test]
+    fn builder_clones_share_one_arena_across_threads() {
+        let tb = TraceBuilder::new();
+        let root = tb.root_span("query");
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let root = root.child("atom");
+                std::thread::spawn(move || {
+                    root.attr("index", i.to_string());
+                    root.finish();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        root.finish();
+        let t = tb.snapshot();
+        assert_eq!(t.children[0].children.len(), 4);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests pinning the Prometheus text exposition round trip:
+//! whatever family/label/value mix the registry is fed, every line it
+//! renders parses back, and the parsed samples agree with the live
+//! metric values.
+
+use mintri_telemetry::{promtext, Registry};
+use proptest::prelude::*;
+
+/// A valid metric-name fragment (the grammar the registry enforces).
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..27, 1..12).prop_map(|picks| {
+        let mut s = String::from("m_");
+        for p in picks {
+            let c = if p == 26 {
+                '_'
+            } else {
+                (b'a' + p as u8) as char
+            };
+            s.push(c);
+        }
+        s
+    })
+}
+
+/// Arbitrary label values, including escape-worthy characters.
+fn label_value_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('Z'),
+            Just('/'),
+            Just(' '),
+            Just('\\'),
+            Just('"'),
+            Just('\n'),
+            Just('{'),
+            Just('}'),
+            Just(','),
+            Just('λ'),
+        ],
+        0..16,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Counter {
+        name: String,
+        label: Option<String>,
+        value: u64,
+    },
+    Gauge {
+        name: String,
+        value: i64,
+    },
+    Histogram {
+        name: String,
+        samples: Vec<u64>,
+    },
+}
+
+fn entry_strategy() -> impl Strategy<Value = Entry> {
+    prop_oneof![
+        (
+            name_strategy(),
+            prop_oneof![Just(None), label_value_strategy().prop_map(Some)],
+            any::<u64>()
+        )
+            .prop_map(|(name, label, value)| Entry::Counter {
+                name: format!("c_{name}"),
+                label,
+                value: value % 1_000_000,
+            }),
+        (name_strategy(), any::<i64>()).prop_map(|(name, value)| Entry::Gauge {
+            name: format!("g_{name}"),
+            value: value % 1_000_000,
+        }),
+        (
+            name_strategy(),
+            proptest::collection::vec(0u64..200_000_000, 0..20)
+        )
+            .prop_map(|(name, samples)| Entry::Histogram {
+                name: format!("h_{name}"),
+                samples
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_rendered_line_parses_and_values_agree(entries in proptest::collection::vec(entry_strategy(), 0..8)) {
+        let registry = Registry::new();
+        for e in &entries {
+            match e {
+                Entry::Counter { name, label, value } => {
+                    let c = match label {
+                        Some(v) => registry.counter_with(name, "a counter", &[("tag", v)]),
+                        None => registry.counter(name, "a counter"),
+                    };
+                    c.add(*value);
+                }
+                Entry::Gauge { name, value } => {
+                    registry.gauge(name, "a gauge").set(*value);
+                }
+                Entry::Histogram { name, samples } => {
+                    let h = registry.histogram(name, "a histogram");
+                    for s in samples {
+                        h.record(*s);
+                    }
+                }
+            }
+        }
+
+        let text = registry.render_prometheus();
+        let samples = promtext::parse(&text)
+            .unwrap_or_else(|e| panic!("render must parse: {e}\n---\n{text}"));
+
+        for e in &entries {
+            match e {
+                Entry::Counter { name, label, .. } => {
+                    let sample = samples
+                        .iter()
+                        .find(|s| {
+                            s.name == *name
+                                && s.labels.iter().map(|(_, v)| v.clone()).next()
+                                    == label.clone()
+                        })
+                        .unwrap_or_else(|| panic!("missing counter {name}"));
+                    // the same (name, labels) may appear in several generated
+                    // entries; the registry merges them, so compare to the
+                    // live metric rather than the raw entry value
+                    let live = match label {
+                        Some(v) => registry.counter_with(name, "", &[("tag", v)]),
+                        None => registry.counter(name, ""),
+                    };
+                    prop_assert_eq!(sample.value, live.get() as f64);
+                    if let Some(v) = label {
+                        prop_assert_eq!(sample.label("tag"), Some(v.as_str()));
+                    }
+                }
+                Entry::Gauge { name, .. } => {
+                    let sample = samples.iter().find(|s| s.name == *name)
+                        .unwrap_or_else(|| panic!("missing gauge {name}"));
+                    prop_assert_eq!(sample.value, registry.gauge(name, "").get() as f64);
+                }
+                Entry::Histogram { name, .. } => {
+                    let live = registry.histogram(name, "");
+                    let count_name = format!("{name}_count");
+                    let sum_name = format!("{name}_sum");
+                    let bucket_name = format!("{name}_bucket");
+                    let count = samples.iter().find(|s| s.name == count_name)
+                        .unwrap_or_else(|| panic!("missing {count_name}"));
+                    prop_assert_eq!(count.value, live.count() as f64);
+                    let sum = samples.iter().find(|s| s.name == sum_name)
+                        .unwrap_or_else(|| panic!("missing {sum_name}"));
+                    prop_assert_eq!(sum.value, live.sum() as f64);
+                    // buckets are cumulative, monotone, and end at count
+                    let buckets: Vec<f64> = samples
+                        .iter()
+                        .filter(|s| s.name == bucket_name)
+                        .map(|s| s.value)
+                        .collect();
+                    prop_assert!(!buckets.is_empty());
+                    for pair in buckets.windows(2) {
+                        prop_assert!(pair[0] <= pair[1], "cumulative buckets are monotone");
+                    }
+                    prop_assert_eq!(*buckets.last().unwrap(), count.value);
+                    let last = samples.iter().rfind(|s| s.name == bucket_name).unwrap();
+                    prop_assert_eq!(last.label("le"), Some("+Inf"));
+                }
+            }
+        }
+    }
+}

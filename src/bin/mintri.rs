@@ -12,8 +12,13 @@
 //! mintri decompose    --input g.col [--limit K] [--one-per-class true] [--no-plan]
 //!                     [--threads N] [--delivery ...] [--format ...]
 //! mintri serve        [--addr HOST:PORT] [--threads N] [--max-sessions M]
-//!                     [--workers W]
+//!                     [--workers W] [--slow-query-ms T]
 //! ```
+//!
+//! Every enumeration command also takes `--trace`: the query carries a
+//! span tree (plan decomposition, per-atom dispatch and timings, first
+//! result, drain) back in its outcome — printed human-readable to
+//! stderr in text mode, embedded as `outcome.trace` in `--format json`.
 //!
 //! Every enumeration command builds one typed [`Query`] (task + backend +
 //! budget + delivery + threads) and renders its [`Response`] — `--format
@@ -46,6 +51,7 @@ use mintri::engine::{Delivery, Engine, EngineConfig};
 use mintri::graph::io::{parse_dimacs, parse_edge_list};
 use mintri::prelude::*;
 use mintri::separators::MinimalSeparatorIter;
+use mintri::serve::api::ApiLimits;
 use mintri::serve::{ServeConfig, Server};
 use mintri::triangulate::{minimal_triangulation, EliminationOrder, LexM};
 use mintri::workloads::parse_uai;
@@ -79,7 +85,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that take no value (present means `true`).
-const SWITCH_FLAGS: &[&str] = &["no-plan"];
+const SWITCH_FLAGS: &[&str] = &["no-plan", "trace"];
 
 fn parse_flags(args: impl Iterator<Item = String>) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -247,7 +253,19 @@ fn build_query(command: &str, flags: &HashMap<String, String>) -> Result<Query, 
         .triangulator(pick_triangulator(flags)?)
         .budget(parse_budget(flags)?)
         .delivery(pick_delivery(flags)?)
-        .planned(!flags.contains_key("no-plan")))
+        .planned(!flags.contains_key("no-plan"))
+        .traced(flags.contains_key("trace")))
+}
+
+/// `--trace` text rendering: the span tree goes to stderr (stdout stays
+/// machine-readable). JSON output needs nothing here — the trace rides
+/// inside the outcome document.
+fn print_trace(outcome: &mintri::core::query::QueryOutcome, output: Output) {
+    if output == Output::Text {
+        if let Some(trace) = &outcome.trace {
+            eprint!("{}", trace.render_text());
+        }
+    }
 }
 
 /// Executes a query: through an [`Engine`] when `--threads` asks for
@@ -286,7 +304,8 @@ fn run(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
 /// `mintri serve`: the HTTP/batch transport over one shared [`Engine`].
 /// `--threads` configures the engine's worker pool (per-query
 /// parallelism), `--workers` the connection workers, `--max-sessions`
-/// the warm-session LRU cap.
+/// the warm-session LRU cap, `--slow-query-ms` the threshold for the
+/// slow-query log surfaced under `/v1/stats`.
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
         flags
@@ -299,19 +318,25 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         ..EngineConfig::default()
     };
     engine_config.threads = parse_usize("threads", engine_config.threads)?;
+    let api = ApiLimits {
+        slow_query_ms: parse_usize("slow-query-ms", ApiLimits::default().slow_query_ms as usize)?
+            as u64,
+        ..ApiLimits::default()
+    };
     let config = ServeConfig {
         addr: flags
             .get("addr")
             .cloned()
             .unwrap_or_else(|| ServeConfig::default().addr),
         workers: parse_usize("workers", ServeConfig::default().workers)?,
+        api,
         ..ServeConfig::default()
     };
     let engine = Arc::new(Engine::with_config(engine_config));
     let server = Server::bind(config, engine).map_err(|e| format!("cannot bind: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!("mintri-serve listening on http://{addr}");
-    eprintln!("endpoints: GET /healthz | GET /v1/stats | POST /v1/graphs | POST /v1/query | POST /v1/batch");
+    eprintln!("endpoints: GET /healthz | GET /v1/stats | GET /v1/metrics | POST /v1/graphs | POST /v1/query | POST /v1/batch");
     server.run().map_err(|e| format!("server failed: {e}"))
 }
 
@@ -485,6 +510,7 @@ fn cmd_enumerate(g: &Graph, flags: &HashMap<String, String>, output: Output) -> 
             println!("{}", response_document("enumerate", g, &results, &outcome));
         }
     }
+    print_trace(&outcome, output);
     Ok(())
 }
 
@@ -523,6 +549,7 @@ fn cmd_best_k(g: &Graph, flags: &HashMap<String, String>, output: Output) -> Res
             println!("{}", response_document("best-k", g, &results, &outcome));
         }
     }
+    print_trace(&outcome, output);
     Ok(())
 }
 
@@ -547,6 +574,7 @@ fn cmd_decompose(g: &Graph, flags: &HashMap<String, String>, output: Output) -> 
                 count += 1;
             }
             eprintln!("{count} proper tree decompositions printed");
+            print_trace(&response.outcome(), output);
         }
         Output::Json => {
             let ds = response.decompositions();

@@ -75,6 +75,7 @@ pub use mintri_graph as graph;
 pub use mintri_separators as separators;
 pub use mintri_serve as serve;
 pub use mintri_sgr as sgr;
+pub use mintri_telemetry as telemetry;
 pub use mintri_treedecomp as treedecomp;
 pub use mintri_triangulate as triangulate;
 pub use mintri_workloads as workloads;
