@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Serving smoke suite: boots the release `mintri serve` binary, drives
 # the whole HTTP surface with curl, asserts the warm-replay contract
-# (`"is_replay":true` on the second identical query), checks the
+# (`"is_replay":true` on the second identical query) and the ranked
+# best-k contract (output-sensitive scan by default, `"ranked": false`
+# forces the exhaustive scan, identical winners either way), checks the
 # observability surface (`/v1/metrics` counters advance, replay hits
-# register, a deliberately slow best-k lands in the slow-query ring,
-# and a `"trace": true` response round-trips through the core JSON
-# parser via `bench_check --parse`), proves malformed input answers a
-# structured 400 without killing the server, and fails on any non-2xx
-# or on a leaked server process.
+# and ranked queries register, a deliberately slow best-k lands in the
+# slow-query ring, and a `"trace": true` response round-trips through
+# the core JSON parser via `bench_check --parse`), proves malformed
+# input answers a structured 400 without killing the server, and fails
+# on any non-2xx or on a leaked server process.
 #
 # Usage: ci/serve_smoke.sh [BINARY] [BENCH_CHECK]
 #        (defaults target/release/mintri, bench_check next to BINARY)
@@ -52,15 +54,33 @@ GID=$(curl -sf -X POST "$BASE/v1/graphs" -d "$GRAPH" | sed -n 's/.*"graph_id":"\
 echo "   graph_id=$GID"
 
 ENUM="{\"graph_id\":\"$GID\",\"query\":{\"task\":{\"type\":\"enumerate\"}}}"
-BESTK="{\"graph_id\":\"$GID\",\"query\":{\"task\":{\"type\":\"best_k\",\"k\":2,\"cost\":\"width\"}}}"
+# Deterministic delivery pins the exhaustive gear's tie-break order so
+# the winners below are comparable across gears.
+BESTK="{\"graph_id\":\"$GID\",\"query\":{\"task\":{\"type\":\"best_k\",\"k\":2,\"cost\":\"width\"},\"delivery\":\"deterministic\"}}"
 
 echo "== cold enumerate"
 COLD=$(curl -sf -X POST "$BASE/v1/query" -d "$ENUM")
 echo "$COLD" | grep -q '"count":14'        || fail "C6 must have 14 minimal triangulations: $COLD"
 echo "$COLD" | grep -q '"is_replay":false' || fail "first query must compute: $COLD"
 
-echo "== best-k"
-curl -sf -X POST "$BASE/v1/query" -d "$BESTK" | grep -q '"count":2' || fail "best-k must return 2 items"
+echo "== best-k (ranked gear, the wire default)"
+RANKED_RESP=$(curl -sf -X POST "$BASE/v1/query" -d "$BESTK")
+echo "$RANKED_RESP" | grep -q '"count":2' || fail "best-k must return 2 items: $RANKED_RESP"
+# The ranked gear is output-sensitive: the scan stops at k winners
+# instead of draining C6's 14 triangulations.
+echo "$RANKED_RESP" | grep -q '"scanned":2' || fail "ranked best-k must scan only k results: $RANKED_RESP"
+echo "$RANKED_RESP" | grep -q '"completed":true' || fail "ranked best-k must prove its winners: $RANKED_RESP"
+
+echo "== best-k (\"ranked\": false forces the exhaustive scan)"
+BESTK_EXH="{\"graph_id\":\"$GID\",\"query\":{\"task\":{\"type\":\"best_k\",\"k\":2,\"cost\":\"width\"},\"delivery\":\"deterministic\",\"ranked\":false}}"
+EXH_RESP=$(curl -sf -X POST "$BASE/v1/query" -d "$BESTK_EXH")
+echo "$EXH_RESP" | grep -q '"count":2' || fail "exhaustive best-k must return 2 items: $EXH_RESP"
+echo "$EXH_RESP" | grep -q '"scanned":14' || fail "exhaustive best-k must scan all 14 results: $EXH_RESP"
+# Same winners either way: every minimal triangulation of C6 has width 2.
+RANKED_ITEMS=$(echo "$RANKED_RESP" | sed -n 's/.*"items":\(\[.*\]\),"count".*/\1/p')
+EXH_ITEMS=$(echo "$EXH_RESP" | sed -n 's/.*"items":\(\[.*\]\),"count".*/\1/p')
+[ -n "$RANKED_ITEMS" ] || fail "ranked best-k response must carry items: $RANKED_RESP"
+[ "$RANKED_ITEMS" = "$EXH_ITEMS" ] || fail "ranked and exhaustive winners must agree: $RANKED_ITEMS vs $EXH_ITEMS"
 
 echo "== warm replay"
 WARM=$(curl -sf -X POST "$BASE/v1/query" -d "$ENUM")
@@ -93,6 +113,12 @@ REPLAYS=$(awk '$1 == "mintri_engine_replay_hits_total" {print $2}' /tmp/smoke_me
 [ -n "$REPLAYS" ] || fail "metrics must expose engine replay hits"
 awk -v v="$REPLAYS" 'BEGIN { exit !(v + 0 >= 1) }' \
     || fail "warm replay above must register a replay hit (got $REPLAYS)"
+RANKED_QUERIES=$(awk '$1 == "mintri_engine_ranked_queries_total" {print $2}' /tmp/smoke_metrics.txt)
+[ -n "$RANKED_QUERIES" ] || fail "metrics must expose the ranked query counter"
+awk -v v="$RANKED_QUERIES" 'BEGIN { exit !(v + 0 >= 2) }' \
+    || fail "the ranked best-k queries above must register (got $RANKED_QUERIES)"
+grep -q 'mintri_engine_ranked_first_result_microseconds' /tmp/smoke_metrics.txt \
+    || fail "metrics must expose the ranked first-result histogram"
 grep -q 'mintri_http_request_microseconds_bucket' /tmp/smoke_metrics.txt \
     || fail "metrics must expose per-endpoint latency histograms"
 

@@ -13,6 +13,10 @@
 //!   enumerated a positive number of results in positive time (the
 //!   planned-vs-unreduced *equality* is asserted inside the bench run
 //!   itself; this guards the document).
+//! * `--ranked FILE` (`ranked_gain` output): every workload's ranked
+//!   best-k ran at least `--min-ranked-ratio` (default 3) times faster
+//!   than the exhaustive scan, with the full complement of winners
+//!   (the winner *equality* is asserted inside the bench run itself).
 //! * `--telemetry FILE` (`telemetry_overhead` output): span tracing
 //!   cost stays under `--max-overhead-pct` (default 5) and the traced
 //!   run produced results.
@@ -108,6 +112,53 @@ fn check_reduction(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn check_ranked(path: &str, min_ratio: f64) -> Result<(), String> {
+    let doc = load(path)?;
+    let k = field(&doc, &["k"])?
+        .as_usize()
+        .ok_or("k must be an integer")?;
+    let workloads = field(&doc, &["workloads"])?
+        .as_array()
+        .ok_or("workloads must be an array")?;
+    if workloads.is_empty() {
+        return Err(format!("{path}: no workloads recorded"));
+    }
+    for w in workloads {
+        let name = format!(
+            "{}/{}",
+            field(w, &["name"])?.as_str().unwrap_or("?"),
+            field(w, &["cost"])?.as_str().unwrap_or("?")
+        );
+        let winners = field(w, &["winners"])?
+            .as_usize()
+            .ok_or_else(|| format!("{name}: winners must be an integer"))?;
+        if winners != k {
+            return Err(format!(
+                "{path}: workload {name} produced {winners} winners (asked for {k})"
+            ));
+        }
+        for key in ["exhaustive_seconds", "ranked_seconds"] {
+            let seconds = field(w, &[key])?
+                .as_f64()
+                .ok_or_else(|| format!("{name}: {key} must be a number"))?;
+            if seconds <= 0.0 || seconds.is_nan() {
+                return Err(format!("{path}: workload {name} has {key} = {seconds}"));
+            }
+        }
+        let speedup = field(w, &["speedup"])?
+            .as_f64()
+            .ok_or_else(|| format!("{name}: speedup must be a number"))?;
+        if speedup.is_nan() || speedup < min_ratio {
+            return Err(format!(
+                "{path}: workload {name} ranked only {speedup:.2}x exhaustive \
+                 (gate: >= {min_ratio}x)"
+            ));
+        }
+        eprintln!("ranked ok: {name} — {speedup:.1}x exhaustive at k={k}");
+    }
+    Ok(())
+}
+
 fn check_telemetry(path: &str, max_overhead_pct: f64) -> Result<(), String> {
     let doc = load(path)?;
     let results = field(&doc, &["results"])?
@@ -157,16 +208,23 @@ fn check_parse(path: &str) -> Result<(), String> {
 fn main() -> ExitCode {
     let args = Args::parse();
     let min_ratio = args.get_u64("min-ratio", 10) as f64;
+    let min_ranked_ratio = args.get_u64("min-ranked-ratio", 3) as f64;
     let max_overhead_pct = args.get_u64("max-overhead-pct", 5) as f64;
     let serve = args.get_str("serve", "");
     let reduction = args.get_str("reduction", "");
+    let ranked = args.get_str("ranked", "");
     let telemetry = args.get_str("telemetry", "");
     let parse = args.get_str("parse", "");
-    if serve.is_empty() && reduction.is_empty() && telemetry.is_empty() && parse.is_empty() {
+    if serve.is_empty()
+        && reduction.is_empty()
+        && ranked.is_empty()
+        && telemetry.is_empty()
+        && parse.is_empty()
+    {
         eprintln!(
             "usage: bench_check [--serve BENCH_serve.json] [--reduction BENCH_reduction.json] \
-             [--telemetry BENCH_telemetry.json] [--parse FILE.json] [--min-ratio R] \
-             [--max-overhead-pct P]"
+             [--ranked BENCH_ranked.json] [--telemetry BENCH_telemetry.json] [--parse FILE.json] \
+             [--min-ratio R] [--min-ranked-ratio R] [--max-overhead-pct P]"
         );
         return ExitCode::FAILURE;
     }
@@ -176,6 +234,9 @@ fn main() -> ExitCode {
     }
     if !reduction.is_empty() {
         checks.push(check_reduction(&reduction));
+    }
+    if !ranked.is_empty() {
+        checks.push(check_ranked(&ranked, min_ranked_ratio));
     }
     if !telemetry.is_empty() {
         checks.push(check_telemetry(&telemetry, max_overhead_pct));

@@ -5,11 +5,13 @@
 //! again — served from the session's completed answer cache with zero
 //! `Extend` calls). Emits `BENCH_serve.json`.
 //!
-//! The gate workload is a budget-free best-k scan with `"plan": false`:
-//! the response body is tiny (k = 2 items), so the measured ratio is
-//! compute-vs-replay, not JSON rendering; planning is disabled so every
-//! distinct cold graph owns a distinct whole-graph session (no atom
-//! sharing between the "cold" requests). Cold graphs are an `n`-cycle
+//! The gate workload is a budget-free best-k scan with `"plan": false`
+//! and `"ranked": false`: the response body is tiny (k = 2 items), so
+//! the measured ratio is compute-vs-replay, not JSON rendering;
+//! planning is disabled so every distinct cold graph owns a distinct
+//! whole-graph session (no atom sharing between the "cold" requests);
+//! the ranked gear is disabled because its output-sensitive scan never
+//! drains the enumeration, which is the very compute this gate measures. Cold graphs are an `n`-cycle
 //! plus one chord at varying positions — structurally similar cost,
 //! pairwise distinct fingerprints. A second, ungated workload streams a
 //! full `enumerate` (items and all) for end-to-end wire throughput.
@@ -87,9 +89,13 @@ fn upload(client: &mut Client, g: &Graph) -> String {
         .to_string()
 }
 
+// `"ranked": false` keeps this the full-scan gate: the ranked gear is
+// output-sensitive (stops after ~k pulls, deposits no answer cache), so
+// a ranked cold request would neither exercise the compute being gated
+// nor arm the warm replay.
 fn best_k_spec(graph_id: &str) -> String {
     format!(
-        r#"{{"graph_id":"{graph_id}","query":{{"task":{{"type":"best_k","k":2,"cost":"width"}},"plan":false}}}}"#
+        r#"{{"graph_id":"{graph_id}","query":{{"task":{{"type":"best_k","k":2,"cost":"width"}},"plan":false,"ranked":false}}}}"#
     )
 }
 

@@ -19,7 +19,7 @@
 //!    append fields, [`JsonObject::finish`] into a compact document.
 //! 3. The **wire codec**: [`query_to_json`] / [`query_from_json`]
 //!    round-trip a typed [`Query`] (task, backend by name, print mode,
-//!    budget, delivery, threads, plan — everything except the
+//!    budget, delivery, threads, plan, ranked — everything except the
 //!    process-local [`CancelToken`](crate::query::CancelToken), which
 //!    parses fresh), [`graph_to_json`] / [`graph_from_json`] carry the
 //!    full edge list, and [`outcome_json`] / [`response_document`]
@@ -659,7 +659,7 @@ fn task_from_json(v: &JsonValue) -> Result<Task, String> {
 /// [`Triangulator::name`] — see [`triangulator_from_name`] for the
 /// names that round-trip; parameterized/custom backends collapse to
 /// their name's default on decode), print mode, budget, delivery,
-/// threads and the planning switch.
+/// threads, the planning switch and the ranked best-k switch.
 pub fn query_to_json(q: &Query) -> String {
     let mut budget = JsonObject::new();
     match q.budget.max_results {
@@ -690,6 +690,7 @@ pub fn query_to_json(q: &Query) -> String {
     );
     doc.usize("threads", q.threads);
     doc.bool("plan", q.plan);
+    doc.bool("ranked", q.ranked);
     doc.bool("trace", q.trace);
     doc.finish()
 }
@@ -751,6 +752,9 @@ pub fn query_from_json(v: &JsonValue) -> Result<Query, String> {
     }
     if let Some(plan) = v.get("plan") {
         query = query.planned(plan.as_bool().ok_or("`plan` must be a boolean")?);
+    }
+    if let Some(ranked) = v.get("ranked") {
+        query = query.ranked(ranked.as_bool().ok_or("`ranked` must be a boolean")?);
     }
     if let Some(trace) = v.get("trace") {
         query = query.traced(trace.as_bool().ok_or("`trace` must be a boolean")?);
@@ -960,7 +964,8 @@ mod tests {
             ))
             .delivery(Delivery::Deterministic)
             .threads(3)
-            .planned(false);
+            .planned(false)
+            .ranked(false);
         let doc = query_to_json(&q);
         let back = query_from_json(&JsonValue::parse(&doc).unwrap()).unwrap();
         assert_eq!(back.task, q.task);
@@ -971,6 +976,7 @@ mod tests {
         assert_eq!(back.delivery, q.delivery);
         assert_eq!(back.threads, 3);
         assert!(!back.plan);
+        assert!(!back.ranked);
     }
 
     #[test]
@@ -1002,6 +1008,7 @@ mod tests {
         assert_eq!(q.task, Task::Enumerate);
         assert_eq!(q.triangulator.name(), "MCS_M");
         assert!(q.plan);
+        assert!(q.ranked, "ranked defaults on for wire queries too");
         assert_eq!(q.threads, 0);
 
         for bad in [

@@ -74,4 +74,6 @@ pub use query::{
     CancelHookGuard, CancelToken, CostMeasure, Delivery, Query, QueryItem, QueryOutcome, Response,
     Task, TriangulationStream,
 };
-pub use ranked::best_k_of_stream;
+pub use ranked::{
+    best_k_of_stream, cost_floor, RankedAtom, RankedComposed, RankedItem, RankedStream,
+};

@@ -23,12 +23,14 @@
 //! to contain the same atom.
 
 use crate::msgraph::MsGraph;
-use crate::query::{TracedStream, TriangulationStream};
+use crate::query::{CostMeasure, TracedStream, TriangulationStream};
+use crate::ranked::{cost_floor, RankedAtom, RankedComposed, RankedStream};
 use crate::MinimalTriangulationsEnumerator;
-use mintri_chordal::is_chordal;
+use mintri_chordal::{is_chordal, treewidth_of_chordal};
 use mintri_graph::{Graph, Node};
 use mintri_separators::{atom_decomposition, AtomDecomposition};
 use mintri_sgr::{EnumMisStats, PrintMode};
+use mintri_telemetry::Counter;
 use mintri_telemetry::SpanHandle;
 use mintri_triangulate::{Triangulation, Triangulator};
 use std::collections::VecDeque;
@@ -148,6 +150,87 @@ impl Plan {
             })
             .collect();
         ComposedStream::new(g.clone(), children)
+    }
+
+    /// The fixed width contribution of this plan's *chordal* atoms: the
+    /// maximum treewidth over the decomposition atoms that need no
+    /// stream (0 when every atom enumerates). Every maximal clique of a
+    /// composed triangulation lies inside some decomposition atom, so
+    /// the composed width is exactly
+    /// `max(chordal_width, per-atom triangulation widths)` — the
+    /// aggregation [`RankedComposed`] ranks by.
+    pub fn chordal_width(&self, g: &Graph) -> usize {
+        self.decomposition
+            .atoms
+            .iter()
+            .filter_map(|a| {
+                let (graph, _) = g.induced_subgraph(a);
+                is_chordal(&graph).then(|| treewidth_of_chordal(&graph))
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The ranked execution of this plan: one in-thread
+    /// [`RankedStream`] per atom — each gated by its own admissible
+    /// [`cost_floor`] — composed through the [`RankedComposed`] level
+    /// odometer, which emits the composed triangulations in ascending
+    /// `measure` order without materializing the cross product. This is
+    /// what [`Query::run_local`](crate::query::Query::run_local) runs
+    /// for a ranked best-k over a non-trivial plan; the engine builds
+    /// the analogous composition over per-atom *session* streams.
+    ///
+    /// When `parent` is given, each atom's underlying stream is wrapped
+    /// in a [`TracedStream`] under an `atom` span with
+    /// `dispatch="ranked"` (its `results` attribute then counts ranked
+    /// *expansions*, the raw pulls the frontier paid for). `expansions`
+    /// counts the same pulls on an engine telemetry counter.
+    pub fn into_ranked_stream(
+        self,
+        g: &Graph,
+        triangulator: Box<dyn Triangulator>,
+        mode: PrintMode,
+        measure: CostMeasure,
+        parent: Option<&SpanHandle>,
+        expansions: Option<Arc<Counter>>,
+    ) -> RankedComposed<'static> {
+        let width_const = match measure {
+            CostMeasure::Width => self.chordal_width(g),
+            CostMeasure::Fill => 0,
+        };
+        let shared: Arc<dyn Triangulator> = Arc::from(triangulator);
+        let children = self
+            .atoms
+            .into_iter()
+            .enumerate()
+            .map(|(index, atom)| {
+                let nodes = atom.graph.num_nodes();
+                let floor = cost_floor(&atom.graph, measure);
+                let ms = MsGraph::shared(Arc::new(atom.graph), Box::new(Arc::clone(&shared)));
+                let stream: Box<dyn TriangulationStream + 'static> = Box::new(SequentialAtom(
+                    MinimalTriangulationsEnumerator::from_msgraph(ms, mode),
+                ));
+                let stream: Box<dyn TriangulationStream + 'static> = match parent {
+                    Some(span) => {
+                        let span = span.child("atom");
+                        span.attr("index", index.to_string());
+                        span.attr("nodes", nodes.to_string());
+                        span.attr("dispatch", "ranked");
+                        Box::new(TracedStream::new(stream, span))
+                    }
+                    None => stream,
+                };
+                let mut stream = RankedStream::over(stream, measure, floor);
+                if let Some(counter) = &expansions {
+                    stream = stream.with_expansion_counter(Arc::clone(counter));
+                }
+                RankedAtom {
+                    stream,
+                    old_of: atom.old_of,
+                }
+            })
+            .collect();
+        RankedComposed::new(g.clone(), measure, width_const, children)
     }
 }
 

@@ -26,7 +26,10 @@
 //! assert_eq!(best.len(), 3);
 //! let outcome = response.outcome();
 //! assert!(outcome.completed);
-//! assert_eq!(outcome.scanned, 14); // C6 has Catalan(4) = 14 triangulations
+//! // Best-k rides the ranked gear by default: output-sensitive, so only
+//! // ~k of C6's Catalan(4) = 14 triangulations are ever materialized.
+//! // `Query::ranked(false)` restores the exhaustive scan (scanned = 14).
+//! assert_eq!(outcome.scanned, 3);
 //! ```
 //!
 //! Execution layers implement [`TriangulationStream`] and hand it to
@@ -511,6 +514,17 @@ pub struct Query {
     /// the way to reproduce the historical whole-graph sequential order
     /// on decomposable inputs.
     pub plan: bool,
+    /// Route [`Task::BestK`] through the ranked gear (default `true`):
+    /// emit triangulations in ascending cost order through
+    /// [`RankedStream`](crate::ranked::RankedStream) (flat) or the
+    /// ranked odometer
+    /// ([`RankedComposed`](crate::ranked::RankedComposed), planned), so
+    /// best-k stops after ~`k` results instead of scanning everything.
+    /// Winners and order are bit-for-bit identical to the exhaustive
+    /// scan; `false` forces the scan (`mintri best-k … --no-ranked`) —
+    /// the debugging/benchmarking escape hatch. Ignored by every other
+    /// task.
+    pub ranked: bool,
     /// Collect a per-query span trace (default `false`): plan
     /// decomposition, per-atom stream setup, dispatch choice,
     /// first-result delay and drain, delivered as
@@ -533,6 +547,7 @@ impl Query {
             delivery: Delivery::Unordered,
             threads: 0,
             plan: true,
+            ranked: true,
             trace: false,
             cancel: CancelToken::new(),
         }
@@ -594,6 +609,12 @@ impl Query {
         self
     }
 
+    /// Enables or disables the ranked best-k gear (see [`Query::ranked`]).
+    pub fn ranked(mut self, ranked: bool) -> Self {
+        self.ranked = ranked;
+        self
+    }
+
     /// Enables or disables span tracing (see [`Query::trace`]).
     pub fn traced(mut self, trace: bool) -> Self {
         self.trace = trace;
@@ -627,9 +648,16 @@ impl Query {
             budget,
             cancel,
             plan,
+            ranked,
             trace,
             ..
         } = self;
+        // Best-k rides the ranked gear unless the escape hatch is pulled.
+        let ranked = ranked && matches!(task, Task::BestK { .. });
+        let ranked_measure = match task {
+            Task::BestK { cost, .. } if ranked => Some(cost),
+            _ => None,
+        };
         let tracer = trace.then(TraceBuilder::new);
         let query_span = tracer.as_ref().map(|t| {
             let span = t.root_span("query");
@@ -646,9 +674,28 @@ impl Query {
                 span.finish();
             }
             if !plan.is_unreduced() {
-                let stream =
-                    plan.into_traced_sequential_stream(g, triangulator, mode, query_span.as_ref());
-                let response = Response::over_stream(task, budget, cancel, Box::new(stream));
+                let response = match ranked_measure {
+                    Some(measure) => {
+                        let stream = plan.into_ranked_stream(
+                            g,
+                            triangulator,
+                            mode,
+                            measure,
+                            query_span.as_ref(),
+                            None,
+                        );
+                        Response::over_ranked_stream(task, budget, cancel, Box::new(stream))
+                    }
+                    None => {
+                        let stream = plan.into_traced_sequential_stream(
+                            g,
+                            triangulator,
+                            mode,
+                            query_span.as_ref(),
+                        );
+                        Response::over_stream(task, budget, cancel, Box::new(stream))
+                    }
+                };
                 return match (tracer, query_span) {
                     (Some(t), Some(s)) => response.with_trace(t, s),
                     _ => response,
@@ -660,20 +707,23 @@ impl Query {
             triangulator,
             mode,
         ));
-        let response = match query_span.as_ref() {
+        let stream: Box<dyn TriangulationStream + '_> = match query_span.as_ref() {
             Some(q) => {
                 let span = q.child("atom");
                 span.attr("index", "0");
                 span.attr("nodes", g.num_nodes().to_string());
-                span.attr("dispatch", "sequential");
-                Response::over_stream(
-                    task,
-                    budget,
-                    cancel,
-                    Box::new(TracedStream::new(Box::new(stream), span)),
-                )
+                span.attr("dispatch", if ranked { "ranked" } else { "sequential" });
+                Box::new(TracedStream::new(Box::new(stream), span))
             }
-            None => Response::over_stream(task, budget, cancel, Box::new(stream)),
+            None => Box::new(stream),
+        };
+        let response = match ranked_measure {
+            Some(measure) => {
+                let floor = crate::ranked::cost_floor(g, measure);
+                let stream = crate::ranked::RankedStream::over(stream, measure, floor);
+                Response::over_ranked_stream(task, budget, cancel, Box::new(stream))
+            }
+            None => Response::over_stream(task, budget, cancel, stream),
         };
         match (tracer, query_span) {
             (Some(t), Some(s)) => response.with_trace(t, s),
@@ -692,6 +742,7 @@ impl std::fmt::Debug for Query {
             .field("delivery", &self.delivery)
             .field("threads", &self.threads)
             .field("plan", &self.plan)
+            .field("ranked", &self.ranked)
             .field("trace", &self.trace)
             .field("cancel", &self.cancel)
             .finish()
@@ -719,6 +770,10 @@ pub struct Response<'a> {
     completed: bool,
     cancelled: bool,
     replay: bool,
+    /// The source emits in ascending cost order ([`Response::over_ranked_stream`]):
+    /// [`Task::BestK`] streams the first `k` results directly instead of
+    /// scanning everything.
+    ranked: bool,
     enum_stats: Option<EnumMisStats>,
     done_at: Option<Duration>,
     /// Buffered emissions ([`Task::BestK`] results after the scan).
@@ -760,6 +815,7 @@ impl<'a> Response<'a> {
             scanned: 0,
             completed: false,
             cancelled: false,
+            ranked: false,
             enum_stats: None,
             done_at: None,
             pending: VecDeque::new(),
@@ -769,6 +825,25 @@ impl<'a> Response<'a> {
             first_span: None,
             drain_span: None,
         }
+    }
+
+    /// Like [`Response::over_stream`], but `source` is contracted to emit
+    /// in ascending cost order under the query's measure — a
+    /// [`RankedStream`](crate::ranked::RankedStream) or
+    /// [`RankedComposed`](crate::ranked::RankedComposed). [`Task::BestK`]
+    /// then streams the first `k` results directly: the answer is exact
+    /// after ~`k` pulls ([`QueryOutcome::completed`] is set once `k`
+    /// winners are out), the budget bounds the emissions (`scanned` =
+    /// emitted), and a cancel still yields the already-proven prefix.
+    pub fn over_ranked_stream(
+        task: Task,
+        budget: EnumerationBudget,
+        cancel: CancelToken,
+        source: Box<dyn TriangulationStream + 'a>,
+    ) -> Response<'a> {
+        let mut response = Response::over_stream(task, budget, cancel, source);
+        response.ranked = true;
+        response
     }
 
     /// Attaches a tracer and its root `query` span to this response. The
@@ -944,6 +1019,20 @@ impl<'a> Response<'a> {
                 ))
             }
             Task::BestK { k, cost } => {
+                if self.ranked {
+                    // Ranked source: ascending cost order, so the first k
+                    // emissions *are* the answer — no scan, no buffer.
+                    if self.produced >= k {
+                        if self.source.is_some() {
+                            self.completed = true;
+                            self.end_stream();
+                        }
+                        return None;
+                    }
+                    let tri = self.pull(self.produced)?;
+                    self.produced += 1;
+                    return Some(QueryItem::Triangulation(tri));
+                }
                 if self.source.is_some() {
                     self.scan_best_k(k, cost);
                 }
@@ -1081,6 +1170,7 @@ mod tests {
     fn best_k_budget_bounds_the_scan() {
         let g = Graph::cycle(9);
         let mut response = Query::best_k(2, CostMeasure::Width)
+            .ranked(false)
             .budget(EnumerationBudget::results(5))
             .run_local(&g);
         let best = response.triangulations();
@@ -1088,6 +1178,46 @@ mod tests {
         let outcome = response.outcome();
         assert_eq!(outcome.scanned, 5, "budget bounds the scan, not the output");
         assert!(!outcome.completed);
+    }
+
+    #[test]
+    fn ranked_best_k_budget_bounds_the_emissions() {
+        let g = Graph::cycle(9);
+        // Ranked: every pull is a final result, so a results(2) budget on
+        // a k=4 query yields exactly 2 winners and an incomplete outcome.
+        let mut response = Query::best_k(4, CostMeasure::Width)
+            .budget(EnumerationBudget::results(2))
+            .run_local(&g);
+        let best = response.triangulations();
+        assert_eq!(best.len(), 2);
+        let outcome = response.outcome();
+        assert_eq!(outcome.scanned, 2, "ranked scan = emissions");
+        assert!(!outcome.completed, "budget truncated the answer");
+    }
+
+    #[test]
+    fn ranked_best_k_completes_after_k_winners() {
+        let g = Graph::cycle(9);
+        let mut response = Query::best_k(2, CostMeasure::Width).run_local(&g);
+        let best = response.triangulations();
+        assert_eq!(best.len(), 2);
+        let outcome = response.outcome();
+        assert!(outcome.completed, "k exact winners are a complete answer");
+        assert_eq!(outcome.scanned, 2, "output-sensitive: ~k pulls, not 429");
+    }
+
+    #[test]
+    fn ranked_best_k_cancel_yields_the_proven_prefix() {
+        let g = Graph::cycle(9);
+        let mut response = Query::best_k(5, CostMeasure::Fill).run_local(&g);
+        let token = response.cancel_token();
+        assert!(response.next().is_some(), "first winner");
+        token.cancel();
+        assert!(response.next().is_none(), "cancellation ends the stream");
+        let outcome = response.outcome();
+        assert!(outcome.cancelled);
+        assert!(!outcome.completed);
+        assert_eq!(outcome.produced, 1);
     }
 
     #[test]

@@ -50,16 +50,11 @@ fn query_strategy() -> impl Strategy<Value = Query> {
     let delivery = prop_oneof![Just(Delivery::Unordered), Just(Delivery::Deterministic)];
     (
         (task_strategy(), backend, mode),
-        (
-            budget_strategy(),
-            delivery,
-            0usize..16,
-            any::<bool>(),
-            any::<bool>(),
-        ),
+        (budget_strategy(), delivery, 0usize..16),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
     )
         .prop_map(
-            |((task, backend, mode), (budget, delivery, threads, plan, trace))| {
+            |((task, backend, mode), (budget, delivery, threads), (plan, ranked, trace))| {
                 Query::new(task)
                     .triangulator(mintri_core::json::triangulator_from_name(backend).unwrap())
                     .mode(mode)
@@ -67,6 +62,7 @@ fn query_strategy() -> impl Strategy<Value = Query> {
                     .delivery(delivery)
                     .threads(threads)
                     .planned(plan)
+                    .ranked(ranked)
                     .traced(trace)
             },
         )
@@ -83,6 +79,7 @@ fn assert_queries_agree(a: &Query, b: &Query) {
     assert_eq!(a.delivery, b.delivery);
     assert_eq!(a.threads, b.threads);
     assert_eq!(a.plan, b.plan);
+    assert_eq!(a.ranked, b.ranked);
     assert_eq!(a.trace, b.trace);
 }
 

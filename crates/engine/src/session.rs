@@ -21,10 +21,12 @@
 use crate::telemetry::EngineTelemetry;
 use crate::EngineConfig;
 use mintri_core::query::{
-    AtomStream, CancelToken, ComposedStream, Delivery, Plan, Query, Response, TracedStream,
-    TriangulationStream,
+    AtomStream, CancelToken, ComposedStream, CostMeasure, Delivery, Plan, Query, Response, Task,
+    TracedStream, TriangulationStream,
 };
-use mintri_core::{MsGraph, MsGraphStats, SepId};
+use mintri_core::{
+    cost_floor, MsGraph, MsGraphStats, RankedAtom, RankedComposed, RankedStream, SepId,
+};
 use mintri_graph::{FxHashMap, FxHasher, Graph};
 use mintri_sgr::{EnumMis, EnumMisStats, PrintMode};
 use mintri_telemetry::{Histogram, Registry, TraceBuilder};
@@ -560,9 +562,22 @@ impl Engine {
             delivery,
             threads,
             plan,
+            ranked,
             trace,
             cancel,
         } = query;
+        // Best-k rides the ranked gear unless the escape hatch is pulled.
+        // Ranked composition needs deterministic per-atom production
+        // indices for its tie order, so the per-atom streams are forced
+        // onto the deterministic contract (an `Ordered` replay cache
+        // still serves them — lazily, never drained past the frontier).
+        let ranked_measure = match task {
+            Task::BestK { cost, .. } if ranked => Some(cost),
+            _ => None,
+        };
+        if ranked_measure.is_some() {
+            self.telemetry.ranked_queries.inc();
+        }
         let tracer = trace.then(TraceBuilder::new);
         let query_span = tracer.as_ref().map(|t| {
             let span = t.root_span("query");
@@ -585,38 +600,91 @@ impl Engine {
             if !plan.is_unreduced() {
                 let shared: Arc<dyn Triangulator> = Arc::from(triangulator);
                 let last = plan.atoms.len().saturating_sub(1);
-                let children = plan
-                    .atoms
-                    .iter()
-                    .enumerate()
-                    .map(|(i, atom)| {
-                        let session =
-                            self.session_keyed(&atom.graph, Box::new(Arc::clone(&shared)));
-                        // The composer varies the *last* atom fastest: it
-                        // drains fully while the others are pulled one
-                        // result per product row. Only the last atom is on
-                        // the critical path for parallelism, so it alone
-                        // gets the requested thread count — earlier atoms
-                        // run sequentially instead of spawning one
-                        // full-width (and mostly idle) pool per atom.
-                        let atom_threads = if i == last { threads } else { 1 };
-                        let stream =
-                            self.stream_for(&session, mode, delivery, atom_threads, Some(&cancel));
-                        let stream = Self::maybe_traced(
-                            stream,
-                            query_span.as_ref(),
-                            i,
-                            atom.graph.num_nodes(),
-                            if i == last { effective_threads } else { 1 },
-                        );
-                        AtomStream {
-                            stream,
-                            old_of: atom.old_of.clone(),
-                        }
-                    })
-                    .collect();
-                let composed = ComposedStream::new(g.clone(), children);
-                let response = Response::over_stream(task, budget, cancel, Box::new(composed));
+                let response = if let Some(measure) = ranked_measure {
+                    let children = plan
+                        .atoms
+                        .iter()
+                        .enumerate()
+                        .map(|(i, atom)| {
+                            let session =
+                                self.session_keyed(&atom.graph, Box::new(Arc::clone(&shared)));
+                            let atom_threads = if i == last { threads } else { 1 };
+                            let stream = self.stream_for(
+                                &session,
+                                mode,
+                                Delivery::Deterministic,
+                                atom_threads,
+                                Some(&cancel),
+                            );
+                            let stream = Self::maybe_traced(
+                                stream,
+                                query_span.as_ref(),
+                                i,
+                                atom.graph.num_nodes(),
+                                if i == last { effective_threads } else { 1 },
+                                Some("ranked"),
+                            );
+                            let floor = cost_floor(&atom.graph, measure);
+                            let stream = RankedStream::over(stream, measure, floor)
+                                .with_expansion_counter(Arc::clone(
+                                    &self.telemetry.ranked_expansions,
+                                ));
+                            RankedAtom {
+                                stream,
+                                old_of: atom.old_of.clone(),
+                            }
+                        })
+                        .collect();
+                    let width_const = match measure {
+                        CostMeasure::Width => plan.chordal_width(g),
+                        CostMeasure::Fill => 0,
+                    };
+                    let composed = RankedComposed::new(g.clone(), measure, width_const, children);
+                    let timed = FirstResultTimed::new(
+                        Box::new(composed),
+                        Arc::clone(&self.telemetry.ranked_first_result_us),
+                    );
+                    Response::over_ranked_stream(task, budget, cancel, Box::new(timed))
+                } else {
+                    let children = plan
+                        .atoms
+                        .iter()
+                        .enumerate()
+                        .map(|(i, atom)| {
+                            let session =
+                                self.session_keyed(&atom.graph, Box::new(Arc::clone(&shared)));
+                            // The composer varies the *last* atom fastest: it
+                            // drains fully while the others are pulled one
+                            // result per product row. Only the last atom is on
+                            // the critical path for parallelism, so it alone
+                            // gets the requested thread count — earlier atoms
+                            // run sequentially instead of spawning one
+                            // full-width (and mostly idle) pool per atom.
+                            let atom_threads = if i == last { threads } else { 1 };
+                            let stream = self.stream_for(
+                                &session,
+                                mode,
+                                delivery,
+                                atom_threads,
+                                Some(&cancel),
+                            );
+                            let stream = Self::maybe_traced(
+                                stream,
+                                query_span.as_ref(),
+                                i,
+                                atom.graph.num_nodes(),
+                                if i == last { effective_threads } else { 1 },
+                                None,
+                            );
+                            AtomStream {
+                                stream,
+                                old_of: atom.old_of.clone(),
+                            }
+                        })
+                        .collect();
+                    let composed = ComposedStream::new(g.clone(), children);
+                    Response::over_stream(task, budget, cancel, Box::new(composed))
+                };
                 return match (tracer, query_span) {
                     (Some(t), Some(s)) => response.with_trace(t, s),
                     _ => response,
@@ -624,15 +692,42 @@ impl Engine {
             }
         }
         let session = self.session_keyed(g, triangulator);
-        let stream = self.stream_for(&session, mode, delivery, threads, Some(&cancel));
-        let stream = Self::maybe_traced(
-            stream,
-            query_span.as_ref(),
-            0,
-            g.num_nodes(),
-            effective_threads,
-        );
-        let response = Response::over_stream(task, budget, cancel, stream);
+        let response = if let Some(measure) = ranked_measure {
+            let stream = self.stream_for(
+                &session,
+                mode,
+                Delivery::Deterministic,
+                threads,
+                Some(&cancel),
+            );
+            let stream = Self::maybe_traced(
+                stream,
+                query_span.as_ref(),
+                0,
+                g.num_nodes(),
+                effective_threads,
+                Some("ranked"),
+            );
+            let floor = cost_floor(g, measure);
+            let stream = RankedStream::over(stream, measure, floor)
+                .with_expansion_counter(Arc::clone(&self.telemetry.ranked_expansions));
+            let timed = FirstResultTimed::new(
+                Box::new(stream),
+                Arc::clone(&self.telemetry.ranked_first_result_us),
+            );
+            Response::over_ranked_stream(task, budget, cancel, Box::new(timed))
+        } else {
+            let stream = self.stream_for(&session, mode, delivery, threads, Some(&cancel));
+            let stream = Self::maybe_traced(
+                stream,
+                query_span.as_ref(),
+                0,
+                g.num_nodes(),
+                effective_threads,
+                None,
+            );
+            Response::over_stream(task, budget, cancel, stream)
+        };
         match (tracer, query_span) {
             (Some(t), Some(s)) => response.with_trace(t, s),
             _ => response,
@@ -643,17 +738,22 @@ impl Engine {
     /// query is traced; the untraced path boxes the stream unchanged.
     /// The `dispatch` attribute records how the stream was actually
     /// served: a cache replay, the parallel pool, or the sequential
-    /// iterator.
+    /// iterator — or the `dispatch_override` (`"ranked"` for streams
+    /// feeding a ranked frontier, whose `results` attribute then counts
+    /// the frontier's expansions).
     fn maybe_traced(
         stream: EngineEnumeration,
         query_span: Option<&mintri_telemetry::SpanHandle>,
         index: usize,
         nodes: usize,
         threads: usize,
+        dispatch_override: Option<&'static str>,
     ) -> Box<dyn TriangulationStream + 'static> {
         match query_span {
             Some(parent) => {
-                let dispatch = if stream.is_replay() {
+                let dispatch = if let Some(dispatch) = dispatch_override {
+                    dispatch
+                } else if stream.is_replay() {
                     "replay"
                 } else if threads > 1 && cfg!(feature = "parallel") {
                     "parallel"
@@ -819,6 +919,53 @@ impl Engine {
             #[cfg(feature = "parallel")]
             _cancel_hook: None,
         }
+    }
+}
+
+/// Records the delay from ranked-stream creation to its first emitted
+/// result onto `mintri_engine_ranked_first_result_microseconds` — the
+/// headline number of the ranked gear (how fast does the best answer
+/// surface, regardless of how big the space is). Two clock reads total
+/// (construction + first pull) and one histogram write; the PR 6
+/// hot-path invariant (write-only atomics) holds.
+struct FirstResultTimed {
+    inner: Box<dyn TriangulationStream + 'static>,
+    created: Instant,
+    hist: Arc<Histogram>,
+    fired: bool,
+}
+
+impl FirstResultTimed {
+    fn new(inner: Box<dyn TriangulationStream + 'static>, hist: Arc<Histogram>) -> Self {
+        FirstResultTimed {
+            inner,
+            created: Instant::now(),
+            hist,
+            fired: false,
+        }
+    }
+}
+
+impl TriangulationStream for FirstResultTimed {
+    fn next_tri(&mut self) -> Option<Triangulation> {
+        let tri = self.inner.next_tri();
+        if tri.is_some() && !self.fired {
+            self.fired = true;
+            self.hist.record_duration(self.created.elapsed());
+        }
+        tri
+    }
+
+    fn finished(&self) -> bool {
+        self.inner.finished()
+    }
+
+    fn enum_stats(&self) -> Option<EnumMisStats> {
+        self.inner.enum_stats()
+    }
+
+    fn is_replay(&self) -> bool {
+        self.inner.is_replay()
     }
 }
 
@@ -1064,26 +1211,47 @@ mod tests {
 
     #[test]
     fn ranked_and_decompose_queries_replay_without_extends() {
-        // The satellite fix this pins: best-k and decompose queries must
-        // be served from a completed-answer replay — zero Extend calls,
-        // `is_replay()` true — not just plain enumerations.
-        let engine = Engine::new();
+        // Best-k and decompose queries must be served from a
+        // completed-answer replay — zero Extend calls, `is_replay()`
+        // true — once some earlier query ran the enumeration to
+        // completion. A single-threaded engine deposits an *ordered*
+        // answer cache, which is what the ranked gear's deterministic
+        // per-atom streams can replay.
+        let engine = Engine::with_config(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
         let g = Graph::cycle(7);
 
-        // Cold best-k query: scans live (unlimited budget ⇒ the scan
-        // completes ⇒ the answer list is deposited).
+        // Cold best-k query: the ranked gear stops after ~k pulls
+        // (output-sensitive), so it runs live and deposits nothing.
         let mut cold = engine.run(&g, Query::best_k(3, CostMeasure::Fill));
         assert!(!cold.is_replay());
         assert_eq!(cold.triangulations().len(), 3);
-        let extends_after_cold = engine.session(&g).stats().extends;
-        assert!(extends_after_cold > 0);
+        let cold_scanned = cold.outcome().scanned;
+        assert!(
+            cold_scanned < 42,
+            "ranked best-k must not drain C7's 42 results (scanned {cold_scanned})"
+        );
+
+        // A full enumeration completes and deposits the ordered answer
+        // list for this session.
+        assert_eq!(engine.run(&g, Query::enumerate()).count(), 42);
+        let extends_after_drain = engine.session(&g).stats().extends;
+        assert!(extends_after_drain > 0);
 
         // Warm best-k: replay, zero new Extends.
         let mut warm = engine.run(&g, Query::best_k(3, CostMeasure::Fill));
         assert!(warm.is_replay(), "ranked queries must replay warm sessions");
-        assert_eq!(warm.triangulations().len(), 3);
+        let warm_winners = warm.triangulations();
+        assert_eq!(warm_winners.len(), 3);
         assert!(warm.outcome().replayed);
-        assert_eq!(engine.session(&g).stats().extends, extends_after_cold);
+        assert_eq!(engine.session(&g).stats().extends, extends_after_drain);
+
+        // Ranked and exhaustive gears agree on the winners bit for bit.
+        let mut exhaustive = engine.run(&g, Query::best_k(3, CostMeasure::Fill).ranked(false));
+        let fills = |ts: &[Triangulation]| ts.iter().map(|t| t.fill.clone()).collect::<Vec<_>>();
+        assert_eq!(fills(&warm_winners), fills(&exhaustive.triangulations()));
 
         // Warm decompose: same replay, still zero new Extends.
         let warm_decompose = engine.run(&g, Query::decompose(TdEnumerationMode::OnePerClass));
@@ -1092,7 +1260,7 @@ mod tests {
             "decompose queries must replay warm sessions"
         );
         assert_eq!(warm_decompose.count(), 42);
-        assert_eq!(engine.session(&g).stats().extends, extends_after_cold);
+        assert_eq!(engine.session(&g).stats().extends, extends_after_drain);
     }
 
     #[test]
@@ -1144,6 +1312,38 @@ mod tests {
         assert_eq!(atom.attr("results"), Some("14"));
         let untraced = engine.run(&g, Query::enumerate());
         assert_eq!(untraced.count(), 14);
+    }
+
+    #[test]
+    fn traced_ranked_best_k_reports_ranked_dispatch_and_counters() {
+        let engine = Engine::with_config(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let g = Graph::cycle(6);
+        let t = engine.telemetry();
+        let mut resp = engine.run(&g, Query::best_k(3, CostMeasure::Fill).traced(true));
+        assert_eq!(resp.by_ref().count(), 3);
+        let outcome = resp.outcome();
+        let trace = outcome.trace.expect("traced query must attach a trace");
+        let atom = trace.find("atom").expect("atom span");
+        assert_eq!(atom.attr("dispatch"), Some("ranked"));
+        assert_eq!(t.ranked_queries.get(), 1);
+        assert!(
+            t.ranked_expansions.get() >= 3,
+            "ranked frontier must have pulled at least k results (got {})",
+            t.ranked_expansions.get()
+        );
+        assert_eq!(
+            t.ranked_first_result_us.count(),
+            1,
+            "one first-result delay record per ranked stream"
+        );
+        // The exhaustive escape hatch is not a ranked query.
+        let _ = engine
+            .run(&g, Query::best_k(3, CostMeasure::Fill).ranked(false))
+            .count();
+        assert_eq!(t.ranked_queries.get(), 1);
     }
 
     #[test]

@@ -26,6 +26,14 @@ pub struct EngineTelemetry {
     pub replay_hits: Arc<Counter>,
     /// Streams that had to run live (no compatible cached answer list).
     pub replay_misses: Arc<Counter>,
+    /// Best-k queries routed through the ranked gear.
+    pub ranked_queries: Arc<Counter>,
+    /// Raw results pulled by ranked frontiers (the ranked analogue of a
+    /// scan length; divide by `ranked_queries` for the mean expansion
+    /// count per query).
+    pub ranked_expansions: Arc<Counter>,
+    /// Delay from ranked-stream creation to its first emitted result (µs).
+    pub ranked_first_result_us: Arc<Histogram>,
     /// Atom decompositions computed.
     pub plans_computed: Arc<Counter>,
     /// Queries served a memoized plan.
@@ -70,6 +78,18 @@ impl EngineTelemetry {
             replay_misses: c(
                 "mintri_engine_replay_misses_total",
                 "Streams that ran a live enumeration",
+            ),
+            ranked_queries: c(
+                "mintri_engine_ranked_queries_total",
+                "Best-k queries routed through the ranked gear",
+            ),
+            ranked_expansions: c(
+                "mintri_engine_ranked_expansions_total",
+                "Raw results pulled by ranked frontiers",
+            ),
+            ranked_first_result_us: h(
+                "mintri_engine_ranked_first_result_microseconds",
+                "Delay from ranked-stream creation to its first result",
             ),
             plans_computed: c(
                 "mintri_engine_plans_computed_total",

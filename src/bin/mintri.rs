@@ -8,7 +8,7 @@
 //! mintri enumerate    --input g.col [--limit K] [--budget-ms T] [--algo ...] [--no-plan]
 //!                     [--threads N] [--delivery unordered|deterministic] [--format ...]
 //! mintri best-k       --input g.col [--k K] [--by width|fill] [--limit K] [--no-plan]
-//!                     [--budget-ms T] [--threads N] [--delivery ...] [--format ...]
+//!                     [--no-ranked] [--budget-ms T] [--threads N] [--delivery ...] [--format ...]
 //! mintri decompose    --input g.col [--limit K] [--one-per-class true] [--no-plan]
 //!                     [--threads N] [--delivery ...] [--format ...]
 //! mintri serve        [--addr HOST:PORT] [--threads N] [--max-sessions M]
@@ -31,7 +31,10 @@
 //! `mintri atoms` prints the clique-minimal-separator decomposition the
 //! planning layer enumerates over (components, atoms, separators).
 //! Enumeration commands plan by default; `--no-plan` forces the
-//! unreduced whole-graph path for debugging and benchmarking.
+//! unreduced whole-graph path for debugging and benchmarking. `best-k`
+//! runs the output-sensitive ranked gear by default; `--no-ranked`
+//! forces the exhaustive scan-everything path (same winners, same
+//! order — the ranked gear is an optimization, not a semantic change).
 //!
 //! Graphs: DIMACS `.col` (default), 0-based edge lists, or UAI network
 //! files — select explicitly with `--input-format`. (For compatibility,
@@ -85,7 +88,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that take no value (present means `true`).
-const SWITCH_FLAGS: &[&str] = &["no-plan", "trace"];
+const SWITCH_FLAGS: &[&str] = &["no-plan", "no-ranked", "trace"];
 
 fn parse_flags(args: impl Iterator<Item = String>) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -254,6 +257,7 @@ fn build_query(command: &str, flags: &HashMap<String, String>) -> Result<Query, 
         .budget(parse_budget(flags)?)
         .delivery(pick_delivery(flags)?)
         .planned(!flags.contains_key("no-plan"))
+        .ranked(!flags.contains_key("no-ranked"))
         .traced(flags.contains_key("trace")))
 }
 

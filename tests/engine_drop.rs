@@ -11,7 +11,7 @@
 //! meaningful when no sibling test is spinning pools up and down
 //! concurrently.
 
-use mintri::core::MinimalTriangulationsEnumerator;
+use mintri::core::{CostMeasure, MinimalTriangulationsEnumerator};
 use mintri::engine::{Delivery, Engine, EngineConfig, ParallelEnumerator};
 use mintri::prelude::*;
 use mintri::triangulate::McsM;
@@ -178,6 +178,58 @@ fn time_budget_mid_stream_joins_workers_in_both_deliveries() {
                 "{delivery:?}: worker threads leaked after timeout"
             );
         }
+    }
+}
+
+#[test]
+fn cancel_mid_ranked_best_k_yields_the_proven_prefix_and_joins_workers() {
+    let baseline = live_threads();
+    let (engine, g) = launch(4);
+    // Large k so the ranked stream has plenty left to emit when the
+    // cancel lands; the results already out are proven winners.
+    let mut response = engine.run(&g, Query::best_k(100_000, CostMeasure::Fill).threads(4));
+    assert!(response.next().is_some(), "first ranked result");
+    assert!(response.next().is_some(), "second ranked result");
+    response.cancel();
+    assert!(
+        response.next().is_none(),
+        "cancel must end the ranked stream"
+    );
+    let outcome = response.outcome();
+    assert!(outcome.cancelled);
+    assert!(!outcome.completed);
+    assert_eq!(outcome.produced, 2);
+    drop(response);
+    if baseline > 0 {
+        assert!(
+            settles_to(baseline),
+            "worker threads leaked after mid-ranked cancel: {} live, baseline {}",
+            live_threads(),
+            baseline
+        );
+    }
+}
+
+#[test]
+fn result_budget_mid_ranked_best_k_bounds_emissions_and_joins_workers() {
+    let baseline = live_threads();
+    let (engine, g) = launch(4);
+    let mut response = engine.run(
+        &g,
+        Query::best_k(100_000, CostMeasure::Fill)
+            .threads(4)
+            .budget(EnumerationBudget::results(5)),
+    );
+    assert_eq!(response.by_ref().count(), 5);
+    let outcome = response.outcome();
+    assert!(!outcome.completed, "budget stop, not completion");
+    assert!(!outcome.cancelled);
+    drop(response);
+    if baseline > 0 {
+        assert!(
+            settles_to(baseline),
+            "worker threads leaked after mid-ranked budget stop"
+        );
     }
 }
 

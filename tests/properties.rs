@@ -2,7 +2,11 @@
 //! algorithms must agree with brute-force oracles and preserve their
 //! invariants on *every* input, not just the hand-picked ones.
 
-use mintri::core::{BruteForce, MinimalTriangulationsEnumerator, ProperTreeDecompositions};
+use mintri::core::{
+    BruteForce, CostMeasure, Delivery, MinimalTriangulationsEnumerator, ProperTreeDecompositions,
+    Query,
+};
+use mintri::engine::{Engine, EngineConfig};
 use mintri::prelude::*;
 use mintri::separators::all_minimal_separators;
 use mintri::separators::bruteforce::{all_minimal_separators_bruteforce, crossing_bruteforce};
@@ -31,6 +35,42 @@ fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
             g
         })
     })
+}
+
+/// Ordered fill lists of the best-k winners on the in-process executor.
+fn best_k_fills_local(
+    g: &Graph,
+    k: usize,
+    cost: CostMeasure,
+    planned: bool,
+    ranked: bool,
+) -> Vec<Vec<(Node, Node)>> {
+    let mut resp = Query::best_k(k, cost)
+        .planned(planned)
+        .ranked(ranked)
+        .run_local(g);
+    resp.triangulations().into_iter().map(|t| t.fill).collect()
+}
+
+/// Ordered fill lists of the best-k winners on a `mintri-engine`
+/// executor. Deterministic delivery pins the exhaustive gear's
+/// production order so tie-breaking is comparable across gears.
+fn best_k_fills_engine(
+    engine: &Engine,
+    g: &Graph,
+    k: usize,
+    cost: CostMeasure,
+    planned: bool,
+    ranked: bool,
+) -> Vec<Vec<(Node, Node)>> {
+    let mut resp = engine.run(
+        g,
+        Query::best_k(k, cost)
+            .planned(planned)
+            .ranked(ranked)
+            .delivery(Delivery::Deterministic),
+    );
+    resp.triangulations().into_iter().map(|t| t.fill).collect()
 }
 
 proptest! {
@@ -183,5 +223,77 @@ proptest! {
         // decomposition induced by the forest is a valid TD of h
         let d = TreeDecomposition { bags: f.cliques, edges: f.edges };
         prop_assert!(d.validate(&h).is_ok());
+    }
+
+    /// The ranked best-k gear agrees with the exhaustive scan bit for
+    /// bit — same winners, same order — for every cost measure, every
+    /// planning mode, and k ∈ {1, 3, all}, on random graphs.
+    #[test]
+    fn ranked_best_k_matches_exhaustive_locally(g in graph_strategy(6)) {
+        for cost in [CostMeasure::Width, CostMeasure::Fill] {
+            for planned in [true, false] {
+                for k in [1usize, 3, 1_000] {
+                    let ranked = best_k_fills_local(&g, k, cost, planned, true);
+                    let exhaustive = best_k_fills_local(&g, k, cost, planned, false);
+                    prop_assert_eq!(ranked, exhaustive, "cost {:?} planned {} k {}", cost, planned, k);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    // Fewer cases: each one boots an engine and runs 24 queries.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The same bit-for-bit agreement holds on the engine executor —
+    /// warm sessions, replay caches and the parallel drivers included
+    /// (all combinations share one engine, so later queries exercise
+    /// the warm paths).
+    #[test]
+    fn ranked_best_k_matches_exhaustive_on_the_engine(g in graph_strategy(6)) {
+        let engine = Engine::with_config(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        for cost in [CostMeasure::Width, CostMeasure::Fill] {
+            for planned in [true, false] {
+                for k in [1usize, 3, 1_000] {
+                    let ranked = best_k_fills_engine(&engine, &g, k, cost, planned, true);
+                    let exhaustive = best_k_fills_engine(&engine, &g, k, cost, planned, false);
+                    prop_assert_eq!(ranked, exhaustive, "cost {:?} planned {} k {}", cost, planned, k);
+                }
+            }
+        }
+    }
+}
+
+/// The agreement pinned on the planner's favorite corpus: chained
+/// cycles decompose into one atom per cycle, so the ranked odometer
+/// (not just the flat ranked stream) carries the best-k query. C4, C5
+/// and C6 have 2 × 5 × 14 = 140 minimal triangulations combined.
+#[test]
+fn ranked_matches_exhaustive_on_chained_cycles() {
+    let g = mintri::workloads::random::chained_cycles(&[4, 5, 6]);
+    let engine = Engine::with_config(EngineConfig {
+        threads: 2,
+        ..EngineConfig::default()
+    });
+    for cost in [CostMeasure::Width, CostMeasure::Fill] {
+        for planned in [true, false] {
+            for k in [1usize, 3, 200] {
+                let exhaustive = best_k_fills_local(&g, k, cost, planned, false);
+                assert_eq!(
+                    best_k_fills_local(&g, k, cost, planned, true),
+                    exhaustive,
+                    "local: cost {cost:?} planned {planned} k {k}"
+                );
+                assert_eq!(
+                    best_k_fills_engine(&engine, &g, k, cost, planned, true),
+                    exhaustive,
+                    "engine: cost {cost:?} planned {planned} k {k}"
+                );
+            }
+        }
     }
 }
