@@ -11,6 +11,12 @@
 # input answers a structured 400 without killing the server, and fails
 # on any non-2xx or on a leaked server process.
 #
+# A second leg reboots the server with `--store-dir`: a query is warmed,
+# the process is SIGTERMed once the write-behind snapshots are
+# published, and the restarted server must answer the first repeat query
+# with `"is_replay":true` (graph registry, plan and answer cache all
+# hydrated from disk) with the store-hit counters advancing.
+#
 # Usage: ci/serve_smoke.sh [BINARY] [BENCH_CHECK]
 #        (defaults target/release/mintri, bench_check next to BINARY)
 set -euo pipefail
@@ -139,6 +145,77 @@ echo "== clean shutdown"
 kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
 kill -0 "$SERVER_PID" 2>/dev/null && fail "server process leaked after shutdown"
+trap - EXIT
+
+# ---------------------------------------------------------------------
+# Restart leg: warm state must survive a SIGTERM through --store-dir.
+# ---------------------------------------------------------------------
+STORE_DIR=$(mktemp -d /tmp/mintri-smoke-store.XXXXXX)
+cleanup_store() {
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$STORE_DIR"
+}
+trap cleanup_store EXIT
+
+wait_up() {
+    local up=""
+    for _ in $(seq 1 50); do
+        if curl -sf "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+        kill -0 "$SERVER_PID" 2>/dev/null || fail "store server died during startup"
+        sleep 0.2
+    done
+    [ -n "$up" ] || fail "store server never answered /healthz"
+}
+
+echo "== boot with --store-dir and warm a query"
+"$BIN" serve --addr "$ADDR" --store-dir "$STORE_DIR" &
+SERVER_PID=$!
+wait_up
+GID=$(curl -sf -X POST "$BASE/v1/graphs" -d "$GRAPH" | sed -n 's/.*"graph_id":"\([^"]*\)".*/\1/p')
+[ -n "$GID" ] || fail "store upload returned no graph_id"
+COLD=$(curl -sf -X POST "$BASE/v1/query" -d "$ENUM")
+echo "$COLD" | grep -q '"count":14' || fail "store-backed cold query must work: $COLD"
+
+# SIGTERM does not flush the write-behind queue; wait for the worker to
+# publish the snapshots (graph + plan + answers = 3 entries) first.
+published=""
+for _ in $(seq 1 100); do
+    ENTRIES=$(curl -sf "$BASE/v1/metrics" | awk '$1 == "mintri_store_entries" {print $2}')
+    if [ -n "$ENTRIES" ] && awk -v v="$ENTRIES" 'BEGIN { exit !(v + 0 >= 3) }'; then
+        published=1; break
+    fi
+    sleep 0.2
+done
+[ -n "$published" ] || fail "write-behind worker never published 3 store entries (got ${ENTRIES:-none})"
+
+echo "== SIGTERM, then reboot over the same --store-dir"
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+"$BIN" serve --addr "$ADDR" --store-dir "$STORE_DIR" &
+SERVER_PID=$!
+wait_up
+
+# No re-upload: the graph_id itself must survive the restart, and the
+# first repeat query must replay from the disk tier with zero Extends.
+RESTARTED=$(curl -sf -X POST "$BASE/v1/query" -d "$ENUM") \
+    || fail "the uploaded graph_id must survive a restart"
+echo "$RESTARTED" | grep -q '"count":14' || fail "restarted replay must be complete: $RESTARTED"
+echo "$RESTARTED" | grep -q '"is_replay":true' \
+    || fail "first repeat query after a restart must replay from disk: $RESTARTED"
+curl -sf "$BASE/v1/metrics" > /tmp/smoke_metrics_restart.txt
+STORE_HITS=$(awk '$1 == "mintri_store_hits_total" {print $2}' /tmp/smoke_metrics_restart.txt)
+[ -n "$STORE_HITS" ] || fail "metrics must expose store hits"
+awk -v v="$STORE_HITS" 'BEGIN { exit !(v + 0 >= 1) }' \
+    || fail "the disk replay above must register store hits (got $STORE_HITS)"
+grep -q 'mintri_store_hydrate_microseconds' /tmp/smoke_metrics_restart.txt \
+    || fail "metrics must expose the hydrate-latency histogram"
+
+echo "== store shutdown"
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+kill -0 "$SERVER_PID" 2>/dev/null && fail "store server leaked after shutdown"
+rm -rf "$STORE_DIR"
 trap - EXIT
 
 echo "SERVE SMOKE OK"

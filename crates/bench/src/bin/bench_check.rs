@@ -17,6 +17,10 @@
 //!   best-k ran at least `--min-ranked-ratio` (default 3) times faster
 //!   than the exhaustive scan, with the full complement of winners
 //!   (the winner *equality* is asserted inside the bench run itself).
+//! * `--store FILE` (`store_gain` output): the persistence gate —
+//!   `hydrated_is_replay` true, hydrated and cold scans count the same
+//!   answer set, and disk-hydration at least `--min-store-ratio`
+//!   (default 5) times faster than cold compute.
 //! * `--telemetry FILE` (`telemetry_overhead` output): span tracing
 //!   cost stays under `--max-overhead-pct` (default 5) and the traced
 //!   run produced results.
@@ -159,6 +163,41 @@ fn check_ranked(path: &str, min_ratio: f64) -> Result<(), String> {
     Ok(())
 }
 
+fn check_store(path: &str, min_ratio: f64) -> Result<(), String> {
+    let doc = load(path)?;
+    let gate = field(&doc, &["gate"])?;
+    let replay = field(gate, &["hydrated_is_replay"])?
+        .as_bool()
+        .ok_or("hydrated_is_replay must be a boolean")?;
+    if !replay {
+        return Err(format!("{path}: disk-hydrated requests did not replay"));
+    }
+    let cold_scanned = field(gate, &["cold_scanned"])?
+        .as_usize()
+        .ok_or("cold_scanned must be an integer")?;
+    let hydrated_scanned = field(gate, &["hydrated_scanned"])?
+        .as_usize()
+        .ok_or("hydrated_scanned must be an integer")?;
+    if cold_scanned == 0 || cold_scanned != hydrated_scanned {
+        return Err(format!(
+            "{path}: scan counts diverge (cold {cold_scanned}, hydrated {hydrated_scanned})"
+        ));
+    }
+    let ratio = field(gate, &["cold_over_hydrated"])?
+        .as_f64()
+        .ok_or("cold_over_hydrated must be a number")?;
+    if ratio.is_nan() || ratio < min_ratio {
+        return Err(format!(
+            "{path}: disk-hydration only {ratio:.2}x cold (gate: >= {min_ratio}x)"
+        ));
+    }
+    eprintln!(
+        "store ok: {} — disk-hydrate {ratio:.0}x cold over {cold_scanned} answers",
+        field(gate, &["workload"])?.as_str().unwrap_or("?")
+    );
+    Ok(())
+}
+
 fn check_telemetry(path: &str, max_overhead_pct: f64) -> Result<(), String> {
     let doc = load(path)?;
     let results = field(&doc, &["results"])?
@@ -209,22 +248,26 @@ fn main() -> ExitCode {
     let args = Args::parse();
     let min_ratio = args.get_u64("min-ratio", 10) as f64;
     let min_ranked_ratio = args.get_u64("min-ranked-ratio", 3) as f64;
+    let min_store_ratio = args.get_u64("min-store-ratio", 5) as f64;
     let max_overhead_pct = args.get_u64("max-overhead-pct", 5) as f64;
     let serve = args.get_str("serve", "");
     let reduction = args.get_str("reduction", "");
     let ranked = args.get_str("ranked", "");
+    let store = args.get_str("store", "");
     let telemetry = args.get_str("telemetry", "");
     let parse = args.get_str("parse", "");
     if serve.is_empty()
         && reduction.is_empty()
         && ranked.is_empty()
+        && store.is_empty()
         && telemetry.is_empty()
         && parse.is_empty()
     {
         eprintln!(
             "usage: bench_check [--serve BENCH_serve.json] [--reduction BENCH_reduction.json] \
-             [--ranked BENCH_ranked.json] [--telemetry BENCH_telemetry.json] [--parse FILE.json] \
-             [--min-ratio R] [--min-ranked-ratio R] [--max-overhead-pct P]"
+             [--ranked BENCH_ranked.json] [--store BENCH_store.json] \
+             [--telemetry BENCH_telemetry.json] [--parse FILE.json] \
+             [--min-ratio R] [--min-ranked-ratio R] [--min-store-ratio R] [--max-overhead-pct P]"
         );
         return ExitCode::FAILURE;
     }
@@ -237,6 +280,9 @@ fn main() -> ExitCode {
     }
     if !ranked.is_empty() {
         checks.push(check_ranked(&ranked, min_ranked_ratio));
+    }
+    if !store.is_empty() {
+        checks.push(check_store(&store, min_store_ratio));
     }
     if !telemetry.is_empty() {
         checks.push(check_telemetry(&telemetry, max_overhead_pct));

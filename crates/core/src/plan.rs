@@ -87,6 +87,28 @@ impl Plan {
         }
     }
 
+    /// Rebuilds the plan for `g` from an already-known decomposition —
+    /// the hydration path for a persisted plan snapshot. Only the cheap
+    /// parts are re-derived (induced subgraphs and chordality checks);
+    /// the polynomial-but-not-free decomposition itself is taken as
+    /// given. The caller owns the proof that `decomposition` belongs to
+    /// `g` (the store verifies graph equality before handing one over).
+    pub fn from_decomposition(g: &Graph, decomposition: AtomDecomposition) -> Plan {
+        let atoms = decomposition
+            .atoms
+            .iter()
+            .filter_map(|a| {
+                let (graph, old_of) = g.induced_subgraph(a);
+                (!is_chordal(&graph)).then_some(PlannedAtom { graph, old_of })
+            })
+            .collect();
+        Plan {
+            nodes: g.num_nodes(),
+            decomposition,
+            atoms,
+        }
+    }
+
     /// `true` when planning cannot help: the graph is one single
     /// non-trivial atom, so the composed path would wrap exactly the
     /// unreduced enumeration. Executors use the flat path here, which

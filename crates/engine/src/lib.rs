@@ -67,6 +67,11 @@ mod sched;
 pub use session::{graph_fingerprint, Engine, GraphSession};
 pub use telemetry::EngineTelemetry;
 
+/// The persistent warm-state tier, re-exported so serving layers and the
+/// CLI configure [`Engine::with_store`] without naming `mintri-store`
+/// directly.
+pub use mintri_store::{GraphSnapshot, Store, StoreConfig, StoreStats};
+
 #[cfg(feature = "parallel")]
 pub use parallel::ParallelEnumerator;
 #[cfg(feature = "parallel")]

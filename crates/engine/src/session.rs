@@ -27,9 +27,10 @@ use mintri_core::query::{
 use mintri_core::{
     cost_floor, MsGraph, MsGraphStats, RankedAtom, RankedComposed, RankedStream, SepId,
 };
-use mintri_graph::{FxHashMap, FxHasher, Graph};
+use mintri_graph::{FxHashMap, FxHasher, Graph, NodeSet};
 use mintri_sgr::{EnumMis, EnumMisStats, PrintMode};
-use mintri_telemetry::{Histogram, Registry, TraceBuilder};
+use mintri_store::{AnswerSnapshot, MemoSummary, PlanSnapshot, Store, StoredOrder};
+use mintri_telemetry::{Counter, Histogram, Registry, TraceBuilder};
 use mintri_triangulate::{McsM, Triangulation, Triangulator};
 use std::hash::Hasher;
 use std::sync::{Arc, Mutex};
@@ -66,6 +67,51 @@ enum AnswerKey {
     Unordered,
     /// Recorded from the sequential schedule under this print mode.
     Ordered(PrintMode),
+}
+
+impl AnswerKey {
+    /// The store-level rendering of this order contract — part of an
+    /// entry's disk identity, so the mapping must never change meaning.
+    fn stored_order(self) -> StoredOrder {
+        match self {
+            AnswerKey::Unordered => StoredOrder::Unordered,
+            AnswerKey::Ordered(PrintMode::UponGeneration) => StoredOrder::UponGeneration,
+            AnswerKey::Ordered(PrintMode::UponPop) => StoredOrder::UponPop,
+        }
+    }
+}
+
+/// The portable snapshot of one recorded answer list: separators leave
+/// as sorted vertex lists (session-local [`SepId`]s mean nothing to
+/// another process) together with the graph itself, so a loader can
+/// verify equality before trusting a fingerprint match.
+fn answer_snapshot(
+    session: &GraphSession,
+    key: AnswerKey,
+    answers: &[Vec<SepId>],
+) -> AnswerSnapshot {
+    let stats = session.ms.stats();
+    AnswerSnapshot {
+        fingerprint: graph_fingerprint(&session.graph),
+        backend: session.backend.to_string(),
+        order: key.stored_order(),
+        nodes: session.graph.num_nodes() as u32,
+        edges: session.graph.edges(),
+        answers: answers
+            .iter()
+            .map(|answer| {
+                answer
+                    .iter()
+                    .map(|&id| session.ms.separator(id).to_vec())
+                    .collect()
+            })
+            .collect(),
+        summary: MemoSummary {
+            extends: stats.extends as u64,
+            crossing_computed: stats.crossing_computed as u64,
+            separators_interned: stats.separators_interned as u64,
+        },
+    }
 }
 
 /// Warm state for one (graph, triangulation backend) pair: the shared
@@ -134,12 +180,45 @@ impl GraphSession {
         }
     }
 
-    fn store_answers(&self, key: AnswerKey, answers: Vec<Vec<SepId>>) {
+    /// Deposits a completed answer list under `key` and returns the list
+    /// now cached there — the deposited one, or the incumbent when a
+    /// racing run (or hydrate) got there first.
+    fn store_answers(&self, key: AnswerKey, answers: Vec<Vec<SepId>>) -> Arc<Vec<Vec<SepId>>> {
+        Arc::clone(
+            self.answers
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert_with(|| Arc::new(answers)),
+        )
+    }
+
+    /// Every recorded answer list, by order key — what an eviction spill
+    /// walks to persist the session's winnings before the RAM goes away.
+    fn export_answers(&self) -> Vec<(AnswerKey, Arc<Vec<Vec<SepId>>>)> {
         self.answers
             .lock()
             .unwrap()
-            .entry(key)
-            .or_insert_with(|| Arc::new(answers));
+            .iter()
+            .map(|(key, answers)| (*key, Arc::clone(answers)))
+            .collect()
+    }
+}
+
+/// The portable snapshot of a memoized plan: the decomposition's vertex
+/// sets plus the graph for load-time equality verification. The planner
+/// re-derives induced subgraphs and chordality on hydrate — cheap next
+/// to the decomposition (one MCS-M triangulation per split) being
+/// skipped.
+fn plan_snapshot(g: &Graph, fingerprint: u64, plan: &Plan) -> PlanSnapshot {
+    let sets = |sets: &[NodeSet]| -> Vec<Vec<u32>> { sets.iter().map(|s| s.to_vec()).collect() };
+    PlanSnapshot {
+        fingerprint,
+        nodes: g.num_nodes() as u32,
+        edges: g.edges(),
+        components: sets(&plan.decomposition.components),
+        atoms: sets(&plan.decomposition.atoms),
+        separators: sets(&plan.decomposition.separators),
     }
 }
 
@@ -170,6 +249,11 @@ pub(crate) struct EngineEnumeration {
     session: Arc<GraphSession>,
     source: Source,
     recorded: Option<(AnswerKey, Vec<Vec<SepId>>)>,
+    /// The persistent tier (plus its spill counter), when the engine has
+    /// one: a natural completion writes the deposited answer list
+    /// through to disk (write-behind — the enqueue is the only hot-path
+    /// cost).
+    spill: Option<(Arc<Store>, Arc<Counter>)>,
     /// Stream creation time; its lifetime lands in `wall` at drop.
     created: Instant,
     /// The engine's stream-lifetime histogram. Recording happens once,
@@ -193,12 +277,12 @@ impl Drop for EngineEnumeration {
 
 impl EngineEnumeration {
     fn next_pair(&mut self) -> Option<(Vec<SepId>, Triangulation)> {
-        match &mut self.source {
+        let pair = match &mut self.source {
             Source::Cached { answers, next } => {
                 let answer = answers.get(*next)?.clone();
                 *next += 1;
                 let tri = self.session.ms.materialize(&answer);
-                Some((answer, tri))
+                return Some((answer, tri));
             }
             #[cfg(feature = "parallel")]
             Source::Live(par) => match par.next_pair() {
@@ -209,10 +293,10 @@ impl EngineEnumeration {
                     Some(pair)
                 }
                 None => {
-                    if par.is_complete() {
-                        if let Some((key, rec)) = self.recorded.take() {
-                            self.session.store_answers(key, rec);
-                        }
+                    if !par.is_complete() {
+                        // Aborted mid-run: an incomplete list must never
+                        // be deposited, in RAM or on disk.
+                        self.recorded = None;
                     }
                     None
                 }
@@ -225,14 +309,26 @@ impl EngineEnumeration {
                     let tri = self.session.ms.materialize(&answer);
                     Some((answer, tri))
                 }
-                None => {
-                    // A sequential stream only ends when complete.
-                    if let Some((key, rec)) = self.recorded.take() {
-                        self.session.store_answers(key, rec);
-                    }
-                    None
-                }
+                // A sequential stream only ends when complete.
+                None => None,
             },
+        };
+        if pair.is_none() {
+            self.deposit();
+        }
+        pair
+    }
+
+    /// Deposits the recording into the session — and, with a store
+    /// attached, spills it to disk (write-behind; `overwrite = true`
+    /// because a completed run is the freshest truth for its key).
+    fn deposit(&mut self) {
+        if let Some((key, rec)) = self.recorded.take() {
+            let answers = self.session.store_answers(key, rec);
+            if let Some((store, spills)) = &self.spill {
+                store.put_answers(&answer_snapshot(&self.session, key, &answers), true);
+                spills.inc();
+            }
         }
     }
 
@@ -299,6 +395,11 @@ pub struct Engine {
     /// sessions (collisions verified by equality), so warm repeated
     /// traffic skips straight to the per-atom replay caches.
     plans: Mutex<FxHashMap<u64, PlanBucket>>,
+    /// The persistent warm-state tier, when one is attached
+    /// ([`Engine::with_store`]): sessions hydrate from it on a RAM miss
+    /// and spill back to it on completion and eviction. `None` keeps
+    /// every prior engine behavior bit for bit.
+    store: Option<Arc<Store>>,
     /// Registered metric handles (and the registry they live in).
     telemetry: EngineTelemetry,
 }
@@ -331,29 +432,34 @@ impl SessionStore {
         None
     }
 
-    /// Inserts, evicting LRU sessions past `cap`; returns how many were
-    /// evicted (the caller owns the telemetry counters).
-    fn insert(&mut self, key: u64, session: Arc<GraphSession>, cap: usize) -> u64 {
+    /// Inserts, evicting LRU sessions past `cap`; returns the evicted
+    /// sessions (the caller owns the telemetry counters — and, with a
+    /// store attached, spills them outside this lock).
+    fn insert(
+        &mut self,
+        key: u64,
+        session: Arc<GraphSession>,
+        cap: usize,
+    ) -> Vec<Arc<GraphSession>> {
         self.clock += 1;
         let clock = self.clock;
         self.by_key.entry(key).or_default().push((clock, session));
         self.live += 1;
-        let mut evicted = 0;
+        let mut evicted = Vec::new();
         while self.live > cap.max(1) {
-            self.evict_lru();
-            evicted += 1;
+            match self.evict_lru() {
+                Some(victim) => evicted.push(victim),
+                None => break,
+            }
         }
         evicted
     }
 
-    fn evict_lru(&mut self) {
-        let Some((&victim_key, _)) = self
+    fn evict_lru(&mut self) -> Option<Arc<GraphSession>> {
+        let (&victim_key, _) = self
             .by_key
             .iter()
-            .min_by_key(|(_, entries)| entries.iter().map(|(stamp, _)| *stamp).min())
-        else {
-            return;
-        };
+            .min_by_key(|(_, entries)| entries.iter().map(|(stamp, _)| *stamp).min())?;
         let entries = self.by_key.get_mut(&victim_key).unwrap();
         let oldest = entries
             .iter()
@@ -361,11 +467,12 @@ impl SessionStore {
             .min_by_key(|(_, (stamp, _))| *stamp)
             .map(|(i, _)| i)
             .unwrap();
-        entries.remove(oldest);
+        let (_, victim) = entries.remove(oldest);
         if entries.is_empty() {
             self.by_key.remove(&victim_key);
         }
         self.live -= 1;
+        Some(victim)
     }
 }
 
@@ -388,8 +495,29 @@ impl Engine {
             config,
             sessions: Mutex::new(SessionStore::default()),
             plans: Mutex::new(FxHashMap::default()),
+            store: None,
             telemetry: EngineTelemetry::new(Arc::new(Registry::new())),
         }
+    }
+
+    /// Engine backed by a persistent warm-state tier. Dispatch per
+    /// stream becomes replay → disk-hydrate → parallel → sequential:
+    /// completed runs and evicted sessions spill their answer lists (and
+    /// memoized plans) to `store`, and a RAM miss whose entry is on disk
+    /// rebuilds the warm session by re-interning instead of
+    /// re-enumerating — across restarts, and across replicas sharing the
+    /// directory.
+    pub fn with_store(config: EngineConfig, store: Arc<Store>) -> Self {
+        let mut engine = Self::with_config(config);
+        engine.store = Some(store);
+        engine
+    }
+
+    /// The attached persistent tier, if any. Serving layers persist
+    /// their registries through the same handle — one store, one
+    /// eviction policy, one budget.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     /// The engine's configuration.
@@ -424,6 +552,10 @@ impl Engine {
         t.memo_separators_interned
             .set(stats.separators_interned as i64);
         t.sessions_live.set(self.sessions_cached() as i64);
+        if let Some(store) = &self.store {
+            t.store_bytes.set(store.bytes_stored() as i64);
+            t.store_entries.set(store.entries() as i64);
+        }
     }
 
     /// Number of live warm sessions.
@@ -470,9 +602,30 @@ impl Engine {
         drop(sessions);
         self.telemetry.sessions_built.inc();
         self.telemetry.session_build_us.record_duration(build_time);
-        self.telemetry.sessions_evicted.add(evicted);
+        self.telemetry.sessions_evicted.add(evicted.len() as u64);
         self.telemetry.sessions_live.set(live as i64);
+        // Spill outside the store lock: the write is an enqueue, but the
+        // snapshot encoding walks the victim's answer lists.
+        for victim in &evicted {
+            self.spill_session(victim);
+        }
         session
+    }
+
+    /// Persists every recorded answer list of a session about to lose
+    /// its RAM (LRU pressure, explicit eviction, or a clear), so the
+    /// winnings survive as disk entries instead of vanishing. No-op
+    /// without a store — the pre-store engine dropped them silently,
+    /// which is exactly the bug this path closes. `overwrite = false`:
+    /// completed runs already wrote the freshest copy through on
+    /// deposit; an eviction must not clobber it with the same data (or
+    /// race a concurrent deposit).
+    fn spill_session(&self, session: &Arc<GraphSession>) {
+        let Some(store) = &self.store else { return };
+        for (key, answers) in session.export_answers() {
+            store.put_answers(&answer_snapshot(session, key, &answers), false);
+            self.telemetry.store_spills.inc();
+        }
     }
 
     /// Drops every warm session for `g` (all backends) and its cached
@@ -480,24 +633,35 @@ impl Engine {
     /// later query rebuilds from scratch. (An atom session shared with
     /// another graph is only dropped when evicted under *its own*
     /// subgraph.)
+    /// With a store attached the sessions spill their recorded answers
+    /// to disk first (plans were already persisted at compute time), so
+    /// "rebuilds from scratch" becomes "rehydrates from disk".
     pub fn evict(&self, g: &Graph) {
         let key = graph_fingerprint(g);
         let mut sessions = self.sessions.lock().unwrap();
         let store = &mut *sessions;
-        let mut removed = 0;
+        let mut victims = Vec::new();
         if let Some(entries) = store.by_key.get_mut(&key) {
-            let before = entries.len();
-            entries.retain(|(_, s)| s.graph.as_ref() != g);
-            removed = before - entries.len();
-            store.live -= removed;
+            entries.retain(|(_, s)| {
+                if s.graph.as_ref() == g {
+                    victims.push(Arc::clone(s));
+                    false
+                } else {
+                    true
+                }
+            });
+            store.live -= victims.len();
             if entries.is_empty() {
                 store.by_key.remove(&key);
             }
         }
         let live = store.live;
         drop(sessions);
-        self.telemetry.sessions_evicted.add(removed as u64);
+        self.telemetry.sessions_evicted.add(victims.len() as u64);
         self.telemetry.sessions_live.set(live as i64);
+        for victim in &victims {
+            self.spill_session(victim);
+        }
         let mut plans = self.plans.lock().unwrap();
         if let Some(entries) = plans.get_mut(&key) {
             entries.retain(|(pg, _)| pg != g);
@@ -507,15 +671,24 @@ impl Engine {
         }
     }
 
-    /// Drops every warm session and cached plan.
+    /// Drops every warm session and cached plan (spilling recorded
+    /// answers to the store first, when one is attached).
     pub fn clear_sessions(&self) {
         let mut sessions = self.sessions.lock().unwrap();
         let removed = sessions.live;
+        let victims: Vec<Arc<GraphSession>> = sessions
+            .by_key
+            .values()
+            .flat_map(|entries| entries.iter().map(|(_, s)| Arc::clone(s)))
+            .collect();
         sessions.by_key.clear();
         sessions.live = 0;
         drop(sessions);
         self.telemetry.sessions_evicted.add(removed as u64);
         self.telemetry.sessions_live.set(0);
+        for victim in &victims {
+            self.spill_session(victim);
+        }
         self.plans.lock().unwrap().clear();
     }
 
@@ -788,8 +961,17 @@ impl Engine {
                 }
             }
         }
-        let plan = Arc::new(Plan::of(g));
-        self.telemetry.plans_computed.inc();
+        let plan = match self.hydrate_plan(g, key) {
+            Some(plan) => plan,
+            None => {
+                let plan = Arc::new(Plan::of(g));
+                self.telemetry.plans_computed.inc();
+                if let Some(store) = &self.store {
+                    store.put_plan(&plan_snapshot(g, key, &plan));
+                }
+                plan
+            }
+        };
         let mut plans = self.plans.lock().unwrap();
         // Planning ran outside the lock (it is polynomial but not free),
         // so a concurrent first query may have beaten us here — re-check
@@ -808,6 +990,39 @@ impl Engine {
             .or_default()
             .push((g.clone(), Arc::clone(&plan)));
         plan
+    }
+
+    /// Loads a persisted plan snapshot for `g`, if the store holds one
+    /// whose graph is *equal* (a fingerprint is an address, not a
+    /// proof). The decomposition is taken as given; only the cheap parts
+    /// (induced subgraphs, chordality) are re-derived.
+    fn hydrate_plan(&self, g: &Graph, key: u64) -> Option<Arc<Plan>> {
+        let store = self.store.as_ref()?;
+        let start = Instant::now();
+        let snap = match store.load_plan(key) {
+            Some(snap) if snap.nodes as usize == g.num_nodes() && snap.edges == g.edges() => snap,
+            _ => {
+                self.telemetry.store_misses.inc();
+                return None;
+            }
+        };
+        let n = g.num_nodes();
+        let sets = |sets: &[Vec<u32>]| -> Vec<NodeSet> {
+            sets.iter()
+                .map(|s| NodeSet::from_iter(n, s.iter().copied()))
+                .collect()
+        };
+        let decomposition = mintri_separators::AtomDecomposition {
+            components: sets(&snap.components),
+            atoms: sets(&snap.atoms),
+            separators: sets(&snap.separators),
+        };
+        let plan = Arc::new(Plan::from_decomposition(g, decomposition));
+        self.telemetry.store_hits.inc();
+        self.telemetry
+            .store_hydrate_us
+            .record_duration(start.elapsed());
+        Some(plan)
     }
 
     /// The engine-wide memo counters: [`MsGraphStats`] summed over every
@@ -847,6 +1062,7 @@ impl Engine {
                 session: Arc::clone(session),
                 source: Source::Cached { answers, next: 0 },
                 recorded: None,
+                spill: None,
                 created: Instant::now(),
                 wall: Some(Arc::clone(&self.telemetry.stream_wall_us)),
                 #[cfg(feature = "parallel")]
@@ -854,11 +1070,93 @@ impl Engine {
             };
         }
         self.telemetry.replay_misses.inc();
+        if let Some(hydrated) = self.hydrate_stream(session, mode, delivery) {
+            return hydrated;
+        }
         let threads = match threads {
             0 => self.config.resolved_threads(),
             n => n,
         };
         self.live_stream(session, mode, delivery, threads, cancel)
+    }
+
+    /// The disk-hydrate step of the dispatch order (replay →
+    /// **disk-hydrate** → parallel → sequential): on a RAM replay miss
+    /// with a store attached, probe the persistent tier for a recorded
+    /// answer list whose order satisfies the query's delivery contract —
+    /// the same compatibility rule [`GraphSession::replayable`] applies
+    /// in RAM. A hit verifies graph equality (a fingerprint is an
+    /// address, not a proof), re-interns the vertex-list separators into
+    /// this session's `MsGraph`, deposits the list for future RAM
+    /// replays, and serves a `Cached` stream — zero `Extend` calls, ever.
+    /// Interning and deposit race concurrent hydrators safely: the
+    /// session keeps exactly one list per key.
+    fn hydrate_stream(
+        &self,
+        session: &Arc<GraphSession>,
+        mode: PrintMode,
+        delivery: Delivery,
+    ) -> Option<EngineEnumeration> {
+        let store = self.store.as_ref()?;
+        let start = Instant::now();
+        let fp = graph_fingerprint(&session.graph);
+        let other = match mode {
+            PrintMode::UponGeneration => PrintMode::UponPop,
+            PrintMode::UponPop => PrintMode::UponGeneration,
+        };
+        // Probe order mirrors the RAM rule: deterministic queries accept
+        // only their exact sequential schedule; unordered queries prefer
+        // it but accept any complete recording.
+        let probes: &[AnswerKey] = match delivery {
+            Delivery::Deterministic => &[AnswerKey::Ordered(mode)],
+            Delivery::Unordered => &[
+                AnswerKey::Ordered(mode),
+                AnswerKey::Unordered,
+                AnswerKey::Ordered(other),
+            ],
+        };
+        for &key in probes {
+            let Some(snap) = store.load_answers(fp, session.backend, key.stored_order()) else {
+                continue;
+            };
+            if snap.nodes as usize != session.graph.num_nodes()
+                || snap.edges != session.graph.edges()
+            {
+                continue;
+            }
+            let n = session.graph.num_nodes();
+            let answers: Vec<Vec<SepId>> = snap
+                .answers
+                .iter()
+                .map(|answer| {
+                    answer
+                        .iter()
+                        .map(|sep| {
+                            session
+                                .ms
+                                .intern(NodeSet::from_iter(n, sep.iter().copied()))
+                        })
+                        .collect()
+                })
+                .collect();
+            let answers = session.store_answers(key, answers);
+            self.telemetry.store_hits.inc();
+            self.telemetry
+                .store_hydrate_us
+                .record_duration(start.elapsed());
+            return Some(EngineEnumeration {
+                session: Arc::clone(session),
+                source: Source::Cached { answers, next: 0 },
+                recorded: None,
+                spill: None,
+                created: Instant::now(),
+                wall: Some(Arc::clone(&self.telemetry.stream_wall_us)),
+                #[cfg(feature = "parallel")]
+                _cancel_hook: None,
+            });
+        }
+        self.telemetry.store_misses.inc();
+        None
     }
 
     #[cfg(feature = "parallel")]
@@ -889,6 +1187,7 @@ impl Engine {
                 session: Arc::clone(session),
                 source: Source::Live(par),
                 recorded: Some((key, Vec::new())),
+                spill: self.spill_handle(),
                 created: Instant::now(),
                 wall: Some(Arc::clone(&self.telemetry.stream_wall_us)),
                 _cancel_hook: cancel_hook,
@@ -914,11 +1213,20 @@ impl Engine {
             session: Arc::clone(session),
             source: Source::Sequential(Box::new(EnumMis::new(Arc::clone(&session.ms), mode))),
             recorded: Some((AnswerKey::Ordered(mode), Vec::new())),
+            spill: self.spill_handle(),
             created: Instant::now(),
             wall: Some(Arc::clone(&self.telemetry.stream_wall_us)),
             #[cfg(feature = "parallel")]
             _cancel_hook: None,
         }
+    }
+
+    /// The write-through handle live streams carry: the store plus the
+    /// spill counter, or `None` on a store-less engine.
+    fn spill_handle(&self) -> Option<(Arc<Store>, Arc<Counter>)> {
+        self.store
+            .as_ref()
+            .map(|store| (Arc::clone(store), Arc::clone(&self.telemetry.store_spills)))
     }
 }
 

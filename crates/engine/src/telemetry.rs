@@ -38,6 +38,22 @@ pub struct EngineTelemetry {
     pub plans_computed: Arc<Counter>,
     /// Queries served a memoized plan.
     pub plan_cache_hits: Arc<Counter>,
+    /// Streams or plans hydrated from the persistent store (disk hits).
+    pub store_hits: Arc<Counter>,
+    /// Store lookups that found no usable entry (absent, corrupt, or a
+    /// graph-equality mismatch under a colliding fingerprint).
+    pub store_misses: Arc<Counter>,
+    /// Answer caches spilled to the store (deposits on completed runs
+    /// plus eviction-time spills).
+    pub store_spills: Arc<Counter>,
+    /// Bytes the persistent store currently holds, mirrored by
+    /// [`Engine::refresh_gauges`](crate::Engine::refresh_gauges).
+    pub store_bytes: Arc<Gauge>,
+    /// Entry files the persistent store currently holds (same mirror).
+    pub store_entries: Arc<Gauge>,
+    /// Wall time to hydrate one entry from disk — read, verify,
+    /// re-intern (µs).
+    pub store_hydrate_us: Arc<Histogram>,
     /// Wall time to build one cold session (µs).
     pub session_build_us: Arc<Histogram>,
     /// Wall time from stream creation to its drop — replay or live (µs).
@@ -98,6 +114,27 @@ impl EngineTelemetry {
             plan_cache_hits: c(
                 "mintri_engine_plan_cache_hits_total",
                 "Queries served a memoized plan",
+            ),
+            store_hits: c(
+                "mintri_store_hits_total",
+                "Streams or plans hydrated from the persistent store",
+            ),
+            store_misses: c(
+                "mintri_store_misses_total",
+                "Store lookups that found no usable entry",
+            ),
+            store_spills: c(
+                "mintri_store_spills_total",
+                "Answer caches spilled to the persistent store",
+            ),
+            store_bytes: g("mintri_store_bytes", "Bytes held by the persistent store"),
+            store_entries: g(
+                "mintri_store_entries",
+                "Entry files held by the persistent store",
+            ),
+            store_hydrate_us: h(
+                "mintri_store_hydrate_microseconds",
+                "Wall time to hydrate one store entry (read, verify, re-intern)",
             ),
             session_build_us: h(
                 "mintri_engine_session_build_microseconds",

@@ -21,7 +21,7 @@ use mintri_core::json::{
     graph_from_json, graph_summary_json, outcome_json, query_from_json, JsonObject, JsonValue,
 };
 use mintri_core::query::{Query, QueryItem, Response, Task};
-use mintri_engine::{graph_fingerprint, Engine};
+use mintri_engine::{graph_fingerprint, Engine, GraphSnapshot};
 use mintri_graph::Graph;
 use mintri_telemetry::{Counter, Gauge, Histogram};
 use std::collections::HashMap;
@@ -35,8 +35,12 @@ pub struct ApiLimits {
     /// Largest graph (in nodes) `/v1/graphs` and inline `"graph"` fields
     /// accept (adjacency is quadratic in nodes).
     pub max_graph_nodes: usize,
-    /// Registry capacity: uploads beyond this answer 503 until graphs
-    /// age out (the registry is an explicit store, not an LRU).
+    /// RAM capacity of the graph registry: past it the least recently
+    /// used graph ages out of RAM under the same LRU policy the engine's
+    /// sessions use. With a persistent store attached the aged entry
+    /// stays on disk and rehydrates on its next use; uploads never see a
+    /// capacity 503 — only exhausting the store's *disk budget* answers
+    /// a structured 503.
     pub max_graphs: usize,
     /// Largest `/v1/batch` request, in queries.
     pub max_batch: usize,
@@ -194,11 +198,73 @@ impl SlowLog {
     }
 }
 
+/// The uploaded-graph registry: id → graph with a recency stamp, LRU-
+/// aged at [`ApiLimits::max_graphs`] — the same unified eviction policy
+/// the engine's session store applies, replacing the old hard-capped
+/// 503-when-full behavior. Aging only frees RAM: with a persistent store
+/// attached the entry's disk copy survives and rehydrates on its next
+/// resolve.
+struct GraphRegistry {
+    by_id: HashMap<String, (u64, Arc<Graph>)>,
+    clock: u64,
+}
+
+impl GraphRegistry {
+    fn new() -> Self {
+        GraphRegistry {
+            by_id: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Looks `id` up, refreshing its recency stamp on a hit.
+    fn touch(&mut self, id: &str) -> Option<Arc<Graph>> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (stamp, g) = self.by_id.get_mut(id)?;
+        *stamp = clock;
+        Some(Arc::clone(g))
+    }
+
+    /// Inserts, aging the least recently used entries out of RAM past
+    /// `cap`.
+    fn insert(&mut self, id: String, g: Arc<Graph>, cap: usize) {
+        self.clock += 1;
+        self.by_id.insert(id, (self.clock, g));
+        while self.by_id.len() > cap.max(1) {
+            let Some(victim) = self
+                .by_id
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(id, _)| id.clone())
+            else {
+                break;
+            };
+            self.by_id.remove(&victim);
+        }
+    }
+}
+
+/// Rebuilds a registry graph from its snapshot, rejecting out-of-range
+/// endpoints instead of panicking (the checksum makes this unreachable
+/// for files the store wrote, but a loader must not trust disk).
+fn graph_from_snapshot(snap: &GraphSnapshot) -> Option<Graph> {
+    let n = snap.nodes as usize;
+    if snap
+        .edges
+        .iter()
+        .any(|&(u, v)| u as usize >= n || v as usize >= n)
+    {
+        return None;
+    }
+    Some(Graph::from_edges(n, &snap.edges))
+}
+
 /// Shared server state: the engine (all warm sessions and replay caches
 /// live there) plus the uploaded-graph registry.
 pub struct AppState {
     engine: Arc<Engine>,
-    graphs: Mutex<HashMap<String, Arc<Graph>>>,
+    graphs: Mutex<GraphRegistry>,
     limits: ApiLimits,
     started: Instant,
     metrics: HttpMetrics,
@@ -212,7 +278,7 @@ impl AppState {
         let metrics = HttpMetrics::new(engine.registry());
         AppState {
             engine,
-            graphs: Mutex::new(HashMap::new()),
+            graphs: Mutex::new(GraphRegistry::new()),
             limits,
             started: Instant::now(),
             metrics,
@@ -225,9 +291,9 @@ impl AppState {
         &self.engine
     }
 
-    /// Number of registered graphs.
+    /// Number of graphs currently registered in RAM.
     pub fn graphs_registered(&self) -> usize {
-        self.graphs.lock().unwrap().len()
+        self.graphs.lock().unwrap().by_id.len()
     }
 
     /// The transport's metric handles (connection gauges for the server
@@ -456,6 +522,7 @@ impl AppState {
     fn register_graph(&self, v: &JsonValue) -> Result<(String, Arc<Graph>), HttpError> {
         let g = graph_from_json(v, self.limits.max_graph_nodes).map_err(HttpError::bad_request)?;
         let g = Arc::new(g);
+        let store = self.engine.store().cloned();
         let mut graphs = self.graphs.lock().unwrap();
         // Ids are the engine's own session fingerprint (one definition:
         // graph ids and session keys must never diverge), with equality
@@ -468,26 +535,50 @@ impl AppState {
             } else {
                 format!("{base}-{probe}")
             };
-            match graphs.get(&id) {
-                Some(existing) if **existing == *g => return Ok((id, Arc::clone(existing))),
-                Some(_) => continue, // fingerprint collision: probe onward
-                None => {
-                    if graphs.len() >= self.limits.max_graphs {
-                        // Structured: clients read capacity/stored (and
-                        // honor Retry-After) instead of parsing the
-                        // message.
-                        return Err(HttpError::new(
-                            503,
-                            format!("graph registry full ({} graphs)", graphs.len()),
-                        )
-                        .detail("capacity", self.limits.max_graphs as u64)
-                        .detail("stored", graphs.len() as u64)
-                        .retry_after(1));
-                    }
-                    graphs.insert(id.clone(), Arc::clone(&g));
-                    return Ok((id, g));
+            if let Some(existing) = graphs.touch(&id) {
+                if *existing == *g {
+                    return Ok((id, existing));
                 }
+                continue; // fingerprint collision: probe onward
             }
+            // Not in RAM. A disk copy (this replica's LRU-aged entry, a
+            // previous life's upload, or another replica's) settles the
+            // probe the same way a RAM hit would.
+            if let Some(store) = &store {
+                if let Some(snap) = store.load_graph(&id) {
+                    if snap.id != id {
+                        continue; // name sanitation aliased two ids
+                    }
+                    match graph_from_snapshot(&snap) {
+                        Some(disk) if disk == *g => {
+                            graphs.insert(id.clone(), Arc::clone(&g), self.limits.max_graphs);
+                            return Ok((id, g));
+                        }
+                        Some(_) => continue, // disk-recorded collision
+                        None => {}           // unusable snapshot: treat as absent
+                    }
+                }
+                // Genuinely new: persist before admitting. Disk budget is
+                // the one remaining hard limit (RAM pressure just ages
+                // the LRU); the 503 is structured so clients read
+                // budget/stored (and honor Retry-After) instead of
+                // parsing the message.
+                let snap = GraphSnapshot {
+                    id: id.clone(),
+                    nodes: g.num_nodes() as u32,
+                    edges: g.edges(),
+                };
+                let bytes = snap.encode();
+                if store.would_exceed_budget(bytes.len() as u64) {
+                    return Err(HttpError::new(503, "graph store disk budget exhausted")
+                        .detail("budget_bytes", store.max_disk_bytes().unwrap_or(0))
+                        .detail("stored_bytes", store.bytes_stored())
+                        .retry_after(1));
+                }
+                store.put_graph(&snap);
+            }
+            graphs.insert(id.clone(), Arc::clone(&g), self.limits.max_graphs);
+            return Ok((id, g));
         }
         unreachable!("the probe loop always returns")
     }
@@ -498,12 +589,29 @@ impl AppState {
                 let id = id
                     .as_str()
                     .ok_or_else(|| HttpError::bad_request("`graph_id` must be a string"))?;
-                self.graphs
-                    .lock()
-                    .unwrap()
-                    .get(id)
-                    .cloned()
-                    .ok_or_else(|| HttpError::new(404, format!("unknown graph_id {id:?}")))
+                if let Some(g) = self.graphs.lock().unwrap().touch(id) {
+                    return Ok(g);
+                }
+                // RAM miss: rehydrate from the persistent registry — the
+                // graph may have been LRU-aged out, uploaded before a
+                // restart, or registered by another replica sharing the
+                // store directory.
+                if let Some(store) = self.engine.store() {
+                    if let Some(snap) = store.load_graph(id) {
+                        if snap.id == id {
+                            if let Some(g) = graph_from_snapshot(&snap) {
+                                let g = Arc::new(g);
+                                self.graphs.lock().unwrap().insert(
+                                    id.to_string(),
+                                    Arc::clone(&g),
+                                    self.limits.max_graphs,
+                                );
+                                return Ok(g);
+                            }
+                        }
+                    }
+                }
+                Err(HttpError::new(404, format!("unknown graph_id {id:?}")))
             }
             (None, Some(inline)) => Ok(Arc::new(
                 graph_from_json(inline, self.limits.max_graph_nodes)
@@ -629,6 +737,20 @@ impl AppState {
         doc.usize("graphs", self.graphs_registered());
         doc.raw("memo", memo_doc.finish());
         doc.raw("engine", engine_doc.finish());
+        if let Some(store) = self.engine.store() {
+            let stats = store.stats();
+            let mut store_doc = JsonObject::new();
+            store_doc.raw("bytes", stats.bytes.to_string());
+            store_doc.raw("entries", stats.entries.to_string());
+            store_doc.raw("writes", stats.writes.to_string());
+            store_doc.raw("loads", stats.loads.to_string());
+            store_doc.raw("load_misses", stats.load_misses.to_string());
+            store_doc.raw("corrupt_quarantined", stats.corrupt_quarantined.to_string());
+            store_doc.raw("hits", t.store_hits.get().to_string());
+            store_doc.raw("misses", t.store_misses.get().to_string());
+            store_doc.raw("spills", t.store_spills.get().to_string());
+            doc.raw("store", store_doc.finish());
+        }
         doc.raw("requests", format!("[{}]", requests.join(",")));
         doc.raw("slow_queries", format!("[{}]", slow.join(",")));
         doc.raw("slow_query_ms", self.limits.slow_query_ms.to_string());

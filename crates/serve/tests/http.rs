@@ -22,11 +22,15 @@ struct TestServer {
 }
 
 impl TestServer {
-    fn boot(mut config: ServeConfig) -> TestServer {
+    fn boot(config: ServeConfig) -> TestServer {
+        TestServer::boot_with(config, Arc::new(Engine::new()))
+    }
+
+    fn boot_with(mut config: ServeConfig, engine: Arc<Engine>) -> TestServer {
         config.addr = "127.0.0.1:0".into();
         // Keeps worker drain quick when a test leaves a connection open.
         config.read_timeout = Duration::from_millis(500);
-        let server = Server::bind(config, Arc::new(Engine::new())).expect("bind");
+        let server = Server::bind(config, engine).expect("bind");
         let addr = server.local_addr().expect("local_addr");
         let handle = server.handle().expect("handle");
         let thread = std::thread::spawn(move || server.run().expect("run"));
@@ -539,8 +543,38 @@ fn traced_queries_return_a_span_tree() {
         .is_none());
 }
 
+/// A unique scratch store root, removed on drop.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mintri-serve-store-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn store_engine(config: mintri_engine::StoreConfig) -> Arc<Engine> {
+    use mintri_engine::{EngineConfig, Store};
+    Arc::new(Engine::with_store(
+        EngineConfig::default(),
+        Arc::new(Store::open(config).expect("store opens")),
+    ))
+}
+
 #[test]
-fn full_graph_registry_answers_structured_503_with_retry_after() {
+fn a_full_graph_registry_ages_by_lru_instead_of_answering_503() {
     use mintri_serve::api::ApiLimits;
     let server = TestServer::boot(ServeConfig {
         api: ApiLimits {
@@ -557,6 +591,106 @@ fn full_graph_registry_answers_structured_503_with_retry_after() {
     )
     .unwrap();
     assert_eq!(first.status, 200);
+    let first_id = parse(&first.body)
+        .get("graph_id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+
+    // A second upload past the cap is admitted — the LRU entry ages out
+    // of RAM instead of the server turning clients away.
+    let second = request(
+        server.addr,
+        "POST",
+        "/v1/graphs",
+        Some(&graph_to_json(&Graph::cycle(6))),
+    )
+    .unwrap();
+    assert_eq!(
+        second.status, 200,
+        "no 503 on RAM pressure: {}",
+        second.body
+    );
+    let stats = parse(&request(server.addr, "GET", "/v1/stats", None).unwrap().body);
+    assert_eq!(stats.get("graphs").unwrap().as_usize(), Some(1));
+
+    // With no disk tier behind the registry the aged-out id is gone…
+    let spec = format!(r#"{{"graph_id":"{first_id}","query":{{"task":{{"type":"enumerate"}}}}}}"#);
+    let gone = request(server.addr, "POST", "/v1/query", Some(&spec)).unwrap();
+    assert_eq!(gone.status, 404);
+
+    // …but re-uploading answers the same fingerprint id again.
+    let again = request(
+        server.addr,
+        "POST",
+        "/v1/graphs",
+        Some(&graph_to_json(&Graph::cycle(5))),
+    )
+    .unwrap();
+    assert_eq!(again.status, 200);
+    assert_eq!(
+        parse(&again.body).get("graph_id").unwrap().as_str(),
+        Some(first_id.as_str())
+    );
+}
+
+#[test]
+fn an_aged_out_graph_rehydrates_from_the_store_on_its_next_query() {
+    use mintri_serve::api::ApiLimits;
+    let dir = ScratchDir::new("lru-rehydrate");
+    let server = TestServer::boot_with(
+        ServeConfig {
+            api: ApiLimits {
+                max_graphs: 1,
+                ..ApiLimits::default()
+            },
+            ..ServeConfig::default()
+        },
+        store_engine(mintri_engine::StoreConfig::at(&dir.0)),
+    );
+    let first = request(
+        server.addr,
+        "POST",
+        "/v1/graphs",
+        Some(&graph_to_json(&Graph::cycle(6))),
+    )
+    .unwrap();
+    assert_eq!(first.status, 200);
+    let id = parse(&first.body)
+        .get("graph_id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    // Age the first upload out of RAM.
+    let second = request(
+        server.addr,
+        "POST",
+        "/v1/graphs",
+        Some(&graph_to_json(&Graph::cycle(5))),
+    )
+    .unwrap();
+    assert_eq!(second.status, 200);
+
+    // The aged-out id still answers: the registry reloads it from disk.
+    let spec = format!(r#"{{"graph_id":"{id}","query":{{"task":{{"type":"enumerate"}}}}}}"#);
+    let resp = request(server.addr, "POST", "/v1/query", Some(&spec)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(parse(&resp.body).get("count").unwrap().as_usize(), Some(14));
+}
+
+#[test]
+fn a_graph_past_the_disk_budget_answers_structured_503_with_retry_after() {
+    let dir = ScratchDir::new("disk-budget");
+    let server = TestServer::boot_with(
+        ServeConfig::default(),
+        store_engine(mintri_engine::StoreConfig {
+            // Below even the snapshot header: every upload exceeds it.
+            max_disk_bytes: Some(16),
+            ..mintri_engine::StoreConfig::at(&dir.0)
+        }),
+    );
     let full = request(
         server.addr,
         "POST",
@@ -573,18 +707,53 @@ fn full_graph_registry_answers_structured_503_with_retry_after() {
     let error = parse(&full.body);
     let error = error.get("error").unwrap();
     assert_eq!(error.get("status").unwrap().as_usize(), Some(503));
-    assert_eq!(error.get("capacity").unwrap().as_usize(), Some(1));
-    assert_eq!(error.get("stored").unwrap().as_usize(), Some(1));
+    assert_eq!(error.get("budget_bytes").unwrap().as_usize(), Some(16));
+    assert_eq!(error.get("stored_bytes").unwrap().as_usize(), Some(0));
+}
 
-    // Re-uploading the stored graph still answers its id.
-    let again = request(
-        server.addr,
-        "POST",
-        "/v1/graphs",
-        Some(&graph_to_json(&Graph::cycle(5))),
-    )
-    .unwrap();
-    assert_eq!(again.status, 200);
+#[test]
+fn uploads_and_warm_answers_survive_a_server_restart() {
+    let dir = ScratchDir::new("restart");
+    let id = {
+        let engine = store_engine(mintri_engine::StoreConfig::at(&dir.0));
+        let server = TestServer::boot_with(ServeConfig::default(), Arc::clone(&engine));
+        let uploaded = request(
+            server.addr,
+            "POST",
+            "/v1/graphs",
+            Some(&graph_to_json(&Graph::cycle(6))),
+        )
+        .unwrap();
+        assert_eq!(uploaded.status, 200);
+        let id = parse(&uploaded.body)
+            .get("graph_id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let spec = format!(r#"{{"graph_id":"{id}","query":{{"task":{{"type":"enumerate"}}}}}}"#);
+        let warm = request(server.addr, "POST", "/v1/query", Some(&spec)).unwrap();
+        assert_eq!(warm.status, 200);
+        // Barrier the write-behind queue so the snapshots are published
+        // before the "restart".
+        engine.store().unwrap().flush();
+        id
+    };
+    // A brand-new server process over the same --store-dir.
+    let server = TestServer::boot_with(
+        ServeConfig::default(),
+        store_engine(mintri_engine::StoreConfig::at(&dir.0)),
+    );
+    let spec = format!(r#"{{"graph_id":"{id}","query":{{"task":{{"type":"enumerate"}}}}}}"#);
+    let resp = request(server.addr, "POST", "/v1/query", Some(&spec)).unwrap();
+    assert_eq!(resp.status, 200, "the uploaded id survives a restart");
+    let doc = parse(&resp.body);
+    assert_eq!(doc.get("count").unwrap().as_usize(), Some(14));
+    assert_eq!(
+        doc.get("is_replay").unwrap().as_bool(),
+        Some(true),
+        "the first repeat query after a restart replays from the disk tier"
+    );
 }
 
 #[test]

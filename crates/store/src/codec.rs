@@ -1,0 +1,255 @@
+//! The snapshot wire primitives: LEB128 varints, length-prefixed
+//! strings, and the FNV-1a 64 checksum the file header carries.
+//!
+//! Decoding is total: every read is bounds-checked, every length is
+//! validated against the bytes actually remaining (a corrupt length
+//! field must not drive an allocation), and failure is a typed error —
+//! never a panic. The corruption tests in `lib.rs` flip arbitrary bits
+//! and expect exactly this contract.
+
+use std::fmt;
+
+/// Why a snapshot failed to decode. The store treats every variant the
+/// same way — quarantine the file and report a miss — but the message
+/// lands in the quarantine log for post-mortems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the field needs.
+    Truncated,
+    /// A varint ran past 10 bytes (no valid u64 does).
+    VarintOverflow,
+    /// A length prefix exceeds the bytes remaining.
+    LengthOverrun,
+    /// A string field is not UTF-8.
+    BadString,
+    /// The file header's magic bytes are wrong.
+    BadMagic,
+    /// The header names a format version this build does not read.
+    BadVersion(u16),
+    /// The header names an unknown entry kind.
+    BadKind(u8),
+    /// The payload checksum does not match the header.
+    BadChecksum,
+    /// A field holds a value outside its domain (e.g. an order tag).
+    BadValue,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated input"),
+            CodecError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            CodecError::LengthOverrun => write!(f, "length prefix exceeds remaining bytes"),
+            CodecError::BadString => write!(f, "string field is not UTF-8"),
+            CodecError::BadMagic => write!(f, "bad magic bytes"),
+            CodecError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            CodecError::BadKind(k) => write!(f, "unknown entry kind {k}"),
+            CodecError::BadChecksum => write!(f, "payload checksum mismatch"),
+            CodecError::BadValue => write!(f, "field value outside its domain"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a 64: the header checksum. Not cryptographic — it guards against
+/// torn writes and bit rot, not adversaries; the store's threat model is
+/// a crashed process, not a hostile disk.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only payload encoder.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// LEB128 unsigned varint.
+    pub fn u64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.u64(v as u64);
+    }
+
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Length-prefixed UTF-8.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked payload decoder over a borrowed byte slice.
+pub struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(data: &'a [u8]) -> Dec<'a> {
+        Dec { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        let b = *self.data.get(self.pos).ok_or(CodecError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        for shift in (0..70).step_by(7) {
+            if shift >= 64 {
+                return Err(CodecError::VarintOverflow);
+            }
+            let byte = self.u8()?;
+            let low = (byte & 0x7f) as u64;
+            // The 10th byte may only carry the u64's top bit.
+            if shift == 63 && low > 1 {
+                return Err(CodecError::VarintOverflow);
+            }
+            v |= low << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::VarintOverflow)
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        u32::try_from(self.u64()?).map_err(|_| CodecError::BadValue)
+    }
+
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::BadValue)
+    }
+
+    /// A length prefix about to drive `n` reads of at least one byte
+    /// each: validated against the bytes remaining, so a corrupt length
+    /// can never trigger a huge allocation.
+    pub fn len_prefix(&mut self) -> Result<usize, CodecError> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(CodecError::LengthOverrun);
+        }
+        Ok(n)
+    }
+
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.len_prefix()?;
+        let bytes = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadString)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_round_trip() {
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        let mut e = Enc::new();
+        for &v in &values {
+            e.u64(v);
+        }
+        let buf = e.finish();
+        let mut d = Dec::new(&buf);
+        for &v in &values {
+            assert_eq!(d.u64().unwrap(), v);
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        let mut e = Enc::new();
+        e.str("mcs-m");
+        e.str("");
+        let buf = e.finish();
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.str().unwrap(), "mcs-m");
+        assert_eq!(d.str().unwrap(), "");
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut e = Enc::new();
+        e.u64(1 << 40);
+        e.str("backend");
+        let buf = e.finish();
+        for cut in 0..buf.len() {
+            let mut d = Dec::new(&buf[..cut]);
+            let a = d.u64();
+            let b = d.str();
+            assert!(a.is_err() || b.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_length_cannot_drive_a_huge_allocation() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX - 1); // a length prefix no buffer can satisfy
+        let buf = e.finish();
+        let mut d = Dec::new(&buf);
+        assert!(matches!(
+            d.len_prefix(),
+            Err(CodecError::LengthOverrun | CodecError::BadValue)
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let buf = [0x80u8; 11];
+        assert_eq!(Dec::new(&buf).u64(), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

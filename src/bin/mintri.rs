@@ -6,13 +6,15 @@
 //! mintri atoms        --input g.col [--format text|json]
 //! mintri triangulate  --input g.col [--algo mcsm|lbtriang|lexm|mindegree] [--format ...]
 //! mintri enumerate    --input g.col [--limit K] [--budget-ms T] [--algo ...] [--no-plan]
-//!                     [--threads N] [--delivery unordered|deterministic] [--format ...]
+//!                     [--threads N] [--delivery unordered|deterministic] [--store-dir DIR]
+//!                     [--format ...]
 //! mintri best-k       --input g.col [--k K] [--by width|fill] [--limit K] [--no-plan]
 //!                     [--no-ranked] [--budget-ms T] [--threads N] [--delivery ...] [--format ...]
 //! mintri decompose    --input g.col [--limit K] [--one-per-class true] [--no-plan]
 //!                     [--threads N] [--delivery ...] [--format ...]
 //! mintri serve        [--addr HOST:PORT] [--threads N] [--max-sessions M]
-//!                     [--workers W] [--slow-query-ms T]
+//!                     [--workers W] [--slow-query-ms T] [--store-dir DIR]
+//!                     [--store-budget-mb MB]
 //! ```
 //!
 //! Every enumeration command also takes `--trace`: the query carries a
@@ -47,10 +49,20 @@
 //! and replay caches the library calls do. All JSON — CLI output and
 //! the wire — is rendered *and parsed* by `mintri_core::json`, so the
 //! documents round-trip.
+//!
+//! `--store-dir DIR` attaches the persistent warm-state tier
+//! (`mintri-store`): completed answer caches, memoized plans and (under
+//! `serve`) the graph registry are snapshotted to disk and hydrated
+//! back on the next run, so warm state survives restarts and can be
+//! shared between replicas pointed at one directory. On an enumeration
+//! command it forces the engine path even at `--threads 1` — a
+//! one-shot CLI run both benefits from and contributes to the shared
+//! tier. `--store-budget-mb` caps the directory; past it new snapshots
+//! are skipped (never an error: the tier is a cache).
 
 use mintri::core::json::{graph_summary_json, response_document, JsonObject};
 use mintri::core::EnumerationBudget;
-use mintri::engine::{Delivery, Engine, EngineConfig};
+use mintri::engine::{Delivery, Engine, EngineConfig, Store, StoreConfig};
 use mintri::graph::io::{parse_dimacs, parse_edge_list};
 use mintri::prelude::*;
 use mintri::separators::MinimalSeparatorIter;
@@ -272,16 +284,51 @@ fn print_trace(outcome: &mintri::core::query::QueryOutcome, output: Output) {
     }
 }
 
+/// `--store-dir` / `--store-budget-mb` → the persistent warm-state
+/// tier, or `None` to run RAM-only.
+fn pick_store(flags: &HashMap<String, String>) -> Result<Option<Arc<Store>>, String> {
+    let Some(dir) = flags.get("store-dir") else {
+        return Ok(None);
+    };
+    let budget_mb: Option<u64> = flags
+        .get("store-budget-mb")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--store-budget-mb must be an integer")
+        })
+        .transpose()?;
+    let config = StoreConfig {
+        max_disk_bytes: budget_mb.map(|mb| mb.saturating_mul(1024 * 1024)),
+        ..StoreConfig::at(dir)
+    };
+    let store = Store::open(config).map_err(|e| format!("cannot open --store-dir {dir}: {e}"))?;
+    Ok(Some(Arc::new(store)))
+}
+
 /// Executes a query: through an [`Engine`] when `--threads` asks for
-/// parallelism, otherwise on the calling thread with zero setup.
+/// parallelism or `--store-dir` attaches the disk tier, otherwise on
+/// the calling thread with zero setup.
 fn execute<'g>(
     query: Query,
     g: &'g Graph,
     flags: &HashMap<String, String>,
 ) -> Result<Response<'g>, String> {
-    Ok(match pick_engine_config(flags)? {
-        Some(config) => Engine::with_config(config).run(g, query),
-        None => query.run_local(g),
+    let store = pick_store(flags)?;
+    Ok(match (pick_engine_config(flags)?, store) {
+        (Some(config), Some(store)) => Engine::with_store(config, store).run(g, query),
+        (Some(config), None) => Engine::with_config(config).run(g, query),
+        // The store only pays off through the engine's session +
+        // replay machinery, so its presence forces the engine path
+        // even for a sequential run.
+        (None, Some(store)) => Engine::with_store(
+            EngineConfig {
+                threads: 1,
+                ..EngineConfig::default()
+            },
+            store,
+        )
+        .run(g, query),
+        (None, None) => query.run_local(g),
     })
 }
 
@@ -309,7 +356,9 @@ fn run(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
 /// `--threads` configures the engine's worker pool (per-query
 /// parallelism), `--workers` the connection workers, `--max-sessions`
 /// the warm-session LRU cap, `--slow-query-ms` the threshold for the
-/// slow-query log surfaced under `/v1/stats`.
+/// slow-query log surfaced under `/v1/stats`, and `--store-dir` (with
+/// an optional `--store-budget-mb` cap) the persistent warm-state tier
+/// replay caches and the graph registry survive restarts in.
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
         flags
@@ -336,7 +385,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         api,
         ..ServeConfig::default()
     };
-    let engine = Arc::new(Engine::with_config(engine_config));
+    let engine = Arc::new(match pick_store(flags)? {
+        Some(store) => Engine::with_store(engine_config, store),
+        None => Engine::with_config(engine_config),
+    });
     let server = Server::bind(config, engine).map_err(|e| format!("cannot bind: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!("mintri-serve listening on http://{addr}");
