@@ -24,6 +24,10 @@
 //! * `--telemetry FILE` (`telemetry_overhead` output): span tracing
 //!   cost stays under `--max-overhead-pct` (default 5) and the traced
 //!   run produced results.
+//! * `--kernel FILE` (`kernel_gain` output): the scratch-space execution
+//!   kernel keeps cold enumeration at least `--min-kernel-ratio`
+//!   (default 1.3, fractional allowed) times faster than the ablated
+//!   allocating path, with a positive `Extend` count on both sides.
 //! * `--parse FILE`: the file parses with `mintri_core::json` — the
 //!   serve smoke uses this to prove a `"trace": true` response
 //!   round-trips through the core parser.
@@ -229,6 +233,38 @@ fn check_telemetry(path: &str, max_overhead_pct: f64) -> Result<(), String> {
     Ok(())
 }
 
+fn check_kernel(path: &str, min_ratio: f64) -> Result<(), String> {
+    let doc = load(path)?;
+    let extends = field(&doc, &["extends_per_sweep"])?
+        .as_usize()
+        .ok_or("extends_per_sweep must be an integer")?;
+    if extends == 0 {
+        return Err(format!("{path}: the family triggered no Extend calls"));
+    }
+    for key in ["ablated_seconds", "kernel_seconds"] {
+        let seconds = field(&doc, &[key])?
+            .as_f64()
+            .ok_or_else(|| format!("{key} must be a number"))?;
+        if seconds <= 0.0 || seconds.is_nan() {
+            return Err(format!("{path}: {key} = {seconds}"));
+        }
+    }
+    let speedup = field(&doc, &["speedup"])?
+        .as_f64()
+        .ok_or("speedup must be a number")?;
+    if speedup.is_nan() || speedup < min_ratio {
+        return Err(format!(
+            "{path}: scratch kernel only {speedup:.2}x the allocating path \
+             (gate: >= {min_ratio}x)"
+        ));
+    }
+    eprintln!(
+        "kernel ok: {} — scratch kernel {speedup:.2}x over {extends} extends/sweep",
+        field(&doc, &["family"])?.as_str().unwrap_or("?")
+    );
+    Ok(())
+}
+
 /// Not a gate on values — a gate on *shape*: the document must survive
 /// the same parser the wire clients use.
 fn check_parse(path: &str) -> Result<(), String> {
@@ -250,24 +286,33 @@ fn main() -> ExitCode {
     let min_ranked_ratio = args.get_u64("min-ranked-ratio", 3) as f64;
     let min_store_ratio = args.get_u64("min-store-ratio", 5) as f64;
     let max_overhead_pct = args.get_u64("max-overhead-pct", 5) as f64;
+    // Fractional gate (1.3x is a meaningful floor), so parsed as f64
+    // rather than through get_u64 like the integer ratios above.
+    let min_kernel_ratio = args
+        .get_str("min-kernel-ratio", "1.3")
+        .parse::<f64>()
+        .unwrap_or(1.3);
     let serve = args.get_str("serve", "");
     let reduction = args.get_str("reduction", "");
     let ranked = args.get_str("ranked", "");
     let store = args.get_str("store", "");
     let telemetry = args.get_str("telemetry", "");
+    let kernel = args.get_str("kernel", "");
     let parse = args.get_str("parse", "");
     if serve.is_empty()
         && reduction.is_empty()
         && ranked.is_empty()
         && store.is_empty()
         && telemetry.is_empty()
+        && kernel.is_empty()
         && parse.is_empty()
     {
         eprintln!(
             "usage: bench_check [--serve BENCH_serve.json] [--reduction BENCH_reduction.json] \
              [--ranked BENCH_ranked.json] [--store BENCH_store.json] \
-             [--telemetry BENCH_telemetry.json] [--parse FILE.json] \
-             [--min-ratio R] [--min-ranked-ratio R] [--min-store-ratio R] [--max-overhead-pct P]"
+             [--telemetry BENCH_telemetry.json] [--kernel BENCH_kernel.json] [--parse FILE.json] \
+             [--min-ratio R] [--min-ranked-ratio R] [--min-store-ratio R] [--max-overhead-pct P] \
+             [--min-kernel-ratio R]"
         );
         return ExitCode::FAILURE;
     }
@@ -286,6 +331,9 @@ fn main() -> ExitCode {
     }
     if !telemetry.is_empty() {
         checks.push(check_telemetry(&telemetry, max_overhead_pct));
+    }
+    if !kernel.is_empty() {
+        checks.push(check_kernel(&kernel, min_kernel_ratio));
     }
     if !parse.is_empty() {
         checks.push(check_parse(&parse));

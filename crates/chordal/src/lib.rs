@@ -30,6 +30,7 @@
 mod cliques;
 mod cliquetree;
 mod peo;
+mod scratch;
 
 pub use cliques::{
     maximal_cliques, maximal_cliques_chordal, maximal_cliques_of_chordal, treewidth_of_chordal,
@@ -38,3 +39,4 @@ pub use cliquetree::{minimal_separators_of_chordal, CliqueForest};
 pub use peo::{
     is_chordal, is_perfect_elimination_order, lexbfs_order, mcs_order, perfect_elimination_order,
 };
+pub use scratch::{minimal_separators_with, ForestScratch};

@@ -1,0 +1,214 @@
+//! Scratch-space mirror of the clique-forest pipeline: maximal cliques →
+//! maximum-weight spanning forest → distinct edge intersections, all into
+//! pooled buffers.
+//!
+//! [`minimal_separators_with`] visits exactly the sets
+//! [`CliqueForest::minimal_separators`] would return, in the same order,
+//! without building a `CliqueForest` and without allocating once the
+//! workspace is warm. The order argument: the final sequence is the
+//! *sorted, deduplicated* list of edge intersections, which depends only
+//! on which spanning-forest edges are accepted — and Kruskal accepts the
+//! same edges here because the `(weight desc, i, j)` keys are pairwise
+//! distinct, so the unstable sort below produces the exact permutation the
+//! stable sort in [`CliqueForest::from_cliques`] does.
+//!
+//! [`CliqueForest::minimal_separators`]: crate::CliqueForest::minimal_separators
+//! [`CliqueForest::from_cliques`]: crate::CliqueForest::from_cliques
+
+use mintri_graph::{Graph, Node, NodeSet};
+
+/// Reusable workspace for [`minimal_separators_with`]: the `RN(v)` table,
+/// clique pool, weighted clique-graph edges, union-find arrays and the
+/// separator pool. One per worker or sequential stream.
+#[derive(Default)]
+pub struct ForestScratch {
+    pos: Vec<usize>,
+    remaining: NodeSet,
+    rn: Vec<NodeSet>,
+    cliques: Vec<NodeSet>,
+    clique_count: usize,
+    weighted: Vec<(usize, u32, u32)>,
+    uf_parent: Vec<u32>,
+    uf_size: Vec<u32>,
+    seps: Vec<NodeSet>,
+    sep_count: usize,
+    order: Vec<u32>,
+}
+
+/// Union-find find with path halving, on pooled arrays (mirrors
+/// `UnionFind::find` in `cliquetree.rs`).
+fn uf_find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        parent[x as usize] = parent[parent[x as usize] as usize];
+        x = parent[x as usize];
+    }
+    x
+}
+
+/// Union by size, `>=` keeping the first root on ties (mirrors
+/// `UnionFind::union`). Returns `false` if already united.
+fn uf_union(parent: &mut [u32], size: &mut [u32], a: u32, b: u32) -> bool {
+    let (ra, rb) = (uf_find(parent, a), uf_find(parent, b));
+    if ra == rb {
+        return false;
+    }
+    let (big, small) = if size[ra as usize] >= size[rb as usize] {
+        (ra, rb)
+    } else {
+        (rb, ra)
+    };
+    parent[small as usize] = big;
+    size[big as usize] += size[small as usize];
+    true
+}
+
+/// The minimal separators of the chordal graph `g` with perfect
+/// elimination order `peo`, visited in the order
+/// `CliqueForest::build_with_peo(g, peo).minimal_separators()` would
+/// return them. `emit` borrows each separator; callers that need to keep
+/// one clone (or intern) it.
+pub fn minimal_separators_with(
+    g: &Graph,
+    peo: &[Node],
+    ws: &mut ForestScratch,
+    mut emit: impl FnMut(&NodeSet),
+) {
+    let n = g.num_nodes();
+    debug_assert_eq!(peo.len(), n);
+
+    // --- maximal cliques (mirrors `maximal_cliques_of_chordal`) ---
+    ws.pos.clear();
+    ws.pos.resize(n, 0);
+    for (i, &v) in peo.iter().enumerate() {
+        ws.pos[v as usize] = i;
+    }
+    ws.remaining.reset_full(n);
+    if ws.rn.len() < n {
+        ws.rn.resize_with(n, NodeSet::default);
+    }
+    for &v in peo {
+        ws.remaining.remove(v);
+        let rn_v = &mut ws.rn[v as usize];
+        rn_v.clone_from(g.neighbors(v));
+        rn_v.intersect_with(&ws.remaining);
+    }
+    ws.clique_count = 0;
+    for &v in peo {
+        if ws.cliques.len() == ws.clique_count {
+            ws.cliques.push(NodeSet::default());
+        }
+        // candidate clique C(v) = RN(v) ∪ {v}, built in place
+        ws.cliques[ws.clique_count].clone_from(&ws.rn[v as usize]);
+        ws.cliques[ws.clique_count].insert(v);
+        let cv = &ws.cliques[ws.clique_count];
+        let maximal = g
+            .neighbors(v)
+            .iter()
+            .filter(|&u| ws.pos[u as usize] < ws.pos[v as usize])
+            .all(|u| !ws.rn[u as usize].is_superset(cv));
+        if maximal {
+            ws.clique_count += 1;
+        }
+    }
+
+    // --- maximum-weight spanning forest (mirrors `from_cliques`) ---
+    let k = ws.clique_count;
+    ws.weighted.clear();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let w = ws.cliques[i].intersection_len(&ws.cliques[j]);
+            if w > 0 {
+                ws.weighted.push((w, i as u32, j as u32));
+            }
+        }
+    }
+    // Kruskal on descending weight, ties by (i, j). The keys are pairwise
+    // distinct, so the unstable sort is deterministic and matches the
+    // stable sort used by `CliqueForest::from_cliques`.
+    ws.weighted
+        .sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    ws.uf_parent.clear();
+    ws.uf_parent.extend(0..k as u32);
+    ws.uf_size.clear();
+    ws.uf_size.resize(k, 1);
+    ws.sep_count = 0;
+    for idx in 0..ws.weighted.len() {
+        let (_, i, j) = ws.weighted[idx];
+        if uf_union(&mut ws.uf_parent, &mut ws.uf_size, i, j) {
+            // accepted forest edge: record C_i ∩ C_j
+            if ws.seps.len() == ws.sep_count {
+                ws.seps.push(NodeSet::default());
+            }
+            ws.seps[ws.sep_count].clone_from(&ws.cliques[i as usize]);
+            ws.seps[ws.sep_count].intersect_with(&ws.cliques[j as usize]);
+            ws.sep_count += 1;
+        }
+    }
+
+    // --- distinct intersections, sorted by set content (mirrors
+    // `minimal_separators`: sort + dedup; the edge order never shows) ---
+    ws.order.clear();
+    ws.order.extend(0..ws.sep_count as u32);
+    let seps = &ws.seps;
+    ws.order
+        .sort_unstable_by(|&a, &b| seps[a as usize].cmp(&seps[b as usize]));
+    let mut prev: Option<u32> = None;
+    for &i in &ws.order {
+        if let Some(p) = prev {
+            if seps[p as usize] == seps[i as usize] {
+                continue;
+            }
+        }
+        prev = Some(i);
+        emit(&seps[i as usize]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peo::perfect_elimination_order;
+    use crate::CliqueForest;
+
+    fn assert_matches_forest(g: &Graph, ws: &mut ForestScratch) {
+        let peo = perfect_elimination_order(g).expect("test graphs are chordal");
+        let expected: Vec<NodeSet> = CliqueForest::build_with_peo(g, &peo).minimal_separators();
+        let mut got = Vec::new();
+        minimal_separators_with(g, &peo, ws, |s| got.push(s.clone()));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn scratch_separators_match_clique_forest() {
+        // one shared workspace across graphs of different sizes
+        let mut ws = ForestScratch::default();
+        let mut square = Graph::cycle(4);
+        square.add_edge(0, 2);
+        let star_of_triangles = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (0, 3),
+                (3, 4),
+                (0, 4),
+                (0, 5),
+                (5, 6),
+                (0, 6),
+            ],
+        );
+        let disconnected = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)]);
+        for g in [
+            Graph::path(6),
+            Graph::complete(5),
+            square,
+            star_of_triangles,
+            disconnected,
+            Graph::new(0),
+            Graph::new(3),
+        ] {
+            assert_matches_forest(&g, &mut ws);
+        }
+    }
+}

@@ -88,6 +88,7 @@ impl<'g> EagerMsGraph<'g> {
 impl Sgr for EagerMsGraph<'_> {
     type Node = SepId;
     type NodeCursor = usize;
+    type Scratch = ();
 
     fn start_nodes(&self) -> usize {
         0

@@ -67,7 +67,7 @@ pub use anytime::{
 pub use bruteforce::BruteForce;
 pub use eager::{EagerMinimalTriangulations, EagerMsGraph};
 pub use enumerator::MinimalTriangulationsEnumerator;
-pub use msgraph::{MsGraph, MsGraphStats, SepId};
+pub use msgraph::{ExtendScratch, MsGraph, MsGraphStats, SepId};
 pub use plan::{AtomStream, ComposedStream, Plan, PlannedAtom};
 pub use proper::{ProperTreeDecompositions, TdEnumerationMode};
 pub use query::{

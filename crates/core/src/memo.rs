@@ -19,7 +19,7 @@
 
 use mintri_graph::{FxHashMap, FxHasher, NodeSet};
 use std::hash::{Hash, Hasher};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Dense identifier of an interned minimal separator.
 pub type SepId = u32;
@@ -46,12 +46,17 @@ fn shard_of<K: Hash>(key: &K) -> usize {
 
 /// Content-addressed interner from [`NodeSet`] separators to dense
 /// [`SepId`]s, safe for concurrent use from many threads.
+///
+/// Separators are stored as `Arc<NodeSet>`, shared between the
+/// content → id map and the id → content vector, so lookups hand out
+/// reference-counted handles instead of cloning bitsets under the lock.
 pub struct ShardedInterner {
-    /// content → id, striped by content hash.
-    shards: [Mutex<FxHashMap<NodeSet, SepId>>; SHARDS],
+    /// content → id, striped by content hash (`Arc<NodeSet>: Borrow<NodeSet>`
+    /// lets callers probe by reference, no allocation on the hit path).
+    shards: [Mutex<FxHashMap<Arc<NodeSet>, SepId>>; SHARDS],
     /// id → content, append-only; write-locked only when a new separator
     /// is first seen.
-    sets: RwLock<Vec<NodeSet>>,
+    sets: RwLock<Vec<Arc<NodeSet>>>,
 }
 
 impl Default for ShardedInterner {
@@ -71,11 +76,27 @@ impl ShardedInterner {
         if let Some(&id) = shard.get(&s) {
             return id;
         }
-        // Lock order is always shard → sets, so this cannot deadlock; the
-        // shard lock is what makes the id assignment for `s` unique.
+        self.insert_new(&mut shard, Arc::new(s))
+    }
+
+    /// Interns by reference: a pure lookup when the set is already known
+    /// (the steady state of the enumeration kernel), cloning `s` only
+    /// when it is genuinely new.
+    pub fn intern_ref(&self, s: &NodeSet) -> SepId {
+        let mut shard = self.shards[shard_of(s)].lock().unwrap();
+        if let Some(&id) = shard.get(s) {
+            return id;
+        }
+        self.insert_new(&mut shard, Arc::new(s.clone()))
+    }
+
+    /// Assigns the next dense id to a genuinely new separator. The caller
+    /// holds the (missed) shard lock, which is what makes the assignment
+    /// unique; lock order is always shard → sets, so this cannot deadlock.
+    fn insert_new(&self, shard: &mut FxHashMap<Arc<NodeSet>, SepId>, s: Arc<NodeSet>) -> SepId {
         let mut sets = self.sets.write().unwrap();
         let id = sets.len() as SepId;
-        sets.push(s.clone());
+        sets.push(Arc::clone(&s));
         drop(sets);
         shard.insert(s, id);
         id
@@ -91,21 +112,22 @@ impl ShardedInterner {
         self.len() == 0
     }
 
-    /// Clones the separator behind `id`.
-    pub fn get(&self, id: SepId) -> NodeSet {
-        self.sets.read().unwrap()[id as usize].clone()
+    /// A shared handle on the separator behind `id` (refcount bump, no
+    /// bitset copy).
+    pub fn get(&self, id: SepId) -> Arc<NodeSet> {
+        Arc::clone(&self.sets.read().unwrap()[id as usize])
     }
 
-    /// Runs `f` over the full id → set table without cloning (ids index
-    /// the slice).
-    pub fn with_all<R>(&self, f: impl FnOnce(&[NodeSet]) -> R) -> R {
+    /// Runs `f` over the full id → set table (ids index the slice).
+    pub fn with_all<R>(&self, f: impl FnOnce(&[Arc<NodeSet>]) -> R) -> R {
         f(&self.sets.read().unwrap())
     }
 
-    /// Runs `f` over the pair of separators behind `(a, b)`.
-    pub fn with_pair<R>(&self, a: SepId, b: SepId, f: impl FnOnce(&NodeSet, &NodeSet) -> R) -> R {
+    /// Shared handles on the two separators behind `(a, b)` — refcount
+    /// bumps under a brief read lock, no bitset copies.
+    pub fn pair(&self, a: SepId, b: SepId) -> (Arc<NodeSet>, Arc<NodeSet>) {
         let sets = self.sets.read().unwrap();
-        f(&sets[a as usize], &sets[b as usize])
+        (Arc::clone(&sets[a as usize]), Arc::clone(&sets[b as usize]))
     }
 }
 

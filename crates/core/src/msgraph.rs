@@ -17,15 +17,40 @@
 //! layer, across repeated queries on the same graph.
 
 use crate::memo::{ShardedInterner, ShardedPairMemo};
-use mintri_chordal::CliqueForest;
-use mintri_graph::Graph;
-use mintri_separators::{crossing, MinSepState};
+use mintri_chordal::{minimal_separators_with, CliqueForest, ForestScratch};
+use mintri_graph::traversal::BfsScratch;
+use mintri_graph::{Graph, Node, NodeSet};
+use mintri_separators::{crossing, crossing_with, MinSepState};
 use mintri_sgr::Sgr;
-use mintri_triangulate::{minimal_triangulation, McsM, Triangulation, Triangulator};
+use mintri_triangulate::{minimal_triangulation, McsM, TriScratch, Triangulation, Triangulator};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 pub use crate::memo::SepId;
+
+/// Reusable workspace for the scratch-kernel `Extend`/crossing path.
+///
+/// One instance belongs to exactly one worker (a sequential enumeration
+/// stream, or one engine worker thread) and is threaded through
+/// [`Sgr::extend_with`] / [`Sgr::edge_with`]. Every buffer is rebuilt *in
+/// place* per call, so after a warm-up pass over the graph's shapes the
+/// kernel performs zero heap allocations in steady state — the invariant
+/// pinned by the repository's `alloc_audit` test.
+#[derive(Default)]
+pub struct ExtendScratch {
+    /// `g[φ]`: the saturated graph, overwritten in place each `Extend`.
+    gphi: Graph,
+    /// Shared handles on the answer's separators (cleared after use).
+    seps: Vec<Arc<NodeSet>>,
+    /// Clique-member buffer for [`Graph::saturate_with`].
+    members: Vec<Node>,
+    /// MCS-M workspace: fill edges and the elimination order land here.
+    tri: TriScratch,
+    /// Kumar–Madhavan separator-extraction workspace.
+    forest: ForestScratch,
+    /// BFS buffers for crossing (component-count) tests.
+    bfs: BfsScratch,
+}
 
 /// Counters exposed for benchmarks and tests.
 #[derive(Debug, Clone, Copy, Default)]
@@ -81,6 +106,10 @@ pub struct MsGraph<'g> {
     triangulator: Box<dyn Triangulator>,
     interner: ShardedInterner,
     crossing_cache: Option<ShardedPairMemo>,
+    /// When `true` (default), `extend_with`/`edge_with` run through the
+    /// allocation-free scratch kernel; when `false` they delegate to the
+    /// historical allocating path (ablation switch).
+    scratch_kernel: bool,
     stats: AtomicStats,
 }
 
@@ -103,6 +132,7 @@ impl<'g> MsGraph<'g> {
             triangulator,
             interner: ShardedInterner::default(),
             crossing_cache: Some(ShardedPairMemo::default()),
+            scratch_kernel: true,
             stats: AtomicStats::default(),
         }
     }
@@ -110,6 +140,15 @@ impl<'g> MsGraph<'g> {
     /// Disables the crossing memo table (ablation switch).
     pub fn without_crossing_cache(mut self) -> Self {
         self.crossing_cache = None;
+        self
+    }
+
+    /// Disables the scratch-space execution kernel (ablation switch):
+    /// `extend_with`/`edge_with` fall back to the allocating
+    /// [`Sgr::extend`]/[`Sgr::edge`] path. Answers are bit-for-bit
+    /// identical either way; only the allocation profile differs.
+    pub fn without_scratch_kernel(mut self) -> Self {
+        self.scratch_kernel = false;
         self
     }
 
@@ -133,8 +172,9 @@ impl<'g> MsGraph<'g> {
         self.interner.intern(s)
     }
 
-    /// The separator behind an id (clones the bitset).
-    pub fn separator(&self, id: SepId) -> mintri_graph::NodeSet {
+    /// A shared handle on the separator behind an id (refcount bump, no
+    /// bitset copy).
+    pub fn separator(&self, id: SepId) -> Arc<NodeSet> {
         self.interner.get(id)
     }
 
@@ -142,18 +182,36 @@ impl<'g> MsGraph<'g> {
     /// separator. For a maximal answer this *is* the corresponding minimal
     /// triangulation (Theorem 4.1 part 1).
     pub fn saturate_answer(&self, answer: &[SepId]) -> Graph {
-        // Clone the bitsets under a brief read lock and saturate outside
+        // Take Arc handles under a brief read lock and saturate outside
         // it: std's RwLock is writer-preferring, so holding the read
         // guard across the O(|φ|·n) saturation would stall every other
         // reader behind any queued intern() write.
-        let sets: Vec<_> = self
-            .interner
-            .with_all(|sets| answer.iter().map(|&id| sets[id as usize].clone()).collect());
+        let sets: Vec<Arc<NodeSet>> = self.interner.with_all(|sets| {
+            answer
+                .iter()
+                .map(|&id| Arc::clone(&sets[id as usize]))
+                .collect()
+        });
         let mut h = self.g.get().clone();
         for s in &sets {
             h.saturate(s);
         }
         h
+    }
+
+    /// [`Self::saturate_answer`] into the workspace: `ws.gphi` becomes
+    /// `g[φ]` with no graph or bitset allocation (buffers are reused).
+    fn saturate_into(&self, answer: &[SepId], ws: &mut ExtendScratch) {
+        self.interner.with_all(|sets| {
+            ws.seps
+                .extend(answer.iter().map(|&id| Arc::clone(&sets[id as usize])));
+        });
+        ws.gphi.clone_from(self.g.get());
+        let (gphi, seps, members) = (&mut ws.gphi, &ws.seps, &mut ws.members);
+        for s in seps {
+            gphi.saturate_with(s, members);
+        }
+        ws.seps.clear();
     }
 
     /// Materializes an answer into a full [`Triangulation`] (saturation
@@ -171,10 +229,77 @@ impl<'g> MsGraph<'g> {
 
     fn crossing_uncached(&self, a: SepId, b: SepId) -> bool {
         self.stats.crossing_computed.fetch_add(1, Ordering::Relaxed);
-        // Clone the two bitsets under a brief read lock and run the
-        // O(n + m) component count outside it (see saturate_answer).
-        let (s, t) = self.interner.with_pair(a, b, |s, t| (s.clone(), t.clone()));
+        // Take Arc handles under a brief read lock and run the O(n + m)
+        // component count outside it (see saturate_answer).
+        let (s, t) = self.interner.pair(a, b);
         crossing(self.g.get(), &s, &t)
+    }
+
+    /// Consults the crossing memo: `Ok(answer)` when the relation is
+    /// already known (identity, or a cache hit), `Err(canonical_key)` when
+    /// the caller must compute it and report back via [`Self::edge_record`].
+    fn edge_cached(&self, u: SepId, v: SepId) -> Result<bool, (SepId, SepId)> {
+        if u == v {
+            return Ok(false);
+        }
+        let key = (u.min(v), u.max(v));
+        if let Some(cache) = &self.crossing_cache {
+            if let Some(hit) = cache.get(key) {
+                self.stats.crossing_cached.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        Err(key)
+    }
+
+    /// Records a computed crossing answer for the canonical `key` (no-op
+    /// when the cache is ablated away).
+    fn edge_record(&self, key: (SepId, SepId), result: bool) {
+        if let Some(cache) = &self.crossing_cache {
+            cache.insert(key, result);
+        }
+    }
+
+    /// The kernel `Extend`: same result as [`Sgr::extend`], written into
+    /// `out` with every intermediate buffer drawn from `ws`.
+    fn extend_into(&self, base: &[SepId], out: &mut Vec<SepId>, ws: &mut ExtendScratch) {
+        self.stats.extends.fetch_add(1, Ordering::Relaxed);
+        out.clear();
+        self.saturate_into(base, ws);
+        if self.triangulator.guarantees_minimal()
+            && self.triangulator.triangulate_into(&ws.gphi, &mut ws.tri)
+        {
+            // The backend wrote fill + PEO into the workspace: add the
+            // fill in place (`g[φ]` is not needed again this call, which
+            // saves the full graph clone the allocating path pays) and
+            // read the separators straight off the elimination order.
+            // `minimal_separators_with` emits the same sets in the same
+            // order as `CliqueForest::minimal_separators`, so the interned
+            // ids — and hence the enumeration order — are identical.
+            for &(u, v) in &ws.tri.fill {
+                ws.gphi.add_edge(u, v);
+            }
+            let (gphi, tri, forest) = (&ws.gphi, &ws.tri, &mut ws.forest);
+            let interner = &self.interner;
+            minimal_separators_with(gphi, &tri.peo, forest, |sep| {
+                out.push(interner.intern_ref(sep));
+            });
+        } else {
+            // Allocating fallback: a black-box backend without a kernel
+            // hook (or one that needs the sandwich step).
+            let tri = minimal_triangulation(&ws.gphi, self.triangulator.as_ref());
+            let forest = match &tri.peo {
+                Some(peo) => CliqueForest::build_with_peo(&tri.graph, peo),
+                None => CliqueForest::build(&tri.graph),
+            };
+            out.extend(
+                forest
+                    .minimal_separators()
+                    .into_iter()
+                    .map(|s| self.interner.intern(s)),
+            );
+        }
+        out.sort_unstable();
     }
 }
 
@@ -190,6 +315,7 @@ impl MsGraph<'static> {
 impl Sgr for MsGraph<'_> {
     type Node = SepId;
     type NodeCursor = MinSepState;
+    type Scratch = ExtendScratch;
 
     fn start_nodes(&self) -> MinSepState {
         MinSepState::new()
@@ -200,22 +326,44 @@ impl Sgr for MsGraph<'_> {
     }
 
     fn edge(&self, &u: &SepId, &v: &SepId) -> bool {
-        if u == v {
-            return false;
-        }
-        let key = (u.min(v), u.max(v));
-        match &self.crossing_cache {
-            Some(cache) => {
-                if let Some(hit) = cache.get(key) {
-                    self.stats.crossing_cached.fetch_add(1, Ordering::Relaxed);
-                    return hit;
-                }
+        match self.edge_cached(u, v) {
+            Ok(known) => known,
+            Err(key) => {
                 let result = self.crossing_uncached(key.0, key.1);
-                cache.insert(key, result);
+                self.edge_record(key, result);
                 result
             }
-            None => self.crossing_uncached(key.0, key.1),
         }
+    }
+
+    /// [`Sgr::edge`] through the scratch kernel: cache misses run the
+    /// component count in `ws`-owned BFS buffers over `Arc` handles —
+    /// no bitset copies, no queue allocations.
+    fn edge_with(&self, &u: &SepId, &v: &SepId, ws: &mut ExtendScratch) -> bool {
+        if !self.scratch_kernel {
+            return self.edge(&u, &v);
+        }
+        match self.edge_cached(u, v) {
+            Ok(known) => known,
+            Err(key) => {
+                self.stats.crossing_computed.fetch_add(1, Ordering::Relaxed);
+                let (s, t) = self.interner.pair(key.0, key.1);
+                let result = crossing_with(self.g.get(), &s, &t, &mut ws.bfs);
+                self.edge_record(key, result);
+                result
+            }
+        }
+    }
+
+    /// [`Sgr::extend`] through the scratch kernel (or, with the kernel
+    /// ablated, the historical allocating path copied into `out`).
+    fn extend_with(&self, base: &[SepId], out: &mut Vec<SepId>, ws: &mut ExtendScratch) {
+        if !self.scratch_kernel {
+            out.clear();
+            out.extend(self.extend(base));
+            return;
+        }
+        self.extend_into(base, out, ws);
     }
 
     /// The `Extend` procedure (Figure 3): saturate `φ`, triangulate with the

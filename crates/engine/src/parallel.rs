@@ -35,7 +35,7 @@ use crate::{Delivery, EngineConfig};
 use mintri_core::{MsGraph, MsGraphStats, SepId};
 use mintri_graph::{FxHashSet, Graph};
 use mintri_separators::MinSepState;
-use mintri_sgr::{EnumMisStats, ExtendPair, Frontier, PrintMode, Sgr};
+use mintri_sgr::{EnumMisStats, EvalScratch, ExtendPair, Frontier, PrintMode, Sgr};
 use mintri_triangulate::{McsM, Triangulation, Triangulator};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -50,6 +50,14 @@ const SEEN_SHARDS: usize = 16;
 /// `nodes[1]`. `BOOTSTRAP` is the initial `Extend(∅)` call.
 type Task = (u32, u32);
 const BOOTSTRAP: Task = (u32::MAX, u32::MAX);
+
+/// The per-worker evaluation workspace every driver threads through the
+/// shared `MsGraph`'s scratch kernel.
+type Workspace = EvalScratch<Arc<MsGraph<'static>>>;
+
+/// One deterministic-driver pool job: evaluate a contiguous chunk of
+/// `ExtendPair`s, yielding each pair's produced answer (or `None`).
+type ChunkJob = Box<dyn FnOnce() -> Vec<Option<Vec<SepId>>> + Send>;
 
 /// Streaming iterator over all minimal triangulations of a graph,
 /// computed by a pool of work-stealing threads sharing one memoized
@@ -251,17 +259,23 @@ impl UnorderedShared {
         self.sched.request_shutdown();
     }
 
-    /// Deduplicates, registers and streams a freshly extended answer,
-    /// fanning out its `(answer, node)` tasks.
-    fn offer(&self, mut answer: Vec<SepId>, tx: &SyncSender<(Vec<SepId>, Triangulation)>) {
+    /// Deduplicates, registers and streams a freshly extended answer
+    /// (left in the worker's result buffer), fanning out its
+    /// `(answer, node)` tasks. Duplicate answers — the steady-state
+    /// majority — are rejected without allocating.
+    fn offer(&self, answer: &mut Vec<SepId>, tx: &SyncSender<(Vec<SepId>, Triangulation)>) {
         // Canonicalize like the frontier's offer does: dedup and the
-        // binary_search in run_task need sorted ids, and relying on
+        // binary_search in evaluate need sorted ids, and relying on
         // `extend`'s current sorted-output habit would couple the two
         // crates through an unchecked postcondition.
         answer.sort_unstable();
-        let shard = mintri_core::memo::stripe_of(&answer, SEEN_SHARDS);
-        if !self.seen[shard].lock().unwrap().insert(answer.clone()) {
-            return;
+        let shard = mintri_core::memo::stripe_of(answer, SEEN_SHARDS);
+        {
+            let mut seen = self.seen[shard].lock().unwrap();
+            if seen.contains(answer.as_slice()) {
+                return;
+            }
+            seen.insert(answer.clone());
         }
         let tasks: Vec<Task> = {
             let mut reg = self.registry.write().unwrap();
@@ -272,8 +286,8 @@ impl UnorderedShared {
         self.active.fetch_add(tasks.len(), Ordering::SeqCst);
         self.sched.push_batch(tasks);
         if !self.stop.load(Ordering::SeqCst) {
-            let tri = self.ms.materialize(&answer);
-            if tx.send((answer, tri)).is_err() {
+            let tri = self.ms.materialize(answer);
+            if tx.send((std::mem::take(answer), tri)).is_err() {
                 // Receiver vanished without the usual drain-on-drop;
                 // abort the run.
                 self.abort();
@@ -281,7 +295,12 @@ impl UnorderedShared {
         }
     }
 
-    fn run_task(&self, task: Task, tx: &SyncSender<(Vec<SepId>, Triangulation)>) {
+    fn run_task(
+        &self,
+        task: Task,
+        tx: &SyncSender<(Vec<SepId>, Triangulation)>,
+        ws: &mut Workspace,
+    ) {
         // Task accounting must run even when stopping — and even if a
         // user-supplied Triangulator panics mid-Extend — or `active`
         // sticks above zero and the consumer hangs in recv() forever.
@@ -290,8 +309,8 @@ impl UnorderedShared {
             return;
         }
         if task == BOOTSTRAP {
-            let first = self.ms.extend(&[]);
-            self.offer(first, tx);
+            self.ms.extend_with(&[], &mut ws.out, &mut ws.sgr);
+            self.offer(&mut ws.out, tx);
         } else {
             let (j, v) = {
                 let reg = self.registry.read().unwrap();
@@ -301,13 +320,15 @@ impl UnorderedShared {
                 )
             };
             // Same evaluation the sequential frontier runs inline —
-            // `None` when `v ∈ J` made the extension a no-op.
+            // `false` when `v ∈ J` made the extension a no-op. Runs
+            // through the worker's own workspace, so a steady-state task
+            // allocates only when its answer is genuinely new.
             let pair = ExtendPair {
                 answer: j,
                 direction: Some(v),
             };
-            if let Some(k) = pair.evaluate(&self.ms) {
-                self.offer(k, tx);
+            if pair.evaluate_with(&self.ms, ws) {
+                self.offer(&mut ws.out, tx);
             }
         }
     }
@@ -392,10 +413,14 @@ fn unordered_worker(
         min: Duration::from_micros(500),
         max: Duration::from_millis(50),
     };
+    // Each worker owns one kernel workspace for its whole life — the
+    // scratch buffers warm up over the first few tasks and are reused
+    // for every extend/crossing call after that.
+    let mut ws = Workspace::default();
     shared.sched.worker_loop(
         own,
         Some(BACKOFF),
-        |task| shared.run_task(task, &tx),
+        |task| shared.run_task(task, &tx, &mut ws),
         || {
             if shared.stop.load(Ordering::SeqCst) || shared.finished.load(Ordering::SeqCst) {
                 Idle::Exit // dropping tx; the channel closes with the last worker
@@ -496,6 +521,17 @@ impl Drop for UnorderedStream {
 struct DeterministicDriver {
     frontier: Frontier<Arc<MsGraph<'static>>>,
     pool: WorkPool,
+    /// Worker count, mirrored from the config: batches are split into
+    /// this many contiguous chunks so each steal amortizes its boxing
+    /// and scratch checkout over many pairs.
+    threads: usize,
+    /// Pool of warm kernel workspaces, checked out per chunk job and
+    /// returned afterwards — the pool's workers are shared across
+    /// drivers, so workspaces cannot live on the worker threads
+    /// themselves.
+    scratches: Arc<Mutex<Vec<Workspace>>>,
+    /// Workspace for batches evaluated inline on the driver thread.
+    local: Workspace,
     /// External abort (the query layer's cancellation): checked between
     /// batches, so a cancel takes effect at the next emission boundary.
     stop: Arc<AtomicBool>,
@@ -506,26 +542,55 @@ impl DeterministicDriver {
         DeterministicDriver {
             frontier: Frontier::new(ms, mode),
             pool: WorkPool::new(config.resolved_threads()),
+            threads: config.resolved_threads(),
+            scratches: Arc::new(Mutex::new(Vec::new())),
+            local: Workspace::default(),
             stop: Arc::new(AtomicBool::new(false)),
         }
     }
 
-    /// Evaluates one drained batch, on the pool when it is worth the
-    /// boxing (the batch's pairs are independent pure calls).
-    fn evaluate_batch(&self, batch: Vec<ExtendPair<SepId>>) -> Vec<Option<Vec<SepId>>> {
-        if batch.len() < 2 {
-            let ms = self.frontier.sgr();
-            return batch.iter().map(|pair| pair.evaluate(ms)).collect();
+    /// Evaluates one drained batch and absorbs its results in batch
+    /// order. Small batches (or a single-thread pool) run inline through
+    /// the driver's own workspace; larger ones are split into ≈`threads`
+    /// contiguous, order-preserving chunks so each pool job evaluates
+    /// many pairs against one checked-out workspace.
+    fn evaluate_batch(&mut self, batch: Vec<ExtendPair<SepId>>) {
+        if batch.len() < 2 || self.threads < 2 {
+            let ms = Arc::clone(self.frontier.sgr());
+            for pair in &batch {
+                let produced = pair.evaluate_with(&ms, &mut self.local);
+                self.frontier
+                    .absorb_one(produced.then_some(&mut self.local.out));
+            }
+            return;
         }
-        let jobs: Vec<Box<dyn FnOnce() -> Option<Vec<SepId>> + Send>> = batch
+        let chunk_len = batch.len().div_ceil(self.threads).max(1);
+        let mut chunks: Vec<Vec<ExtendPair<SepId>>> = Vec::new();
+        let mut rest = batch;
+        while rest.len() > chunk_len {
+            let tail = rest.split_off(chunk_len);
+            chunks.push(std::mem::replace(&mut rest, tail));
+        }
+        chunks.push(rest);
+        let jobs: Vec<ChunkJob> = chunks
             .into_iter()
-            .map(|pair| {
+            .map(|chunk| {
                 let ms = Arc::clone(self.frontier.sgr());
-                Box::new(move || pair.evaluate(&ms))
-                    as Box<dyn FnOnce() -> Option<Vec<SepId>> + Send>
+                let scratches = Arc::clone(&self.scratches);
+                Box::new(move || {
+                    let mut ws = scratches.lock().unwrap().pop().unwrap_or_default();
+                    let results = chunk
+                        .iter()
+                        .map(|pair| pair.evaluate_with(&ms, &mut ws).then(|| ws.out.clone()))
+                        .collect();
+                    scratches.lock().unwrap().push(ws);
+                    results
+                }) as ChunkJob
             })
             .collect();
-        self.pool.run_batch(jobs)
+        let results: Vec<Option<Vec<SepId>>> =
+            self.pool.run_batch(jobs).into_iter().flatten().collect();
+        self.frontier.absorb(results);
     }
 
     fn next_answer(&mut self) -> Option<Vec<SepId>> {
@@ -534,8 +599,7 @@ impl DeterministicDriver {
                 return None;
             }
             let batch = self.frontier.drain_pending();
-            let results = self.evaluate_batch(batch);
-            self.frontier.absorb(results);
+            self.evaluate_batch(batch);
         }
         self.frontier.pop_emission()
     }

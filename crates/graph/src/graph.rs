@@ -10,10 +10,27 @@ use std::fmt;
 /// neighborhood unions, saturation of node sets, and induced-component
 /// searches — all word-parallel on [`NodeSet`]s. Edge insertion is `O(1)`;
 /// adjacency queries are `O(1)`.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq, Default)]
 pub struct Graph {
     adj: Vec<NodeSet>,
     num_edges: usize,
+}
+
+impl Clone for Graph {
+    fn clone(&self) -> Self {
+        Graph {
+            adj: self.adj.clone(),
+            num_edges: self.num_edges,
+        }
+    }
+
+    /// Element-wise `clone_from` over the adjacency rows, so repeatedly
+    /// cloning same-sized graphs into the same buffer (the saturation
+    /// scratch) allocates nothing.
+    fn clone_from(&mut self, other: &Self) {
+        self.adj.clone_from(&other.adj);
+        self.num_edges = other.num_edges;
+    }
 }
 
 impl Graph {
@@ -101,11 +118,19 @@ impl Graph {
     /// The open neighborhood of a set: `N(U) = (⋃_{v∈U} N(v)) \ U`.
     pub fn neighborhood_of_set(&self, us: &NodeSet) -> NodeSet {
         let mut s = NodeSet::new(self.num_nodes());
-        for v in us {
-            s.union_with(&self.adj[v as usize]);
-        }
-        s.difference_with(us);
+        self.neighborhood_of_set_into(us, &mut s);
         s
+    }
+
+    /// [`Graph::neighborhood_of_set`] into a caller-supplied set, which is
+    /// reset to this graph's capacity first. The BFS kernels call this once
+    /// per frontier; with a warm buffer it never allocates.
+    pub fn neighborhood_of_set_into(&self, us: &NodeSet, out: &mut NodeSet) {
+        out.reset(self.num_nodes());
+        for v in us {
+            out.union_with(&self.adj[v as usize]);
+        }
+        out.difference_with(us);
     }
 
     /// Degree of `v`.
@@ -161,9 +186,21 @@ impl Graph {
     /// *saturation* operation of Section 2.1. Returns the number of edges
     /// added.
     pub fn saturate(&mut self, clique: &NodeSet) -> usize {
+        let mut members = Vec::new();
+        self.saturate_with(clique, &mut members)
+    }
+
+    /// [`Graph::saturate`] with a caller-supplied member buffer, so the
+    /// saturation loop of `Extend` allocates nothing once the buffer is
+    /// warm. `members` is overwritten with the clique's sorted node list.
+    pub fn saturate_with(&mut self, clique: &NodeSet, members: &mut Vec<Node>) -> usize {
         let mut added = 0;
-        let members: Vec<Node> = clique.to_vec();
-        for (i, &u) in members.iter().enumerate() {
+        members.clear();
+        members.extend(clique.iter());
+        // Index-based so `members` stays borrowed immutably while
+        // `add_edge` borrows `self` mutably.
+        for i in 0..members.len() {
+            let u = members[i];
             for &v in &members[i + 1..] {
                 if self.add_edge(u, v) {
                     added += 1;

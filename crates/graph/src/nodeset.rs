@@ -21,10 +21,27 @@ const BITS: usize = u64::BITS as usize;
 ///
 /// `Ord` is an arbitrary-but-total order (lexicographic on words); it exists
 /// so `NodeSet`s can key `BTreeMap`s and be sorted deterministically.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeSet {
     words: Vec<u64>,
     capacity: u32,
+}
+
+impl Clone for NodeSet {
+    fn clone(&self) -> Self {
+        NodeSet {
+            words: self.words.clone(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Reuses the existing word buffer — allocation-free whenever `self`
+    /// has ever held a set at least as large. The scratch kernels lean on
+    /// this: a derived `clone_from` would discard the buffer.
+    fn clone_from(&mut self, other: &Self) {
+        self.words.clone_from(&other.words);
+        self.capacity = other.capacity;
+    }
 }
 
 impl NodeSet {
@@ -122,6 +139,23 @@ impl NodeSet {
         for w in &mut self.words {
             *w = 0;
         }
+    }
+
+    /// Re-purposes the set as an empty set over `0..capacity`, reusing the
+    /// word buffer (allocation-free once the buffer has grown to the
+    /// largest capacity seen).
+    pub fn reset(&mut self, capacity: usize) {
+        self.capacity = capacity as u32;
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(BITS), 0);
+    }
+
+    /// Like [`NodeSet::reset`] but filled with all of `0..capacity`.
+    pub fn reset_full(&mut self, capacity: usize) {
+        self.capacity = capacity as u32;
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(BITS), u64::MAX);
+        self.trim();
     }
 
     /// In-place union: `self ∪= other`.
@@ -385,6 +419,30 @@ mod tests {
         let mut h = HashSet::new();
         h.insert(a);
         assert!(h.contains(&b));
+    }
+
+    #[test]
+    fn reset_changes_capacity_and_empties() {
+        let mut s = NodeSet::from_iter(200, [3, 100, 150]);
+        s.reset(70);
+        assert_eq!(s.capacity(), 70);
+        assert!(s.is_empty());
+        s.insert(69);
+        assert_eq!(s.to_vec(), vec![69]);
+        s.reset_full(10);
+        assert_eq!(s, NodeSet::full(10));
+    }
+
+    #[test]
+    fn clone_from_matches_clone() {
+        let src = NodeSet::from_iter(130, [0, 64, 129]);
+        let mut dst = NodeSet::from_iter(300, 0..300);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.capacity(), src.capacity());
+        let mut small = NodeSet::new(0);
+        small.clone_from(&src);
+        assert_eq!(small, src);
     }
 
     #[test]

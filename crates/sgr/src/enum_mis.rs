@@ -24,7 +24,7 @@
 //! drivers (the engine crate) share the same `Frontier` and differ only
 //! in where the `Extend` calls run.
 
-use crate::frontier::Frontier;
+use crate::frontier::{EvalScratch, Frontier};
 use crate::{EnumMisStats, PrintMode, Sgr};
 
 /// Iterator over all maximal independent sets of an SGR.
@@ -37,6 +37,10 @@ use crate::{EnumMisStats, PrintMode, Sgr};
 /// borrow one instead.
 pub struct EnumMis<S: Sgr> {
     frontier: Frontier<S>,
+    /// The stream's private evaluation workspace: drained pairs are
+    /// evaluated through it one at a time and absorbed incrementally, so
+    /// steady-state iteration allocates only for genuinely new answers.
+    scratch: EvalScratch<S>,
 }
 
 impl<S: Sgr> EnumMis<S> {
@@ -44,6 +48,7 @@ impl<S: Sgr> EnumMis<S> {
     pub fn new(sgr: S, mode: PrintMode) -> Self {
         EnumMis {
             frontier: Frontier::new(sgr, mode),
+            scratch: EvalScratch::default(),
         }
     }
 
@@ -69,11 +74,11 @@ impl<S: Sgr> Iterator for EnumMis<S> {
     fn next(&mut self) -> Option<Vec<S::Node>> {
         while !self.frontier.has_emissions() && !self.frontier.is_complete() {
             let batch = self.frontier.drain_pending();
-            let results = batch
-                .iter()
-                .map(|pair| pair.evaluate(self.frontier.sgr()))
-                .collect();
-            self.frontier.absorb(results);
+            for pair in &batch {
+                let produced = pair.evaluate_with(self.frontier.sgr(), &mut self.scratch);
+                self.frontier
+                    .absorb_one(produced.then_some(&mut self.scratch.out));
+            }
         }
         self.frontier.pop_emission()
     }

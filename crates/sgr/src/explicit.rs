@@ -21,6 +21,7 @@ impl<'g> ExplicitSgr<'g> {
 impl Sgr for ExplicitSgr<'_> {
     type Node = Node;
     type NodeCursor = Node;
+    type Scratch = ();
 
     fn start_nodes(&self) -> Node {
         0

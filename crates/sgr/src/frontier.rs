@@ -92,6 +92,60 @@ impl<N: Clone + Ord> ExtendPair<N> {
         );
         Some(k)
     }
+
+    /// [`ExtendPair::evaluate`] through a reusable [`EvalScratch`]:
+    /// returns `true` iff the pair produced an extension, which is then
+    /// in `ws.out`. Identical decisions and identical result contents —
+    /// only the allocations differ (none, once the scratch is warm and
+    /// the SGR kernel is too).
+    pub fn evaluate_with<S: Sgr<Node = N>>(&self, sgr: &S, ws: &mut EvalScratch<S>) -> bool {
+        let Some(v) = &self.direction else {
+            sgr.extend_with(&self.answer, &mut ws.out, &mut ws.sgr);
+            return true;
+        };
+        if self.answer.binary_search(v).is_ok() {
+            return false;
+        }
+        ws.jv.clear();
+        ws.jv.push(v.clone());
+        for u in self.answer.iter() {
+            if !sgr.edge_with(v, u, &mut ws.sgr) {
+                ws.jv.push(u.clone());
+            }
+        }
+        sgr.extend_with(&ws.jv, &mut ws.out, &mut ws.sgr);
+        debug_assert!(
+            ws.jv.iter().all(|u| ws.out.contains(u)),
+            "Extend must return a superset of its input"
+        );
+        true
+    }
+}
+
+/// Per-worker evaluation workspace for [`ExtendPair::evaluate_with`]: the
+/// SGR's own kernel scratch plus the `Jv` and result buffers. One per
+/// engine worker or sequential stream, never shared — with a warm
+/// workspace (and an SGR kernel behind it) a steady-state evaluation
+/// performs zero heap allocations.
+pub struct EvalScratch<S: Sgr> {
+    /// The SGR-specific kernel scratch, forwarded to
+    /// [`Sgr::edge_with`] / [`Sgr::extend_with`].
+    pub sgr: S::Scratch,
+    /// `Jv` under construction.
+    jv: Vec<S::Node>,
+    /// The extension produced by the last [`ExtendPair::evaluate_with`]
+    /// that returned `true`.
+    pub out: Vec<S::Node>,
+}
+
+impl<S: Sgr> Default for EvalScratch<S> {
+    fn default() -> Self {
+        EvalScratch {
+            sgr: S::Scratch::default(),
+            jv: Vec::new(),
+            out: Vec::new(),
+        }
+    }
 }
 
 /// The shared `EnumMIS` schedule (see the module docs). Drive it with:
@@ -120,9 +174,11 @@ pub struct Frontier<S: Sgr> {
     /// Answers awaiting emission to the consumer.
     pending: VecDeque<Vec<S::Node>>,
     /// `|J|` of each pair handed out by the last `drain_pending`,
-    /// awaiting `absorb` — all absorb needs for its one-to-one check and
-    /// edge-query accounting, so the pairs themselves are not retained.
-    in_flight: Vec<usize>,
+    /// awaiting `absorb`/`absorb_one` — all absorption needs for its
+    /// one-to-one check and edge-query accounting, so the pairs
+    /// themselves are not retained. A deque so `absorb_one` can consume
+    /// the batch front-to-back incrementally.
+    in_flight: VecDeque<usize>,
     started: bool,
     complete: bool,
     stats: EnumMisStats,
@@ -142,7 +198,7 @@ impl<S: Sgr> Frontier<S> {
             processed: Vec::new(),
             seen: FxHashSet::default(),
             pending: VecDeque::new(),
-            in_flight: Vec::new(),
+            in_flight: VecDeque::new(),
             started: false,
             complete: false,
             stats: EnumMisStats::default(),
@@ -263,18 +319,43 @@ impl<S: Sgr> Frontier<S> {
     /// evaluations imply: one `extend` per `Some`, plus its `|J|` edge
     /// queries.
     pub fn absorb(&mut self, results: Vec<Option<Vec<S::Node>>>) {
-        let answer_lens = std::mem::take(&mut self.in_flight);
         assert_eq!(
-            answer_lens.len(),
+            self.in_flight.len(),
             results.len(),
             "absorb must answer the drained batch one-to-one"
         );
-        for (answer_len, result) in answer_lens.into_iter().zip(results) {
+        for result in results {
+            let answer_len = self
+                .in_flight
+                .pop_front()
+                .expect("in_flight length checked above");
             if let Some(answer) = result {
                 self.stats.extend_calls += 1;
                 self.stats.edge_queries += answer_len;
                 self.offer(answer);
             }
+        }
+    }
+
+    /// Feeds back **one** result of the drained batch, front-to-back in
+    /// batch order — the incremental sibling of [`Frontier::absorb`].
+    /// `None` where `v ∈ J` skipped the call; otherwise the caller's
+    /// result buffer, which is sorted in place and copied only when the
+    /// answer is genuinely new. Duplicate answers — the overwhelming
+    /// majority in steady state — absorb without allocating.
+    pub fn absorb_one(&mut self, result: Option<&mut Vec<S::Node>>) {
+        let answer_len = self
+            .in_flight
+            .pop_front()
+            .expect("absorb_one called with no drained pair in flight");
+        if let Some(answer) = result {
+            self.stats.extend_calls += 1;
+            self.stats.edge_queries += answer_len;
+            answer.sort_unstable();
+            if self.seen.contains(answer as &Vec<S::Node>) {
+                return;
+            }
+            self.register(Arc::new(answer.clone()));
         }
     }
 
@@ -285,7 +366,10 @@ impl<S: Sgr> Frontier<S> {
         if self.seen.contains(&answer) {
             return;
         }
-        let answer = Arc::new(answer);
+        self.register(Arc::new(answer));
+    }
+
+    fn register(&mut self, answer: Arc<Vec<S::Node>>) {
         self.seen.insert(Arc::clone(&answer));
         if self.mode == PrintMode::UponGeneration {
             self.pending.push_back((*answer).clone());

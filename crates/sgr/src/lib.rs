@@ -39,7 +39,7 @@ pub mod bruteforce;
 
 pub use enum_mis::EnumMis;
 pub use explicit::ExplicitSgr;
-pub use frontier::{EnumMisStats, ExtendPair, Frontier, PrintMode};
+pub use frontier::{EnumMisStats, EvalScratch, ExtendPair, Frontier, PrintMode};
 pub use seth::{CnfFormula, SethNode, SethSgr};
 
 use std::hash::Hash;
@@ -63,6 +63,12 @@ pub trait Sgr {
     /// external to the SGR lets `EnumMis` own both without self-reference.
     type NodeCursor;
 
+    /// Per-worker scratch space for [`Sgr::edge_with`] / [`Sgr::extend_with`].
+    /// SGRs without a scratch kernel use `()`; the defaults then delegate
+    /// to the plain operations. Never shared between workers, so `Send`
+    /// (to move into worker threads) suffices — no `Sync`.
+    type Scratch: Default + Send;
+
     /// Starts the node enumerator `A_V`.
     fn start_nodes(&self) -> Self::NodeCursor;
 
@@ -77,6 +83,27 @@ pub trait Sgr {
     /// Extends the independent set `base` into a maximal independent set
     /// containing it. `base` is guaranteed independent.
     fn extend(&self, base: &[Self::Node]) -> Vec<Self::Node>;
+
+    /// [`Sgr::edge`] through a reusable scratch space. Must return exactly
+    /// what `edge` would; the default ignores the scratch and delegates.
+    fn edge_with(&self, u: &Self::Node, v: &Self::Node, scratch: &mut Self::Scratch) -> bool {
+        let _ = scratch;
+        self.edge(u, v)
+    }
+
+    /// [`Sgr::extend`] writing into a caller-supplied buffer through a
+    /// reusable scratch space. Must produce exactly the nodes `extend`
+    /// would, in the same order; the default delegates and copies.
+    fn extend_with(
+        &self,
+        base: &[Self::Node],
+        out: &mut Vec<Self::Node>,
+        scratch: &mut Self::Scratch,
+    ) {
+        let _ = scratch;
+        out.clear();
+        out.extend(self.extend(base));
+    }
 
     /// Convenience: the nodes of `G(x)` as an iterator (collecting cursor
     /// plumbing). Primarily for tests and small SGRs.
@@ -108,6 +135,7 @@ impl<S: Sgr> Iterator for SgrNodeIter<'_, S> {
 impl<S: Sgr> Sgr for &S {
     type Node = S::Node;
     type NodeCursor = S::NodeCursor;
+    type Scratch = S::Scratch;
 
     fn start_nodes(&self) -> Self::NodeCursor {
         (**self).start_nodes()
@@ -123,6 +151,19 @@ impl<S: Sgr> Sgr for &S {
 
     fn extend(&self, base: &[Self::Node]) -> Vec<Self::Node> {
         (**self).extend(base)
+    }
+
+    fn edge_with(&self, u: &Self::Node, v: &Self::Node, scratch: &mut Self::Scratch) -> bool {
+        (**self).edge_with(u, v, scratch)
+    }
+
+    fn extend_with(
+        &self,
+        base: &[Self::Node],
+        out: &mut Vec<Self::Node>,
+        scratch: &mut Self::Scratch,
+    ) {
+        (**self).extend_with(base, out, scratch)
     }
 }
 
@@ -133,6 +174,7 @@ impl<S: Sgr> Sgr for &S {
 impl<S: Sgr> Sgr for std::sync::Arc<S> {
     type Node = S::Node;
     type NodeCursor = S::NodeCursor;
+    type Scratch = S::Scratch;
 
     fn start_nodes(&self) -> Self::NodeCursor {
         (**self).start_nodes()
@@ -148,5 +190,18 @@ impl<S: Sgr> Sgr for std::sync::Arc<S> {
 
     fn extend(&self, base: &[Self::Node]) -> Vec<Self::Node> {
         (**self).extend(base)
+    }
+
+    fn edge_with(&self, u: &Self::Node, v: &Self::Node, scratch: &mut Self::Scratch) -> bool {
+        (**self).edge_with(u, v, scratch)
+    }
+
+    fn extend_with(
+        &self,
+        base: &[Self::Node],
+        out: &mut Vec<Self::Node>,
+        scratch: &mut Self::Scratch,
+    ) {
+        (**self).extend_with(base, out, scratch)
     }
 }

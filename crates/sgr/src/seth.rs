@@ -110,6 +110,7 @@ impl Sgr for SethSgr {
     type Node = SethNode;
     /// Position in the fixed order `⊥_A, ⊥_B, A(0..2^{n/2}), B(0..2^{n/2})`.
     type NodeCursor = u64;
+    type Scratch = ();
 
     fn start_nodes(&self) -> u64 {
         0

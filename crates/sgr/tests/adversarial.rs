@@ -16,6 +16,7 @@ struct ReversedSgr<'g> {
 impl Sgr for ReversedSgr<'_> {
     type Node = Node;
     type NodeCursor = Node; // counts down from n
+    type Scratch = ();
 
     fn start_nodes(&self) -> Node {
         self.g.num_nodes() as Node

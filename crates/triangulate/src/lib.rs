@@ -40,9 +40,9 @@ mod types;
 pub use elimination::{eliminate, EliminationOrder};
 pub use lbtriang::{lb_triang, LbTriang, OrderingStrategy};
 pub use lexm::{lex_m, LexM};
-pub use mcsm::{mcs_m, McsM};
+pub use mcsm::{mcs_m, mcs_m_into, McsM};
 pub use sandwich::{is_minimal_triangulation, minimal_triangulation_sandwich};
-pub use types::{CompleteFill, Triangulation, Triangulator};
+pub use types::{CompleteFill, TriScratch, Triangulation, Triangulator};
 
 use mintri_graph::Graph;
 

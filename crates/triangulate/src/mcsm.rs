@@ -10,8 +10,8 @@
 //! triangulation, and the numbering (reversed) is a perfect elimination
 //! order of it.
 
-use crate::types::{Triangulation, Triangulator};
-use mintri_graph::{Graph, Node, NodeSet};
+use crate::types::{TriScratch, Triangulation, Triangulator};
+use mintri_graph::{Graph, Node};
 
 /// The MCS-M minimal triangulation algorithm.
 #[derive(Debug, Clone, Copy, Default)]
@@ -26,6 +26,11 @@ impl Triangulator for McsM {
         true
     }
 
+    fn triangulate_into(&self, g: &Graph, ws: &mut TriScratch) -> bool {
+        mcs_m_into(g, ws);
+        true
+    }
+
     fn name(&self) -> &'static str {
         "MCS_M"
     }
@@ -34,75 +39,91 @@ impl Triangulator for McsM {
 /// Runs MCS-M on `g`, returning a minimal triangulation together with its
 /// perfect elimination order. `O(n·m)` overall.
 pub fn mcs_m(g: &Graph) -> Triangulation {
-    let n = g.num_nodes();
-    let mut weight = vec![0usize; n];
-    let mut numbered = NodeSet::new(n);
-    let mut visit_order = Vec::with_capacity(n);
-    let mut fill: Vec<(Node, Node)> = Vec::new();
+    let mut ws = TriScratch::default();
+    mcs_m_into(g, &mut ws);
+    let mut h = g.clone();
+    for &(u, v) in &ws.fill {
+        h.add_edge(u, v);
+    }
+    Triangulation {
+        graph: h,
+        fill: ws.fill,
+        peo: Some(ws.peo),
+    }
+}
 
-    // scratch buffers reused across iterations (workhorse collections)
-    let mut reach: Vec<Vec<Node>> = vec![Vec::new(); n + 1];
-    let mut marked = NodeSet::new(n);
+/// The MCS-M core: writes the fill edges and perfect elimination order
+/// into `ws` without building the chordal graph (callers that need it add
+/// `ws.fill` to their own copy). Allocation-free once the workspace has
+/// seen a graph at least this large.
+pub fn mcs_m_into(g: &Graph, ws: &mut TriScratch) {
+    let n = g.num_nodes();
+    ws.fill.clear();
+    ws.peo.clear();
+    ws.weight.clear();
+    ws.weight.resize(n, 0);
+    ws.numbered.reset(n);
+    ws.marked.reset(n);
+    // the bucket queues drain fully inside each iteration, so between runs
+    // they are empty and only the outer Vec may need to grow
+    if ws.reach.len() < n + 1 {
+        ws.reach.resize_with(n + 1, Vec::new);
+    }
 
     for _ in 0..n {
         // choose the unnumbered vertex of maximum weight (smallest id breaks
         // ties, for determinism)
         let v = (0..n as Node)
-            .filter(|&u| !numbered.contains(u))
-            .max_by(|&a, &b| weight[a as usize].cmp(&weight[b as usize]).then(b.cmp(&a)))
+            .filter(|&u| !ws.numbered.contains(u))
+            .max_by(|&a, &b| {
+                ws.weight[a as usize]
+                    .cmp(&ws.weight[b as usize])
+                    .then(b.cmp(&a))
+            })
             .expect("an unnumbered vertex exists");
 
         // Bucketed search computing, for every unnumbered u, the minimum over
         // all v-u paths (through unnumbered vertices) of the maximum
         // intermediate weight. u qualifies iff that minimum is < w(u); direct
         // neighbors always qualify.
-        marked.clear();
-        marked.insert(v);
-        let mut qualified: Vec<Node> = Vec::new();
+        ws.marked.clear();
+        ws.marked.insert(v);
+        ws.qualified.clear();
         for u in g.neighbors(v).iter() {
-            if !numbered.contains(u) {
-                marked.insert(u);
-                qualified.push(u);
-                reach[weight[u as usize]].push(u);
+            if !ws.numbered.contains(u) {
+                ws.marked.insert(u);
+                ws.qualified.push(u);
+                ws.reach[ws.weight[u as usize]].push(u);
             }
         }
         for j in 0..n {
-            while let Some(y) = reach[j].pop() {
+            while let Some(y) = ws.reach[j].pop() {
                 for z in g.neighbors(y).iter() {
-                    if numbered.contains(z) || marked.contains(z) {
+                    if ws.numbered.contains(z) || ws.marked.contains(z) {
                         continue;
                     }
-                    marked.insert(z);
-                    if weight[z as usize] > j {
-                        qualified.push(z);
-                        reach[weight[z as usize]].push(z);
+                    ws.marked.insert(z);
+                    if ws.weight[z as usize] > j {
+                        ws.qualified.push(z);
+                        ws.reach[ws.weight[z as usize]].push(z);
                     } else {
-                        reach[j].push(z);
+                        ws.reach[j].push(z);
                     }
                 }
             }
         }
 
-        for &u in &qualified {
-            weight[u as usize] += 1;
+        for &u in &ws.qualified {
+            ws.weight[u as usize] += 1;
             if !g.has_edge(u, v) {
-                fill.push((u.min(v), u.max(v)));
+                ws.fill.push((u.min(v), u.max(v)));
             }
         }
-        numbered.insert(v);
-        visit_order.push(v);
+        ws.numbered.insert(v);
+        ws.peo.push(v);
     }
 
-    let mut h = g.clone();
-    for &(u, v) in &fill {
-        h.add_edge(u, v);
-    }
-    visit_order.reverse();
-    Triangulation {
-        graph: h,
-        fill,
-        peo: Some(visit_order),
-    }
+    ws.peo.reverse();
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! The triangulation result type and the pluggable `Triangulate` black box
 //! of the paper's `Extend` procedure (Figure 3).
 
-use mintri_graph::{Graph, Node};
+use mintri_graph::{Graph, Node, NodeSet};
 
 /// The result of triangulating a graph `g`: a chordal supergraph plus the
 /// fill edges that were added (`E(h) \ E(g)`, Section 2.3).
@@ -49,8 +49,39 @@ pub trait Triangulator: Send + Sync {
         false
     }
 
+    /// Scratch-space variant of [`Triangulator::triangulate`]: writes the
+    /// fill edges and perfect elimination order of a **minimal**
+    /// triangulation into `ws` without materializing the chordal graph,
+    /// allocation-free once the workspace is warm. Returns `false` — the
+    /// default — when the backend has no scratch kernel; callers fall back
+    /// to the allocating path. Only backends with
+    /// [`Triangulator::guarantees_minimal`] may return `true`.
+    fn triangulate_into(&self, g: &Graph, ws: &mut TriScratch) -> bool {
+        let _ = (g, ws);
+        false
+    }
+
     /// Short human-readable name (used by the benchmark harness).
     fn name(&self) -> &'static str;
+}
+
+/// Reusable workspace for [`Triangulator::triangulate_into`]: the fill
+/// list and elimination order a successful call produces, plus the MCS-M
+/// search buffers behind them. One per worker or sequential stream; every
+/// buffer grows to the largest graph seen and is reused thereafter.
+#[derive(Default)]
+pub struct TriScratch {
+    /// Fill edges of the last successful run, each with `u < v`.
+    pub fill: Vec<(Node, Node)>,
+    /// Perfect elimination order of the last successful run (index 0 is
+    /// eliminated first).
+    pub peo: Vec<Node>,
+    // MCS-M internals (see `mcs_m_into`)
+    pub(crate) weight: Vec<usize>,
+    pub(crate) numbered: NodeSet,
+    pub(crate) marked: NodeSet,
+    pub(crate) reach: Vec<Vec<Node>>,
+    pub(crate) qualified: Vec<Node>,
 }
 
 /// One triangulator shared by many owners (the planning layer hands a
@@ -62,6 +93,10 @@ impl<T: Triangulator + ?Sized> Triangulator for std::sync::Arc<T> {
 
     fn guarantees_minimal(&self) -> bool {
         (**self).guarantees_minimal()
+    }
+
+    fn triangulate_into(&self, g: &Graph, ws: &mut TriScratch) -> bool {
+        (**self).triangulate_into(g, ws)
     }
 
     fn name(&self) -> &'static str {

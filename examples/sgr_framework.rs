@@ -28,6 +28,7 @@ struct RookSgr {
 impl Sgr for RookSgr {
     type Node = (u32, u32);
     type NodeCursor = u64;
+    type Scratch = ();
 
     fn start_nodes(&self) -> u64 {
         0
