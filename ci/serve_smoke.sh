@@ -7,7 +7,9 @@
 # observability surface (`/v1/metrics` counters advance, replay hits
 # and ranked queries register, a deliberately slow best-k lands in the
 # slow-query ring, and a `"trace": true` response round-trips through
-# the core JSON parser via `bench_check --parse`), proves malformed
+# the core JSON parser via `bench_check --parse`), asserts `/v1/stats`
+# surfaces the learned per-atom cost profile (and that the stats
+# document itself round-trips `bench_check --parse`), proves malformed
 # input answers a structured 400 without killing the server, and fails
 # on any non-2xx or on a leaked server process.
 #
@@ -134,12 +136,19 @@ CODE=$(curl -s -o /tmp/smoke_400.json -w '%{http_code}' -X POST "$BASE/v1/query"
 grep -q '"error"' /tmp/smoke_400.json || fail "400 body must be structured"
 curl -sf "$BASE/healthz" >/dev/null || fail "server must survive malformed input"
 
-echo "== stats"
-STATS=$(curl -sf "$BASE/v1/stats")
+echo "== stats (learned cost profile included, document round-trips the core parser)"
+curl -sf "$BASE/v1/stats" > /tmp/smoke_stats.json
+STATS=$(cat /tmp/smoke_stats.json)
 echo "$STATS" | grep -q '"sessions":' || fail "stats must report sessions"
 echo "$STATS" | grep -q '"replay_hits":' || fail "stats must report engine replay hits"
 echo "$STATS" | grep -q '"task":"best_k"' \
     || fail "slow-query ring must have captured the best-k request: $STATS"
+echo "$STATS" | grep -q '"profile":' || fail "stats must surface the learned cost profile: $STATS"
+echo "$STATS" | grep -q '"backend":"MCS_M"' \
+    || fail "the queries above must have left per-atom profile rows: $STATS"
+echo "$STATS" | grep -q '"live_runs":' || fail "profile rows must carry run counts: $STATS"
+"$BENCH_CHECK" --parse /tmp/smoke_stats.json \
+    || fail "the stats document must round-trip through the core JSON parser"
 
 echo "== clean shutdown"
 kill "$SERVER_PID"

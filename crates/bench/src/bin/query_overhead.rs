@@ -21,7 +21,7 @@
 //! parallel numbers measure coordination overhead, not scaling (the
 //! overhead figures here are sequential and remain valid either way).
 
-use mintri_core::query::Query;
+use mintri_core::query::{ExecPolicy, Query};
 use mintri_core::{EnumerationBudget, MinimalTriangulationsEnumerator};
 use mintri_engine::Engine;
 use mintri_workloads::random_suite;
@@ -85,7 +85,7 @@ fn main() -> std::io::Result<()> {
                     g,
                     Query::enumerate()
                         .budget(EnumerationBudget::results(k))
-                        .threads(1),
+                        .policy(ExecPolicy::fixed().with_threads(1)),
                 )
                 .count();
             (produced, started.elapsed().as_secs_f64())
@@ -93,7 +93,10 @@ fn main() -> std::io::Result<()> {
         assert_eq!(n_direct, n_engine);
         let replay = if n_direct < k {
             let started = Instant::now();
-            let response = engine.run(g, Query::enumerate().threads(1));
+            let response = engine.run(
+                g,
+                Query::enumerate().policy(ExecPolicy::fixed().with_threads(1)),
+            );
             let replayed = response.is_replay();
             let produced = response.count();
             assert!(replayed && produced == n_direct);
@@ -141,10 +144,18 @@ fn main() -> std::io::Result<()> {
     let small = mintri_workloads::random::erdos_renyi(18, 0.3, 42);
     let engine = Engine::new();
     let started = Instant::now();
-    let cold_n = engine.run(&small, Query::enumerate().threads(1)).count();
+    let cold_n = engine
+        .run(
+            &small,
+            Query::enumerate().policy(ExecPolicy::fixed().with_threads(1)),
+        )
+        .count();
     let cold_s = started.elapsed().as_secs_f64();
     let started = Instant::now();
-    let warm = engine.run(&small, Query::enumerate().threads(1));
+    let warm = engine.run(
+        &small,
+        Query::enumerate().policy(ExecPolicy::fixed().with_threads(1)),
+    );
     assert!(warm.is_replay());
     let warm_n = warm.count();
     let warm_s = started.elapsed().as_secs_f64();

@@ -23,7 +23,7 @@
 //! for CI: smallest workload only).
 
 use mintri_bench::Args;
-use mintri_core::query::{CostMeasure, Query};
+use mintri_core::query::{CostMeasure, ExecPolicy, Query};
 use mintri_graph::Graph;
 use mintri_workloads::random::{chained_cycles, chord_cycle};
 use std::fmt::Write as _;
@@ -38,7 +38,9 @@ fn time_best_k(
     ranked: bool,
 ) -> (Vec<Vec<(u32, u32)>>, f64, f64) {
     let started = Instant::now();
-    let mut response = Query::best_k(k, cost).ranked(ranked).run_local(g);
+    let mut response = Query::best_k(k, cost)
+        .policy(ExecPolicy::fixed().with_ranked(ranked))
+        .run_local(g);
     let mut first_s = 0.0;
     let mut winners = Vec::new();
     for item in response.by_ref() {

@@ -20,7 +20,7 @@
 //! valid either way (the stamp gates only thread-scaling readings).
 
 use mintri_bench::Args;
-use mintri_core::query::{Plan, Query};
+use mintri_core::query::{ExecPolicy, Plan, Query};
 use mintri_graph::Graph;
 use mintri_workloads::random::chained_cycles;
 use std::fmt::Write as _;
@@ -29,7 +29,10 @@ use std::time::Instant;
 /// Seconds (and result count) to stream the whole enumeration.
 fn time_enumeration(g: &Graph, planned: bool) -> (usize, f64) {
     let started = Instant::now();
-    let produced = Query::enumerate().planned(planned).run_local(g).count();
+    let produced = Query::enumerate()
+        .policy(ExecPolicy::fixed().with_planned(planned))
+        .run_local(g)
+        .count();
     (produced, started.elapsed().as_secs_f64())
 }
 

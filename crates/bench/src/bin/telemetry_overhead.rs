@@ -23,7 +23,7 @@
 //! timed pass; default 3, quick 12).
 
 use mintri_bench::Args;
-use mintri_core::query::Query;
+use mintri_core::query::{ExecPolicy, Query};
 use mintri_engine::Engine;
 use mintri_graph::{Graph, Node};
 use mintri_workloads::random::chord_cycle;
@@ -40,7 +40,12 @@ fn run_family(graphs: &[Graph], traced: bool, reps: usize) -> (usize, f64) {
         let engine = Engine::new();
         produced = 0;
         for g in graphs {
-            let mut response = engine.run(g, Query::enumerate().threads(1).traced(traced));
+            let mut response = engine.run(
+                g,
+                Query::enumerate()
+                    .policy(ExecPolicy::fixed().with_threads(1))
+                    .traced(traced),
+            );
             produced += response.by_ref().count();
             let outcome = response.outcome();
             assert_eq!(

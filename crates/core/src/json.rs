@@ -26,7 +26,7 @@
 //!    render a [`QueryOutcome`] the way every CLI `--format json`
 //!    command prints it.
 
-use crate::query::{CostMeasure, Delivery, Query, QueryOutcome, Task};
+use crate::query::{CostMeasure, Delivery, ExecPolicy, Query, QueryOutcome, Task};
 use crate::{EnumerationBudget, TdEnumerationMode};
 use mintri_graph::{Graph, Node};
 use mintri_sgr::PrintMode;
@@ -654,12 +654,22 @@ fn task_from_json(v: &JsonValue) -> Result<Task, String> {
     })
 }
 
+fn delivery_name(delivery: Delivery) -> &'static str {
+    match delivery {
+        Delivery::Unordered => "unordered",
+        Delivery::Deterministic => "deterministic",
+    }
+}
+
 /// Serializes a [`Query`] for the wire. Everything except the
 /// process-local cancellation token goes: task, backend (by
 /// [`Triangulator::name`] — see [`triangulator_from_name`] for the
 /// names that round-trip; parameterized/custom backends collapse to
-/// their name's default on decode), print mode, budget, delivery,
-/// threads, the planning switch and the ranked best-k switch.
+/// their name's default on decode), print mode, budget, and the
+/// execution policy — emitted twice: as the authoritative `"policy"`
+/// object, and as the legacy flat `delivery`/`threads`/`plan`/`ranked`
+/// fields (the policy's pinned knobs) so pre-policy readers degrade to
+/// an equivalent `Fixed` execution instead of failing.
 pub fn query_to_json(q: &Query) -> String {
     let mut budget = JsonObject::new();
     match q.budget.max_results {
@@ -670,6 +680,20 @@ pub fn query_to_json(q: &Query) -> String {
         Some(t) => budget.raw("time_limit_ms", t.as_millis().to_string()),
         None => budget.raw("time_limit_ms", "null".into()),
     }
+    let mut policy = JsonObject::new();
+    policy.str("mode", q.policy.name());
+    if let ExecPolicy::Fixed {
+        threads,
+        planned,
+        ranked,
+        ..
+    } = q.policy
+    {
+        policy.usize("threads", threads);
+        policy.bool("plan", planned);
+        policy.bool("ranked", ranked);
+    }
+    policy.str("delivery", delivery_name(q.policy.delivery()));
     let mut doc = JsonObject::new();
     doc.raw("task", task_json(&q.task));
     doc.str("triangulator", q.triangulator.name());
@@ -681,16 +705,11 @@ pub fn query_to_json(q: &Query) -> String {
         },
     );
     doc.raw("budget", budget.finish());
-    doc.str(
-        "delivery",
-        match q.delivery {
-            Delivery::Unordered => "unordered",
-            Delivery::Deterministic => "deterministic",
-        },
-    );
-    doc.usize("threads", q.threads);
-    doc.bool("plan", q.plan);
-    doc.bool("ranked", q.ranked);
+    doc.raw("policy", policy.finish());
+    doc.str("delivery", delivery_name(q.policy.delivery()));
+    doc.usize("threads", q.policy.threads());
+    doc.bool("plan", q.policy.planned());
+    doc.bool("ranked", q.policy.ranked());
     doc.bool("trace", q.trace);
     doc.finish()
 }
@@ -736,30 +755,90 @@ pub fn query_from_json(v: &JsonValue) -> Result<Query, String> {
             time_limit: field("time_limit_ms")?.map(Duration::from_millis),
         });
     }
-    if let Some(delivery) = v.get("delivery") {
-        query = query.delivery(match delivery.as_str() {
-            Some("unordered") => Delivery::Unordered,
-            Some("deterministic") => Delivery::Deterministic,
-            _ => return Err("`delivery` must be unordered or deterministic".into()),
-        });
-    }
-    if let Some(threads) = v.get("threads") {
-        query = query.threads(
-            threads
-                .as_usize()
-                .ok_or("`threads` must be a non-negative integer")?,
-        );
-    }
-    if let Some(plan) = v.get("plan") {
-        query = query.planned(plan.as_bool().ok_or("`plan` must be a boolean")?);
-    }
-    if let Some(ranked) = v.get("ranked") {
-        query = query.ranked(ranked.as_bool().ok_or("`ranked` must be a boolean")?);
-    }
+    query = query.policy(policy_from_json(v)?);
     if let Some(trace) = v.get("trace") {
         query = query.traced(trace.as_bool().ok_or("`trace` must be a boolean")?);
     }
     Ok(query)
+}
+
+/// Decodes the execution policy of a wire query: the `"policy"` object
+/// when present (authoritative), else the legacy flat
+/// `delivery`/`threads`/`plan`/`ranked` fields — any of which pins an
+/// [`ExecPolicy::Fixed`], exactly what those knobs meant before the
+/// policy existed — else the [`ExecPolicy::Auto`] default.
+fn policy_from_json(v: &JsonValue) -> Result<ExecPolicy, String> {
+    let delivery_of = |field: &JsonValue, key: &str| -> Result<Delivery, String> {
+        match field.as_str() {
+            Some("unordered") => Ok(Delivery::Unordered),
+            Some("deterministic") => Ok(Delivery::Deterministic),
+            _ => Err(format!("`{key}` must be unordered or deterministic")),
+        }
+    };
+    if let Some(policy) = v.get("policy") {
+        if policy.entries().is_none() {
+            return Err("`policy` must be an object".into());
+        }
+        let delivery = match policy.get("delivery") {
+            Some(d) => delivery_of(d, "policy.delivery")?,
+            None => Delivery::Unordered,
+        };
+        return match policy.get("mode").and_then(JsonValue::as_str) {
+            Some("auto") => Ok(ExecPolicy::Auto { delivery }),
+            Some("fixed") => {
+                let threads = match policy.get("threads") {
+                    Some(n) => n
+                        .as_usize()
+                        .ok_or("`policy.threads` must be a non-negative integer")?,
+                    None => 0,
+                };
+                let planned = match policy.get("plan") {
+                    Some(b) => b.as_bool().ok_or("`policy.plan` must be a boolean")?,
+                    None => true,
+                };
+                let ranked = match policy.get("ranked") {
+                    Some(b) => b.as_bool().ok_or("`policy.ranked` must be a boolean")?,
+                    None => true,
+                };
+                Ok(ExecPolicy::Fixed {
+                    threads,
+                    planned,
+                    ranked,
+                    delivery,
+                })
+            }
+            _ => Err("`policy.mode` must be auto or fixed".into()),
+        };
+    }
+    // Legacy flat fields: presence of any knob means the caller wrote a
+    // pre-policy query — honor it as a pinned Fixed execution.
+    let delivery = v.get("delivery");
+    let threads = v.get("threads");
+    let plan = v.get("plan");
+    let ranked = v.get("ranked");
+    if delivery.is_none() && threads.is_none() && plan.is_none() && ranked.is_none() {
+        return Ok(ExecPolicy::default());
+    }
+    Ok(ExecPolicy::Fixed {
+        threads: match threads {
+            Some(n) => n
+                .as_usize()
+                .ok_or("`threads` must be a non-negative integer")?,
+            None => 0,
+        },
+        planned: match plan {
+            Some(b) => b.as_bool().ok_or("`plan` must be a boolean")?,
+            None => true,
+        },
+        ranked: match ranked {
+            Some(b) => b.as_bool().ok_or("`ranked` must be a boolean")?,
+            None => true,
+        },
+        delivery: match delivery {
+            Some(d) => delivery_of(d, "delivery")?,
+            None => Delivery::Unordered,
+        },
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -780,6 +859,22 @@ pub fn outcome_json(outcome: &QueryOutcome) -> String {
         "elapsed_ms",
         format!("{:.3}", outcome.elapsed.as_secs_f64() * 1e3),
     );
+    // The dispatch the executor actually chose, one entry per atom —
+    // present on every executed query (empty for outcomes built before
+    // a stream was attached).
+    let dispatch: Vec<String> = outcome
+        .dispatch
+        .iter()
+        .map(|d| {
+            let mut entry = JsonObject::new();
+            entry.usize("index", d.index);
+            entry.usize("nodes", d.nodes);
+            entry.usize("threads", d.threads);
+            entry.str("kind", d.kind.name());
+            entry.finish()
+        })
+        .collect();
+    doc.raw("dispatch", format!("[{}]", dispatch.join(",")));
     match outcome.quality() {
         Some(q) => {
             let mut quality = JsonObject::new();
@@ -962,10 +1057,12 @@ mod tests {
                 42,
                 Duration::from_millis(1500),
             ))
-            .delivery(Delivery::Deterministic)
-            .threads(3)
-            .planned(false)
-            .ranked(false);
+            .policy(ExecPolicy::Fixed {
+                threads: 3,
+                planned: false,
+                ranked: false,
+                delivery: Delivery::Deterministic,
+            });
         let doc = query_to_json(&q);
         let back = query_from_json(&JsonValue::parse(&doc).unwrap()).unwrap();
         assert_eq!(back.task, q.task);
@@ -973,10 +1070,59 @@ mod tests {
         assert_eq!(back.mode, q.mode);
         assert_eq!(back.budget.max_results, Some(42));
         assert_eq!(back.budget.time_limit, Some(Duration::from_millis(1500)));
-        assert_eq!(back.delivery, q.delivery);
-        assert_eq!(back.threads, 3);
-        assert!(!back.plan);
-        assert!(!back.ranked);
+        assert_eq!(back.policy, q.policy);
+        // The legacy flat fields ride along for pre-policy readers.
+        let v = JsonValue::parse(&doc).unwrap();
+        assert_eq!(v.get("threads").unwrap().as_usize(), Some(3));
+        assert_eq!(v.get("plan").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("delivery").unwrap().as_str(), Some("deterministic"));
+    }
+
+    #[test]
+    fn policy_codec_auto_round_trips_and_flat_fields_pin_fixed() {
+        // Auto (the default) survives the wire as Auto.
+        let q = Query::enumerate();
+        assert!(q.policy.is_auto());
+        let back = query_from_json(&JsonValue::parse(&query_to_json(&q)).unwrap()).unwrap();
+        assert_eq!(back.policy, ExecPolicy::default());
+        // Auto under a deterministic contract keeps both.
+        let q =
+            Query::enumerate().policy(ExecPolicy::auto().with_delivery(Delivery::Deterministic));
+        let back = query_from_json(&JsonValue::parse(&query_to_json(&q)).unwrap()).unwrap();
+        assert_eq!(
+            back.policy,
+            ExecPolicy::Auto {
+                delivery: Delivery::Deterministic
+            }
+        );
+        // A pre-policy document (flat fields only) decodes to the Fixed
+        // execution those knobs always meant.
+        let flat = r#"{"task":{"type":"enumerate"},"threads":2,"ranked":false}"#;
+        let q = query_from_json(&JsonValue::parse(flat).unwrap()).unwrap();
+        assert_eq!(
+            q.policy,
+            ExecPolicy::Fixed {
+                threads: 2,
+                planned: true,
+                ranked: false,
+                delivery: Delivery::Unordered,
+            }
+        );
+        // A policy object wins over contradictory flat fields.
+        let both = r#"{"task":{"type":"enumerate"},"threads":7,"policy":{"mode":"auto"}}"#;
+        let q = query_from_json(&JsonValue::parse(both).unwrap()).unwrap();
+        assert_eq!(q.policy, ExecPolicy::default());
+        // Malformed policies are rejected with their own errors.
+        for bad in [
+            r#"{"task":{"type":"enumerate"},"policy":"auto"}"#,
+            r#"{"task":{"type":"enumerate"},"policy":{"mode":"magic"}}"#,
+            r#"{"task":{"type":"enumerate"},"policy":{"mode":"fixed","threads":-1}}"#,
+            r#"{"task":{"type":"enumerate"},"policy":{"mode":"auto","delivery":"sorted"}}"#,
+            r#"{"task":{"type":"enumerate"},"policy":{"mode":"fixed","plan":"yes"}}"#,
+        ] {
+            let v = JsonValue::parse(bad).unwrap();
+            assert!(query_from_json(&v).is_err(), "{bad} should fail");
+        }
     }
 
     #[test]
@@ -1007,9 +1153,13 @@ mod tests {
             .unwrap();
         assert_eq!(q.task, Task::Enumerate);
         assert_eq!(q.triangulator.name(), "MCS_M");
-        assert!(q.plan);
-        assert!(q.ranked, "ranked defaults on for wire queries too");
-        assert_eq!(q.threads, 0);
+        assert!(
+            q.policy.is_auto(),
+            "a knob-free wire query gets the Auto default"
+        );
+        assert!(q.policy.planned());
+        assert!(q.policy.ranked(), "ranked defaults on for wire queries too");
+        assert_eq!(q.policy.threads(), 0);
 
         for bad in [
             r#"{"task":{"type":"mine_bitcoin"}}"#,

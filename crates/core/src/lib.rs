@@ -46,7 +46,8 @@
 //! one [`TriangulationStream`] runs per non-trivial atom, and the
 //! product [`ComposedStream`] recombines them — so a graph of many
 //! small atoms pays the *sum* of small enumerations instead of one
-//! exponential blob. `Query::planned(false)` forces the unreduced path.
+//! exponential blob. `ExecPolicy::fixed().with_planned(false)` forces
+//! the unreduced path.
 
 mod anytime;
 mod bruteforce;
@@ -71,8 +72,8 @@ pub use msgraph::{ExtendScratch, MsGraph, MsGraphStats, SepId};
 pub use plan::{AtomStream, ComposedStream, Plan, PlannedAtom};
 pub use proper::{ProperTreeDecompositions, TdEnumerationMode};
 pub use query::{
-    CancelHookGuard, CancelToken, CostMeasure, Delivery, Query, QueryItem, QueryOutcome, Response,
-    Task, TriangulationStream,
+    AtomDispatch, CancelHookGuard, CancelToken, CostMeasure, Delivery, DispatchKind, ExecPolicy,
+    Query, QueryItem, QueryOutcome, Response, Task, TriangulationStream,
 };
 pub use ranked::{
     best_k_of_stream, cost_floor, RankedAtom, RankedComposed, RankedItem, RankedStream,

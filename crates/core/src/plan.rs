@@ -518,7 +518,7 @@ mod tests {
 
     fn sorted_edge_sets(g: &Graph, planned: bool) -> Vec<Vec<(Node, Node)>> {
         let mut out: Vec<_> = Query::enumerate()
-            .planned(planned)
+            .policy(crate::query::ExecPolicy::fixed().with_planned(planned))
             .run_local(g)
             .triangulations()
             .iter()
@@ -604,7 +604,7 @@ mod tests {
             .map(|t| t.graph.edges())
             .collect();
         let b: Vec<_> = Query::enumerate()
-            .planned(false)
+            .policy(crate::query::ExecPolicy::fixed().with_planned(false))
             .run_local(&g)
             .triangulations()
             .iter()

@@ -148,6 +148,254 @@ pub enum Delivery {
     Deterministic,
 }
 
+/// **How** a query executes: the one typed knob consolidating what used
+/// to be four scattered `Query` fields (`threads`, `planned`, `ranked`,
+/// `delivery`).
+///
+/// [`ExecPolicy::Auto`] — the default — lets the executor consult its
+/// learned per-atom cost profiles (`mintri_engine::profile`) to choose
+/// the thread split, the parallel-vs-sequential threshold and the cursor
+/// order of the product composer. [`ExecPolicy::Fixed`] pins every knob
+/// to an explicit value — bit-for-bit the pre-policy behavior, and what
+/// the deprecated builder methods ([`Query::threads`],
+/// [`Query::planned`], [`Query::ranked`], [`Query::delivery`]) construct.
+///
+/// The invariant both variants honor: a policy may change *scheduling*
+/// — thread placement, dispatch choice, cursor order — never *answers*.
+/// Under [`Delivery::Unordered`] the result **set** is identical either
+/// way; under [`Delivery::Deterministic`] the result **sequence** is
+/// bit-for-bit identical (adaptive cursor reordering is disabled there,
+/// because the composed emission order is part of the contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Profile-driven execution (the default). The executor picks
+    /// threads, dispatch and cursor order from its learned per-atom
+    /// statistics; with no profile yet (a cold engine, or
+    /// [`Query::run_local`]) every choice falls back to exactly the
+    /// [`ExecPolicy::fixed`] defaults.
+    Auto {
+        /// The result-ordering contract adaptive execution must honor.
+        delivery: Delivery,
+    },
+    /// Every knob pinned — today's behavior, bit for bit.
+    Fixed {
+        /// Worker threads: `0` lets the executor decide, `1` forces
+        /// sequential, `n > 1` requests a parallel run.
+        threads: usize,
+        /// Route through the planning layer (atom decomposition +
+        /// product composition).
+        planned: bool,
+        /// Route [`Task::BestK`] through the ranked gear.
+        ranked: bool,
+        /// The result-ordering contract.
+        delivery: Delivery,
+    },
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy::Auto {
+            delivery: Delivery::Unordered,
+        }
+    }
+}
+
+impl ExecPolicy {
+    /// The profile-driven policy under the default (unordered) contract.
+    pub fn auto() -> Self {
+        Self::default()
+    }
+
+    /// A fully pinned policy with the historical defaults: executor-chosen
+    /// thread count, planning on, ranked best-k on, unordered delivery.
+    pub fn fixed() -> Self {
+        ExecPolicy::Fixed {
+            threads: 0,
+            planned: true,
+            ranked: true,
+            delivery: Delivery::Unordered,
+        }
+    }
+
+    /// `true` for [`ExecPolicy::Auto`].
+    pub fn is_auto(&self) -> bool {
+        matches!(self, ExecPolicy::Auto { .. })
+    }
+
+    /// The policy's wire name (`"auto"` / `"fixed"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecPolicy::Auto { .. } => "auto",
+            ExecPolicy::Fixed { .. } => "fixed",
+        }
+    }
+
+    /// The effective worker-thread request (`0` = executor decides; what
+    /// `Auto` starts from before profiles adjust the split).
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecPolicy::Auto { .. } => 0,
+            ExecPolicy::Fixed { threads, .. } => *threads,
+        }
+    }
+
+    /// Whether the planning layer runs (`Auto` always plans — the plan
+    /// is what the profiles are keyed on).
+    pub fn planned(&self) -> bool {
+        match self {
+            ExecPolicy::Auto { .. } => true,
+            ExecPolicy::Fixed { planned, .. } => *planned,
+        }
+    }
+
+    /// Whether [`Task::BestK`] rides the ranked gear.
+    pub fn ranked(&self) -> bool {
+        match self {
+            ExecPolicy::Auto { .. } => true,
+            ExecPolicy::Fixed { ranked, .. } => *ranked,
+        }
+    }
+
+    /// The result-ordering contract.
+    pub fn delivery(&self) -> Delivery {
+        match self {
+            ExecPolicy::Auto { delivery } | ExecPolicy::Fixed { delivery, .. } => *delivery,
+        }
+    }
+
+    /// This policy with every knob pinned: `Auto` collapses to the
+    /// `Fixed` defaults it cold-starts from (preserving its delivery);
+    /// `Fixed` is returned unchanged.
+    pub fn pinned(self) -> Self {
+        ExecPolicy::Fixed {
+            threads: self.threads(),
+            planned: self.planned(),
+            ranked: self.ranked(),
+            delivery: self.delivery(),
+        }
+    }
+
+    /// Pins the policy and sets the thread count.
+    pub fn with_threads(self, threads: usize) -> Self {
+        match self.pinned() {
+            ExecPolicy::Fixed {
+                planned,
+                ranked,
+                delivery,
+                ..
+            } => ExecPolicy::Fixed {
+                threads,
+                planned,
+                ranked,
+                delivery,
+            },
+            auto => auto,
+        }
+    }
+
+    /// Pins the policy and sets the planning knob.
+    pub fn with_planned(self, planned: bool) -> Self {
+        match self.pinned() {
+            ExecPolicy::Fixed {
+                threads,
+                ranked,
+                delivery,
+                ..
+            } => ExecPolicy::Fixed {
+                threads,
+                planned,
+                ranked,
+                delivery,
+            },
+            auto => auto,
+        }
+    }
+
+    /// Pins the policy and sets the ranked knob.
+    pub fn with_ranked(self, ranked: bool) -> Self {
+        match self.pinned() {
+            ExecPolicy::Fixed {
+                threads,
+                planned,
+                delivery,
+                ..
+            } => ExecPolicy::Fixed {
+                threads,
+                planned,
+                ranked,
+                delivery,
+            },
+            auto => auto,
+        }
+    }
+
+    /// Sets the delivery contract, preserving the variant (an `Auto`
+    /// policy stays adaptive — the contract is input to its choices, not
+    /// one of them).
+    pub fn with_delivery(self, delivery: Delivery) -> Self {
+        match self {
+            ExecPolicy::Auto { .. } => ExecPolicy::Auto { delivery },
+            ExecPolicy::Fixed {
+                threads,
+                planned,
+                ranked,
+                ..
+            } => ExecPolicy::Fixed {
+                threads,
+                planned,
+                ranked,
+                delivery,
+            },
+        }
+    }
+}
+
+/// How one per-atom stream was actually served — the dispatch the
+/// executor *chose*, reported per atom in [`QueryOutcome::dispatch`] so
+/// untraced queries can see it too (previously only trace spans carried
+/// it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchKind {
+    /// Served from a completed in-RAM answer list — zero `Extend` calls.
+    Replay,
+    /// Re-interned from a persistent-store snapshot, then replayed.
+    Hydrate,
+    /// Live run on the executor's parallel worker pool.
+    Parallel,
+    /// Live run on the plain sequential iterator.
+    Sequential,
+    /// Live run feeding a ranked (ascending-cost) frontier.
+    Ranked,
+}
+
+impl DispatchKind {
+    /// The dispatch's conventional name — the same vocabulary the trace
+    /// spans' `dispatch` attribute uses.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DispatchKind::Replay => "replay",
+            DispatchKind::Hydrate => "hydrate",
+            DispatchKind::Parallel => "parallel",
+            DispatchKind::Sequential => "sequential",
+            DispatchKind::Ranked => "ranked",
+        }
+    }
+}
+
+/// The per-atom dispatch record of one executed query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomDispatch {
+    /// The atom's index in the executed (possibly reordered) cursor
+    /// order; `0` for an unplanned whole-graph run.
+    pub index: usize,
+    /// Nodes in the atom's subgraph.
+    pub nodes: usize,
+    /// Worker threads granted to this atom's stream.
+    pub threads: usize,
+    /// How the stream was served.
+    pub kind: DispatchKind,
+}
+
 /// A cloneable cancellation handle shared between a [`Response`] and any
 /// thread that wants to stop it mid-stream.
 ///
@@ -314,6 +562,11 @@ pub struct QueryOutcome {
     /// sequential schedule (locally, or under [`Delivery::Deterministic`]);
     /// absent for unordered parallel runs and cache replays.
     pub enum_stats: Option<EnumMisStats>,
+    /// The dispatch the executor actually chose, one entry per atom
+    /// stream (or one entry for an unplanned whole-graph run) — replay,
+    /// hydrate, parallel, sequential or ranked, with the thread grant.
+    /// Present for every query, traced or not.
+    pub dispatch: Vec<AtomDispatch>,
     /// The query's span tree — present only when the query was traced
     /// ([`Query::traced`]): plan decomposition, per-atom stream setup and
     /// dispatch, first-result delay and drain, with timings in
@@ -498,33 +751,14 @@ pub struct Query {
     /// [`Task::Enumerate`] and [`Task::Decompose`] it bounds the emitted
     /// results.
     pub budget: EnumerationBudget,
-    /// Result-ordering contract for parallel executors (default
-    /// [`Delivery::Unordered`]).
-    pub delivery: Delivery,
-    /// Worker threads: `0` (default) lets the executor decide
-    /// (sequential for [`Query::run_local`], the engine's configured
-    /// parallelism for `Engine::run`); `1` forces sequential execution;
-    /// `n > 1` requests a parallel run.
-    pub threads: usize,
-    /// Plan before enumerating (default `true`): split the graph into
-    /// components and clique-minimal-separator atoms ([`Plan`]), run one
-    /// stream per non-trivial atom and recombine through the product
-    /// composer. `false` forces the unreduced whole-graph path — the
-    /// debugging/benchmarking escape hatch (`mintri … --no-plan`), and
-    /// the way to reproduce the historical whole-graph sequential order
-    /// on decomposable inputs.
-    pub plan: bool,
-    /// Route [`Task::BestK`] through the ranked gear (default `true`):
-    /// emit triangulations in ascending cost order through
-    /// [`RankedStream`](crate::ranked::RankedStream) (flat) or the
-    /// ranked odometer
-    /// ([`RankedComposed`](crate::ranked::RankedComposed), planned), so
-    /// best-k stops after ~`k` results instead of scanning everything.
-    /// Winners and order are bit-for-bit identical to the exhaustive
-    /// scan; `false` forces the scan (`mintri best-k … --no-ranked`) —
-    /// the debugging/benchmarking escape hatch. Ignored by every other
-    /// task.
-    pub ranked: bool,
+    /// **How** to execute (default [`ExecPolicy::Auto`]): the one typed
+    /// knob covering what used to be the `threads` / `plan` / `ranked` /
+    /// `delivery` fields. [`ExecPolicy::Fixed`] pins them all —
+    /// bit-for-bit the historical behavior; `Auto` lets a profiled
+    /// executor choose the thread split, dispatch threshold and cursor
+    /// order (never the answers). The deprecated builder methods remain
+    /// as thin adapters that pin the policy.
+    pub policy: ExecPolicy,
     /// Collect a per-query span trace (default `false`): plan
     /// decomposition, per-atom stream setup, dispatch choice,
     /// first-result delay and drain, delivered as
@@ -544,10 +778,7 @@ impl Query {
             triangulator: Box::new(McsM),
             mode: PrintMode::UponGeneration,
             budget: EnumerationBudget::unlimited(),
-            delivery: Delivery::Unordered,
-            threads: 0,
-            plan: true,
-            ranked: true,
+            policy: ExecPolicy::default(),
             trace: false,
             cancel: CancelToken::new(),
         }
@@ -591,27 +822,56 @@ impl Query {
         self
     }
 
-    /// Sets the delivery contract.
+    /// Sets the execution policy (see [`Query::policy`]).
+    pub fn policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the delivery contract. **Deprecated adapter**: pins the
+    /// policy to [`ExecPolicy::Fixed`] with this delivery — bit-for-bit
+    /// the pre-policy behavior of the old `delivery` field.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use Query::policy(ExecPolicy::fixed().with_delivery(…)) — or keep Auto and set \
+                the contract with ExecPolicy::auto().with_delivery(…)"
+    )]
     pub fn delivery(mut self, delivery: Delivery) -> Self {
-        self.delivery = delivery;
+        self.policy = self.policy.pinned().with_delivery(delivery);
         self
     }
 
-    /// Sets the worker-thread request.
+    /// Sets the worker-thread request. **Deprecated adapter**: pins the
+    /// policy to [`ExecPolicy::Fixed`] with this thread count.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use Query::policy(ExecPolicy::fixed().with_threads(…))"
+    )]
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.policy = self.policy.with_threads(threads);
         self
     }
 
-    /// Enables or disables the planning layer (see [`Query::plan`]).
+    /// Enables or disables the planning layer. **Deprecated adapter**:
+    /// pins the policy to [`ExecPolicy::Fixed`] with this knob.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use Query::policy(ExecPolicy::fixed().with_planned(…))"
+    )]
     pub fn planned(mut self, plan: bool) -> Self {
-        self.plan = plan;
+        self.policy = self.policy.with_planned(plan);
         self
     }
 
-    /// Enables or disables the ranked best-k gear (see [`Query::ranked`]).
+    /// Enables or disables the ranked best-k gear. **Deprecated
+    /// adapter**: pins the policy to [`ExecPolicy::Fixed`] with this
+    /// knob.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use Query::policy(ExecPolicy::fixed().with_ranked(…))"
+    )]
     pub fn ranked(mut self, ranked: bool) -> Self {
-        self.ranked = ranked;
+        self.policy = self.policy.with_ranked(ranked);
         self
     }
 
@@ -629,12 +889,12 @@ impl Query {
 
     /// Executes the query on the calling thread against a borrowed graph
     /// — the zero-setup path for scripts and tests. Always sequential
-    /// (ignores [`Query::threads`] and [`Query::delivery`]; sequential
+    /// (the policy's thread and delivery knobs are moot here; sequential
     /// output *is* the deterministic order); no warm state is kept. For
     /// repeated or parallel traffic, hand the query to
     /// `mintri_engine::Engine::run` instead.
     ///
-    /// Unless [`Query::plan`] is off, the graph is first decomposed into
+    /// Unless the policy's planning knob is off, the graph is first decomposed into
     /// atoms ([`Plan`]): each non-trivial atom enumerates on its own
     /// (much smaller) subgraph and the composed product streams out.
     /// Output order is the plan's odometer order — deterministic, and
@@ -647,13 +907,13 @@ impl Query {
             mode,
             budget,
             cancel,
-            plan,
-            ranked,
+            policy,
             trace,
             ..
         } = self;
+        let plan = policy.planned();
         // Best-k rides the ranked gear unless the escape hatch is pulled.
-        let ranked = ranked && matches!(task, Task::BestK { .. });
+        let ranked = policy.ranked() && matches!(task, Task::BestK { .. });
         let ranked_measure = match task {
             Task::BestK { cost, .. } if ranked => Some(cost),
             _ => None,
@@ -674,6 +934,23 @@ impl Query {
                 span.finish();
             }
             if !plan.is_unreduced() {
+                // One entry per planned atom: always sequential here;
+                // the ranked gear re-labels the live streams it drives.
+                let dispatch: Vec<AtomDispatch> = plan
+                    .atoms
+                    .iter()
+                    .enumerate()
+                    .map(|(index, atom)| AtomDispatch {
+                        index,
+                        nodes: atom.graph.num_nodes(),
+                        threads: 1,
+                        kind: if ranked {
+                            DispatchKind::Ranked
+                        } else {
+                            DispatchKind::Sequential
+                        },
+                    })
+                    .collect();
                 let response = match ranked_measure {
                     Some(measure) => {
                         let stream = plan.into_ranked_stream(
@@ -695,7 +972,8 @@ impl Query {
                         );
                         Response::over_stream(task, budget, cancel, Box::new(stream))
                     }
-                };
+                }
+                .with_dispatch(dispatch);
                 return match (tracer, query_span) {
                     (Some(t), Some(s)) => response.with_trace(t, s),
                     _ => response,
@@ -717,6 +995,16 @@ impl Query {
             }
             None => Box::new(stream),
         };
+        let dispatch = vec![AtomDispatch {
+            index: 0,
+            nodes: g.num_nodes(),
+            threads: 1,
+            kind: if ranked {
+                DispatchKind::Ranked
+            } else {
+                DispatchKind::Sequential
+            },
+        }];
         let response = match ranked_measure {
             Some(measure) => {
                 let floor = crate::ranked::cost_floor(g, measure);
@@ -724,7 +1012,8 @@ impl Query {
                 Response::over_ranked_stream(task, budget, cancel, Box::new(stream))
             }
             None => Response::over_stream(task, budget, cancel, stream),
-        };
+        }
+        .with_dispatch(dispatch);
         match (tracer, query_span) {
             (Some(t), Some(s)) => response.with_trace(t, s),
             _ => response,
@@ -739,10 +1028,7 @@ impl std::fmt::Debug for Query {
             .field("triangulator", &self.triangulator.name())
             .field("mode", &self.mode)
             .field("budget", &self.budget)
-            .field("delivery", &self.delivery)
-            .field("threads", &self.threads)
-            .field("plan", &self.plan)
-            .field("ranked", &self.ranked)
+            .field("policy", &self.policy)
             .field("trace", &self.trace)
             .field("cancel", &self.cancel)
             .finish()
@@ -775,6 +1061,8 @@ pub struct Response<'a> {
     /// scanning everything.
     ranked: bool,
     enum_stats: Option<EnumMisStats>,
+    /// The per-atom dispatch the executor chose ([`Response::with_dispatch`]).
+    dispatch: Vec<AtomDispatch>,
     done_at: Option<Duration>,
     /// Buffered emissions ([`Task::BestK`] results after the scan).
     pending: VecDeque<QueryItem>,
@@ -817,6 +1105,7 @@ impl<'a> Response<'a> {
             cancelled: false,
             ranked: false,
             enum_stats: None,
+            dispatch: Vec::new(),
             done_at: None,
             pending: VecDeque::new(),
             class: None,
@@ -860,6 +1149,15 @@ impl<'a> Response<'a> {
         self
     }
 
+    /// Attaches the executor's per-atom dispatch record, surfaced as
+    /// [`QueryOutcome::dispatch`]. Executors call this right after
+    /// constructing the response — every query reports its actual
+    /// dispatch, traced or not.
+    pub fn with_dispatch(mut self, dispatch: Vec<AtomDispatch>) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
     /// `true` when this response replays a previously completed
     /// enumeration (zero `Extend` calls).
     pub fn is_replay(&self) -> bool {
@@ -890,6 +1188,7 @@ impl<'a> Response<'a> {
             replayed: self.replay,
             elapsed: self.done_at.unwrap_or_else(|| self.started.elapsed()),
             enum_stats: self.enum_stats,
+            dispatch: self.dispatch.clone(),
             trace: self.trace.as_ref().map(TraceBuilder::snapshot),
         }
     }
@@ -1170,7 +1469,7 @@ mod tests {
     fn best_k_budget_bounds_the_scan() {
         let g = Graph::cycle(9);
         let mut response = Query::best_k(2, CostMeasure::Width)
-            .ranked(false)
+            .policy(ExecPolicy::fixed().with_ranked(false))
             .budget(EnumerationBudget::results(5))
             .run_local(&g);
         let best = response.triangulations();
@@ -1369,5 +1668,97 @@ mod tests {
         let dbg = format!("{q:?}");
         assert!(dbg.contains("Enumerate"));
         assert!(dbg.contains("MCS_M"), "{dbg}");
+        assert!(dbg.contains("Auto"), "default policy is Auto: {dbg}");
+    }
+
+    #[test]
+    fn exec_policy_defaults_and_knobs() {
+        let auto = ExecPolicy::default();
+        assert!(auto.is_auto());
+        assert_eq!(auto.name(), "auto");
+        assert_eq!(auto.delivery(), Delivery::Unordered);
+        // Auto's cold-start knobs are exactly the Fixed defaults.
+        assert_eq!(auto.pinned(), ExecPolicy::fixed());
+        // with_delivery preserves the variant; the pinning setters don't.
+        assert!(auto.with_delivery(Delivery::Deterministic).is_auto());
+        let pinned = auto.with_threads(4);
+        assert_eq!(
+            pinned,
+            ExecPolicy::Fixed {
+                threads: 4,
+                planned: true,
+                ranked: true,
+                delivery: Delivery::Unordered,
+            }
+        );
+        assert_eq!(pinned.with_ranked(false).threads(), 4);
+        assert!(!pinned.with_planned(false).planned());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builders_pin_an_equivalent_fixed_policy() {
+        // The old builder chain must still compile and produce exactly
+        // the knobs it used to set on the flat fields.
+        let q = Query::enumerate()
+            .threads(3)
+            .planned(false)
+            .ranked(false)
+            .delivery(Delivery::Deterministic);
+        assert_eq!(
+            q.policy,
+            ExecPolicy::Fixed {
+                threads: 3,
+                planned: false,
+                ranked: false,
+                delivery: Delivery::Deterministic,
+            }
+        );
+        // …and the results are unchanged: same enumeration either way.
+        let g = Graph::cycle(6);
+        let via_old = Query::enumerate()
+            .planned(false)
+            .run_local(&g)
+            .triangulations()
+            .len();
+        let via_new = Query::enumerate()
+            .policy(ExecPolicy::fixed().with_planned(false))
+            .run_local(&g)
+            .triangulations()
+            .len();
+        assert_eq!(via_old, via_new);
+    }
+
+    #[test]
+    fn outcome_reports_actual_dispatch() {
+        // Planned local run: one sequential entry per atom.
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 3),
+            ],
+        );
+        let mut response = Query::enumerate().run_local(&g);
+        assert_eq!(response.by_ref().count(), 4);
+        let dispatch = response.outcome().dispatch;
+        assert_eq!(dispatch.len(), 2, "one entry per planned atom");
+        assert!(dispatch
+            .iter()
+            .all(|d| d.kind == DispatchKind::Sequential && d.threads == 1));
+        // Ranked best-k reports the ranked dispatch.
+        let c6 = Graph::cycle(6);
+        let mut ranked = Query::best_k(2, CostMeasure::Fill).run_local(&c6);
+        let _ = ranked.by_ref().count();
+        let dispatch = ranked.outcome().dispatch;
+        assert_eq!(dispatch.len(), 1);
+        assert_eq!(dispatch[0].kind, DispatchKind::Ranked);
+        assert_eq!(dispatch[0].kind.name(), "ranked");
     }
 }

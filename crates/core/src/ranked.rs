@@ -1189,7 +1189,7 @@ mod tests {
     /// path produces them (production order).
     fn production_order(g: &Graph) -> Vec<Triangulation> {
         Query::enumerate()
-            .planned(false)
+            .policy(crate::query::ExecPolicy::fixed().with_planned(false))
             .run_local(g)
             .triangulations()
     }
@@ -1254,7 +1254,7 @@ mod tests {
             let exhaustive: Vec<_> = top.into_vec().iter().map(|t| t.graph.edges()).collect();
 
             let ranked = Query::best_k(all.len(), measure)
-                .planned(false)
+                .policy(crate::query::ExecPolicy::fixed().with_planned(false))
                 .run_local(&g)
                 .triangulations();
             let ranked: Vec<_> = ranked.iter().map(|t| t.graph.edges()).collect();
@@ -1269,7 +1269,7 @@ mod tests {
     fn ranked_best_k_scans_only_k_on_a_tight_floor() {
         let g = Graph::cycle(9); // 429 minimal triangulations
         let mut response = Query::best_k(3, CostMeasure::Fill)
-            .planned(false)
+            .policy(crate::query::ExecPolicy::fixed().with_planned(false))
             .run_local(&g);
         let best = response.triangulations();
         assert_eq!(best.len(), 3);
@@ -1299,16 +1299,16 @@ mod tests {
         for measure in [CostMeasure::Width, CostMeasure::Fill] {
             for k in [1, 3, 100] {
                 for planned in [true, false] {
+                    let fixed = crate::query::ExecPolicy::fixed().with_planned(planned);
                     let ranked: Vec<_> = Query::best_k(k, measure)
-                        .planned(planned)
+                        .policy(fixed)
                         .run_local(&g)
                         .triangulations()
                         .iter()
                         .map(|t| t.graph.edges())
                         .collect();
                     let exhaustive: Vec<_> = Query::best_k(k, measure)
-                        .planned(planned)
-                        .ranked(false)
+                        .policy(fixed.with_ranked(false))
                         .run_local(&g)
                         .triangulations()
                         .iter()

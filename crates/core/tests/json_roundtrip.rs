@@ -8,7 +8,7 @@
 use mintri_core::json::{
     graph_from_json, graph_to_json, query_from_json, query_to_json, JsonValue,
 };
-use mintri_core::query::{CostMeasure, Delivery, Query, Task};
+use mintri_core::query::{CostMeasure, Delivery, ExecPolicy, Query, Task};
 use mintri_core::{EnumerationBudget, TdEnumerationMode};
 use mintri_graph::Graph;
 use mintri_sgr::PrintMode;
@@ -44,28 +44,36 @@ fn budget_strategy() -> impl Strategy<Value = EnumerationBudget> {
     })
 }
 
+fn policy_strategy() -> impl Strategy<Value = ExecPolicy> {
+    let delivery = || prop_oneof![Just(Delivery::Unordered), Just(Delivery::Deterministic)];
+    prop_oneof![
+        delivery().prop_map(|delivery| ExecPolicy::Auto { delivery }),
+        (delivery(), 0usize..16, any::<bool>(), any::<bool>()).prop_map(
+            |(delivery, threads, planned, ranked)| ExecPolicy::Fixed {
+                threads,
+                planned,
+                ranked,
+                delivery,
+            }
+        ),
+    ]
+}
+
 fn query_strategy() -> impl Strategy<Value = Query> {
     let backend = (0usize..4).prop_map(|i| ["mcsm", "lbtriang", "lexm", "mindegree"][i]);
     let mode = prop_oneof![Just(PrintMode::UponGeneration), Just(PrintMode::UponPop)];
-    let delivery = prop_oneof![Just(Delivery::Unordered), Just(Delivery::Deterministic)];
     (
         (task_strategy(), backend, mode),
-        (budget_strategy(), delivery, 0usize..16),
-        (any::<bool>(), any::<bool>(), any::<bool>()),
+        (budget_strategy(), policy_strategy(), any::<bool>()),
     )
-        .prop_map(
-            |((task, backend, mode), (budget, delivery, threads), (plan, ranked, trace))| {
-                Query::new(task)
-                    .triangulator(mintri_core::json::triangulator_from_name(backend).unwrap())
-                    .mode(mode)
-                    .budget(budget)
-                    .delivery(delivery)
-                    .threads(threads)
-                    .planned(plan)
-                    .ranked(ranked)
-                    .traced(trace)
-            },
-        )
+        .prop_map(|((task, backend, mode), (budget, policy, trace))| {
+            Query::new(task)
+                .triangulator(mintri_core::json::triangulator_from_name(backend).unwrap())
+                .mode(mode)
+                .budget(budget)
+                .policy(policy)
+                .traced(trace)
+        })
 }
 
 /// Field-by-field equality on everything the wire carries (`Query` holds
@@ -76,10 +84,7 @@ fn assert_queries_agree(a: &Query, b: &Query) {
     assert_eq!(a.mode, b.mode);
     assert_eq!(a.budget.max_results, b.budget.max_results);
     assert_eq!(a.budget.time_limit, b.budget.time_limit);
-    assert_eq!(a.delivery, b.delivery);
-    assert_eq!(a.threads, b.threads);
-    assert_eq!(a.plan, b.plan);
-    assert_eq!(a.ranked, b.ranked);
+    assert_eq!(a.policy, b.policy);
     assert_eq!(a.trace, b.trace);
 }
 

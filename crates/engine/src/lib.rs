@@ -31,12 +31,15 @@
 //!
 //! [`Engine::run`] is the serving entry point: it takes a typed
 //! [`Query`] (what to compute — enumerate / best-k / decompose / stats —
-//! plus backend, budget, delivery, threads) and answers with a
+//! plus backend, budget and an `ExecPolicy` saying how to execute:
+//! `Auto`, the default, lets the engine's learned per-atom cost
+//! profiles ([`profile`]) steer dispatch; `Fixed` pins threads,
+//! planning, ranking and delivery by hand) and answers with a
 //! [`Response`] (the blocking result stream plus `cancel()`,
-//! `outcome()` and `is_replay()`). Planning, sessions, completed-answer
-//! replay and the parallel drivers are dispatch details behind it; the
-//! zero-setup sequential path is `Query::run_local`, no engine
-//! required.
+//! `outcome()` — including the per-atom dispatch actually taken — and
+//! `is_replay()`). Planning, sessions, completed-answer replay and the
+//! parallel drivers are dispatch details behind it; the zero-setup
+//! sequential path is `Query::run_local`, no engine required.
 //!
 //! ```
 //! use mintri_engine::{Engine, Query};
@@ -54,6 +57,7 @@
 //! (Direct parallel streaming lives in [`ParallelEnumerator`]'s docs; it
 //! needs the `parallel` feature.)
 
+pub mod profile;
 mod session;
 mod telemetry;
 
@@ -64,6 +68,7 @@ mod pool;
 #[cfg(feature = "parallel")]
 mod sched;
 
+pub use profile::{Prediction, ProfileView, Profiler};
 pub use session::{graph_fingerprint, Engine, GraphSession};
 pub use telemetry::EngineTelemetry;
 
@@ -86,7 +91,8 @@ pub use mintri_core::query::Delivery;
 /// The typed query front door, re-exported for convenience: build a
 /// [`Query`], hand it to [`Engine::run`], consume the [`Response`].
 pub use mintri_core::query::{
-    CancelHookGuard, CancelToken, CostMeasure, Query, QueryItem, QueryOutcome, Response, Task,
+    AtomDispatch, CancelHookGuard, CancelToken, CostMeasure, DispatchKind, ExecPolicy, Query,
+    QueryItem, QueryOutcome, Response, Task,
 };
 
 /// Configuration shared by [`Engine`] and [`ParallelEnumerator`].

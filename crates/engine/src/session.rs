@@ -18,11 +18,12 @@
 //! — including queries on *different* graphs sharing an atom — is a
 //! cache replay (or at worst a warm-memo rerun).
 
+use crate::profile::{Prediction, ProfileView, Profiler, ProfilerInstruments, RunKind, RunRecord};
 use crate::telemetry::EngineTelemetry;
 use crate::EngineConfig;
 use mintri_core::query::{
-    AtomStream, CancelToken, ComposedStream, CostMeasure, Delivery, Plan, Query, Response, Task,
-    TracedStream, TriangulationStream,
+    AtomDispatch, AtomStream, CancelToken, ComposedStream, CostMeasure, Delivery, DispatchKind,
+    Plan, Query, Response, Task, TracedStream, TriangulationStream,
 };
 use mintri_core::{
     cost_floor, MsGraph, MsGraphStats, RankedAtom, RankedComposed, RankedStream, SepId,
@@ -39,6 +40,12 @@ use std::time::Instant;
 /// Cached plans colliding under one fingerprint (equality-verified on
 /// lookup, like sessions).
 type PlanBucket = Vec<(Graph, Arc<Plan>)>;
+
+/// Below this predicted live wall (µs), `ExecPolicy::Auto` demotes the
+/// dispatch to sequential: spinning the pool up costs more than it buys
+/// on sub-millisecond enumerations. Scheduling only — the answer set is
+/// identical either way.
+const AUTO_SEQUENTIAL_WALL_US: u64 = 2_000;
 
 /// Structural fingerprint of a graph: node count plus the canonical edge
 /// list, hashed. Sessions verify true equality on lookup, so a collision
@@ -260,6 +267,9 @@ pub(crate) struct EngineEnumeration {
     /// at drop — two clock reads per stream total, so the always-on
     /// metric cannot perturb per-result delay.
     wall: Option<Arc<Histogram>>,
+    /// The cost-profile deposit made at drop: how this stream was
+    /// served plus the counters observed while streaming.
+    profile: Option<ProfileCapture>,
     /// Keeps the query token's abort hook registered for exactly this
     /// stream's lifetime — dropping the stream deregisters it, so a
     /// long-lived token does not accumulate hooks from finished runs.
@@ -267,16 +277,66 @@ pub(crate) struct EngineEnumeration {
     _cancel_hook: Option<mintri_core::query::CancelHookGuard>,
 }
 
+/// The per-stream observation the profile layer folds in at drop. One
+/// clock read per result at most (first result only) and one lock at
+/// drop — nothing on the `Extend` hot path.
+struct ProfileCapture {
+    profiler: Arc<Profiler>,
+    store: Option<Arc<Store>>,
+    fingerprint: u64,
+    backend: &'static str,
+    nodes: u32,
+    kind: RunKind,
+    results: u64,
+    first_us: Option<u64>,
+    /// The session's cumulative `Extend` counter at stream creation;
+    /// the drop-time delta is this run's attribution (approximate under
+    /// concurrent streams on one session — fine for scheduling).
+    extends_start: u64,
+    completed: bool,
+}
+
 impl Drop for EngineEnumeration {
     fn drop(&mut self) {
         if let Some(wall) = self.wall.take() {
             wall.record_duration(self.created.elapsed());
+        }
+        if let Some(p) = self.profile.take() {
+            let wall_us = self.created.elapsed().as_micros() as u64;
+            let extends = (self.session.stats().extends as u64).saturating_sub(p.extends_start);
+            p.profiler.record_run(
+                p.fingerprint,
+                p.backend,
+                p.nodes,
+                RunRecord {
+                    kind: p.kind,
+                    completed: p.completed,
+                    results: p.results,
+                    first_us: p.first_us,
+                    wall_us,
+                    extends,
+                },
+                p.store.as_deref(),
+            );
         }
     }
 }
 
 impl EngineEnumeration {
     fn next_pair(&mut self) -> Option<(Vec<SepId>, Triangulation)> {
+        let pair = self.next_pair_inner();
+        if let Some(p) = &mut self.profile {
+            if pair.is_some() {
+                p.results += 1;
+                if p.first_us.is_none() {
+                    p.first_us = Some(self.created.elapsed().as_micros() as u64);
+                }
+            }
+        }
+        pair
+    }
+
+    fn next_pair_inner(&mut self) -> Option<(Vec<SepId>, Triangulation)> {
         let pair = match &mut self.source {
             Source::Cached { answers, next } => {
                 let answer = answers.get(*next)?.clone();
@@ -324,6 +384,11 @@ impl EngineEnumeration {
     /// because a completed run is the freshest truth for its key).
     fn deposit(&mut self) {
         if let Some((key, rec)) = self.recorded.take() {
+            // A deposit is the proof of natural completion — the only
+            // observation allowed to teach the profile a full wall.
+            if let Some(p) = &mut self.profile {
+                p.completed = true;
+            }
             let answers = self.session.store_answers(key, rec);
             if let Some((store, spills)) = &self.spill {
                 store.put_answers(&answer_snapshot(&self.session, key, &answers), true);
@@ -335,6 +400,17 @@ impl EngineEnumeration {
     /// `true` when this stream replays a cached enumeration.
     pub fn is_replay(&self) -> bool {
         matches!(self.source, Source::Cached { .. })
+    }
+
+    /// How this stream is actually served, for dispatch reporting
+    /// (distinguishes a RAM replay from a disk hydration, which
+    /// `is_replay` deliberately conflates).
+    fn served_kind(&self) -> RunKind {
+        match &self.profile {
+            Some(p) => p.kind,
+            None if self.is_replay() => RunKind::Replay,
+            None => RunKind::Live,
+        }
     }
 }
 
@@ -402,6 +478,10 @@ pub struct Engine {
     store: Option<Arc<Store>>,
     /// Registered metric handles (and the registry they live in).
     telemetry: EngineTelemetry,
+    /// The learned per-atom cost profiles driving `ExecPolicy::Auto`
+    /// dispatch. Engine-lived (profiles outlive session eviction) and
+    /// persisted through `store` when one is attached.
+    profiler: Arc<Profiler>,
 }
 
 /// The session cache: fingerprint → colliding sessions (collisions are
@@ -491,12 +571,20 @@ impl Engine {
 
     /// Engine with an explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
+        let telemetry = EngineTelemetry::new(Arc::new(Registry::new()));
+        let profiler = Arc::new(Profiler::new().instrumented(ProfilerInstruments {
+            runs_recorded: Arc::clone(&telemetry.profile_runs_recorded),
+            persists: Arc::clone(&telemetry.profile_persists),
+            hydrates: Arc::clone(&telemetry.profile_hydrates),
+            entries: Arc::clone(&telemetry.profile_entries),
+        }));
         Engine {
             config,
             sessions: Mutex::new(SessionStore::default()),
             plans: Mutex::new(FxHashMap::default()),
             store: None,
-            telemetry: EngineTelemetry::new(Arc::new(Registry::new())),
+            telemetry,
+            profiler,
         }
     }
 
@@ -523,6 +611,47 @@ impl Engine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The learned cost-profile table. Mostly for inspection; the
+    /// engine consults it itself on every `ExecPolicy::Auto` dispatch.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Every profile the engine holds, hottest (slowest predicted
+    /// wall) first — the rows `/v1/stats` renders under `profile`.
+    pub fn profile_views(&self) -> Vec<ProfileView> {
+        self.profiler.views()
+    }
+
+    /// The profile's wall-clock prediction (µs) for serving `g` live
+    /// under `backend`: the summed predictions of its plan's atoms, or
+    /// the whole-graph prediction when the plan reduces nothing. `None`
+    /// until at least one contributing atom has a completed live run on
+    /// record. Serving layers use it to default timeouts for
+    /// known-slow graphs.
+    pub fn predicted_wall_us(&self, g: &Graph, backend: &'static str) -> Option<u64> {
+        let plan = self.plan_for(g);
+        let store = self.store.as_deref();
+        if plan.is_unreduced() {
+            return self
+                .profiler
+                .predict(graph_fingerprint(g), backend, store)
+                .map(|p| p.wall_us);
+        }
+        let mut total = 0u64;
+        let mut known = false;
+        for atom in &plan.atoms {
+            if let Some(p) = self
+                .profiler
+                .predict(graph_fingerprint(&atom.graph), backend, store)
+            {
+                total = total.saturating_add(p.wall_us);
+                known = true;
+            }
+        }
+        known.then_some(total)
     }
 
     /// The engine's registered metric handles: session churn, replay
@@ -732,20 +861,25 @@ impl Engine {
             triangulator,
             mode,
             budget,
-            delivery,
-            threads,
-            plan,
-            ranked,
+            policy,
             trace,
             cancel,
         } = query;
+        // The one typed execution decision: `Auto` consults the learned
+        // cost profiles below; `Fixed` reproduces the pinned knobs bit
+        // for bit. Either way the knobs are read through the policy.
+        let auto = policy.is_auto();
+        let delivery = policy.delivery();
+        let threads = policy.threads();
+        let planned = policy.planned();
+        let backend = triangulator.name();
         // Best-k rides the ranked gear unless the escape hatch is pulled.
         // Ranked composition needs deterministic per-atom production
         // indices for its tie order, so the per-atom streams are forced
         // onto the deterministic contract (an `Ordered` replay cache
         // still serves them — lazily, never drained past the frontier).
         let ranked_measure = match task {
-            Task::BestK { cost, .. } if ranked => Some(cost),
+            Task::BestK { cost, .. } if policy.ranked() => Some(cost),
             _ => None,
         };
         if ranked_measure.is_some() {
@@ -762,7 +896,7 @@ impl Engine {
             0 => self.config.resolved_threads(),
             n => n,
         };
-        if plan {
+        if planned {
             let plan_span = query_span.as_ref().map(|q| q.child("plan"));
             let plan = self.plan_for(g);
             if let Some(span) = &plan_span {
@@ -773,29 +907,123 @@ impl Engine {
             if !plan.is_unreduced() {
                 let shared: Arc<dyn Triangulator> = Arc::from(triangulator);
                 let last = plan.atoms.len().saturating_sub(1);
-                let response = if let Some(measure) = ranked_measure {
-                    let children = plan
-                        .atoms
+                // Profile-driven scheduling, `Auto` only. On a cold
+                // profile every prediction is `None` and each decision
+                // below collapses to today's `Fixed` behavior.
+                let predictions: Vec<Option<Prediction>> = if auto {
+                    plan.atoms
                         .iter()
-                        .enumerate()
-                        .map(|(i, atom)| {
+                        .map(|atom| {
+                            self.profiler.predict(
+                                graph_fingerprint(&atom.graph),
+                                backend,
+                                self.store.as_deref(),
+                            )
+                        })
+                        .collect()
+                } else {
+                    vec![None; plan.atoms.len()]
+                };
+                // The pool atom — the one the thread budget centers on,
+                // and the one the composer varies fastest. Default (and
+                // `Fixed` always): the last atom. `Auto`: the atom with
+                // the largest predicted live wall, unknown counting as
+                // infinite and ties breaking toward the later index, so
+                // cold dispatch is exactly the fixed dispatch.
+                let mut pool = last;
+                if auto {
+                    let mut best = 0u64;
+                    for (i, p) in predictions.iter().enumerate() {
+                        let wall = p.map(|p| p.wall_us).unwrap_or(u64::MAX);
+                        if wall >= best {
+                            best = wall;
+                            pool = i;
+                        }
+                    }
+                    if pool != last {
+                        self.telemetry.auto_pool_overrides.inc();
+                    }
+                }
+                // Parallel-vs-sequential threshold: when even the pool
+                // atom's predicted wall is sub-threshold, pool setup
+                // costs more than it buys — run everything sequential.
+                // (`get`, not an index: a fully-chordal graph plans to
+                // zero enumerated atoms.)
+                let demoted = auto
+                    && matches!(predictions.get(pool).copied().flatten().map(|p| p.wall_us),
+                        Some(w) if w < AUTO_SEQUENTIAL_WALL_US);
+                if demoted && effective_threads > 1 {
+                    self.telemetry.auto_sequential_demotions.inc();
+                }
+                // The per-atom thread budget. `Fixed`: the pool (last)
+                // atom takes the whole budget, the rest run sequential
+                // — PR 4's rule, bit for bit. `Auto`: the budget splits
+                // proportionally to predicted wall across the atoms
+                // that can use it (see `split_thread_budget`).
+                let atom_threads: Vec<usize> = if auto {
+                    split_thread_budget(effective_threads, &predictions, pool, demoted)
+                } else {
+                    (0..plan.atoms.len())
+                        .map(|i| if i == pool { effective_threads } else { 1 })
+                        .collect()
+                };
+                // `stream_for` wants the *requested* count for the pool
+                // atom under `Fixed` (`0` = engine default, resolved
+                // there identically) — preserve the old call shape.
+                let atom_threads_raw: Vec<usize> = if auto {
+                    atom_threads.clone()
+                } else {
+                    (0..plan.atoms.len())
+                        .map(|i| if i == pool { threads } else { 1 })
+                        .collect()
+                };
+                // Cursor order. The composer varies the last child
+                // fastest and lets child 0 trim its cache, so under
+                // `Auto` + unordered + unranked the pool atom goes
+                // last and the most result-rich atom goes first.
+                // Ranked and deterministic queries keep plan order:
+                // their emission order is part of the answer contract.
+                let order: Vec<usize> =
+                    if auto && ranked_measure.is_none() && delivery == Delivery::Unordered {
+                        let mut others: Vec<usize> =
+                            (0..plan.atoms.len()).filter(|&i| i != pool).collect();
+                        others.sort_by_key(|&i| {
+                            std::cmp::Reverse(predictions[i].map(|p| p.results).unwrap_or(0))
+                        });
+                        if pool < plan.atoms.len() {
+                            others.push(pool);
+                        }
+                        others
+                    } else {
+                        (0..plan.atoms.len()).collect()
+                    };
+                let mut dispatch: Vec<AtomDispatch> = Vec::with_capacity(plan.atoms.len());
+                let response = if let Some(measure) = ranked_measure {
+                    let children = order
+                        .iter()
+                        .map(|&i| {
+                            let atom = &plan.atoms[i];
                             let session =
                                 self.session_keyed(&atom.graph, Box::new(Arc::clone(&shared)));
-                            let atom_threads = if i == last { threads } else { 1 };
                             let stream = self.stream_for(
                                 &session,
                                 mode,
                                 Delivery::Deterministic,
-                                atom_threads,
+                                atom_threads_raw[i],
                                 Some(&cancel),
                             );
+                            dispatch.push(AtomDispatch {
+                                index: i,
+                                nodes: atom.graph.num_nodes(),
+                                threads: atom_threads[i],
+                                kind: DispatchKind::Ranked,
+                            });
                             let stream = Self::maybe_traced(
                                 stream,
                                 query_span.as_ref(),
                                 i,
                                 atom.graph.num_nodes(),
-                                if i == last { effective_threads } else { 1 },
-                                Some("ranked"),
+                                DispatchKind::Ranked,
                             );
                             let floor = cost_floor(&atom.graph, measure);
                             let stream = RankedStream::over(stream, measure, floor)
@@ -819,35 +1047,32 @@ impl Engine {
                     );
                     Response::over_ranked_stream(task, budget, cancel, Box::new(timed))
                 } else {
-                    let children = plan
-                        .atoms
+                    let children = order
                         .iter()
-                        .enumerate()
-                        .map(|(i, atom)| {
+                        .map(|&i| {
+                            let atom = &plan.atoms[i];
                             let session =
                                 self.session_keyed(&atom.graph, Box::new(Arc::clone(&shared)));
-                            // The composer varies the *last* atom fastest: it
-                            // drains fully while the others are pulled one
-                            // result per product row. Only the last atom is on
-                            // the critical path for parallelism, so it alone
-                            // gets the requested thread count — earlier atoms
-                            // run sequentially instead of spawning one
-                            // full-width (and mostly idle) pool per atom.
-                            let atom_threads = if i == last { threads } else { 1 };
                             let stream = self.stream_for(
                                 &session,
                                 mode,
                                 delivery,
-                                atom_threads,
+                                atom_threads_raw[i],
                                 Some(&cancel),
                             );
+                            let kind = dispatch_kind(stream.served_kind(), atom_threads[i]);
+                            dispatch.push(AtomDispatch {
+                                index: i,
+                                nodes: atom.graph.num_nodes(),
+                                threads: atom_threads[i],
+                                kind,
+                            });
                             let stream = Self::maybe_traced(
                                 stream,
                                 query_span.as_ref(),
                                 i,
                                 atom.graph.num_nodes(),
-                                if i == last { effective_threads } else { 1 },
-                                None,
+                                kind,
                             );
                             AtomStream {
                                 stream,
@@ -858,6 +1083,8 @@ impl Engine {
                     let composed = ComposedStream::new(g.clone(), children);
                     Response::over_stream(task, budget, cancel, Box::new(composed))
                 };
+                dispatch.sort_by_key(|d| d.index);
+                let response = response.with_dispatch(dispatch);
                 return match (tracer, query_span) {
                     (Some(t), Some(s)) => response.with_trace(t, s),
                     _ => response,
@@ -865,21 +1092,43 @@ impl Engine {
             }
         }
         let session = self.session_keyed(g, triangulator);
+        // Whole-graph dispatch: `Auto` applies the same parallel-vs-
+        // sequential threshold from the learned whole-graph profile.
+        let (flat_raw, flat_eff) = if auto && effective_threads > 1 {
+            match self
+                .profiler
+                .predict(graph_fingerprint(g), backend, self.store.as_deref())
+            {
+                Some(p) if p.wall_us < AUTO_SEQUENTIAL_WALL_US => {
+                    self.telemetry.auto_sequential_demotions.inc();
+                    (1, 1)
+                }
+                _ => (threads, effective_threads),
+            }
+        } else {
+            (threads, effective_threads)
+        };
+        let mut dispatch: Vec<AtomDispatch> = Vec::with_capacity(1);
         let response = if let Some(measure) = ranked_measure {
             let stream = self.stream_for(
                 &session,
                 mode,
                 Delivery::Deterministic,
-                threads,
+                flat_raw,
                 Some(&cancel),
             );
+            dispatch.push(AtomDispatch {
+                index: 0,
+                nodes: g.num_nodes(),
+                threads: flat_eff,
+                kind: DispatchKind::Ranked,
+            });
             let stream = Self::maybe_traced(
                 stream,
                 query_span.as_ref(),
                 0,
                 g.num_nodes(),
-                effective_threads,
-                Some("ranked"),
+                DispatchKind::Ranked,
             );
             let floor = cost_floor(g, measure);
             let stream = RankedStream::over(stream, measure, floor)
@@ -890,17 +1139,18 @@ impl Engine {
             );
             Response::over_ranked_stream(task, budget, cancel, Box::new(timed))
         } else {
-            let stream = self.stream_for(&session, mode, delivery, threads, Some(&cancel));
-            let stream = Self::maybe_traced(
-                stream,
-                query_span.as_ref(),
-                0,
-                g.num_nodes(),
-                effective_threads,
-                None,
-            );
+            let stream = self.stream_for(&session, mode, delivery, flat_raw, Some(&cancel));
+            let kind = dispatch_kind(stream.served_kind(), flat_eff);
+            dispatch.push(AtomDispatch {
+                index: 0,
+                nodes: g.num_nodes(),
+                threads: flat_eff,
+                kind,
+            });
+            let stream = Self::maybe_traced(stream, query_span.as_ref(), 0, g.num_nodes(), kind);
             Response::over_stream(task, budget, cancel, stream)
         };
+        let response = response.with_dispatch(dispatch);
         match (tracer, query_span) {
             (Some(t), Some(s)) => response.with_trace(t, s),
             _ => response,
@@ -910,33 +1160,22 @@ impl Engine {
     /// Wraps `stream` in a [`TracedStream`] under an `atom` span when the
     /// query is traced; the untraced path boxes the stream unchanged.
     /// The `dispatch` attribute records how the stream was actually
-    /// served: a cache replay, the parallel pool, or the sequential
-    /// iterator — or the `dispatch_override` (`"ranked"` for streams
-    /// feeding a ranked frontier, whose `results` attribute then counts
-    /// the frontier's expansions).
+    /// served — the same [`DispatchKind`] the response's outcome
+    /// reports (`ranked` for streams feeding a ranked frontier, whose
+    /// `results` attribute then counts the frontier's expansions).
     fn maybe_traced(
         stream: EngineEnumeration,
         query_span: Option<&mintri_telemetry::SpanHandle>,
         index: usize,
         nodes: usize,
-        threads: usize,
-        dispatch_override: Option<&'static str>,
+        kind: DispatchKind,
     ) -> Box<dyn TriangulationStream + 'static> {
         match query_span {
             Some(parent) => {
-                let dispatch = if let Some(dispatch) = dispatch_override {
-                    dispatch
-                } else if stream.is_replay() {
-                    "replay"
-                } else if threads > 1 && cfg!(feature = "parallel") {
-                    "parallel"
-                } else {
-                    "sequential"
-                };
                 let span = parent.child("atom");
                 span.attr("index", index.to_string());
                 span.attr("nodes", nodes.to_string());
-                span.attr("dispatch", dispatch);
+                span.attr("dispatch", kind.name());
                 Box::new(TracedStream::new(Box::new(stream), span))
             }
             None => Box::new(stream),
@@ -1059,6 +1298,7 @@ impl Engine {
         if let Some(answers) = session.replayable(delivery, mode) {
             self.telemetry.replay_hits.inc();
             return EngineEnumeration {
+                profile: self.capture(session, RunKind::Replay),
                 session: Arc::clone(session),
                 source: Source::Cached { answers, next: 0 },
                 recorded: None,
@@ -1145,6 +1385,7 @@ impl Engine {
                 .store_hydrate_us
                 .record_duration(start.elapsed());
             return Some(EngineEnumeration {
+                profile: self.capture(session, RunKind::Hydrate),
                 session: Arc::clone(session),
                 source: Source::Cached { answers, next: 0 },
                 recorded: None,
@@ -1184,6 +1425,7 @@ impl Engine {
                 Delivery::Deterministic => AnswerKey::Ordered(mode),
             };
             return EngineEnumeration {
+                profile: self.capture(session, RunKind::Live),
                 session: Arc::clone(session),
                 source: Source::Live(par),
                 recorded: Some((key, Vec::new())),
@@ -1210,6 +1452,7 @@ impl Engine {
 
     fn sequential_stream(&self, session: &Arc<GraphSession>, mode: PrintMode) -> EngineEnumeration {
         EngineEnumeration {
+            profile: self.capture(session, RunKind::Live),
             session: Arc::clone(session),
             source: Source::Sequential(Box::new(EnumMis::new(Arc::clone(&session.ms), mode))),
             recorded: Some((AnswerKey::Ordered(mode), Vec::new())),
@@ -1228,6 +1471,88 @@ impl Engine {
             .as_ref()
             .map(|store| (Arc::clone(store), Arc::clone(&self.telemetry.store_spills)))
     }
+
+    /// The cost-profile deposit every engine stream carries: recorded at
+    /// drop, keyed like the session it serves.
+    fn capture(&self, session: &Arc<GraphSession>, kind: RunKind) -> Option<ProfileCapture> {
+        Some(ProfileCapture {
+            profiler: Arc::clone(&self.profiler),
+            store: self.store.clone(),
+            fingerprint: graph_fingerprint(&session.graph),
+            backend: session.backend,
+            nodes: session.graph.num_nodes() as u32,
+            kind,
+            results: 0,
+            first_us: None,
+            extends_start: session.stats().extends as u64,
+            completed: false,
+        })
+    }
+}
+
+/// Maps how a stream was served onto the outcome vocabulary: replays
+/// and hydrations report themselves, live runs report by thread count.
+fn dispatch_kind(served: RunKind, threads: usize) -> DispatchKind {
+    match served {
+        RunKind::Replay => DispatchKind::Replay,
+        RunKind::Hydrate => DispatchKind::Hydrate,
+        RunKind::Live => {
+            if threads > 1 && cfg!(feature = "parallel") {
+                DispatchKind::Parallel
+            } else {
+                DispatchKind::Sequential
+            }
+        }
+    }
+}
+
+/// Splits `effective` worker threads across a plan's atoms under
+/// `ExecPolicy::Auto`, proportionally to predicted live wall.
+///
+/// The pool atom always anchors the budget. Other atoms join the split
+/// only when their predicted wall is known, above the sequential
+/// threshold, and within 4× of the pool's — a wide pool next to a
+/// near-instant atom should not give the fast atom idle workers. Cold
+/// profiles (no predictions) therefore reduce to "the pool atom takes
+/// everything", which is exactly the `Fixed` dispatch.
+fn split_thread_budget(
+    effective: usize,
+    predictions: &[Option<Prediction>],
+    pool: usize,
+    demoted: bool,
+) -> Vec<usize> {
+    let mut out = vec![1usize; predictions.len()];
+    if demoted || effective <= 1 || predictions.is_empty() {
+        return out;
+    }
+    out[pool] = effective;
+    let pool_wall = match predictions[pool] {
+        Some(p) => p.wall_us,
+        None => return out,
+    };
+    let sharers: Vec<(usize, u64)> = predictions
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != pool)
+        .filter_map(|(i, p)| p.map(|p| (i, p.wall_us)))
+        .filter(|&(_, w)| w >= AUTO_SEQUENTIAL_WALL_US && w.saturating_mul(4) >= pool_wall)
+        .collect();
+    if sharers.is_empty() {
+        return out;
+    }
+    let total = pool_wall + sharers.iter().map(|&(_, w)| w).sum::<u64>();
+    let mut remaining = effective.saturating_sub(1); // the pool keeps ≥ 1
+    for &(i, w) in &sharers {
+        if remaining == 0 {
+            break;
+        }
+        let share = ((effective as u64).saturating_mul(w) / total.max(1)).max(1) as usize;
+        let share = share.min(remaining);
+        out[i] = share;
+        remaining -= share;
+    }
+    out[pool] = remaining + 1;
+    out
 }
 
 /// Records the delay from ranked-stream creation to its first emitted
@@ -1280,7 +1605,7 @@ impl TriangulationStream for FirstResultTimed {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mintri_core::query::{CostMeasure, QueryItem};
+    use mintri_core::query::{CostMeasure, ExecPolicy, QueryItem};
     use mintri_core::{
         MinimalTriangulationsEnumerator, ProperTreeDecompositions, TdEnumerationMode,
     };
@@ -1557,7 +1882,10 @@ mod tests {
         assert_eq!(engine.session(&g).stats().extends, extends_after_drain);
 
         // Ranked and exhaustive gears agree on the winners bit for bit.
-        let mut exhaustive = engine.run(&g, Query::best_k(3, CostMeasure::Fill).ranked(false));
+        let mut exhaustive = engine.run(
+            &g,
+            Query::best_k(3, CostMeasure::Fill).policy(ExecPolicy::fixed().with_ranked(false)),
+        );
         let fills = |ts: &[Triangulation]| ts.iter().map(|t| t.fill.clone()).collect::<Vec<_>>();
         assert_eq!(fills(&warm_winners), fills(&exhaustive.triangulations()));
 
@@ -1649,7 +1977,10 @@ mod tests {
         );
         // The exhaustive escape hatch is not a ranked query.
         let _ = engine
-            .run(&g, Query::best_k(3, CostMeasure::Fill).ranked(false))
+            .run(
+                &g,
+                Query::best_k(3, CostMeasure::Fill).policy(ExecPolicy::fixed().with_ranked(false)),
+            )
             .count();
         assert_eq!(t.ranked_queries.get(), 1);
     }
@@ -1664,14 +1995,21 @@ mod tests {
             });
             let g = Graph::cycle(7);
             // Record an unordered run (a race order) into the cache.
-            let n = engine.run(&g, Query::enumerate().threads(4)).count();
+            let n = engine
+                .run(
+                    &g,
+                    Query::enumerate().policy(ExecPolicy::fixed().with_threads(4)),
+                )
+                .count();
             assert_eq!(n, 42);
             // A deterministic query must NOT replay it: order is a contract.
             let det = engine.run(
                 &g,
-                Query::enumerate()
-                    .threads(4)
-                    .delivery(Delivery::Deterministic),
+                Query::enumerate().policy(
+                    ExecPolicy::fixed()
+                        .with_threads(4)
+                        .with_delivery(Delivery::Deterministic),
+                ),
             );
             assert!(
                 !det.is_replay(),
@@ -1689,11 +2027,171 @@ mod tests {
             assert!(engine
                 .run(
                     &g,
-                    Query::enumerate()
-                        .threads(4)
-                        .delivery(Delivery::Deterministic)
+                    Query::enumerate().policy(
+                        ExecPolicy::fixed()
+                            .with_threads(4)
+                            .with_delivery(Delivery::Deterministic)
+                    )
                 )
                 .is_replay());
         }
+    }
+
+    /// One query's dispatch record as `(kind, threads)` pairs, with the
+    /// drained result count.
+    fn dispatch_of(engine: &Engine, g: &Graph, q: Query) -> (usize, Vec<(DispatchKind, usize)>) {
+        let mut resp = engine.run(g, q);
+        let n = resp.by_ref().count();
+        let outcome = resp.outcome();
+        (
+            n,
+            outcome
+                .dispatch
+                .iter()
+                .map(|d| (d.kind, d.threads))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn outcome_reports_per_atom_dispatch() {
+        let engine = Engine::with_config(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let g = Graph::cycle(6);
+        let (n, cold) = dispatch_of(&engine, &g, Query::enumerate());
+        assert_eq!(n, 14);
+        assert_eq!(cold, vec![(DispatchKind::Sequential, 1)]);
+        let (_, warm) = dispatch_of(&engine, &g, Query::enumerate());
+        assert_eq!(warm, vec![(DispatchKind::Replay, 1)]);
+        let mut ranked = engine.run(&g, Query::best_k(2, CostMeasure::Fill));
+        assert_eq!(ranked.by_ref().count(), 2);
+        assert_eq!(ranked.outcome().dispatch.len(), 1);
+        assert_eq!(ranked.outcome().dispatch[0].kind, DispatchKind::Ranked);
+    }
+
+    #[test]
+    fn cold_auto_dispatch_matches_fixed() {
+        // With no profile data, Auto must collapse to exactly the Fixed
+        // schedule: same pool placement, same thread grants, same
+        // results. Two fresh engines so neither run warms the other.
+        // C4 and C6 glued at a cut vertex → a two-atom plan.
+        let g = Graph::from_edges(
+            9,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 3),
+            ],
+        );
+        for threads in [1, 4] {
+            let auto_engine = Engine::with_config(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            });
+            let fixed_engine = Engine::with_config(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            });
+            let (an, auto) = dispatch_of(&auto_engine, &g, Query::enumerate());
+            let (fnn, fixed) = dispatch_of(
+                &fixed_engine,
+                &g,
+                Query::enumerate().policy(ExecPolicy::fixed()),
+            );
+            assert_eq!(an, fnn);
+            assert_eq!(auto, fixed, "cold Auto diverged at threads={threads}");
+            assert_eq!(auto_engine.telemetry().auto_pool_overrides.get(), 0);
+            assert_eq!(auto_engine.telemetry().auto_sequential_demotions.get(), 0);
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn warm_profile_demotes_cheap_graphs_to_sequential() {
+        let engine = Engine::with_config(EngineConfig {
+            threads: 4,
+            ..EngineConfig::default()
+        });
+        let g = Graph::cycle(7);
+        // Teach the profiler a known-cheap history directly (a wall
+        // measured in real time would make this test build-speed
+        // dependent): one completed live run, 50µs wall.
+        engine.profiler().record_run(
+            graph_fingerprint(&g),
+            "MCS_M",
+            g.num_nodes() as u32,
+            crate::profile::RunRecord {
+                kind: crate::profile::RunKind::Live,
+                completed: true,
+                results: 42,
+                first_us: Some(1),
+                wall_us: 50,
+                extends: 60,
+            },
+            None,
+        );
+        assert_eq!(
+            engine.predicted_wall_us(&g, "MCS_M"),
+            Some(50),
+            "the recorded run must leave a prediction behind"
+        );
+        let (n, warm) = dispatch_of(&engine, &g, Query::enumerate());
+        assert_eq!(n, 42);
+        assert_eq!(
+            warm,
+            vec![(DispatchKind::Sequential, 1)],
+            "a known-cheap atom must be demoted off the pool"
+        );
+        assert!(engine.telemetry().auto_sequential_demotions.get() >= 1);
+        // Fixed still takes the pool: the demotion is an Auto decision.
+        engine.clear_sessions();
+        let (_, fixed) = dispatch_of(
+            &engine,
+            &g,
+            Query::enumerate().policy(ExecPolicy::fixed().with_threads(4)),
+        );
+        assert_eq!(fixed, vec![(DispatchKind::Parallel, 4)]);
+    }
+
+    #[test]
+    fn auto_survives_a_plan_with_zero_enumerated_atoms() {
+        // A chordal graph reduces to no non-trivial atoms; Auto's
+        // prediction bookkeeping must cope with the empty plan.
+        let engine = Engine::new();
+        let g = Graph::cycle(3);
+        let mut resp = engine.run(&g, Query::enumerate());
+        assert_eq!(resp.by_ref().count(), 1);
+        assert!(resp.outcome().dispatch.is_empty());
+    }
+
+    #[test]
+    fn profile_views_surface_recorded_runs() {
+        let engine = Engine::with_config(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let g = Graph::cycle(6);
+        assert_eq!(engine.run(&g, Query::enumerate()).count(), 14);
+        let views = engine.profile_views();
+        assert_eq!(views.len(), 1);
+        let v = &views[0];
+        assert_eq!(v.backend, "MCS_M");
+        assert_eq!(v.live_runs, 1);
+        assert_eq!(v.results_total, 14);
+        assert_eq!(v.predicted_results, 14);
+        // A replayed run counts as a hit, not a live observation.
+        assert_eq!(engine.run(&g, Query::enumerate()).count(), 14);
+        let views = engine.profile_views();
+        assert_eq!(views[0].live_runs, 1);
+        assert_eq!(views[0].replay_hits, 1);
     }
 }

@@ -831,3 +831,43 @@ fn warm_replay_shares_across_connections_and_graph_reuploads() {
         "the engine is shared: replay crosses connections"
     );
 }
+
+#[test]
+fn stats_surface_the_learned_cost_profile() {
+    let server = TestServer::boot(ServeConfig::default());
+    // Cold server: the profile object is present and empty.
+    let doc = parse(&request(server.addr, "GET", "/v1/stats", None).unwrap().body);
+    let profile = doc
+        .get("profile")
+        .expect("stats must carry a profile object");
+    assert_eq!(profile.get("entries").unwrap().as_usize(), Some(0));
+    assert_eq!(profile.get("atoms").unwrap().as_array().unwrap().len(), 0);
+
+    // One completed query teaches the profiler one (atom, backend) row.
+    let g = graph_to_json(&Graph::cycle(6));
+    let spec = format!(r#"{{"graph":{g},"query":{{"task":{{"type":"enumerate"}}}}}}"#);
+    let resp = request(server.addr, "POST", "/v1/query", Some(&spec)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    // The outcome now reports the actual per-atom dispatch.
+    let dispatch = parse(&resp.body)
+        .get("outcome")
+        .unwrap()
+        .get("dispatch")
+        .expect("outcome must carry the dispatch array")
+        .as_array()
+        .unwrap()
+        .len();
+    assert_eq!(dispatch, 1);
+
+    let doc = parse(&request(server.addr, "GET", "/v1/stats", None).unwrap().body);
+    let profile = doc.get("profile").unwrap();
+    assert_eq!(profile.get("entries").unwrap().as_usize(), Some(1));
+    let atoms = profile.get("atoms").unwrap().as_array().unwrap();
+    assert_eq!(atoms.len(), 1);
+    let row = &atoms[0];
+    assert_eq!(row.get("backend").unwrap().as_str(), Some("MCS_M"));
+    assert_eq!(row.get("live_runs").unwrap().as_usize(), Some(1));
+    assert_eq!(row.get("results_total").unwrap().as_usize(), Some(14));
+    assert!(row.get("predicted_wall_us").is_some());
+    assert!(row.get("fingerprint").unwrap().as_str().is_some());
+}

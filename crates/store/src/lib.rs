@@ -45,8 +45,8 @@ mod snapshot;
 
 pub use codec::{fnv1a64, CodecError};
 pub use snapshot::{
-    AnswerSnapshot, EntryKind, GraphSnapshot, MemoSummary, PlanSnapshot, StoredOrder, HEADER_LEN,
-    MAGIC, VERSION,
+    AnswerSnapshot, DigestSnapshot, EntryKind, GraphSnapshot, MemoSummary, PlanSnapshot,
+    ProfileSnapshot, StoredOrder, HEADER_LEN, MAGIC, VERSION,
 };
 
 use std::fs;
@@ -141,6 +141,7 @@ enum Job {
 const ANSWERS_DIR: &str = "answers";
 const PLANS_DIR: &str = "plans";
 const GRAPHS_DIR: &str = "graphs";
+const PROFILES_DIR: &str = "profiles";
 const QUARANTINE_DIR: &str = "quarantine";
 const ENTRY_EXT: &str = "mts";
 
@@ -168,7 +169,13 @@ impl Store {
         });
         let mut entries = 0u64;
         let mut bytes = 0u64;
-        for subdir in [ANSWERS_DIR, PLANS_DIR, GRAPHS_DIR, QUARANTINE_DIR] {
+        for subdir in [
+            ANSWERS_DIR,
+            PLANS_DIR,
+            GRAPHS_DIR,
+            PROFILES_DIR,
+            QUARANTINE_DIR,
+        ] {
             let dir = shared.root.join(subdir);
             fs::create_dir_all(&dir)?;
             if subdir == QUARANTINE_DIR {
@@ -284,6 +291,28 @@ impl Store {
     /// Loads the registry graph published under `id`.
     pub fn load_graph(&self, id: &str) -> Option<GraphSnapshot> {
         self.load(GRAPHS_DIR, &graph_name(id), GraphSnapshot::decode)
+    }
+
+    /// Persists a learned cost profile (write-behind; last write wins —
+    /// the engine always writes its merged view, so newer is better).
+    pub fn put_profile(&self, snap: &ProfileSnapshot) {
+        self.enqueue(Job::Write {
+            subdir: PROFILES_DIR,
+            name: profile_name(snap.fingerprint, &snap.backend),
+            bytes: snap.encode(),
+            overwrite: true,
+        });
+    }
+
+    /// Loads the cost profile for `(fingerprint, backend)`, with the
+    /// same miss/quarantine contract as [`Store::load_answers`]. A miss
+    /// only costs a cold schedule, never a wrong answer.
+    pub fn load_profile(&self, fingerprint: u64, backend: &str) -> Option<ProfileSnapshot> {
+        self.load(
+            PROFILES_DIR,
+            &profile_name(fingerprint, backend),
+            ProfileSnapshot::decode,
+        )
     }
 
     /// Unpublishes the registry graph under `id` (write-behind).
@@ -496,6 +525,10 @@ fn graph_name(id: &str) -> String {
     format!("g-{}.{ENTRY_EXT}", sanitize(id))
 }
 
+fn profile_name(fingerprint: u64, backend: &str) -> String {
+    format!("f{fingerprint:016x}-{}.{ENTRY_EXT}", sanitize(backend))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -639,6 +672,60 @@ mod tests {
         assert!(store
             .load_answers(4, "mcs-m", StoredOrder::UponGeneration)
             .is_none());
+        assert_eq!(store.stats().corrupt_quarantined, 1);
+    }
+
+    #[test]
+    fn profiles_round_trip_and_survive_a_reopen() {
+        let dir = ScratchDir::new("profiles");
+        let snap = ProfileSnapshot {
+            fingerprint: 0xfeed,
+            backend: "mcs-m".into(),
+            nodes: 7,
+            first_us: DigestSnapshot {
+                centroids: vec![(250.0f64.to_bits(), 2)],
+                count: 2,
+                min_bits: 200.0f64.to_bits(),
+                max_bits: 300.0f64.to_bits(),
+            },
+            gap_us: DigestSnapshot::default(),
+            live_runs: 2,
+            results_total: 10,
+            extends_total: 80,
+            wall_us_total: 900,
+            replay_hits: 5,
+            hydrate_hits: 1,
+        };
+        {
+            let store = Store::open(StoreConfig::at(&dir.0)).unwrap();
+            store.put_profile(&snap);
+            store.flush();
+            assert_eq!(store.load_profile(0xfeed, "mcs-m").unwrap(), snap);
+            // A different backend is a different entry: miss.
+            assert!(store.load_profile(0xfeed, "lex-m").is_none());
+        }
+        let store = Store::open(StoreConfig::at(&dir.0)).unwrap();
+        assert_eq!(store.entries(), 1, "reopen scans the profiles dir too");
+        assert_eq!(store.load_profile(0xfeed, "mcs-m").unwrap(), snap);
+    }
+
+    #[test]
+    fn corrupt_profiles_are_quarantined_misses() {
+        let dir = ScratchDir::new("profile-corrupt");
+        let store = Store::open(StoreConfig::at(&dir.0)).unwrap();
+        let snap = ProfileSnapshot {
+            fingerprint: 0xabc,
+            backend: "mcs-m".into(),
+            ..ProfileSnapshot::default()
+        };
+        store.put_profile(&snap);
+        store.flush();
+        let path = dir.0.join(PROFILES_DIR).join(profile_name(0xabc, "mcs-m"));
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x04;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load_profile(0xabc, "mcs-m").is_none());
         assert_eq!(store.stats().corrupt_quarantined, 1);
     }
 

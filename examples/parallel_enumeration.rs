@@ -35,7 +35,7 @@ fn main() {
             &g,
             Query::enumerate()
                 .budget(EnumerationBudget::results(take))
-                .threads(threads),
+                .policy(ExecPolicy::fixed().with_threads(threads)),
         )
         .count();
     let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -52,8 +52,11 @@ fn main() {
             &g,
             Query::enumerate()
                 .budget(EnumerationBudget::results(10))
-                .threads(threads)
-                .delivery(Delivery::Deterministic),
+                .policy(
+                    ExecPolicy::fixed()
+                        .with_threads(threads)
+                        .with_delivery(Delivery::Deterministic),
+                ),
         )
         .filter_map(QueryItem::into_triangulation)
         .map(|t| t.fill_count())

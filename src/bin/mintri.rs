@@ -5,13 +5,16 @@
 //! mintri stats        --input g.col [--input-format dimacs|edges|uai] [--format text|json]
 //! mintri atoms        --input g.col [--format text|json]
 //! mintri triangulate  --input g.col [--algo mcsm|lbtriang|lexm|mindegree] [--format ...]
-//! mintri enumerate    --input g.col [--limit K] [--budget-ms T] [--algo ...] [--no-plan]
-//!                     [--threads N] [--delivery unordered|deterministic] [--store-dir DIR]
+//! mintri enumerate    --input g.col [--limit K] [--budget-ms T] [--algo ...]
+//!                     [--policy auto|fixed] [--explain] [--threads N]
+//!                     [--delivery unordered|deterministic] [--store-dir DIR]
 //!                     [--format ...]
-//! mintri best-k       --input g.col [--k K] [--by width|fill] [--limit K] [--no-plan]
-//!                     [--no-ranked] [--budget-ms T] [--threads N] [--delivery ...] [--format ...]
-//! mintri decompose    --input g.col [--limit K] [--one-per-class true] [--no-plan]
+//! mintri best-k       --input g.col [--k K] [--by width|fill] [--limit K]
+//!                     [--policy auto|fixed] [--explain] [--budget-ms T]
 //!                     [--threads N] [--delivery ...] [--format ...]
+//! mintri decompose    --input g.col [--limit K] [--one-per-class true]
+//!                     [--policy auto|fixed] [--explain] [--threads N]
+//!                     [--delivery ...] [--format ...]
 //! mintri serve        [--addr HOST:PORT] [--threads N] [--max-sessions M]
 //!                     [--workers W] [--slow-query-ms T] [--store-dir DIR]
 //!                     [--store-budget-mb MB]
@@ -32,11 +35,18 @@
 //!
 //! `mintri atoms` prints the clique-minimal-separator decomposition the
 //! planning layer enumerates over (components, atoms, separators).
-//! Enumeration commands plan by default; `--no-plan` forces the
-//! unreduced whole-graph path for debugging and benchmarking. `best-k`
-//! runs the output-sensitive ranked gear by default; `--no-ranked`
-//! forces the exhaustive scan-everything path (same winners, same
-//! order — the ranked gear is an optimization, not a semantic change).
+//!
+//! Execution is governed by `--policy`: `auto` (the default) lets the
+//! engine's learned per-atom cost profiles choose the schedule —
+//! thread split, cursor order, parallel-vs-sequential — while `fixed`
+//! pins the classic knobs. `--explain` prints the dispatch the engine
+//! actually chose for each atom (replay/hydrate/parallel/sequential/
+//! ranked plus the thread grant) to stderr; in `--format json` the
+//! same record rides in `outcome.dispatch`. The old switches remain as
+//! deprecated aliases for `--policy fixed`: `--no-plan` forces the
+//! unreduced whole-graph path, `--no-ranked` forces best-k onto the
+//! exhaustive scan-everything path (same winners, same order — the
+//! ranked gear is an optimization, not a semantic change).
 //!
 //! Graphs: DIMACS `.col` (default), 0-based edge lists, or UAI network
 //! files — select explicitly with `--input-format`. (For compatibility,
@@ -62,7 +72,7 @@
 
 use mintri::core::json::{graph_summary_json, response_document, JsonObject};
 use mintri::core::EnumerationBudget;
-use mintri::engine::{Delivery, Engine, EngineConfig, Store, StoreConfig};
+use mintri::engine::{Delivery, Engine, EngineConfig, ExecPolicy, Store, StoreConfig};
 use mintri::graph::io::{parse_dimacs, parse_edge_list};
 use mintri::prelude::*;
 use mintri::separators::MinimalSeparatorIter;
@@ -100,7 +110,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that take no value (present means `true`).
-const SWITCH_FLAGS: &[&str] = &["no-plan", "no-ranked", "trace"];
+const SWITCH_FLAGS: &[&str] = &["no-plan", "no-ranked", "trace", "explain"];
 
 fn parse_flags(args: impl Iterator<Item = String>) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -231,6 +241,40 @@ fn parse_budget(flags: &HashMap<String, String>) -> Result<EnumerationBudget, St
     })
 }
 
+/// `--policy auto|fixed` (plus the deprecated `--no-plan`/`--no-ranked`
+/// aliases) → the query's [`ExecPolicy`]. `auto` is the default: the
+/// engine's learned cost profiles drive the schedule. The legacy
+/// switches still work — they select a `fixed` policy with a
+/// deprecation note — but cannot be combined with an explicit
+/// `--policy auto`, which they would contradict.
+fn pick_policy(flags: &HashMap<String, String>) -> Result<ExecPolicy, String> {
+    let delivery = pick_delivery(flags)?;
+    let legacy: Vec<&str> = ["no-plan", "no-ranked"]
+        .into_iter()
+        .filter(|k| flags.contains_key(*k))
+        .collect();
+    match flags.get("policy").map(String::as_str) {
+        None | Some("auto") if legacy.is_empty() => Ok(ExecPolicy::auto().with_delivery(delivery)),
+        Some("auto") => Err(format!(
+            "--{} pins a fixed schedule and contradicts --policy auto; drop it or use --policy fixed",
+            legacy[0]
+        )),
+        None | Some("fixed") => {
+            if flags.get("policy").is_none() {
+                eprintln!(
+                    "warning: --{} is a deprecated alias for --policy fixed",
+                    legacy.join(" and --")
+                );
+            }
+            Ok(ExecPolicy::fixed()
+                .with_planned(!flags.contains_key("no-plan"))
+                .with_ranked(!flags.contains_key("no-ranked"))
+                .with_delivery(delivery))
+        }
+        Some(other) => Err(format!("unknown --policy {other:?} (use auto or fixed)")),
+    }
+}
+
 /// Builds the typed query for one enumeration command — the single place
 /// where CLI flags become a request.
 fn build_query(command: &str, flags: &HashMap<String, String>) -> Result<Query, String> {
@@ -267,9 +311,7 @@ fn build_query(command: &str, flags: &HashMap<String, String>) -> Result<Query, 
     Ok(query
         .triangulator(pick_triangulator(flags)?)
         .budget(parse_budget(flags)?)
-        .delivery(pick_delivery(flags)?)
-        .planned(!flags.contains_key("no-plan"))
-        .ranked(!flags.contains_key("no-ranked"))
+        .policy(pick_policy(flags)?)
         .traced(flags.contains_key("trace")))
 }
 
@@ -281,6 +323,34 @@ fn print_trace(outcome: &mintri::core::query::QueryOutcome, output: Output) {
         if let Some(trace) = &outcome.trace {
             eprint!("{}", trace.render_text());
         }
+    }
+}
+
+/// `--explain` text rendering: the per-atom dispatch record — how the
+/// engine actually served each atom (replay/hydrate/parallel/sequential/
+/// ranked) and the thread grant — to stderr. JSON output carries the
+/// same data as `outcome.dispatch`.
+fn print_explain(
+    outcome: &mintri::core::query::QueryOutcome,
+    flags: &HashMap<String, String>,
+    output: Output,
+) {
+    if output != Output::Text || !flags.contains_key("explain") {
+        return;
+    }
+    if outcome.dispatch.is_empty() {
+        eprintln!("dispatch: local (no engine)");
+        return;
+    }
+    for d in &outcome.dispatch {
+        eprintln!(
+            "atom {}: {} nodes, {} thread{}, {}",
+            d.index,
+            d.nodes,
+            d.threads,
+            if d.threads == 1 { "" } else { "s" },
+            d.kind.name()
+        );
     }
 }
 
@@ -567,6 +637,7 @@ fn cmd_enumerate(g: &Graph, flags: &HashMap<String, String>, output: Output) -> 
         }
     }
     print_trace(&outcome, output);
+    print_explain(&outcome, flags, output);
     Ok(())
 }
 
@@ -606,6 +677,7 @@ fn cmd_best_k(g: &Graph, flags: &HashMap<String, String>, output: Output) -> Res
         }
     }
     print_trace(&outcome, output);
+    print_explain(&outcome, flags, output);
     Ok(())
 }
 
@@ -630,7 +702,9 @@ fn cmd_decompose(g: &Graph, flags: &HashMap<String, String>, output: Output) -> 
                 count += 1;
             }
             eprintln!("{count} proper tree decompositions printed");
-            print_trace(&response.outcome(), output);
+            let outcome = response.outcome();
+            print_trace(&outcome, output);
+            print_explain(&outcome, flags, output);
         }
         Output::Json => {
             let ds = response.decompositions();

@@ -85,10 +85,11 @@ pub mod prelude {
     pub use mintri_chordal::{is_chordal, maximal_cliques, treewidth_of_chordal, CliqueForest};
     pub use mintri_core::best_k_of_stream;
     pub use mintri_core::{
-        AnytimeSearch, BruteForce, CancelToken, ComposedStream, CostMeasure, Delivery,
-        EagerMinimalTriangulations, EnumerationBudget, MinimalTriangulationsEnumerator, Plan,
-        PlannedAtom, ProperTreeDecompositions, Query, QueryItem, QueryOutcome, Response,
-        SearchStrategy, Task, TdEnumerationMode, TriangulationStream,
+        AnytimeSearch, AtomDispatch, BruteForce, CancelToken, ComposedStream, CostMeasure,
+        Delivery, DispatchKind, EagerMinimalTriangulations, EnumerationBudget, ExecPolicy,
+        MinimalTriangulationsEnumerator, Plan, PlannedAtom, ProperTreeDecompositions, Query,
+        QueryItem, QueryOutcome, Response, SearchStrategy, Task, TdEnumerationMode,
+        TriangulationStream,
     };
     #[cfg(feature = "parallel")]
     pub use mintri_engine::{parallel_strategy, parallel_strategy_with, ParallelEnumerator};

@@ -1,0 +1,170 @@
+//! The adaptive-execution contract: `ExecPolicy::Auto` may reschedule —
+//! move the thread pool, reorder odometer cursors, demote to sequential
+//! — but it must never change *what* a query answers. On every input,
+//! Auto and Fixed agree set-identically under `Delivery::Unordered` and
+//! bit-for-bit under `Delivery::Deterministic`, on both executors
+//! (`Query::run_local` and the engine), with a cold profile and with a
+//! warm one (the engine's learned costs actively steering dispatch).
+
+use mintri::prelude::*;
+use mintri::workloads::random::chained_cycles;
+use proptest::prelude::*;
+
+/// A random graph on `3..=max_n` nodes with independent edge bits.
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3usize..=max_n).prop_flat_map(|n| {
+        let m = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), m).prop_map(move |bits| {
+            let mut g = Graph::new(n);
+            let mut k = 0;
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if bits[k] {
+                        g.add_edge(u, v);
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Drains one response into the full edge list of each triangulation —
+/// a faithful identity for both set and order comparisons.
+fn drain(resp: Response<'_>) -> Vec<Vec<(Node, Node)>> {
+    resp.filter_map(QueryItem::into_triangulation)
+        .map(|t| t.graph.edges())
+        .collect()
+}
+
+fn run_local(g: &Graph, policy: ExecPolicy) -> Vec<Vec<(Node, Node)>> {
+    drain(Query::enumerate().policy(policy).run_local(g))
+}
+
+fn run_engine(engine: &Engine, g: &Graph, policy: ExecPolicy) -> Vec<Vec<(Node, Node)>> {
+    drain(engine.run(g, Query::enumerate().policy(policy)))
+}
+
+fn sorted(mut v: Vec<Vec<(Node, Node)>>) -> Vec<Vec<(Node, Node)>> {
+    v.sort();
+    v
+}
+
+/// The whole matrix for one graph: local + engine, cold + warm, both
+/// delivery contracts. `threads` sizes the engines' worker pools.
+/// Returns `true` when the graph taught the Auto engine no profile
+/// (it planned to zero enumerated atoms).
+fn assert_auto_matches_fixed(g: &Graph, threads: usize) -> bool {
+    let det = Delivery::Deterministic;
+
+    // In-process executor: no profile ever exists here, but Auto must
+    // still honor both contracts.
+    let fixed_unordered = run_local(g, ExecPolicy::fixed());
+    let auto_unordered = run_local(g, ExecPolicy::auto());
+    assert_eq!(
+        sorted(auto_unordered),
+        sorted(fixed_unordered),
+        "local unordered: Auto changed the result set"
+    );
+    let fixed_det = run_local(g, ExecPolicy::fixed().with_delivery(det));
+    let auto_det = run_local(g, ExecPolicy::auto().with_delivery(det));
+    assert_eq!(
+        auto_det, fixed_det,
+        "local deterministic: Auto changed the order"
+    );
+
+    // Engine executor, separate engines so Fixed never sees Auto's
+    // learned state. Each engine is queried three times per contract:
+    // cold (empty profile), then — after evicting the warm sessions so
+    // the run is live again — with the profile actively steering.
+    let auto_engine = Engine::with_config(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    });
+    let fixed_engine = Engine::with_config(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    });
+    for round in ["cold", "warm"] {
+        let fixed = run_engine(&fixed_engine, g, ExecPolicy::fixed());
+        let auto = run_engine(&auto_engine, g, ExecPolicy::auto());
+        assert_eq!(
+            sorted(auto),
+            sorted(fixed),
+            "engine unordered ({round}): Auto changed the result set"
+        );
+        let fixed_det = run_engine(&fixed_engine, g, ExecPolicy::fixed().with_delivery(det));
+        let auto_det = run_engine(&auto_engine, g, ExecPolicy::auto().with_delivery(det));
+        assert_eq!(
+            auto_det, fixed_det,
+            "engine deterministic ({round}): Auto changed the order"
+        );
+        // Sessions evicted, profiles kept: the next round's enumerations
+        // run live under learned predictions instead of replaying.
+        auto_engine.clear_sessions();
+        fixed_engine.clear_sessions();
+    }
+    // A graph that planned to zero enumerated atoms (chordal inputs)
+    // teaches nothing; everything else must have left a profile behind,
+    // or the "warm" rounds above silently tested cold dispatch twice.
+    auto_engine.profile_views().is_empty()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Auto ≡ Fixed on random graphs, sequential engines.
+    #[test]
+    fn auto_matches_fixed_on_random_graphs(g in graph_strategy(6)) {
+        assert_auto_matches_fixed(&g, 1);
+    }
+
+    /// The same with a parallel worker pool, where Auto's thread-split
+    /// and demotion decisions actually bite.
+    #[test]
+    fn auto_matches_fixed_on_random_graphs_parallel(g in graph_strategy(6)) {
+        assert_auto_matches_fixed(&g, 4);
+    }
+}
+
+/// The planner's favorite corpus: chained cycles decompose into one
+/// atom per cycle, so Auto's cursor reordering and per-atom thread
+/// split drive the composed odometer — exactly the machinery that must
+/// not leak into the answer.
+#[test]
+fn auto_matches_fixed_on_chained_cycles() {
+    for shape in [&[4usize, 6][..], &[4, 5, 6], &[5, 5]] {
+        let g = chained_cycles(shape);
+        let untaught = assert_auto_matches_fixed(&g, 4);
+        assert!(!untaught, "chained cycles must have learned a profile");
+    }
+}
+
+/// Ranked best-k under Auto keeps the ranked answer contract: same
+/// winners, same order as Fixed, cold and warm.
+#[test]
+fn auto_best_k_matches_fixed_on_chained_cycles() {
+    let g = chained_cycles(&[4, 5, 6]);
+    let auto_engine = Engine::with_config(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+    let fixed_engine = Engine::with_config(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+    let fills = |engine: &Engine, policy: ExecPolicy| -> Vec<Vec<(Node, Node)>> {
+        let mut resp = engine.run(&g, Query::best_k(7, CostMeasure::Fill).policy(policy));
+        resp.triangulations().into_iter().map(|t| t.fill).collect()
+    };
+    for round in ["cold", "warm"] {
+        assert_eq!(
+            fills(&auto_engine, ExecPolicy::auto()),
+            fills(&fixed_engine, ExecPolicy::fixed()),
+            "best-k winners diverged ({round})"
+        );
+        auto_engine.clear_sessions();
+        fixed_engine.clear_sessions();
+    }
+}

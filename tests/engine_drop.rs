@@ -57,7 +57,10 @@ fn response_cancel_mid_stream_is_honored_in_both_deliveries() {
     for delivery in [Delivery::Unordered, Delivery::Deterministic] {
         let baseline = live_threads();
         let (engine, g) = launch(4);
-        let mut response = engine.run(&g, Query::enumerate().threads(4).delivery(delivery));
+        let mut response = engine.run(
+            &g,
+            Query::enumerate().policy(ExecPolicy::fixed().with_threads(4).with_delivery(delivery)),
+        );
         assert!(response.next().is_some(), "{delivery:?}: first result");
         assert!(response.next().is_some(), "{delivery:?}: second result");
         response.cancel();
@@ -93,8 +96,7 @@ fn cross_thread_cancel_unblocks_a_draining_consumer() {
         let mut response = engine.run(
             &g,
             Query::enumerate()
-                .threads(4)
-                .delivery(delivery)
+                .policy(ExecPolicy::fixed().with_threads(4).with_delivery(delivery))
                 .budget(EnumerationBudget::results(200_000)),
         );
         let token = response.cancel_token();
@@ -130,8 +132,7 @@ fn result_budget_mid_stream_joins_workers_in_both_deliveries() {
         let mut response = engine.run(
             &g,
             Query::enumerate()
-                .threads(4)
-                .delivery(delivery)
+                .policy(ExecPolicy::fixed().with_threads(4).with_delivery(delivery))
                 .budget(EnumerationBudget::results(7)),
         );
         assert_eq!(response.by_ref().count(), 7, "{delivery:?}");
@@ -156,8 +157,7 @@ fn time_budget_mid_stream_joins_workers_in_both_deliveries() {
         let mut response = engine.run(
             &g,
             Query::enumerate()
-                .threads(4)
-                .delivery(delivery)
+                .policy(ExecPolicy::fixed().with_threads(4).with_delivery(delivery))
                 // Generous result cap as the hang safety-net; the clock
                 // trips far earlier.
                 .budget(EnumerationBudget::results_or_time(
@@ -187,7 +187,10 @@ fn cancel_mid_ranked_best_k_yields_the_proven_prefix_and_joins_workers() {
     let (engine, g) = launch(4);
     // Large k so the ranked stream has plenty left to emit when the
     // cancel lands; the results already out are proven winners.
-    let mut response = engine.run(&g, Query::best_k(100_000, CostMeasure::Fill).threads(4));
+    let mut response = engine.run(
+        &g,
+        Query::best_k(100_000, CostMeasure::Fill).policy(ExecPolicy::fixed().with_threads(4)),
+    );
     assert!(response.next().is_some(), "first ranked result");
     assert!(response.next().is_some(), "second ranked result");
     response.cancel();
@@ -217,7 +220,7 @@ fn result_budget_mid_ranked_best_k_bounds_emissions_and_joins_workers() {
     let mut response = engine.run(
         &g,
         Query::best_k(100_000, CostMeasure::Fill)
-            .threads(4)
+            .policy(ExecPolicy::fixed().with_threads(4))
             .budget(EnumerationBudget::results(5)),
     );
     assert_eq!(response.by_ref().count(), 5);

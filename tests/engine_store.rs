@@ -197,11 +197,22 @@ fn an_unordered_recording_never_hydrates_a_deterministic_query() {
             },
             dir.open(),
         );
-        assert_eq!(writer.run(&g, Query::enumerate().threads(4)).count(), 42);
+        assert_eq!(
+            writer
+                .run(
+                    &g,
+                    Query::enumerate().policy(ExecPolicy::fixed().with_threads(4))
+                )
+                .count(),
+            42
+        );
         writer.store().unwrap().flush();
     }
     let reader = engine_at(&dir);
-    let det = reader.run(&g, Query::enumerate().delivery(Delivery::Deterministic));
+    let det = reader.run(
+        &g,
+        Query::enumerate().policy(ExecPolicy::fixed().with_delivery(Delivery::Deterministic)),
+    );
     assert!(
         !det.is_replay(),
         "order is a contract: an unordered disk recording cannot serve it"

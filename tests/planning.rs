@@ -27,7 +27,7 @@ fn planned_local(g: &Graph) -> Vec<Vec<(Node, Node)>> {
 fn unreduced_local(g: &Graph) -> Vec<Vec<(Node, Node)>> {
     sorted_edges(
         Query::enumerate()
-            .planned(false)
+            .policy(ExecPolicy::fixed().with_planned(false))
             .run_local(g)
             .triangulations(),
     )
@@ -98,9 +98,11 @@ fn composed_deterministic_order_is_stable_across_thread_counts() {
         let got: Vec<_> = engine
             .run(
                 &g,
-                Query::enumerate()
-                    .threads(threads)
-                    .delivery(Delivery::Deterministic),
+                Query::enumerate().policy(
+                    ExecPolicy::fixed()
+                        .with_threads(threads)
+                        .with_delivery(Delivery::Deterministic),
+                ),
             )
             .filter_map(QueryItem::into_triangulation)
             .map(|t| t.graph.edges())
@@ -112,9 +114,11 @@ fn composed_deterministic_order_is_stable_across_thread_counts() {
         // …and the deterministic replay preserves it too.
         let replay = engine.run(
             &g,
-            Query::enumerate()
-                .threads(threads)
-                .delivery(Delivery::Deterministic),
+            Query::enumerate().policy(
+                ExecPolicy::fixed()
+                    .with_threads(threads)
+                    .with_delivery(Delivery::Deterministic),
+            ),
         );
         assert!(replay.is_replay());
         let replayed: Vec<_> = replay
@@ -137,7 +141,10 @@ fn composed_unordered_engine_queries_match_the_set() {
         let engine = Engine::new();
         let got = sorted_edges(
             engine
-                .run(&g, Query::enumerate().threads(threads))
+                .run(
+                    &g,
+                    Query::enumerate().policy(ExecPolicy::fixed().with_threads(threads)),
+                )
                 .filter_map(QueryItem::into_triangulation)
                 .collect(),
         );
@@ -226,7 +233,7 @@ proptest! {
             let engine = Engine::new();
             let got = sorted_edges(
                 engine
-                    .run(&g, Query::enumerate().threads(threads))
+                    .run(&g, Query::enumerate().policy(ExecPolicy::fixed().with_threads(threads)))
                     .filter_map(QueryItem::into_triangulation)
                     .collect(),
             );

@@ -46,8 +46,11 @@ fn best_k_fills_local(
     ranked: bool,
 ) -> Vec<Vec<(Node, Node)>> {
     let mut resp = Query::best_k(k, cost)
-        .planned(planned)
-        .ranked(ranked)
+        .policy(
+            ExecPolicy::fixed()
+                .with_planned(planned)
+                .with_ranked(ranked),
+        )
         .run_local(g);
     resp.triangulations().into_iter().map(|t| t.fill).collect()
 }
@@ -65,10 +68,12 @@ fn best_k_fills_engine(
 ) -> Vec<Vec<(Node, Node)>> {
     let mut resp = engine.run(
         g,
-        Query::best_k(k, cost)
-            .planned(planned)
-            .ranked(ranked)
-            .delivery(Delivery::Deterministic),
+        Query::best_k(k, cost).policy(
+            ExecPolicy::fixed()
+                .with_planned(planned)
+                .with_ranked(ranked)
+                .with_delivery(Delivery::Deterministic),
+        ),
     );
     resp.triangulations().into_iter().map(|t| t.fill).collect()
 }

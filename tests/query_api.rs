@@ -27,7 +27,7 @@ fn unplanned_run_local_is_the_sequential_iterator_bit_for_bit() {
         let g = erdos_renyi(14, 0.3, 5);
         let via_query = edges_of(
             &Query::enumerate()
-                .planned(false)
+                .policy(ExecPolicy::fixed().with_planned(false))
                 .mode(mode)
                 .budget(EnumerationBudget::results(300))
                 .run_local(&g)
@@ -75,7 +75,7 @@ fn planned_run_local_matches_the_unreduced_answer_set() {
     let unreduced = {
         let mut v = edges_of(
             &Query::enumerate()
-                .planned(false)
+                .policy(ExecPolicy::fixed().with_planned(false))
                 .run_local(&g)
                 .triangulations(),
         );
@@ -95,9 +95,11 @@ fn deterministic_engine_queries_match_run_local_exactly() {
         let got: Vec<_> = engine
             .run(
                 &g,
-                Query::enumerate()
-                    .threads(threads)
-                    .delivery(Delivery::Deterministic),
+                Query::enumerate().policy(
+                    ExecPolicy::fixed()
+                        .with_threads(threads)
+                        .with_delivery(Delivery::Deterministic),
+                ),
             )
             .filter_map(QueryItem::into_triangulation)
             .map(|t| t.graph.edges())
@@ -115,7 +117,10 @@ fn unordered_engine_queries_match_the_answer_set() {
     for threads in [2, 4] {
         let engine = Engine::new();
         let mut got: Vec<_> = engine
-            .run(&g, Query::enumerate().threads(threads))
+            .run(
+                &g,
+                Query::enumerate().policy(ExecPolicy::fixed().with_threads(threads)),
+            )
             .filter_map(QueryItem::into_triangulation)
             .map(|t| t.graph.edges())
             .collect();

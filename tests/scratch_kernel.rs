@@ -8,7 +8,7 @@
 //! sequential iterator in both print modes, `Query::run_local`, and
 //! `Engine::run` in both deliveries at several thread counts.
 
-use mintri::core::{Delivery, MinimalTriangulationsEnumerator, MsGraph, Query};
+use mintri::core::{Delivery, ExecPolicy, MinimalTriangulationsEnumerator, MsGraph, Query};
 use mintri::engine::Engine;
 use mintri::graph::{Graph, Node};
 use mintri::sgr::{EnumMisStats, PrintMode};
@@ -56,10 +56,12 @@ fn sequential(g: &Graph, kernel: bool, mode: PrintMode) -> (Vec<Fill>, EnumMisSt
 fn engine_fills(g: &Graph, threads: usize, delivery: Delivery) -> Vec<Fill> {
     let mut resp = Engine::new().run(
         g,
-        Query::enumerate()
-            .planned(false)
-            .threads(threads)
-            .delivery(delivery),
+        Query::enumerate().policy(
+            ExecPolicy::fixed()
+                .with_planned(false)
+                .with_threads(threads)
+                .with_delivery(delivery),
+        ),
     );
     resp.triangulations().into_iter().map(|t| t.fill).collect()
 }
@@ -92,7 +94,7 @@ fn assert_kernel_identity(g: &Graph, threads: &[usize]) {
 
     // run_local drives the same kernel through the front door.
     let local: Vec<Fill> = Query::enumerate()
-        .planned(false)
+        .policy(ExecPolicy::fixed().with_planned(false))
         .run_local(g)
         .triangulations()
         .into_iter()
